@@ -1,0 +1,83 @@
+package hetlb_test
+
+import (
+	"testing"
+
+	"hetlb"
+	"hetlb/internal/gossip"
+	"hetlb/internal/protocol"
+)
+
+// runSelectionAblation drives DLB2C with either the uniform-initiator or the
+// sweep selection policy for a fixed exchange budget and returns the final
+// makespan.
+func runSelectionAblation(tc *hetlb.TwoCluster, seed uint64, sweep bool) hetlb.Cost {
+	initial := hetlb.RandomInitial(tc, seed)
+	cfg := gossip.Config{Seed: seed}
+	if sweep {
+		cfg.Selection = &gossip.Sweep{}
+	}
+	e := gossip.New(protocol.DLB2C{Model: tc}, initial, cfg)
+	res := e.Run(tc.NumMachines()*10, false)
+	return res.FinalMakespan
+}
+
+// benchMoves runs DLB2C vs its min-move variant over a fixed budget and
+// reports migrations and quality.
+func benchMoves(b *testing.B, minMove bool) {
+	p0 := make([]hetlb.Cost, 192)
+	p1 := make([]hetlb.Cost, 192)
+	for j := range p0 {
+		p0[j] = hetlb.Cost(1 + (j*2711)%1000)
+		p1[j] = hetlb.Cost(1 + (j*5381)%1000)
+	}
+	tc, err := hetlb.NewTwoCluster(16, 8, p0, p1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var proto protocol.Protocol = protocol.DLB2C{Model: tc}
+	if minMove {
+		proto = protocol.DLB2CMinMove{Model: tc}
+	}
+	var moves int
+	var final hetlb.Cost
+	for i := 0; i < b.N; i++ {
+		initial := hetlb.RandomInitial(tc, uint64(i))
+		e := gossip.New(proto, initial, gossip.Config{Seed: uint64(i)})
+		res := e.Run(24*10, false)
+		moves = e.Moves()
+		final = res.FinalMakespan
+	}
+	b.ReportMetric(float64(moves), "migrations")
+	b.ReportMetric(float64(final)/hetlb.TwoClusterLowerBound(tc), "cmax/lb")
+}
+
+// benchNetLatency runs the message-passing runtime at a given latency.
+func benchNetLatency(b *testing.B, latency int64) {
+	p0 := make([]hetlb.Cost, 192)
+	p1 := make([]hetlb.Cost, 192)
+	for j := range p0 {
+		p0[j] = hetlb.Cost(1 + (j*4409)%1000)
+		p1[j] = hetlb.Cost(1 + (j*7561)%1000)
+	}
+	tc, err := hetlb.NewTwoCluster(16, 8, p0, p1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lb := hetlb.TwoClusterLowerBound(tc)
+	var final hetlb.Cost
+	var sessions int
+	for i := 0; i < b.N; i++ {
+		initial := hetlb.RandomInitial(tc, uint64(i))
+		res, err := hetlb.DLB2CMessagePassing(tc, initial, hetlb.MessagePassingOptions{
+			Seed: uint64(i), Latency: latency, Period: 10, Horizon: 2000,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		final = res.Makespan
+		sessions = res.Sessions
+	}
+	b.ReportMetric(float64(final)/lb, "cmax/lb")
+	b.ReportMetric(float64(sessions), "sessions")
+}

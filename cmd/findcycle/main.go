@@ -1,0 +1,77 @@
+// Command findcycle searches for small two-cluster instances on which DLB2C
+// provably never converges (Proposition 8 of the paper): it samples random
+// instances and initial assignments, exhaustively enumerates the schedules
+// reachable under every pairwise balancing sequence, and reports instances
+// whose reachable set contains no stable schedule.
+//
+// The instance hardcoded in workload.CycleInstance was produced by this
+// tool. Usage:
+//
+//	findcycle [-seed N] [-tries N] [-m1 N] [-m2 N] [-jobs N] [-maxcost N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hetlb/internal/core"
+	"hetlb/internal/protocol"
+	"hetlb/internal/rng"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "random seed")
+	tries := flag.Int("tries", 200000, "number of random instances to sample")
+	m1 := flag.Int("m1", 2, "machines in cluster 0")
+	m2 := flag.Int("m2", 1, "machines in cluster 1")
+	jobs := flag.Int("jobs", 5, "number of jobs")
+	maxCost := flag.Int64("maxcost", 5, "maximum per-cluster job cost")
+	maxStates := flag.Int("maxstates", 4000, "reachable-state cap per candidate")
+	count := flag.Int("count", 1, "number of instances to report before exiting")
+	flag.Parse()
+
+	gen := rng.New(*seed)
+	found := 0
+	for t := 0; t < *tries && found < *count; t++ {
+		p0 := make([]core.Cost, *jobs)
+		p1 := make([]core.Cost, *jobs)
+		for j := range p0 {
+			p0[j] = gen.IntRange(1, *maxCost)
+			p1[j] = gen.IntRange(1, *maxCost)
+		}
+		tc, err := core.NewTwoCluster(*m1, *m2, p0, p1)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		machineOf := make([]int, *jobs)
+		for j := range machineOf {
+			machineOf[j] = gen.Intn(*m1 + *m2)
+		}
+		start, err := core.FromMachineOf(tc, machineOf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		r := protocol.Explore(protocol.DLB2C{Model: tc}, start, *maxStates)
+		if !r.ProvesNonConvergence() {
+			continue
+		}
+		found++
+		fmt.Printf("FOUND after %d tries: m1=%d m2=%d jobs=%d\n", t+1, *m1, *m2, *jobs)
+		fmt.Printf("  p0 = %v\n", p0)
+		fmt.Printf("  p1 = %v\n", p1)
+		fmt.Printf("  initial machineOf = %v\n", machineOf)
+		fmt.Printf("  reachable states = %d, stable = %d\n", r.States, r.StableStates)
+		cyc := protocol.FindCycle(protocol.DLB2C{Model: tc}, start, *maxStates)
+		fmt.Printf("  explicit cycle of length %d\n", len(cyc)-1)
+		for k, s := range cyc {
+			fmt.Printf("    state %d: %s\n", k, s)
+		}
+	}
+	if found == 0 {
+		fmt.Println("no non-converging instance found; widen the search")
+		os.Exit(2)
+	}
+}

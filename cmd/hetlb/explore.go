@@ -1,0 +1,71 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"hetlb/internal/core"
+	"hetlb/internal/protocol"
+	"hetlb/internal/rng"
+	"hetlb/internal/workload"
+)
+
+// cmdExplore enumerates the schedules reachable from an initial
+// distribution under every DLB2C balancing sequence — the Proposition 8
+// analysis — either on the built-in cycling instance or on a random one.
+func cmdExplore(args []string) error {
+	fs := flag.NewFlagSet("explore", flag.ExitOnError)
+	builtin := fs.Bool("builtin", true, "use the built-in Proposition 8 instance (false: random instance)")
+	m1 := fs.Int("m1", 2, "cluster 0 machines (random instance)")
+	m2 := fs.Int("m2", 1, "cluster 1 machines (random instance)")
+	jobs := fs.Int("jobs", 5, "jobs (random instance)")
+	hi := fs.Int64("hi", 5, "maximum job cost (random instance)")
+	seed := fs.Uint64("seed", 1, "random seed")
+	maxStates := fs.Int("maxstates", 100000, "state cap")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var tc *core.TwoCluster
+	var start *core.Assignment
+	if *builtin {
+		tc, start = workload.CycleInstance()
+		fmt.Println("built-in Proposition 8 instance (2+1 machines, 5 jobs)")
+	} else {
+		gen := rng.New(*seed)
+		tc = workload.UniformTwoCluster(gen, *m1, *m2, *jobs, 1, *hi)
+		machineOf := make([]int, *jobs)
+		for j := range machineOf {
+			machineOf[j] = gen.Intn(*m1 + *m2)
+		}
+		var err error
+		start, err = core.FromMachineOf(tc, machineOf)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("random instance: %d+%d machines, %d jobs, costs U[1,%d], seed %d\n",
+			*m1, *m2, *jobs, *hi, *seed)
+	}
+
+	proto := protocol.DLB2C{Model: tc}
+	r := protocol.Explore(proto, start, *maxStates)
+	fmt.Printf("reachable schedules: %d (truncated: %v)\n", r.States, r.Truncated)
+	fmt.Printf("stable schedules:    %d\n", r.StableStates)
+	fmt.Printf("makespan range:      [%d, %d]\n", r.MinMakespan, r.MaxMakespan)
+	switch {
+	case r.ProvesNonConvergence():
+		fmt.Println("verdict: PROVEN non-convergent — no balancing sequence can ever stabilize")
+		cyc := protocol.FindCycle(proto, start, *maxStates)
+		if len(cyc) > 1 {
+			fmt.Printf("explicit cycle of %d steps:\n", len(cyc)-1)
+			for k, s := range cyc {
+				fmt.Printf("  %d: %s\n", k, s)
+			}
+		}
+	case r.Truncated:
+		fmt.Println("verdict: inconclusive (state cap hit; raise -maxstates)")
+	default:
+		fmt.Println("verdict: at least one stable schedule is reachable")
+	}
+	return nil
+}

@@ -1,0 +1,66 @@
+// Command hetlb is the command-line front end of the library. Subcommands:
+//
+//	sim        run a decentralized balancing protocol on a generated system
+//	markov     compute the stationary makespan distribution of the
+//	           one-cluster model (Section VII.A)
+//	worksteal  simulate work stealing, including the Theorem 1 trap
+//	solve      read a cost matrix (CSV, one machine per line) on stdin and
+//	           solve it exactly (small instances) and with the baselines
+//
+// Run `hetlb <subcommand> -h` for flags.
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "sim":
+		err = cmdSim(args)
+	case "markov":
+		err = cmdMarkov(args)
+	case "worksteal":
+		err = cmdWorksteal(args)
+	case "explore":
+		err = cmdExplore(args)
+	case "solve":
+		err = cmdSolve(args)
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "hetlb: unknown subcommand %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hetlb:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: hetlb <subcommand> [flags]
+
+subcommands:
+  sim        run DLB2C / OJTB / MJTB / homogeneous balancing on a generated system
+  markov     stationary makespan distribution of the one-cluster Markov model
+  worksteal  simulate the work-stealing baseline (Algorithm 1)
+  explore    enumerate reachable schedules / prove non-convergence (Prop. 8)
+  solve      exactly solve a small cost matrix read from stdin
+
+examples:
+  hetlb sim -proto dlb2c -m1 64 -m2 32 -jobs 768 -steps 480
+  hetlb markov -m 6 -pmax 4
+  hetlb worksteal -trap 1000
+  echo '1,2,3
+4,5,6' | hetlb solve
+`)
+}

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"hetlb/internal/central"
+	"hetlb/internal/core"
+	"hetlb/internal/exact"
+	"hetlb/internal/worksteal"
+)
+
+// newWSSim adapts the internal work-stealing simulator for the latency flag
+// of cmdWorksteal.
+func newWSSim(model core.CostModel, initial *core.Assignment, seed uint64, latency int64) (*worksteal.Simulator, error) {
+	return worksteal.New(model, initial, worksteal.Config{Seed: seed, StealLatency: latency})
+}
+
+// cmdSolve reads a dense cost matrix from stdin (CSV: one machine per line,
+// one job per column) and reports the exact optimum (when provable within
+// the node budget) alongside the greedy baselines.
+func cmdSolve(args []string) error {
+	fs := flag.NewFlagSet("solve", flag.ExitOnError)
+	budget := fs.Int64("budget", 50_000_000, "branch-and-bound node budget")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	matrix, err := readMatrix(os.Stdin)
+	if err != nil {
+		return err
+	}
+	d, err := core.NewDense(matrix)
+	if err != nil {
+		return err
+	}
+	if err := core.CheckModel(d); err != nil {
+		return err
+	}
+	fmt.Printf("instance: %d machines × %d jobs; lower bound %d\n",
+		d.NumMachines(), d.NumJobs(), core.LowerBound(d))
+
+	ls := central.ListScheduling(d, nil)
+	fmt.Printf("ECT greedy (List Scheduling): Cmax = %d\n", ls.Makespan())
+
+	if d.NumMachines()*d.NumJobs() <= 4096 {
+		if lst, err := central.LST(d); err == nil {
+			fmt.Printf("LST (LP rounding, 2-approx): Cmax = %d (LP deadline T* = %d, %d LPs)\n",
+				lst.Assignment.Makespan(), lst.Deadline, lst.LPSolves)
+		}
+	}
+
+	res := exact.SolveBudget(d, *budget)
+	if res.Proven {
+		fmt.Printf("optimal: Cmax = %d (%d B&B nodes)\n", res.Opt, res.Nodes)
+		for i := 0; i < d.NumMachines(); i++ {
+			fmt.Printf("  machine %d (load %d): %v\n",
+				i, res.Assignment.Load(i), res.Assignment.Jobs(i))
+		}
+	} else {
+		fmt.Printf("best found: Cmax = %d (budget of %d nodes exhausted; not proven optimal)\n",
+			res.Opt, *budget)
+	}
+	return nil
+}
+
+// readMatrix parses comma- or whitespace-separated integer rows.
+func readMatrix(f *os.File) ([][]core.Cost, error) {
+	var rows [][]core.Cost
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.FieldsFunc(line, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' })
+		row := make([]core.Cost, 0, len(fields))
+		for _, fstr := range fields {
+			v, err := strconv.ParseInt(strings.TrimSpace(fstr), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad cost %q: %v", fstr, err)
+			}
+			row = append(row, v)
+		}
+		rows = append(rows, row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("no matrix on stdin")
+	}
+	return rows, nil
+}

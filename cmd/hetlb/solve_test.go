@@ -1,0 +1,52 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTemp(t *testing.T, content string) *os.File {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "matrix.csv")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+func TestReadMatrixCommas(t *testing.T) {
+	f := writeTemp(t, "1,2,3\n4,5,6\n")
+	m, err := readMatrix(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 2 || len(m[0]) != 3 || m[1][2] != 6 {
+		t.Fatalf("parsed %v", m)
+	}
+}
+
+func TestReadMatrixWhitespaceAndBlankLines(t *testing.T) {
+	f := writeTemp(t, "1 2\t3\n\n  4,5 ,6  \n")
+	m, err := readMatrix(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 2 || m[1][1] != 5 {
+		t.Fatalf("parsed %v", m)
+	}
+}
+
+func TestReadMatrixErrors(t *testing.T) {
+	if _, err := readMatrix(writeTemp(t, "")); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := readMatrix(writeTemp(t, "1,x,3\n")); err == nil {
+		t.Fatal("non-numeric cost accepted")
+	}
+}

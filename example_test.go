@@ -1,0 +1,95 @@
+package hetlb_test
+
+import (
+	"fmt"
+
+	"hetlb"
+)
+
+// ExampleDLB2C balances a small CPU+GPU system with the decentralized
+// two-cluster protocol.
+func ExampleDLB2C() {
+	model, _ := hetlb.NewTwoCluster(1, 1,
+		[]hetlb.Cost{1, 1, 8, 8},
+		[]hetlb.Cost{8, 8, 1, 1})
+	initial := hetlb.RoundRobin(model)
+	res, _ := hetlb.DLB2C(model, initial, hetlb.RunOptions{
+		Seed: 1, MaxExchanges: 100, DetectStability: true,
+	})
+	fmt.Println("makespan:", res.Makespan, "stable:", res.Converged)
+	// Output:
+	// makespan: 2 stable: true
+}
+
+// ExampleCLB2C runs the centralized 2-approximation on jobs biased to
+// opposite clusters.
+func ExampleCLB2C() {
+	model, _ := hetlb.NewTwoCluster(1, 1,
+		[]hetlb.Cost{1, 100},
+		[]hetlb.Cost{100, 1})
+	a := hetlb.CLB2C(model)
+	fmt.Println("makespan:", a.Makespan())
+	fmt.Println("job 0 on machine", a.MachineOf(0), "- job 1 on machine", a.MachineOf(1))
+	// Output:
+	// makespan: 1
+	// job 0 on machine 0 - job 1 on machine 1
+}
+
+// ExampleWorkStealing reproduces Theorem 1's Table I trap: the first steal
+// cannot happen before time n.
+func ExampleWorkStealing() {
+	n := hetlb.Cost(1000)
+	model, _ := hetlb.NewDense([][]hetlb.Cost{
+		{1, 1, n, n, n},
+		{n, 1, 1, 1, 1},
+		{n, n, 1, 1, 1},
+	})
+	initial := hetlb.NewAssignment(model)
+	for j, m := range []int{1, 2, 0, 0, 0} {
+		initial.Assign(j, m)
+	}
+	st, _ := hetlb.WorkStealing(model, initial, 1)
+	fmt.Println("first steal:", st.FirstStealTime, "makespan:", st.Makespan, "optimal: 2")
+	// Output:
+	// first steal: 1000 makespan: 1001 optimal: 2
+}
+
+// ExampleOJTB shows optimal convergence with one job type (Lemma 4).
+func ExampleOJTB() {
+	// Three machines processing the one job type at speeds 2, 3 and 6
+	// time units per job; nine jobs.
+	model, _ := hetlb.NewTyped([][]hetlb.Cost{{2}, {3}, {6}}, make([]int, 9))
+	initial := hetlb.RoundRobin(model)
+	res, _ := hetlb.OJTB(model, initial, hetlb.RunOptions{
+		Seed: 2, MaxExchanges: 1000, DetectStability: true,
+	})
+	opt, _, _ := hetlb.SolveExact(model, 1<<30)
+	fmt.Println("reached:", res.Makespan, "optimal:", opt)
+	// Output:
+	// reached: 10 optimal: 10
+}
+
+// ExampleSolveExact computes an optimal schedule by branch and bound.
+func ExampleSolveExact() {
+	model, _ := hetlb.NewDense([][]hetlb.Cost{
+		{4, 2, 9},
+		{3, 8, 2},
+	})
+	opt, a, proven := hetlb.SolveExact(model, 1<<20)
+	fmt.Println("optimal:", opt, "proven:", proven)
+	fmt.Println("machine 0 gets:", a.Jobs(0))
+	// Output:
+	// optimal: 5 proven: true
+	// machine 0 gets: [1]
+}
+
+// ExampleFractionalLowerBound judges a k-cluster schedule against the LP
+// relaxation.
+func ExampleFractionalLowerBound() {
+	model, _ := hetlb.NewKCluster([]int{1, 1},
+		[][]hetlb.Cost{{2, 10}, {10, 2}})
+	lb, _ := hetlb.FractionalLowerBound(model)
+	fmt.Printf("fractional bound: %.1f\n", lb)
+	// Output:
+	// fractional bound: 2.0
+}

@@ -1,0 +1,77 @@
+// Job-type scenario (Section V of the paper): a service where most work
+// falls into a handful of query classes — "simple queries can represent
+// most of the jobs of a system". Machines are fully heterogeneous, but jobs
+// of the same class cost the same on a given machine, so MJTB applies and
+// converges to a k-approximation (Theorem 5).
+//
+//	go run ./examples/jobtypes
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"hetlb"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+
+	const (
+		machines = 8
+		types    = 3 // point lookups, range scans, aggregation queries
+		jobs     = 120
+	)
+	typeNames := []string{"lookup", "scan", "aggregate"}
+
+	// Per (machine, type) costs: every machine has its own profile (fast
+	// disks, big caches, many cores, ...), so the same query class costs
+	// differently everywhere — the unrelated model.
+	p := make([][]hetlb.Cost, machines)
+	for i := range p {
+		p[i] = make([]hetlb.Cost, types)
+		for t := range p[i] {
+			p[i][t] = hetlb.Cost(5 + rng.Intn(45))
+		}
+	}
+	typeOf := make([]int, jobs)
+	for j := range typeOf {
+		typeOf[j] = rng.Intn(types)
+	}
+	model, err := hetlb.NewTyped(p, typeOf)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("per-machine cost of each query class:")
+	for i := range p {
+		fmt.Printf("  machine %d:", i)
+		for t, c := range p[i] {
+			fmt.Printf("  %s=%d", typeNames[t], c)
+		}
+		fmt.Println()
+	}
+
+	initial := hetlb.RandomInitial(model, 99)
+	fmt.Printf("\nqueries land on random machines: initial Cmax = %d\n", initial.Makespan())
+
+	res, err := hetlb.MJTB(model, initial, hetlb.RunOptions{
+		Seed:            3,
+		MaxExchanges:    5000,
+		DetectStability: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("MJTB: Cmax = %d after %d exchanges (stable: %v)\n",
+		res.Makespan, res.Exchanges, res.Converged)
+
+	if opt, _, proven := hetlb.SolveExact(model, 200_000_000); proven {
+		fmt.Printf("optimal Cmax = %d → MJTB ratio %.2f (Theorem 5 bound: %d with k=%d types)\n",
+			opt, float64(res.Makespan)/float64(opt), types, types)
+	} else {
+		fmt.Printf("instance lower bound = %d → MJTB ratio ≤ %.2f of LB\n",
+			hetlb.LowerBound(model), float64(res.Makespan)/float64(hetlb.LowerBound(model)))
+	}
+}

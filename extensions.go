@@ -1,0 +1,166 @@
+package hetlb
+
+import (
+	"hetlb/internal/core"
+	"hetlb/internal/dynamic"
+	"hetlb/internal/lp"
+	"hetlb/internal/netsim"
+	"hetlb/internal/protocol"
+)
+
+// This file exposes the extensions the paper names as future work: the
+// generalization of DLB2C to more than two clusters, and the LP-based
+// fractional lower bound (the Lawler–Labetoulle style relaxation the paper
+// cites) used to judge schedule quality when no exact optimum is available.
+
+// KCluster is an instance with k ≥ 1 clusters of identical machines.
+type KCluster = core.KCluster
+
+// NewKCluster builds a k-cluster instance: sizes[c] machines in cluster c,
+// p[c][j] the cost of job j on any machine of cluster c. Machines are
+// numbered cluster by cluster.
+func NewKCluster(sizes []int, p [][]Cost) (*KCluster, error) {
+	return core.NewKCluster(sizes, p)
+}
+
+// DLBKC runs the k-cluster generalization of DLB2C: same-cluster pairs use
+// a size-descending greedy, cross-cluster pairs run CLB2C on the
+// two-cluster restriction. No approximation ratio is proven for k > 2 (the
+// paper's open problem); compare against FractionalLowerBound to judge
+// quality.
+func DLBKC(model *KCluster, initial *Assignment, opt RunOptions) (Result, error) {
+	return runProtocol(protocol.DLBKC{Model: model}, initial, opt)
+}
+
+// FractionalLowerBound solves the fractional-makespan LP for a k-cluster
+// instance: jobs may split across clusters and cluster work spreads
+// perfectly within a cluster. The result lower-bounds every integral
+// schedule.
+func FractionalLowerBound(model *KCluster) (float64, error) {
+	return lp.FractionalMakespanKCluster(model)
+}
+
+// FractionalLowerBoundDense is the machine-granularity variant for
+// arbitrary (small to medium) unrelated instances.
+func FractionalLowerBoundDense(model CostModel) (float64, error) {
+	return lp.FractionalMakespanDense(model)
+}
+
+// DynamicOptions parameterizes RunDynamic.
+type DynamicOptions struct {
+	// Seed makes the run reproducible.
+	Seed uint64
+	// BalanceEvery is the virtual-time period between balancing events
+	// (one random pair rebalances its pending jobs per event); 0 disables
+	// balancing.
+	BalanceEvery int64
+	// MeanInterarrival > 0 spreads job arrivals exponentially onto random
+	// machines; 0 starts all jobs at time zero from Initial.
+	MeanInterarrival float64
+	// Initial is required when MeanInterarrival == 0.
+	Initial *Assignment
+}
+
+// DynamicResult reports a RunDynamic execution.
+type DynamicResult struct {
+	// Makespan is the completion time of the last job.
+	Makespan int64
+	// MeanFlow and MaxFlow summarize completion − arrival over jobs.
+	MeanFlow float64
+	MaxFlow  int64
+	// JobsMoved counts migrations performed by the balancer.
+	JobsMoved int
+}
+
+// RunDynamic couples execution with periodic balancing — the operational
+// mode Section IV of the paper advocates ("an a priori load balancer can
+// naturally take into account the dynamicity of the computing system"):
+// machines run their queues while the protocol periodically rebalances
+// pending jobs (accounting for in-progress work). Model kinds map to
+// protocols automatically: Clustered → DLB2C, *KCluster → DLBKC,
+// *Typed → MJTB, anything else → the same-cost kernel.
+func RunDynamic(model CostModel, opt DynamicOptions) (DynamicResult, error) {
+	sim, err := dynamic.New(model, protocolFor(model), dynamic.Config{
+		Seed:             opt.Seed,
+		BalanceEvery:     opt.BalanceEvery,
+		MeanInterarrival: opt.MeanInterarrival,
+		Initial:          opt.Initial,
+	})
+	if err != nil {
+		return DynamicResult{}, err
+	}
+	res := sim.Run()
+	return DynamicResult{
+		Makespan:  res.Makespan,
+		MeanFlow:  res.MeanFlow,
+		MaxFlow:   res.MaxFlow,
+		JobsMoved: res.JobsMoved,
+	}, nil
+}
+
+// protocolFor picks the natural protocol for a model kind.
+func protocolFor(model CostModel) protocol.Protocol {
+	switch m := model.(type) {
+	case *KCluster:
+		return protocol.DLBKC{Model: m}
+	case Clustered:
+		return protocol.DLB2C{Model: m}
+	case *Typed:
+		return protocol.MJTB{Model: m}
+	default:
+		return protocol.SameCost{Model: model}
+	}
+}
+
+// MessagePassingOptions parameterizes DLB2CMessagePassing.
+type MessagePassingOptions struct {
+	// Seed makes the run reproducible.
+	Seed uint64
+	// Latency is the one-way message delay in virtual time units (≥ 1).
+	Latency int64
+	// Period is the mean time between balancing attempts per machine.
+	Period int64
+	// Horizon is the virtual-time budget.
+	Horizon int64
+}
+
+// MessagePassingResult reports a DLB2CMessagePassing run.
+type MessagePassingResult struct {
+	// Assignment is the final placement.
+	Assignment *Assignment
+	// Makespan is its Cmax.
+	Makespan Cost
+	// Sessions, Rejections and Messages count protocol activity: each
+	// completed balancing handshake costs three messages, each rejected
+	// request two.
+	Sessions, Rejections, Messages int
+}
+
+// DLB2CMessagePassing runs DLB2C with no shared state at all: machines are
+// independent actors exchanging REQUEST/OFFER/COMMIT messages over a
+// simulated network with latency — the paper's literal system model
+// ("the machines do not share memory"). Use it to study how communication
+// delay stretches convergence; for plain simulations prefer DLB2C.
+func DLB2CMessagePassing(model Clustered, initial *Assignment, opt MessagePassingOptions) (MessagePassingResult, error) {
+	sim, err := netsim.New(model, protocol.DLB2C{Model: model}, initial, netsim.Config{
+		Seed:    opt.Seed,
+		Latency: opt.Latency,
+		Period:  opt.Period,
+		Horizon: opt.Horizon,
+	})
+	if err != nil {
+		return MessagePassingResult{}, err
+	}
+	st := sim.Run()
+	a, err := sim.Placement()
+	if err != nil {
+		return MessagePassingResult{}, err
+	}
+	return MessagePassingResult{
+		Assignment: a,
+		Makespan:   a.Makespan(),
+		Sessions:   st.Sessions,
+		Rejections: st.Rejections,
+		Messages:   st.Messages,
+	}, nil
+}

@@ -1,0 +1,3 @@
+module hetlb
+
+go 1.22

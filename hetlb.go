@@ -1,0 +1,235 @@
+package hetlb
+
+import (
+	"fmt"
+
+	"hetlb/internal/central"
+	"hetlb/internal/core"
+	"hetlb/internal/distrun"
+	"hetlb/internal/exact"
+	"hetlb/internal/gossip"
+	"hetlb/internal/protocol"
+	"hetlb/internal/rng"
+	"hetlb/internal/worksteal"
+)
+
+// Cost is a processing time in abstract integer time units.
+type Cost = core.Cost
+
+// Infinite marks a job that cannot run on a machine.
+const Infinite = core.Infinite
+
+// CostModel exposes the processing-time matrix p[machine][job] of an
+// instance; see the New* constructors for the structured special cases.
+type CostModel = core.CostModel
+
+// Clustered is a cost model whose machines form two clusters of identical
+// machines (the Section VI setting; required by CLB2C and DLB2C).
+type Clustered = core.Clustered
+
+// Assignment is a partition of jobs onto machines with O(1) load queries.
+type Assignment = core.Assignment
+
+// Dense, Identical, Related, Typed and TwoCluster are the instance kinds.
+type (
+	Dense      = core.Dense
+	Identical  = core.Identical
+	Related    = core.Related
+	Typed      = core.Typed
+	TwoCluster = core.TwoCluster
+)
+
+// NewDense builds a fully unrelated instance from an explicit cost matrix
+// p[machine][job].
+func NewDense(p [][]Cost) (*Dense, error) { return core.NewDense(p) }
+
+// NewIdentical builds an identical-machines instance: m machines, one size
+// per job.
+func NewIdentical(m int, sizes []Cost) (*Identical, error) { return core.NewIdentical(m, sizes) }
+
+// NewRelated builds a uniformly-related instance with integer speeds.
+func NewRelated(speeds []int64, sizes []Cost) (*Related, error) {
+	return core.NewRelated(speeds, sizes)
+}
+
+// NewTyped builds a typed-jobs instance: p[machine][type] plus each job's
+// type.
+func NewTyped(p [][]Cost, typeOf []int) (*Typed, error) { return core.NewTyped(p, typeOf) }
+
+// NewTwoCluster builds a two-cluster instance: m1+m2 machines, per-cluster
+// job costs.
+func NewTwoCluster(m1, m2 int, p0, p1 []Cost) (*TwoCluster, error) {
+	return core.NewTwoCluster(m1, m2, p0, p1)
+}
+
+// NewAssignment returns an empty assignment over a model.
+func NewAssignment(m CostModel) *Assignment { return core.NewAssignment(m) }
+
+// RoundRobin distributes all jobs cyclically — a simple deterministic
+// initial distribution.
+func RoundRobin(m CostModel) *Assignment { return core.RoundRobin(m) }
+
+// RandomInitial places each job on a uniformly random machine, the
+// "arbitrary initial distribution" of the decentralized setting.
+func RandomInitial(m CostModel, seed uint64) *Assignment {
+	gen := rng.New(seed)
+	a := core.NewAssignment(m)
+	for j := 0; j < m.NumJobs(); j++ {
+		a.Assign(j, gen.Intn(m.NumMachines()))
+	}
+	return a
+}
+
+// LowerBound returns a generic lower bound on the optimal makespan.
+func LowerBound(m CostModel) Cost { return core.LowerBound(m) }
+
+// TwoClusterLowerBound returns the fractional pooled-machines lower bound
+// for a two-cluster instance.
+func TwoClusterLowerBound(c Clustered) float64 { return core.TwoClusterFractionalLB(c) }
+
+// SolveExact computes the optimal makespan by branch and bound; practical
+// for small instances only (n ≲ 14). The boolean reports whether optimality
+// was proven within the node budget.
+func SolveExact(m CostModel, maxNodes int64) (Cost, *Assignment, bool) {
+	res := exact.SolveBudget(m, maxNodes)
+	return res.Opt, res.Assignment, res.Proven
+}
+
+// ListScheduling greedily schedules all jobs on the earliest-completing
+// machine (Graham's List Scheduling on identical machines).
+func ListScheduling(m CostModel) *Assignment { return central.ListScheduling(m, nil) }
+
+// LPT runs Largest Processing Time first on identical machines
+// (4/3-approximation).
+func LPT(id *Identical) *Assignment { return central.LPT(id) }
+
+// CLB2C runs the paper's centralized two-cluster 2-approximation
+// (Algorithm 5, Theorem 6) over all jobs of the model.
+func CLB2C(c Clustered) *Assignment { return central.RunCLB2C(c) }
+
+// LST runs the Lenstra–Shmoys–Tardos LP-rounding 2-approximation for
+// general unrelated machines (the centralized state of the art the paper
+// cites). It returns the schedule and the LP deadline T*, which is itself a
+// lower bound on the optimal makespan. Dense LP: small and medium instances
+// only.
+func LST(m CostModel) (*Assignment, Cost, error) {
+	res, err := central.LST(m)
+	if err != nil {
+		return nil, 0, err
+	}
+	return res.Assignment, res.Deadline, nil
+}
+
+// RunOptions parameterizes the decentralized protocols.
+type RunOptions struct {
+	// Seed makes the run reproducible.
+	Seed uint64
+	// MaxExchanges bounds the number of pairwise balancing operations
+	// (required: the protocols may never converge, Proposition 8).
+	MaxExchanges int
+	// DetectStability stops a sequential run early at a verified stable
+	// schedule. Ignored when Concurrent is set (use QuiesceStreak there).
+	DetectStability bool
+	// Concurrent runs one goroutine per machine (the operational model of
+	// the paper) instead of the sequential reproducible engine.
+	Concurrent bool
+	// QuiesceStreak (concurrent only) stops early once every machine saw
+	// this many consecutive unchanged sessions; 0 disables.
+	QuiesceStreak int64
+}
+
+// Result is the outcome of a decentralized balancing run.
+type Result struct {
+	// Assignment is the final schedule. For sequential runs it is the
+	// same object that was passed in (mutated in place); for concurrent
+	// runs it is a fresh assignment.
+	Assignment *Assignment
+	// Makespan is the final Cmax.
+	Makespan Cost
+	// Exchanges is the number of pairwise balancing operations performed.
+	Exchanges int
+	// Converged reports whether the final schedule is a verified fixed
+	// point of the protocol.
+	Converged bool
+}
+
+// runProtocol drives a protocol either sequentially or concurrently.
+func runProtocol(p protocol.Protocol, initial *Assignment, opt RunOptions) (Result, error) {
+	if opt.MaxExchanges <= 0 {
+		return Result{}, fmt.Errorf("hetlb: RunOptions.MaxExchanges must be positive")
+	}
+	if !initial.Complete() {
+		return Result{}, fmt.Errorf("hetlb: initial assignment must place every job")
+	}
+	if opt.Concurrent {
+		res, err := distrun.Run(p, initial, distrun.Config{
+			Seed:          opt.Seed,
+			MaxSteps:      int64(opt.MaxExchanges),
+			QuiesceStreak: opt.QuiesceStreak,
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{
+			Assignment: res.Assignment,
+			Makespan:   res.Assignment.Makespan(),
+			Exchanges:  int(res.Steps),
+			Converged:  res.Converged,
+		}, nil
+	}
+	e := gossip.New(p, initial, gossip.Config{Seed: opt.Seed})
+	r := e.Run(opt.MaxExchanges, opt.DetectStability)
+	return Result{
+		Assignment: initial,
+		Makespan:   r.FinalMakespan,
+		Exchanges:  r.Steps,
+		Converged:  r.Converged,
+	}, nil
+}
+
+// DLB2C runs the decentralized two-cluster balancer (Algorithm 7) from the
+// given initial distribution. If the run converges, the schedule is a
+// 2-approximation under the paper's hypothesis that no processing time
+// exceeds the optimal makespan (Theorem 7).
+func DLB2C(model Clustered, initial *Assignment, opt RunOptions) (Result, error) {
+	return runProtocol(protocol.DLB2C{Model: model}, initial, opt)
+}
+
+// OJTB runs One Job Type Balancing (Algorithm 3). With a single job type it
+// converges to an optimal schedule (Lemma 4).
+func OJTB(model CostModel, initial *Assignment, opt RunOptions) (Result, error) {
+	return runProtocol(protocol.OJTB{Model: model}, initial, opt)
+}
+
+// MJTB runs Multiple Job Type Balancing (Algorithm 4) on a typed instance;
+// it converges to a k-approximation with k job types (Theorem 5).
+func MJTB(model *Typed, initial *Assignment, opt RunOptions) (Result, error) {
+	return runProtocol(protocol.MJTB{Model: model}, initial, opt)
+}
+
+// HomogeneousBalance runs the single-cluster pairwise greedy (the dynamics
+// analysed by the paper's Markov model, Section VII.A).
+func HomogeneousBalance(model CostModel, initial *Assignment, opt RunOptions) (Result, error) {
+	return runProtocol(protocol.SameCost{Model: model}, initial, opt)
+}
+
+// WorkStealingStats is the outcome of a work-stealing simulation.
+type WorkStealingStats = worksteal.Stats
+
+// WorkStealing simulates the classical work-stealing baseline (Algorithm 1)
+// from the given initial distribution and returns its statistics. On
+// unrelated machines its makespan is unbounded relative to the optimum for
+// bad initial distributions (Theorem 1).
+func WorkStealing(model CostModel, initial *Assignment, seed uint64) (WorkStealingStats, error) {
+	sim, err := worksteal.New(model, initial, worksteal.Config{Seed: seed})
+	if err != nil {
+		return WorkStealingStats{}, err
+	}
+	return sim.Run(), nil
+}
+
+// IsStable reports whether no pairwise DLB2C exchange can change the given
+// two-cluster schedule (the premise of Theorem 7).
+func IsStable(model Clustered, a *Assignment) bool {
+	return protocol.Stable(protocol.DLB2C{Model: model}, a)
+}

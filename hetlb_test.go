@@ -1,0 +1,255 @@
+package hetlb_test
+
+import (
+	"testing"
+
+	"hetlb"
+)
+
+func mustTwoCluster(t *testing.T, m1, m2 int, p0, p1 []hetlb.Cost) *hetlb.TwoCluster {
+	t.Helper()
+	tc, err := hetlb.NewTwoCluster(m1, m2, p0, p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tc
+}
+
+func TestPublicDLB2CSequential(t *testing.T) {
+	p0 := []hetlb.Cost{10, 80, 30, 20, 70, 60, 10, 90}
+	p1 := []hetlb.Cost{70, 10, 40, 80, 20, 10, 60, 15}
+	tc := mustTwoCluster(t, 2, 2, p0, p1)
+	initial := hetlb.RandomInitial(tc, 7)
+	res, err := hetlb.DLB2C(tc, initial, hetlb.RunOptions{Seed: 1, MaxExchanges: 2000, DetectStability: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != res.Assignment.Makespan() {
+		t.Fatal("result makespan inconsistent")
+	}
+	if res.Converged && !hetlb.IsStable(tc, res.Assignment) {
+		t.Fatal("converged but not stable")
+	}
+	if lb := hetlb.TwoClusterLowerBound(tc); float64(res.Makespan) < lb-1e9 {
+		t.Fatal("makespan below lower bound")
+	}
+}
+
+func TestPublicDLB2CConcurrent(t *testing.T) {
+	p0 := make([]hetlb.Cost, 64)
+	p1 := make([]hetlb.Cost, 64)
+	for j := range p0 {
+		p0[j] = hetlb.Cost(1 + (j*37)%100)
+		p1[j] = hetlb.Cost(1 + (j*61)%100)
+	}
+	tc := mustTwoCluster(t, 4, 2, p0, p1)
+	initial := hetlb.RoundRobin(tc)
+	res, err := hetlb.DLB2C(tc, initial, hetlb.RunOptions{
+		Seed: 2, MaxExchanges: 3000, Concurrent: true, QuiesceStreak: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Assignment.Complete() {
+		t.Fatal("jobs lost")
+	}
+	if initial.Makespan() < res.Makespan {
+		t.Fatal("concurrent balancing made the round-robin schedule worse")
+	}
+}
+
+func TestPublicOJTBOptimal(t *testing.T) {
+	// One job type: OJTB converges to OPT.
+	ty, err := hetlb.NewTyped([][]hetlb.Cost{{3}, {5}, {4}}, make([]int, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial := hetlb.RoundRobin(ty)
+	res, err := hetlb.OJTB(ty, initial, hetlb.RunOptions{Seed: 3, MaxExchanges: 5000, DetectStability: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, _, proven := hetlb.SolveExact(ty, 1<<40)
+	if !proven {
+		t.Fatal("exact solve not proven")
+	}
+	if !res.Converged || res.Makespan != opt {
+		t.Fatalf("OJTB: converged=%v makespan=%d opt=%d", res.Converged, res.Makespan, opt)
+	}
+}
+
+func TestPublicMJTBApproximation(t *testing.T) {
+	// Two types on two machines, each type fast on one machine.
+	ty, err := hetlb.NewTyped([][]hetlb.Cost{{1, 8}, {8, 1}}, []int{0, 0, 1, 1, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial := hetlb.RoundRobin(ty)
+	res, err := hetlb.MJTB(ty, initial, hetlb.RunOptions{Seed: 4, MaxExchanges: 5000, DetectStability: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, _, proven := hetlb.SolveExact(ty, 1<<40)
+	if !proven {
+		t.Fatal("exact solve not proven")
+	}
+	if res.Makespan > 2*opt { // k = 2 types
+		t.Fatalf("MJTB %d > 2·OPT %d", res.Makespan, opt)
+	}
+}
+
+func TestPublicCLB2CTwoApprox(t *testing.T) {
+	p0 := []hetlb.Cost{5, 9, 3, 7, 4, 6, 2, 8}
+	p1 := []hetlb.Cost{6, 2, 7, 3, 8, 5, 9, 4}
+	tc := mustTwoCluster(t, 2, 2, p0, p1)
+	a := hetlb.CLB2C(tc)
+	if !a.Complete() {
+		t.Fatal("CLB2C incomplete")
+	}
+	opt, _, proven := hetlb.SolveExact(tc, 1<<40)
+	if proven && a.Makespan() > 2*opt {
+		t.Fatalf("CLB2C %d > 2·OPT %d", a.Makespan(), opt)
+	}
+}
+
+func TestPublicWorkStealingTrap(t *testing.T) {
+	// Reconstruct Table I through the public API.
+	n := hetlb.Cost(500)
+	d, err := hetlb.NewDense([][]hetlb.Cost{
+		{1, 1, n, n, n},
+		{n, 1, 1, 1, 1},
+		{n, n, 1, 1, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial := hetlb.NewAssignment(d)
+	for j, m := range []int{1, 2, 0, 0, 0} {
+		initial.Assign(j, m)
+	}
+	st, err := hetlb.WorkStealing(d, initial, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FirstStealTime != 500 || st.Makespan != 501 {
+		t.Fatalf("trap: first steal %d, makespan %d", st.FirstStealTime, st.Makespan)
+	}
+}
+
+func TestPublicBaselines(t *testing.T) {
+	id, err := hetlb.NewIdentical(3, []hetlb.Cost{5, 4, 3, 3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls := hetlb.ListScheduling(id)
+	lpt := hetlb.LPT(id)
+	if !ls.Complete() || !lpt.Complete() {
+		t.Fatal("baseline incomplete")
+	}
+	if lb := hetlb.LowerBound(id); lpt.Makespan() < lb {
+		t.Fatal("LPT beat the lower bound")
+	}
+}
+
+func TestPublicErrors(t *testing.T) {
+	id, _ := hetlb.NewIdentical(2, []hetlb.Cost{1, 2})
+	incomplete := hetlb.NewAssignment(id)
+	if _, err := hetlb.HomogeneousBalance(id, incomplete, hetlb.RunOptions{MaxExchanges: 10}); err == nil {
+		t.Fatal("incomplete initial accepted")
+	}
+	full := hetlb.RoundRobin(id)
+	if _, err := hetlb.HomogeneousBalance(id, full, hetlb.RunOptions{}); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+}
+
+func TestPublicLST(t *testing.T) {
+	d, err := hetlb.NewDense([][]hetlb.Cost{
+		{4, 2, 9, 7},
+		{3, 8, 2, 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, deadline, err := hetlb.LST(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Complete() {
+		t.Fatal("LST incomplete")
+	}
+	opt, _, proven := hetlb.SolveExact(d, 1<<30)
+	if !proven {
+		t.Fatal("exact not proven")
+	}
+	if deadline > opt {
+		t.Fatalf("deadline %d above OPT %d", deadline, opt)
+	}
+	if a.Makespan() > 2*opt {
+		t.Fatalf("LST %d > 2·OPT %d", a.Makespan(), opt)
+	}
+}
+
+func TestPublicMessagePassing(t *testing.T) {
+	p0 := make([]hetlb.Cost, 48)
+	p1 := make([]hetlb.Cost, 48)
+	for j := range p0 {
+		p0[j] = hetlb.Cost(1 + (j*17)%100)
+		p1[j] = hetlb.Cost(1 + (j*41)%100)
+	}
+	tc := mustTwoCluster(t, 4, 2, p0, p1)
+	initial := hetlb.RoundRobin(tc)
+	res, err := hetlb.DLB2CMessagePassing(tc, initial, hetlb.MessagePassingOptions{
+		Seed: 1, Latency: 2, Period: 10, Horizon: 3000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Assignment.Complete() {
+		t.Fatal("jobs lost in message passing")
+	}
+	if res.Sessions == 0 {
+		t.Fatal("no sessions")
+	}
+	if res.Messages != 3*res.Sessions+2*res.Rejections {
+		t.Fatal("message accounting broken")
+	}
+	if res.Makespan > initial.Makespan() {
+		t.Fatal("message-passing balancing made things worse")
+	}
+}
+
+func TestPublicRunDynamic(t *testing.T) {
+	p0 := make([]hetlb.Cost, 60)
+	p1 := make([]hetlb.Cost, 60)
+	for j := range p0 {
+		p0[j] = hetlb.Cost(1 + (j*13)%50)
+		p1[j] = hetlb.Cost(1 + (j*29)%50)
+	}
+	tc := mustTwoCluster(t, 3, 3, p0, p1)
+	off, err := hetlb.RunDynamic(tc, hetlb.DynamicOptions{Seed: 1, MeanInterarrival: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, err := hetlb.RunDynamic(tc, hetlb.DynamicOptions{Seed: 1, MeanInterarrival: 2, BalanceEvery: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.MeanFlow >= off.MeanFlow {
+		t.Fatalf("balancing did not reduce mean flow: %v vs %v", on.MeanFlow, off.MeanFlow)
+	}
+	if on.JobsMoved == 0 || off.JobsMoved != 0 {
+		t.Fatal("move accounting wrong")
+	}
+	// Static mode needs Initial.
+	if _, err := hetlb.RunDynamic(tc, hetlb.DynamicOptions{Seed: 2}); err == nil {
+		t.Fatal("static mode without Initial accepted")
+	}
+	static, err := hetlb.RunDynamic(tc, hetlb.DynamicOptions{Seed: 3, BalanceEvery: 4, Initial: hetlb.RoundRobin(tc)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if static.Makespan <= 0 {
+		t.Fatal("static run produced no makespan")
+	}
+}

@@ -1,0 +1,111 @@
+// Package ballsbins implements the submission-time balancing baselines the
+// paper's related work discusses (Section III): placing each arriving job
+// on the least loaded of d randomly probed machines ("the power of d
+// choices", Azar et al.), which trades balance quality for probe cost and
+// is fully decentralized on identical or related machines — but, as the
+// paper argues, carries no guarantee on fully heterogeneous machines.
+//
+// The package exists as a baseline: the experiments compare its placements
+// with List Scheduling (d = m, centralized) and with the paper's a-priori
+// pairwise protocols.
+package ballsbins
+
+import (
+	"fmt"
+
+	"hetlb/internal/core"
+	"hetlb/internal/rng"
+)
+
+// Policy selects how the d probed candidates are compared.
+type Policy int
+
+// Policies.
+const (
+	// ByLoad places the job on the candidate with the smallest current
+	// load — the classical d-choices rule; oblivious to heterogeneity.
+	ByLoad Policy = iota
+	// ByCompletion places the job on the candidate finishing it earliest
+	// (load + cost there) — the natural heterogeneous adaptation.
+	ByCompletion
+)
+
+// Config parameterizes a run.
+type Config struct {
+	// D is the number of machines probed per job (1 ≤ D ≤ m). D = 1 is
+	// uniform random placement; D = m is a full scan.
+	D int
+	// Policy picks the comparison rule.
+	Policy Policy
+	// Seed drives the probes.
+	Seed uint64
+}
+
+// Place assigns every job of the model (in index order, modelling arrival
+// order) using the d-choices rule and returns the assignment.
+func Place(m core.CostModel, cfg Config) (*core.Assignment, error) {
+	mm := m.NumMachines()
+	if cfg.D < 1 || cfg.D > mm {
+		return nil, fmt.Errorf("ballsbins: D must be in [1, %d], got %d", mm, cfg.D)
+	}
+	gen := rng.New(cfg.Seed)
+	a := core.NewAssignment(m)
+	probes := make([]int, cfg.D)
+	for j := 0; j < m.NumJobs(); j++ {
+		sampleDistinct(gen, mm, probes)
+		best := probes[0]
+		bestKey := key(a, m, best, j, cfg.Policy)
+		for _, i := range probes[1:] {
+			if k := key(a, m, i, j, cfg.Policy); k < bestKey || (k == bestKey && i < best) {
+				best, bestKey = i, k
+			}
+		}
+		a.Assign(j, best)
+	}
+	return a, nil
+}
+
+// key is the quantity minimized when choosing among candidates.
+func key(a *core.Assignment, m core.CostModel, machine, job int, p Policy) core.Cost {
+	switch p {
+	case ByCompletion:
+		return a.Load(machine) + m.Cost(machine, job)
+	default:
+		return a.Load(machine)
+	}
+}
+
+// sampleDistinct fills out with distinct uniform machine indices
+// (partial Fisher–Yates over a virtual [0, m) array, rebuilt per call via a
+// small map to stay O(d)).
+func sampleDistinct(gen *rng.RNG, m int, out []int) {
+	swapped := make(map[int]int, len(out))
+	at := func(i int) int {
+		if v, ok := swapped[i]; ok {
+			return v
+		}
+		return i
+	}
+	for k := range out {
+		r := k + gen.Intn(m-k)
+		out[k] = at(r)
+		swapped[r] = at(k)
+	}
+}
+
+// MaxGap returns the difference between the maximum load and the average
+// load of a complete assignment — the imbalance measure of the
+// balls-in-bins literature.
+func MaxGap(a *core.Assignment) float64 {
+	mm := a.Model().NumMachines()
+	var sum core.Cost
+	var max core.Cost
+	for i := 0; i < mm; i++ {
+		l := a.Load(i)
+		sum += l
+		if l > max {
+			max = l
+		}
+	}
+	return float64(max) - float64(sum)/float64(mm)
+}

@@ -1,0 +1,137 @@
+package ballsbins
+
+import (
+	"testing"
+
+	"hetlb/internal/central"
+	"hetlb/internal/core"
+	"hetlb/internal/rng"
+	"hetlb/internal/workload"
+)
+
+func TestPlaceValidations(t *testing.T) {
+	id, _ := core.NewIdentical(4, []core.Cost{1, 2})
+	if _, err := Place(id, Config{D: 0}); err == nil {
+		t.Fatal("D=0 accepted")
+	}
+	if _, err := Place(id, Config{D: 5}); err == nil {
+		t.Fatal("D>m accepted")
+	}
+}
+
+func TestPlaceCompleteAndValid(t *testing.T) {
+	gen := rng.New(1)
+	id := workload.UniformIdentical(gen, 8, 100, 1, 50)
+	for d := 1; d <= 8; d++ {
+		a, err := Place(id, Config{D: d, Seed: uint64(d)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !a.Complete() {
+			t.Fatalf("d=%d: jobs unassigned", d)
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestTwoChoicesBeatsOneChoice(t *testing.T) {
+	// The power of two choices: averaged over seeds, the max-load gap
+	// with d=2 must be clearly below d=1 (uniform random placement).
+	gen := rng.New(2)
+	id := workload.UniformIdentical(gen, 32, 512, 1, 100)
+	var gap1, gap2 float64
+	const runs = 20
+	for s := 0; s < runs; s++ {
+		a1, _ := Place(id, Config{D: 1, Seed: uint64(s)})
+		a2, _ := Place(id, Config{D: 2, Seed: uint64(s)})
+		gap1 += MaxGap(a1)
+		gap2 += MaxGap(a2)
+	}
+	if gap2 >= gap1*0.8 {
+		t.Fatalf("two choices did not help: gap1=%v gap2=%v", gap1/runs, gap2/runs)
+	}
+}
+
+func TestFullScanByCompletionMatchesListScheduling(t *testing.T) {
+	// d = m with the completion rule is exactly the ECT greedy (ties to
+	// the lower machine index in both implementations).
+	gen := rng.New(3)
+	d := workload.UniformDense(gen, 5, 40, 1, 100)
+	a, err := Place(d, Config{D: 5, Policy: ByCompletion, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls := central.ListScheduling(d, nil)
+	if !a.Equal(ls) {
+		t.Fatal("full-scan d-choices disagrees with List Scheduling")
+	}
+}
+
+func TestByCompletionBeatsByLoadOnHeterogeneous(t *testing.T) {
+	// On unrelated machines the load-only rule ignores affinity; the
+	// completion rule must produce a smaller makespan on strongly biased
+	// instances.
+	gen := rng.New(4)
+	tc := workload.UniformTwoCluster(gen, 8, 8, 256, 1, 1000)
+	var byLoad, byCompletion core.Cost
+	for s := uint64(0); s < 10; s++ {
+		a, _ := Place(tc, Config{D: 4, Policy: ByLoad, Seed: s})
+		b, _ := Place(tc, Config{D: 4, Policy: ByCompletion, Seed: s})
+		byLoad += a.Makespan()
+		byCompletion += b.Makespan()
+	}
+	if byCompletion >= byLoad {
+		t.Fatalf("completion rule did not help: %d vs %d", byCompletion, byLoad)
+	}
+}
+
+func TestSampleDistinctProducesDistinct(t *testing.T) {
+	gen := rng.New(5)
+	out := make([]int, 6)
+	for iter := 0; iter < 500; iter++ {
+		sampleDistinct(gen, 8, out)
+		seen := make(map[int]bool)
+		for _, v := range out {
+			if v < 0 || v >= 8 || seen[v] {
+				t.Fatalf("bad probe set %v", out)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSampleDistinctCoversAll(t *testing.T) {
+	gen := rng.New(6)
+	out := make([]int, 3)
+	hits := make(map[int]bool)
+	for iter := 0; iter < 2000; iter++ {
+		sampleDistinct(gen, 5, out)
+		for _, v := range out {
+			hits[v] = true
+		}
+	}
+	if len(hits) != 5 {
+		t.Fatalf("probes covered %d/5 machines", len(hits))
+	}
+}
+
+func TestMaxGapZeroWhenBalanced(t *testing.T) {
+	id, _ := core.NewIdentical(2, []core.Cost{3, 3})
+	a, _ := core.FromMachineOf(id, []int{0, 1})
+	if g := MaxGap(a); g != 0 {
+		t.Fatalf("gap = %v on a perfectly balanced assignment", g)
+	}
+}
+
+func BenchmarkTwoChoicesPaperScale(b *testing.B) {
+	gen := rng.New(7)
+	id := workload.UniformIdentical(gen, 96, 768, 1, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Place(id, Config{D: 2, Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

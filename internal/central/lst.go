@@ -1,0 +1,251 @@
+package central
+
+import (
+	"fmt"
+	"sort"
+
+	"hetlb/internal/core"
+	"hetlb/internal/lp"
+)
+
+// LST implements the Lenstra–Shmoys–Tardos 2-approximation for R||Cmax —
+// the general centralized algorithm the paper's related work cites as the
+// state of the art ("the problem without pre-emption can be approximated
+// within a factor 2 ... using a linear programming problem but then using
+// intelligent rounding techniques"). The paper's CLB2C exists precisely
+// because this algorithm "requires solving a linear program which seems
+// difficult to decentralize reasonably"; having it here gives the
+// experiments the strongest centralized reference.
+//
+// Outline:
+//  1. Binary-search the smallest integer deadline T for which the LP
+//     { Σ_i x_ij = 1 ∀j;  Σ_j p_ij·x_ij ≤ T ∀i;  x_ij ≥ 0, only for
+//     pairs with p_ij ≤ T } is feasible. T* ≤ OPT because the optimal
+//     schedule is feasible for T = OPT.
+//  2. Take a basic (vertex) solution of LP(T*): it has at most n + m
+//     positive variables, so the bipartite graph of *fractional*
+//     assignments is a pseudoforest (each component has at most one
+//     cycle).
+//  3. Assign integral jobs where x_ij ≈ 1; match each fractional job to
+//     one of its fractional machines by leaf-peeling and alternate
+//     matching around cycles, giving every machine at most ONE extra job
+//     of size ≤ T*. Hence Cmax ≤ T* + T* ≤ 2·OPT.
+//
+// Intended for small and medium instances (the LP is dense).
+type LSTResult struct {
+	// Assignment is the rounded schedule.
+	Assignment *core.Assignment
+	// Deadline is T*, the smallest LP-feasible deadline (a lower bound on
+	// OPT).
+	Deadline core.Cost
+	// LPSolves counts the feasibility LPs solved during the search.
+	LPSolves int
+	// Fallbacks counts fractional jobs the matching could not place and
+	// that were assigned greedily instead (0 in exact arithmetic; numeric
+	// dirt guard).
+	Fallbacks int
+}
+
+// LST runs the algorithm. It fails only if some job cannot run anywhere
+// (all costs Infinite) or an LP ends abnormally.
+func LST(m core.CostModel) (*LSTResult, error) {
+	n := m.NumJobs()
+	if n == 0 {
+		return &LSTResult{Assignment: core.NewAssignment(m)}, nil
+	}
+	// Search range: LB from the instance bound, UB from the ECT greedy.
+	lo := core.LowerBound(m)
+	hi := ListScheduling(m, nil).Makespan()
+	solves := 0
+	feasibleAt := func(t core.Cost) ([]float64, bool, error) {
+		solves++
+		x, ok, err := solveDeadlineLP(m, t)
+		return x, ok, err
+	}
+	// The greedy bound must be feasible; guard against pathological
+	// instances anyway.
+	var xBest []float64
+	if x, ok, err := feasibleAt(hi); err != nil {
+		return nil, err
+	} else if !ok {
+		return nil, fmt.Errorf("central: LP infeasible even at the greedy makespan %d", hi)
+	} else {
+		xBest = x
+	}
+	bestT := hi
+	for lo < bestT {
+		mid := lo + (bestT-lo)/2
+		x, ok, err := feasibleAt(mid)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			bestT = mid
+			xBest = x
+		} else {
+			lo = mid + 1
+		}
+	}
+
+	a, fallbacks := roundVertex(m, bestT, xBest)
+	return &LSTResult{Assignment: a, Deadline: bestT, LPSolves: solves, Fallbacks: fallbacks}, nil
+}
+
+// solveDeadlineLP builds and solves LP(T); it returns the flattened
+// variable vector x[i*n+j] and whether the LP is feasible.
+func solveDeadlineLP(m core.CostModel, t core.Cost) ([]float64, bool, error) {
+	mm, n := m.NumMachines(), m.NumJobs()
+	// Quick necessary condition: every job has some machine with
+	// p_ij ≤ t.
+	for j := 0; j < n; j++ {
+		ok := false
+		for i := 0; i < mm && !ok; i++ {
+			ok = m.Cost(i, j) <= t
+		}
+		if !ok {
+			return nil, false, nil
+		}
+	}
+	nv := mm * n
+	obj := make([]float64, nv) // pure feasibility: zero objective
+	cons := make([]lp.Constraint, 0, n+mm)
+	for j := 0; j < n; j++ {
+		coeffs := make([]float64, nv)
+		for i := 0; i < mm; i++ {
+			if m.Cost(i, j) <= t {
+				coeffs[i*n+j] = 1
+			}
+		}
+		cons = append(cons, lp.Constraint{Coeffs: coeffs, Rel: lp.EQ, RHS: 1})
+	}
+	for i := 0; i < mm; i++ {
+		coeffs := make([]float64, nv)
+		for j := 0; j < n; j++ {
+			if m.Cost(i, j) <= t {
+				coeffs[i*n+j] = float64(m.Cost(i, j))
+			}
+		}
+		cons = append(cons, lp.Constraint{Coeffs: coeffs, Rel: lp.LE, RHS: float64(t)})
+	}
+	x, _, st := lp.Solve(obj, cons)
+	switch st {
+	case lp.Optimal:
+		// Zero out the disallowed pairs defensively (they have zero
+		// columns and stay zero, but be explicit).
+		for i := 0; i < mm; i++ {
+			for j := 0; j < n; j++ {
+				if m.Cost(i, j) > t {
+					x[i*n+j] = 0
+				}
+			}
+		}
+		return x, true, nil
+	case lp.Infeasible:
+		return nil, false, nil
+	default:
+		return nil, false, fmt.Errorf("central: deadline LP ended %v", st)
+	}
+}
+
+const fracEps = 1e-7
+
+// roundVertex converts a basic LP solution into an integral schedule.
+func roundVertex(m core.CostModel, t core.Cost, x []float64) (*core.Assignment, int) {
+	mm, n := m.NumMachines(), m.NumJobs()
+	a := core.NewAssignment(m)
+
+	// adj[j] lists machines with fractional x; machineAdj[i] lists jobs.
+	adj := make([][]int, n)
+	for j := 0; j < n; j++ {
+		// Integral part first: the largest x wins if ≈ 1.
+		argmax, vmax := -1, -1.0
+		for i := 0; i < mm; i++ {
+			if v := x[i*n+j]; v > vmax {
+				argmax, vmax = i, v
+			}
+		}
+		if vmax >= 1-fracEps {
+			a.Assign(j, argmax)
+			continue
+		}
+		for i := 0; i < mm; i++ {
+			if v := x[i*n+j]; v > fracEps && v < 1-fracEps {
+				adj[j] = append(adj[j], i)
+			}
+		}
+		if len(adj[j]) == 0 {
+			// All mass numerically blurred; take the argmax.
+			a.Assign(j, argmax)
+		}
+	}
+
+	// Match each fractional job to one of its fractional machines, each
+	// machine absorbing at most one extra job. A vertex solution's
+	// fractional graph is a pseudoforest in which such a job-perfect
+	// matching always exists; a maximum bipartite matching (Kuhn's
+	// augmenting paths) finds it robustly even with numeric dirt.
+	matchOfMachine := make([]int, mm) // machine → job, -1 free
+	for i := range matchOfMachine {
+		matchOfMachine[i] = -1
+	}
+	var visited []bool
+	var tryAugment func(j int) bool
+	tryAugment = func(j int) bool {
+		for _, i := range adj[j] {
+			if visited[i] {
+				continue
+			}
+			visited[i] = true
+			if matchOfMachine[i] == -1 || tryAugment(matchOfMachine[i]) {
+				matchOfMachine[i] = j
+				return true
+			}
+		}
+		return false
+	}
+	fallbacks := 0
+	for j := 0; j < n; j++ {
+		if a.MachineOf(j) != -1 {
+			continue
+		}
+		visited = make([]bool, mm)
+		if tryAugment(j) {
+			continue
+		}
+		// Numeric-dirt fallback: cheapest allowed machine.
+		best, bestC := -1, core.Cost(0)
+		for i := 0; i < mm; i++ {
+			if c := m.Cost(i, j); c <= t && (best == -1 || c < bestC) {
+				best, bestC = i, c
+			}
+		}
+		if best == -1 {
+			best = 0
+		}
+		a.Assign(j, best)
+		fallbacks++
+	}
+	for i, j := range matchOfMachine {
+		if j != -1 && a.MachineOf(j) == -1 {
+			a.Assign(j, i)
+		}
+	}
+	return a, fallbacks
+}
+
+// sortedCandidates is kept for tests that inspect the deadline grid.
+func sortedCandidates(m core.CostModel) []core.Cost {
+	seen := make(map[core.Cost]bool)
+	var out []core.Cost
+	for i := 0; i < m.NumMachines(); i++ {
+		for j := 0; j < m.NumJobs(); j++ {
+			c := m.Cost(i, j)
+			if c < core.Infinite && !seen[c] {
+				seen[c] = true
+				out = append(out, c)
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}

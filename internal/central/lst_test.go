@@ -1,0 +1,151 @@
+package central
+
+import (
+	"testing"
+
+	"hetlb/internal/core"
+	"hetlb/internal/exact"
+	"hetlb/internal/rng"
+	"hetlb/internal/workload"
+)
+
+func TestLSTTwoApproximation(t *testing.T) {
+	// The theorem: LST ≤ 2·OPT. Check against the exact solver on random
+	// small unrelated instances. Additionally T* ≤ OPT must hold.
+	gen := rng.New(1)
+	for iter := 0; iter < 60; iter++ {
+		mm := 2 + gen.Intn(3)
+		n := 2 + gen.Intn(7)
+		d := workload.UniformDense(gen, mm, n, 1, 30)
+		res, err := LST(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Assignment.Complete() {
+			t.Fatal("LST left jobs unassigned")
+		}
+		if err := res.Assignment.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		sol := exact.Solve(d)
+		if res.Deadline > sol.Opt {
+			t.Fatalf("deadline %d exceeds OPT %d (not a lower bound!)", res.Deadline, sol.Opt)
+		}
+		if res.Assignment.Makespan() > 2*sol.Opt {
+			t.Fatalf("LST makespan %d > 2·OPT (OPT=%d, m=%d n=%d)",
+				res.Assignment.Makespan(), sol.Opt, mm, n)
+		}
+		if res.Assignment.Makespan() > 2*res.Deadline {
+			t.Fatalf("LST makespan %d > 2·T* (T*=%d) — rounding guarantee broken",
+				res.Assignment.Makespan(), res.Deadline)
+		}
+	}
+}
+
+func TestLSTRespectsDeadlinePlusOne(t *testing.T) {
+	// Sharper structural property: every machine carries LP load ≤ T*
+	// plus at most ONE extra matched job of cost ≤ T*; the per-machine
+	// load is therefore ≤ 2·T*. Checked indirectly above; here verify no
+	// fallbacks fire on clean instances.
+	gen := rng.New(2)
+	totalFallbacks := 0
+	for iter := 0; iter < 40; iter++ {
+		d := workload.UniformDense(gen, 3, 8, 1, 50)
+		res, err := LST(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalFallbacks += res.Fallbacks
+	}
+	if totalFallbacks > 2 {
+		t.Fatalf("%d numeric fallbacks over 40 instances; vertex rounding is misbehaving", totalFallbacks)
+	}
+}
+
+func TestLSTBiasedInstanceOptimal(t *testing.T) {
+	// Perfectly biased jobs: T* = OPT = 1 and the rounding is exact.
+	d := core.MustDense([][]core.Cost{
+		{1, 100, 1, 100},
+		{100, 1, 100, 1},
+	})
+	res, err := LST(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deadline != 2 {
+		t.Fatalf("deadline = %d, want 2", res.Deadline)
+	}
+	if res.Assignment.Makespan() > 4 {
+		t.Fatalf("makespan %d > 2·T*", res.Assignment.Makespan())
+	}
+}
+
+func TestLSTEmptyInstance(t *testing.T) {
+	id, _ := core.NewIdentical(3, nil)
+	res, err := LST(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Assignment.Makespan() != 0 {
+		t.Fatal("empty instance nonzero makespan")
+	}
+}
+
+func TestLSTSingleMachine(t *testing.T) {
+	id, _ := core.NewIdentical(1, []core.Cost{3, 4})
+	res, err := LST(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Assignment.Makespan() != 7 || res.Deadline != 7 {
+		t.Fatalf("single machine: makespan %d deadline %d", res.Assignment.Makespan(), res.Deadline)
+	}
+}
+
+func TestLSTOnTwoClusterVsCLB2C(t *testing.T) {
+	// Both are 2-approximations on two-cluster instances; LST's deadline
+	// is a valid lower bound for judging CLB2C too.
+	gen := rng.New(3)
+	for iter := 0; iter < 15; iter++ {
+		tc := workload.UniformTwoCluster(gen, 2, 2, 10, 1, 40)
+		res, err := LST(tc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clb := RunCLB2C(tc)
+		if clb.Makespan() > 2*res.Deadline+core.Cost(2*res.Fallbacks)*40 {
+			// CLB2C ≤ 2·OPT and T* ≤ OPT, so CLB2C ≤ 2·T* can fail only
+			// if T* < OPT strictly... CLB2C ≤ 2·OPT always; compare to
+			// 2·OPT via exact instead.
+			sol := exact.Solve(tc)
+			if sol.Proven && core.HypothesisHolds(tc, sol.Opt) && clb.Makespan() > 2*sol.Opt {
+				t.Fatalf("CLB2C %d > 2·OPT %d", clb.Makespan(), sol.Opt)
+			}
+		}
+	}
+}
+
+func TestSortedCandidatesSortedDistinct(t *testing.T) {
+	d := core.MustDense([][]core.Cost{{3, 1, 3}, {2, 2, 5}})
+	cands := sortedCandidates(d)
+	want := []core.Cost{1, 2, 3, 5}
+	if len(cands) != len(want) {
+		t.Fatalf("candidates %v", cands)
+	}
+	for k := range want {
+		if cands[k] != want[k] {
+			t.Fatalf("candidates %v, want %v", cands, want)
+		}
+	}
+}
+
+func BenchmarkLST4x16(b *testing.B) {
+	gen := rng.New(4)
+	d := workload.UniformDense(gen, 4, 16, 1, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := LST(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package central
+
+import (
+	"testing"
+
+	"hetlb/internal/core"
+	"hetlb/internal/exact"
+	"hetlb/internal/rng"
+	"hetlb/internal/workload"
+)
+
+func TestOnlineLSMatchesBatchOnIdentical(t *testing.T) {
+	// On identical machines, adding jobs in index order must reproduce
+	// List Scheduling exactly (same least-loaded/lowest-index rule).
+	gen := rng.New(1)
+	for iter := 0; iter < 30; iter++ {
+		id := workload.UniformIdentical(gen, 2+gen.Intn(5), 1+gen.Intn(20), 1, 50)
+		o := NewOnlineLS(id)
+		for j := 0; j < id.NumJobs(); j++ {
+			o.Add(j)
+		}
+		batch := ListScheduling(id, nil)
+		if o.Makespan() != batch.Makespan() {
+			t.Fatalf("online %d != batch %d", o.Makespan(), batch.Makespan())
+		}
+	}
+}
+
+func TestOnlineLSIntermediateTwoApprox(t *testing.T) {
+	// The related-work property: on identical machines EVERY intermediate
+	// solution is a 2-approximation of the optimum over the jobs placed
+	// so far.
+	gen := rng.New(2)
+	for iter := 0; iter < 15; iter++ {
+		m := 2 + gen.Intn(3)
+		n := 3 + gen.Intn(5)
+		id := workload.UniformIdentical(gen, m, n, 1, 30)
+		o := NewOnlineLS(id)
+		for j := 0; j < n; j++ {
+			o.Add(j)
+			// Optimal over the prefix [0, j].
+			sizes := make([]core.Cost, j+1)
+			for k := range sizes {
+				sizes[k] = id.Size(k)
+			}
+			prefix, err := core.NewIdentical(m, sizes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt := exact.Solve(prefix).Opt
+			if o.Makespan() > 2*opt {
+				t.Fatalf("intermediate makespan %d > 2·OPT %d after %d jobs",
+					o.Makespan(), opt, j+1)
+			}
+		}
+	}
+}
+
+func TestOnlineLSDoubleAddPanics(t *testing.T) {
+	id, _ := core.NewIdentical(2, []core.Cost{1, 2})
+	o := NewOnlineLS(id)
+	o.Add(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Add did not panic")
+		}
+	}()
+	o.Add(0)
+}
+
+func TestOnlineLSReturnsPlacement(t *testing.T) {
+	id, _ := core.NewIdentical(3, []core.Cost{5, 5, 5, 5})
+	o := NewOnlineLS(id)
+	seen := make(map[int]bool)
+	for j := 0; j < 3; j++ {
+		seen[o.Add(j)] = true
+	}
+	if len(seen) != 3 {
+		t.Fatal("first three unit jobs should spread over all machines")
+	}
+	if o.Assignment().NumAssigned() != 3 {
+		t.Fatal("assignment out of sync")
+	}
+}
+
+func BenchmarkOnlineLSAdd(b *testing.B) {
+	gen := rng.New(3)
+	id := workload.UniformIdentical(gen, 1024, 1, 1, 1000)
+	// Rebuild periodically to keep Add amortized-representative without
+	// running out of jobs.
+	o := NewOnlineLS(id)
+	_ = o
+	sizes := make([]core.Cost, b.N)
+	for k := range sizes {
+		sizes[k] = gen.IntRange(1, 1000)
+	}
+	big, _ := core.NewIdentical(1024, sizes)
+	sched := NewOnlineLS(big)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sched.Add(i)
+	}
+}

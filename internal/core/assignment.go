@@ -1,0 +1,261 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Assignment is a partition of the jobs of a cost model onto its machines.
+// It is the object every balancing algorithm manipulates. Loads are
+// maintained incrementally so Makespan and Load are O(1) amortized queries.
+//
+// An Assignment is not safe for concurrent mutation; the concurrent runtime
+// gives each machine ownership of its own job set and serializes pairwise
+// exchanges (see internal/distrun).
+type Assignment struct {
+	model     CostModel
+	machineOf []int  // machineOf[job] = machine, or -1 if unassigned
+	load      []Cost // load[machine] = sum of costs of its jobs
+	assigned  int    // number of assigned jobs
+}
+
+// NewAssignment returns an empty assignment (all jobs unassigned) over the
+// given model.
+func NewAssignment(m CostModel) *Assignment {
+	a := &Assignment{
+		model:     m,
+		machineOf: make([]int, m.NumJobs()),
+		load:      make([]Cost, m.NumMachines()),
+	}
+	for j := range a.machineOf {
+		a.machineOf[j] = -1
+	}
+	return a
+}
+
+// Model returns the cost model the assignment refers to.
+func (a *Assignment) Model() CostModel { return a.model }
+
+// Clone returns a deep copy of the assignment sharing the (immutable) model.
+func (a *Assignment) Clone() *Assignment {
+	b := &Assignment{
+		model:     a.model,
+		machineOf: append([]int(nil), a.machineOf...),
+		load:      append([]Cost(nil), a.load...),
+		assigned:  a.assigned,
+	}
+	return b
+}
+
+// Assign places job j on the given machine. The job must currently be
+// unassigned.
+func (a *Assignment) Assign(job, machine int) {
+	if a.machineOf[job] != -1 {
+		panic(fmt.Sprintf("core: job %d already assigned to machine %d", job, a.machineOf[job]))
+	}
+	a.machineOf[job] = machine
+	a.load[machine] += a.model.Cost(machine, job)
+	a.assigned++
+}
+
+// Unassign removes job j from its machine. The job must be assigned.
+func (a *Assignment) Unassign(job int) {
+	i := a.machineOf[job]
+	if i == -1 {
+		panic(fmt.Sprintf("core: job %d is not assigned", job))
+	}
+	a.load[i] -= a.model.Cost(i, job)
+	a.machineOf[job] = -1
+	a.assigned--
+}
+
+// Move transfers job j to the given machine (assigning it if it was
+// unassigned).
+func (a *Assignment) Move(job, machine int) {
+	if a.machineOf[job] != -1 {
+		a.Unassign(job)
+	}
+	a.Assign(job, machine)
+}
+
+// MachineOf returns the machine of job j, or -1 if unassigned.
+func (a *Assignment) MachineOf(job int) int { return a.machineOf[job] }
+
+// Load returns the current load of the given machine.
+func (a *Assignment) Load(machine int) Cost { return a.load[machine] }
+
+// Loads returns a copy of the load vector.
+func (a *Assignment) Loads() []Cost {
+	return append([]Cost(nil), a.load...)
+}
+
+// NumAssigned returns the number of currently assigned jobs.
+func (a *Assignment) NumAssigned() int { return a.assigned }
+
+// Complete reports whether every job is assigned.
+func (a *Assignment) Complete() bool { return a.assigned == a.model.NumJobs() }
+
+// Jobs returns the jobs currently assigned to the given machine, in
+// increasing job order. It is O(n); algorithms on hot paths should keep
+// their own per-machine job lists (the gossip engine does).
+func (a *Assignment) Jobs(machine int) []int {
+	var jobs []int
+	for j, i := range a.machineOf {
+		if i == machine {
+			jobs = append(jobs, j)
+		}
+	}
+	return jobs
+}
+
+// Makespan returns the maximum machine load, i.e. Cmax of the partition.
+func (a *Assignment) Makespan() Cost {
+	var max Cost
+	for _, l := range a.load {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// ArgMakespan returns a machine achieving the makespan (the smallest index
+// among ties).
+func (a *Assignment) ArgMakespan() int {
+	arg := 0
+	for i, l := range a.load {
+		if l > a.load[arg] {
+			arg = i
+		}
+	}
+	return arg
+}
+
+// MinLoad returns the minimum machine load and a machine achieving it.
+func (a *Assignment) MinLoad() (Cost, int) {
+	arg := 0
+	for i, l := range a.load {
+		if l < a.load[arg] {
+			arg = i
+		}
+	}
+	return a.load[arg], arg
+}
+
+// TotalWork returns the sum of all machine loads under the current
+// assignment (the "work" W of the paper's proofs).
+func (a *Assignment) TotalWork() Cost {
+	var w Cost
+	for _, l := range a.load {
+		w += l
+	}
+	return w
+}
+
+// Validate checks internal consistency: cached loads must equal recomputed
+// loads and the assigned counter must match. It returns a descriptive error
+// on the first inconsistency found.
+func (a *Assignment) Validate() error {
+	recomputed := make([]Cost, a.model.NumMachines())
+	count := 0
+	for j, i := range a.machineOf {
+		if i == -1 {
+			continue
+		}
+		if i < 0 || i >= a.model.NumMachines() {
+			return fmt.Errorf("core: job %d on invalid machine %d", j, i)
+		}
+		recomputed[i] += a.model.Cost(i, j)
+		count++
+	}
+	for i, l := range recomputed {
+		if l != a.load[i] {
+			return fmt.Errorf("core: machine %d cached load %d != recomputed %d", i, a.load[i], l)
+		}
+	}
+	if count != a.assigned {
+		return fmt.Errorf("core: assigned counter %d != actual %d", a.assigned, count)
+	}
+	return nil
+}
+
+// String renders a compact human-readable view of the assignment, used by
+// examples and tests.
+func (a *Assignment) String() string {
+	s := fmt.Sprintf("Cmax=%d", a.Makespan())
+	for i := 0; i < a.model.NumMachines(); i++ {
+		s += fmt.Sprintf(" | m%d(load=%d):%v", i, a.load[i], a.Jobs(i))
+	}
+	return s
+}
+
+// RoundRobin assigns all jobs cyclically over the machines; it is the
+// standard "arbitrary initial distribution" used to start the decentralized
+// protocols.
+func RoundRobin(m CostModel) *Assignment {
+	a := NewAssignment(m)
+	for j := 0; j < m.NumJobs(); j++ {
+		a.Assign(j, j%m.NumMachines())
+	}
+	return a
+}
+
+// AllOnMachine assigns every job to one machine. Useful as a pathological
+// starting point in convergence tests.
+func AllOnMachine(m CostModel, machine int) *Assignment {
+	a := NewAssignment(m)
+	for j := 0; j < m.NumJobs(); j++ {
+		a.Assign(j, machine)
+	}
+	return a
+}
+
+// FromMachineOf builds an assignment from an explicit job→machine mapping.
+// Entries equal to -1 are left unassigned.
+func FromMachineOf(m CostModel, machineOf []int) (*Assignment, error) {
+	if len(machineOf) != m.NumJobs() {
+		return nil, fmt.Errorf("core: mapping has %d entries for %d jobs", len(machineOf), m.NumJobs())
+	}
+	a := NewAssignment(m)
+	for j, i := range machineOf {
+		if i == -1 {
+			continue
+		}
+		if i < 0 || i >= m.NumMachines() {
+			return nil, fmt.Errorf("core: job %d mapped to invalid machine %d", j, i)
+		}
+		a.Assign(j, i)
+	}
+	return a, nil
+}
+
+// Equal reports whether two assignments place every job identically.
+func (a *Assignment) Equal(b *Assignment) bool {
+	if len(a.machineOf) != len(b.machineOf) {
+		return false
+	}
+	for j := range a.machineOf {
+		if a.machineOf[j] != b.machineOf[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// Signature returns a canonical string key of the job→machine map, used for
+// cycle detection in non-converging DLB2C runs.
+func (a *Assignment) Signature() string {
+	buf := make([]byte, 0, 4*len(a.machineOf))
+	for _, i := range a.machineOf {
+		buf = append(buf, byte(i), byte(i>>8), byte(i>>16), byte(i>>24))
+	}
+	return string(buf)
+}
+
+// SortedLoads returns the load vector in non-decreasing order; two
+// assignments with equal sorted loads are equivalent for makespan purposes.
+func (a *Assignment) SortedLoads() []Cost {
+	ls := a.Loads()
+	sort.Slice(ls, func(x, y int) bool { return ls[x] < ls[y] })
+	return ls
+}

@@ -1,0 +1,93 @@
+// Package core defines the scheduling problem studied by the paper:
+// independent, sequential, non-preemptible jobs must be partitioned onto
+// unrelated machines to minimize the makespan (R||Cmax in Graham's
+// three-field notation).
+//
+// The package provides the cost models (identical, related, unrelated, typed
+// jobs, two clusters), the Assignment type that all balancing algorithms
+// manipulate, and makespan/work/lower-bound computations. Everything else in
+// the repository is built on top of these types.
+package core
+
+import "fmt"
+
+// Cost is a processing time expressed in abstract integer time units.
+// Integer costs are used deliberately: the paper's Markov analysis operates
+// on integer load vectors, and integer arithmetic keeps every pairwise
+// balancing decision exactly reproducible (no floating-point ties).
+type Cost = int64
+
+// Infinite marks a job that cannot run on a machine. It is large enough to
+// dominate any realistic schedule while leaving headroom so that sums of a
+// few infinite costs do not overflow int64.
+const Infinite Cost = 1 << 50
+
+// CostModel exposes the processing-time matrix p[i][j] of an instance.
+// Implementations may store the full dense matrix or exploit structure
+// (typed jobs, clustered machines) to answer in O(1) from compact storage.
+type CostModel interface {
+	// NumMachines returns m, the number of machines.
+	NumMachines() int
+	// NumJobs returns n, the number of jobs.
+	NumJobs() int
+	// Cost returns the processing time of job j on machine i.
+	Cost(machine, job int) Cost
+}
+
+// TotalWorkOn returns the sum over all jobs of their cost on the given
+// machine. It is mostly useful for single-cluster reasoning where each job
+// costs the same on every machine of the cluster.
+func TotalWorkOn(m CostModel, machine int) Cost {
+	var w Cost
+	for j := 0; j < m.NumJobs(); j++ {
+		w += m.Cost(machine, j)
+	}
+	return w
+}
+
+// MinCost returns the smallest processing time of job j over all machines,
+// along with a machine achieving it.
+func MinCost(m CostModel, job int) (Cost, int) {
+	best := m.Cost(0, job)
+	arg := 0
+	for i := 1; i < m.NumMachines(); i++ {
+		if c := m.Cost(i, job); c < best {
+			best, arg = c, i
+		}
+	}
+	return best, arg
+}
+
+// MaxCost returns the largest finite processing time of job j over all
+// machines. If the job is infinite everywhere the returned cost is Infinite.
+func MaxCost(m CostModel, job int) Cost {
+	var best Cost = -1
+	for i := 0; i < m.NumMachines(); i++ {
+		if c := m.Cost(i, job); c < Infinite && c > best {
+			best = c
+		}
+	}
+	if best < 0 {
+		return Infinite
+	}
+	return best
+}
+
+// CheckModel verifies basic sanity of a cost model: positive dimensions and
+// non-negative costs. Algorithms in this repository assume these invariants.
+func CheckModel(m CostModel) error {
+	if m.NumMachines() <= 0 {
+		return fmt.Errorf("core: model has %d machines, need at least 1", m.NumMachines())
+	}
+	if m.NumJobs() < 0 {
+		return fmt.Errorf("core: model has negative job count %d", m.NumJobs())
+	}
+	for i := 0; i < m.NumMachines(); i++ {
+		for j := 0; j < m.NumJobs(); j++ {
+			if m.Cost(i, j) < 0 {
+				return fmt.Errorf("core: negative cost p[%d][%d] = %d", i, j, m.Cost(i, j))
+			}
+		}
+	}
+	return nil
+}

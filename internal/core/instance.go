@@ -1,0 +1,230 @@
+package core
+
+import "fmt"
+
+// Dense is a fully general unrelated-machines instance backed by an explicit
+// m×n cost matrix.
+type Dense struct {
+	p [][]Cost // p[machine][job]
+}
+
+// NewDense builds a Dense instance from the given matrix. The matrix is used
+// directly (not copied); callers must not mutate it afterwards. All rows must
+// have equal length.
+func NewDense(p [][]Cost) (*Dense, error) {
+	if len(p) == 0 {
+		return nil, fmt.Errorf("core: dense instance needs at least one machine")
+	}
+	n := len(p[0])
+	for i, row := range p {
+		if len(row) != n {
+			return nil, fmt.Errorf("core: row %d has %d jobs, row 0 has %d", i, len(row), n)
+		}
+	}
+	return &Dense{p: p}, nil
+}
+
+// MustDense is NewDense but panics on error; intended for tests and for
+// hand-built adversarial instances whose shape is known statically.
+func MustDense(p [][]Cost) *Dense {
+	d, err := NewDense(p)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// NumMachines implements CostModel.
+func (d *Dense) NumMachines() int { return len(d.p) }
+
+// NumJobs implements CostModel.
+func (d *Dense) NumJobs() int { return len(d.p[0]) }
+
+// Cost implements CostModel.
+func (d *Dense) Cost(machine, job int) Cost { return d.p[machine][job] }
+
+// Identical is an instance of identical machines: every job has the same
+// processing time on every machine.
+type Identical struct {
+	m int
+	p []Cost // p[job]
+}
+
+// NewIdentical builds an identical-machines instance with m machines and the
+// given job sizes.
+func NewIdentical(m int, sizes []Cost) (*Identical, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("core: identical instance needs m > 0, got %d", m)
+	}
+	return &Identical{m: m, p: sizes}, nil
+}
+
+// NumMachines implements CostModel.
+func (id *Identical) NumMachines() int { return id.m }
+
+// NumJobs implements CostModel.
+func (id *Identical) NumJobs() int { return len(id.p) }
+
+// Cost implements CostModel.
+func (id *Identical) Cost(_, job int) Cost { return id.p[job] }
+
+// Size returns the machine-independent size of a job.
+func (id *Identical) Size(job int) Cost { return id.p[job] }
+
+// Related is a uniformly-related instance: machine i processes job j in
+// size[j] / speed[i] time. To stay in integer arithmetic, speeds are
+// expressed as positive integers and the cost is the ceiling of the
+// division, which preserves the "faster machine is never slower" property.
+type Related struct {
+	speed []int64 // speed[machine] > 0
+	p     []Cost  // size[job]
+}
+
+// NewRelated builds a related-machines instance.
+func NewRelated(speeds []int64, sizes []Cost) (*Related, error) {
+	if len(speeds) == 0 {
+		return nil, fmt.Errorf("core: related instance needs at least one machine")
+	}
+	for i, s := range speeds {
+		if s <= 0 {
+			return nil, fmt.Errorf("core: machine %d has non-positive speed %d", i, s)
+		}
+	}
+	return &Related{speed: speeds, p: sizes}, nil
+}
+
+// NumMachines implements CostModel.
+func (r *Related) NumMachines() int { return len(r.speed) }
+
+// NumJobs implements CostModel.
+func (r *Related) NumJobs() int { return len(r.p) }
+
+// Cost implements CostModel.
+func (r *Related) Cost(machine, job int) Cost {
+	s := r.speed[machine]
+	return (r.p[job] + Cost(s) - 1) / Cost(s)
+}
+
+// Typed is an instance where jobs are grouped into k types (Section V of the
+// paper): two jobs of the same type have identical cost on every machine, so
+// the matrix collapses to m×k.
+type Typed struct {
+	typeOf []int    // typeOf[job] in [0, k)
+	p      [][]Cost // p[machine][type]
+}
+
+// NewTyped builds a typed instance. p[i][t] is the cost of any type-t job on
+// machine i; typeOf maps each job to its type.
+func NewTyped(p [][]Cost, typeOf []int) (*Typed, error) {
+	if len(p) == 0 {
+		return nil, fmt.Errorf("core: typed instance needs at least one machine")
+	}
+	k := len(p[0])
+	for i, row := range p {
+		if len(row) != k {
+			return nil, fmt.Errorf("core: machine %d has %d types, machine 0 has %d", i, len(row), k)
+		}
+	}
+	for j, t := range typeOf {
+		if t < 0 || t >= k {
+			return nil, fmt.Errorf("core: job %d has type %d outside [0, %d)", j, t, k)
+		}
+	}
+	return &Typed{typeOf: typeOf, p: p}, nil
+}
+
+// NumMachines implements CostModel.
+func (t *Typed) NumMachines() int { return len(t.p) }
+
+// NumJobs implements CostModel.
+func (t *Typed) NumJobs() int { return len(t.typeOf) }
+
+// Cost implements CostModel.
+func (t *Typed) Cost(machine, job int) Cost { return t.p[machine][t.typeOf[job]] }
+
+// NumTypes returns k, the number of job types.
+func (t *Typed) NumTypes() int { return len(t.p[0]) }
+
+// TypeOf returns the type of a job.
+func (t *Typed) TypeOf(job int) int { return t.typeOf[job] }
+
+// JobsOfType returns the indices of all jobs with the given type, in
+// increasing order.
+func (t *Typed) JobsOfType(typ int) []int {
+	var jobs []int
+	for j, tt := range t.typeOf {
+		if tt == typ {
+			jobs = append(jobs, j)
+		}
+	}
+	return jobs
+}
+
+// TwoCluster is the Section VI instance: machines are partitioned into two
+// clusters of identical machines, and a job's cost depends only on the
+// cluster, so the matrix collapses to 2×n.
+type TwoCluster struct {
+	m1, m2 int       // sizes of cluster 0 and cluster 1
+	p      [2][]Cost // p[cluster][job]
+}
+
+// NewTwoCluster builds a two-cluster instance with m1 machines in cluster 0
+// and m2 machines in cluster 1. Machines [0, m1) belong to cluster 0 and
+// machines [m1, m1+m2) to cluster 1.
+func NewTwoCluster(m1, m2 int, p0, p1 []Cost) (*TwoCluster, error) {
+	if m1 <= 0 || m2 <= 0 {
+		return nil, fmt.Errorf("core: two-cluster instance needs positive cluster sizes, got %d and %d", m1, m2)
+	}
+	if len(p0) != len(p1) {
+		return nil, fmt.Errorf("core: cluster cost vectors disagree on n: %d vs %d", len(p0), len(p1))
+	}
+	return &TwoCluster{m1: m1, m2: m2, p: [2][]Cost{p0, p1}}, nil
+}
+
+// NumMachines implements CostModel.
+func (tc *TwoCluster) NumMachines() int { return tc.m1 + tc.m2 }
+
+// NumJobs implements CostModel.
+func (tc *TwoCluster) NumJobs() int { return len(tc.p[0]) }
+
+// Cost implements CostModel.
+func (tc *TwoCluster) Cost(machine, job int) Cost {
+	return tc.p[tc.ClusterOf(machine)][job]
+}
+
+// ClusterOf returns 0 or 1, the cluster of the given machine.
+func (tc *TwoCluster) ClusterOf(machine int) int {
+	if machine < tc.m1 {
+		return 0
+	}
+	return 1
+}
+
+// ClusterSize returns the number of machines in the given cluster.
+func (tc *TwoCluster) ClusterSize(cluster int) int {
+	if cluster == 0 {
+		return tc.m1
+	}
+	return tc.m2
+}
+
+// ClusterCost returns the cost of a job on any machine of the given cluster.
+func (tc *TwoCluster) ClusterCost(cluster, job int) Cost { return tc.p[cluster][job] }
+
+// Clustered is implemented by cost models that expose a partition of the
+// machines into two clusters of identical machines. DLB2C and CLB2C require
+// this structure.
+type Clustered interface {
+	CostModel
+	ClusterOf(machine int) int
+	ClusterSize(cluster int) int
+	ClusterCost(cluster, job int) Cost
+}
+
+var (
+	_ CostModel = (*Dense)(nil)
+	_ CostModel = (*Identical)(nil)
+	_ CostModel = (*Related)(nil)
+	_ CostModel = (*Typed)(nil)
+	_ Clustered = (*TwoCluster)(nil)
+)

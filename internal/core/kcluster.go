@@ -1,0 +1,123 @@
+package core
+
+import "fmt"
+
+// KCluster generalizes TwoCluster to k ≥ 1 clusters of identical machines —
+// the extension the paper names as future work ("its extension to more than
+// two clusters of machines are possible future works"). A job's cost
+// depends only on the cluster, so the matrix collapses to k×n.
+type KCluster struct {
+	sizes     []int    // machines per cluster
+	clusterOf []int    // precomputed machine → cluster
+	p         [][]Cost // p[cluster][job]
+}
+
+// NewKCluster builds a k-cluster instance. sizes[c] is the machine count of
+// cluster c; p[c][j] the cost of job j on any machine of cluster c.
+// Machines are numbered cluster by cluster: cluster 0 first, then 1, etc.
+func NewKCluster(sizes []int, p [][]Cost) (*KCluster, error) {
+	if len(sizes) == 0 {
+		return nil, fmt.Errorf("core: k-cluster instance needs at least one cluster")
+	}
+	if len(p) != len(sizes) {
+		return nil, fmt.Errorf("core: %d clusters but %d cost rows", len(sizes), len(p))
+	}
+	n := len(p[0])
+	total := 0
+	for c, s := range sizes {
+		if s <= 0 {
+			return nil, fmt.Errorf("core: cluster %d has non-positive size %d", c, s)
+		}
+		if len(p[c]) != n {
+			return nil, fmt.Errorf("core: cluster %d has %d job costs, cluster 0 has %d", c, len(p[c]), n)
+		}
+		total += s
+	}
+	clusterOf := make([]int, 0, total)
+	for c, s := range sizes {
+		for i := 0; i < s; i++ {
+			clusterOf = append(clusterOf, c)
+		}
+	}
+	return &KCluster{sizes: sizes, clusterOf: clusterOf, p: p}, nil
+}
+
+// NumMachines implements CostModel.
+func (k *KCluster) NumMachines() int { return len(k.clusterOf) }
+
+// NumJobs implements CostModel.
+func (k *KCluster) NumJobs() int { return len(k.p[0]) }
+
+// Cost implements CostModel.
+func (k *KCluster) Cost(machine, job int) Cost { return k.p[k.clusterOf[machine]][job] }
+
+// NumClusters returns k.
+func (k *KCluster) NumClusters() int { return len(k.sizes) }
+
+// ClusterOf returns the cluster of a machine.
+func (k *KCluster) ClusterOf(machine int) int { return k.clusterOf[machine] }
+
+// ClusterSize returns the machine count of a cluster.
+func (k *KCluster) ClusterSize(cluster int) int { return k.sizes[cluster] }
+
+// ClusterCost returns the cost of a job on any machine of a cluster.
+func (k *KCluster) ClusterCost(cluster, job int) Cost { return k.p[cluster][job] }
+
+// PairView restricts a KCluster to two of its clusters so that the
+// two-cluster kernels (CLB2C on a pair, Greedy Load Balancing) apply
+// unchanged: view cluster 0 is KCluster cluster a, view cluster 1 is b.
+// Machine indices are unchanged — only machines actually belonging to a or
+// b may be passed to kernels using the view.
+func (k *KCluster) PairView(a, b int) Clustered {
+	if a == b {
+		panic("core: PairView needs two distinct clusters")
+	}
+	return &pairView{k: k, a: a, b: b}
+}
+
+type pairView struct {
+	k    *KCluster
+	a, b int
+}
+
+func (v *pairView) NumMachines() int { return v.k.NumMachines() }
+func (v *pairView) NumJobs() int     { return v.k.NumJobs() }
+func (v *pairView) Cost(machine, job int) Cost {
+	return v.k.ClusterCost(v.k.ClusterOf(machine), job)
+}
+
+func (v *pairView) ClusterOf(machine int) int {
+	switch v.k.ClusterOf(machine) {
+	case v.a:
+		return 0
+	case v.b:
+		return 1
+	}
+	panic(fmt.Sprintf("core: machine %d belongs to neither cluster %d nor %d", machine, v.a, v.b))
+}
+
+func (v *pairView) ClusterSize(cluster int) int {
+	if cluster == 0 {
+		return v.k.ClusterSize(v.a)
+	}
+	return v.k.ClusterSize(v.b)
+}
+
+func (v *pairView) ClusterCost(cluster, job int) Cost {
+	if cluster == 0 {
+		return v.k.ClusterCost(v.a, job)
+	}
+	return v.k.ClusterCost(v.b, job)
+}
+
+// TwoClusterOf converts a KCluster with exactly two clusters into the
+// TwoCluster type (so the Theorem 6/7 tooling applies directly).
+func (k *KCluster) TwoClusterOf() (*TwoCluster, error) {
+	if len(k.sizes) != 2 {
+		return nil, fmt.Errorf("core: instance has %d clusters, not 2", len(k.sizes))
+	}
+	return NewTwoCluster(k.sizes[0], k.sizes[1], k.p[0], k.p[1])
+}
+
+var _ CostModel = (*KCluster)(nil)
+var _ Clustered = (*pairView)(nil)

@@ -1,0 +1,101 @@
+package core
+
+import "testing"
+
+func TestKClusterShape(t *testing.T) {
+	kc, err := NewKCluster([]int{2, 3, 1}, [][]Cost{
+		{1, 2}, {3, 4}, {5, 6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kc.NumMachines() != 6 || kc.NumJobs() != 2 || kc.NumClusters() != 3 {
+		t.Fatal("bad dims")
+	}
+	wantCluster := []int{0, 0, 1, 1, 1, 2}
+	for i, want := range wantCluster {
+		if kc.ClusterOf(i) != want {
+			t.Fatalf("machine %d in cluster %d, want %d", i, kc.ClusterOf(i), want)
+		}
+	}
+	if kc.Cost(0, 1) != 2 || kc.Cost(4, 0) != 3 || kc.Cost(5, 1) != 6 {
+		t.Fatal("costs wrong")
+	}
+	if kc.ClusterSize(1) != 3 {
+		t.Fatal("cluster size wrong")
+	}
+}
+
+func TestKClusterRejectsBadInput(t *testing.T) {
+	if _, err := NewKCluster(nil, nil); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if _, err := NewKCluster([]int{1}, [][]Cost{{1}, {2}}); err == nil {
+		t.Fatal("row count mismatch accepted")
+	}
+	if _, err := NewKCluster([]int{1, 0}, [][]Cost{{1}, {1}}); err == nil {
+		t.Fatal("zero-size cluster accepted")
+	}
+	if _, err := NewKCluster([]int{1, 1}, [][]Cost{{1, 2}, {1}}); err == nil {
+		t.Fatal("ragged costs accepted")
+	}
+}
+
+func TestPairViewMapsClusters(t *testing.T) {
+	kc, _ := NewKCluster([]int{1, 1, 1}, [][]Cost{
+		{10, 20}, {30, 40}, {50, 60},
+	})
+	v := kc.PairView(2, 0)
+	if v.ClusterOf(2) != 0 || v.ClusterOf(0) != 1 {
+		t.Fatal("view cluster mapping wrong")
+	}
+	if v.ClusterCost(0, 1) != 60 || v.ClusterCost(1, 0) != 10 {
+		t.Fatal("view costs wrong")
+	}
+	if v.ClusterSize(0) != 1 || v.ClusterSize(1) != 1 {
+		t.Fatal("view sizes wrong")
+	}
+	if v.Cost(1, 0) != 30 { // machine 1 keeps its true cost
+		t.Fatal("view Cost wrong")
+	}
+}
+
+func TestPairViewPanicsOutsidePair(t *testing.T) {
+	kc, _ := NewKCluster([]int{1, 1, 1}, [][]Cost{{1}, {2}, {3}})
+	v := kc.PairView(0, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("machine outside the pair accepted")
+		}
+	}()
+	v.ClusterOf(2)
+}
+
+func TestPairViewSameClusterPanics(t *testing.T) {
+	kc, _ := NewKCluster([]int{1, 1}, [][]Cost{{1}, {2}})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PairView(1,1) accepted")
+		}
+	}()
+	kc.PairView(1, 1)
+}
+
+func TestTwoClusterOf(t *testing.T) {
+	kc, _ := NewKCluster([]int{2, 3}, [][]Cost{{1, 2}, {3, 4}})
+	tc, err := kc.TwoClusterOf()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 2; j++ {
+			if tc.Cost(i, j) != kc.Cost(i, j) {
+				t.Fatalf("cost mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+	kc3, _ := NewKCluster([]int{1, 1, 1}, [][]Cost{{1}, {2}, {3}})
+	if _, err := kc3.TwoClusterOf(); err == nil {
+		t.Fatal("3-cluster conversion accepted")
+	}
+}

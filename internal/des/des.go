@@ -1,0 +1,115 @@
+// Package des is a minimal deterministic discrete-event simulation kernel:
+// a clock plus a priority queue of timestamped callbacks. The work-stealing
+// simulator (internal/worksteal) is built on it.
+//
+// Determinism: events at the same timestamp are ordered first by an explicit
+// phase (so that, e.g., all job completions at time t are processed before
+// steal resolutions at time t, which in turn precede job starts at time t),
+// then by insertion sequence. Reruns with the same inputs produce identical
+// schedules.
+package des
+
+import "container/heap"
+
+// Phase orders events within a single timestamp.
+type Phase uint8
+
+// Phases used by the schedulers built on this kernel. Lower runs first.
+const (
+	// PhaseComplete is for "work finished" events.
+	PhaseComplete Phase = iota
+	// PhaseTransfer is for rebalancing/steal resolutions.
+	PhaseTransfer
+	// PhaseStart is for "begin next work item" events.
+	PhaseStart
+)
+
+type event struct {
+	time  int64
+	phase Phase
+	seq   uint64
+	fn    func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(a, b int) bool {
+	if h[a].time != h[b].time {
+		return h[a].time < h[b].time
+	}
+	if h[a].phase != h[b].phase {
+		return h[a].phase < h[b].phase
+	}
+	return h[a].seq < h[b].seq
+}
+func (h eventHeap) Swap(a, b int) { h[a], h[b] = h[b], h[a] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+
+// Simulator owns the virtual clock and the pending event queue.
+type Simulator struct {
+	now    int64
+	events eventHeap
+	seq    uint64
+	count  uint64 // processed events
+}
+
+// New returns a simulator with the clock at zero.
+func New() *Simulator { return &Simulator{} }
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() int64 { return s.now }
+
+// Processed returns the number of events executed so far.
+func (s *Simulator) Processed() uint64 { return s.count }
+
+// Pending returns the number of queued events.
+func (s *Simulator) Pending() int { return len(s.events) }
+
+// At schedules fn at absolute time t with the given phase. Scheduling in the
+// past panics: it would silently corrupt causality.
+func (s *Simulator) At(t int64, phase Phase, fn func()) {
+	if t < s.now {
+		panic("des: event scheduled in the past")
+	}
+	heap.Push(&s.events, event{time: t, phase: phase, seq: s.seq, fn: fn})
+	s.seq++
+}
+
+// After schedules fn d time units from now.
+func (s *Simulator) After(d int64, phase Phase, fn func()) {
+	if d < 0 {
+		panic("des: negative delay")
+	}
+	s.At(s.now+d, phase, fn)
+}
+
+// Step executes the next event; it reports false when the queue is empty.
+func (s *Simulator) Step() bool {
+	if len(s.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&s.events).(event)
+	s.now = ev.time
+	s.count++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue is empty or maxEvents have been
+// processed in this call; it reports whether the queue drained.
+func (s *Simulator) Run(maxEvents uint64) bool {
+	for n := uint64(0); n < maxEvents; n++ {
+		if !s.Step() {
+			return true
+		}
+	}
+	return len(s.events) == 0
+}

@@ -1,0 +1,134 @@
+package des
+
+import "testing"
+
+func TestOrderingByTime(t *testing.T) {
+	s := New()
+	var got []int
+	s.At(5, PhaseStart, func() { got = append(got, 5) })
+	s.At(1, PhaseStart, func() { got = append(got, 1) })
+	s.At(3, PhaseStart, func() { got = append(got, 3) })
+	if !s.Run(100) {
+		t.Fatal("queue did not drain")
+	}
+	want := []int{1, 3, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+	if s.Now() != 5 {
+		t.Fatalf("clock = %d, want 5", s.Now())
+	}
+}
+
+func TestPhaseOrderingWithinInstant(t *testing.T) {
+	s := New()
+	var got []string
+	s.At(2, PhaseStart, func() { got = append(got, "start") })
+	s.At(2, PhaseComplete, func() { got = append(got, "complete") })
+	s.At(2, PhaseTransfer, func() { got = append(got, "transfer") })
+	s.Run(100)
+	if got[0] != "complete" || got[1] != "transfer" || got[2] != "start" {
+		t.Fatalf("phase order wrong: %v", got)
+	}
+}
+
+func TestSeqBreaksTies(t *testing.T) {
+	s := New()
+	var got []int
+	for k := 0; k < 10; k++ {
+		k := k
+		s.At(1, PhaseStart, func() { got = append(got, k) })
+	}
+	s.Run(100)
+	for k := 0; k < 10; k++ {
+		if got[k] != k {
+			t.Fatalf("insertion order not preserved: %v", got)
+		}
+	}
+}
+
+func TestEventsCanScheduleEvents(t *testing.T) {
+	s := New()
+	hits := 0
+	var recur func()
+	recur = func() {
+		hits++
+		if hits < 5 {
+			s.After(2, PhaseStart, recur)
+		}
+	}
+	s.At(0, PhaseStart, recur)
+	if !s.Run(100) {
+		t.Fatal("queue did not drain")
+	}
+	if hits != 5 || s.Now() != 8 {
+		t.Fatalf("hits=%d now=%d", hits, s.Now())
+	}
+	if s.Processed() != 5 {
+		t.Fatalf("Processed = %d", s.Processed())
+	}
+}
+
+func TestPastSchedulingPanics(t *testing.T) {
+	s := New()
+	s.At(5, PhaseStart, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		s.At(2, PhaseStart, func() {})
+	})
+	s.Run(10)
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	s := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delay did not panic")
+		}
+	}()
+	s.After(-1, PhaseStart, func() {})
+}
+
+func TestRunBudget(t *testing.T) {
+	s := New()
+	for k := 0; k < 10; k++ {
+		s.At(int64(k), PhaseStart, func() {})
+	}
+	if s.Run(3) {
+		t.Fatal("Run reported drained with events left")
+	}
+	if s.Pending() != 7 {
+		t.Fatalf("Pending = %d, want 7", s.Pending())
+	}
+	if !s.Run(100) {
+		t.Fatal("second Run did not drain")
+	}
+}
+
+func TestStepOnEmpty(t *testing.T) {
+	s := New()
+	if s.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+}
+
+func TestSameInstantSchedulingRunsBeforeLaterEvents(t *testing.T) {
+	s := New()
+	var got []string
+	s.At(1, PhaseComplete, func() {
+		got = append(got, "c")
+		// Schedule at the same instant in a later phase: must run before
+		// the event at time 2.
+		s.At(1, PhaseStart, func() { got = append(got, "s") })
+	})
+	s.At(2, PhaseStart, func() { got = append(got, "later") })
+	s.Run(100)
+	if len(got) != 3 || got[0] != "c" || got[1] != "s" || got[2] != "later" {
+		t.Fatalf("order: %v", got)
+	}
+}

@@ -1,0 +1,248 @@
+// Package distrun executes the decentralized protocols the way the paper
+// describes them operationally: every machine runs its own loop
+// concurrently (one goroutine per machine), repeatedly picks a random peer
+// and rebalances the pair. It complements the sequential engine in
+// internal/gossip: gossip serializes the dynamics for exact reproducibility,
+// distrun actually runs them in parallel and demonstrates that the protocols
+// need no coordinator — only pairwise sessions.
+//
+// Synchronization model. Each machine owns its job list behind a mutex. A
+// balancing session locks the two machines in increasing index order (a
+// total order on locks, so sessions cannot deadlock), pools the two job
+// lists, calls the protocol's pure Split kernel, and writes the two sides
+// back. Sessions on disjoint pairs proceed in parallel. Loads are derived
+// from owned job lists, so there is no shared mutable state beyond the two
+// locked machines and a few atomic counters.
+//
+// Termination. The protocols may never converge (Proposition 8), so a run
+// is bounded by a global session budget; optionally it also stops once a
+// configurable streak of consecutive sessions observed no change, after
+// which stability is verified sequentially and reported honestly.
+package distrun
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"hetlb/internal/core"
+	"hetlb/internal/protocol"
+	"hetlb/internal/rng"
+)
+
+// Config parameterizes a run.
+type Config struct {
+	// Seed derives each machine's private generator.
+	Seed uint64
+	// MaxSteps is the global budget of pairwise sessions (required > 0).
+	MaxSteps int64
+	// QuiesceStreak stops the run early once EVERY machine has initiated
+	// this many consecutive sessions without observing a change (any
+	// change anywhere resets all counts); 0 disables early stopping.
+	// A per-machine requirement is essential: a single fast machine can
+	// see hundreds of quiet sessions while a pair it never probes is
+	// still unbalanced.
+	QuiesceStreak int64
+}
+
+// Result summarizes a run.
+type Result struct {
+	// Assignment is the final placement, reconstructed from the machines'
+	// job lists.
+	Assignment *core.Assignment
+	// Steps is the number of pairwise sessions executed.
+	Steps int64
+	// Converged reports whether the final schedule was verified stable.
+	Converged bool
+	// Exchanges counts each machine's session participations.
+	Exchanges []int64
+}
+
+type machineState struct {
+	mu   sync.Mutex
+	jobs []int // sorted by job index
+}
+
+// Run executes the protocol concurrently from the given complete initial
+// assignment (which is not mutated) and returns the outcome.
+func Run(p protocol.Protocol, initial *core.Assignment, cfg Config) (Result, error) {
+	if !initial.Complete() {
+		return Result{}, fmt.Errorf("distrun: initial assignment must place every job")
+	}
+	if cfg.MaxSteps <= 0 {
+		return Result{}, fmt.Errorf("distrun: MaxSteps must be positive")
+	}
+	model := initial.Model()
+	m := model.NumMachines()
+
+	ms := make([]machineState, m)
+	for j := 0; j < model.NumJobs(); j++ {
+		i := initial.MachineOf(j)
+		ms[i].jobs = append(ms[i].jobs, j) // increasing j: already sorted
+	}
+
+	exchanges := make([]int64, m)
+	var steps atomic.Int64
+	var done atomic.Bool
+	tracker := newQuiesceTracker(m)
+
+	if m == 1 {
+		return finish(p, model, ms, steps.Load(), exchanges)
+	}
+
+	// Derive per-machine generators deterministically from the seed before
+	// starting any goroutine, so each machine's peer sequence does not
+	// depend on scheduling.
+	root := rng.New(cfg.Seed)
+	gens := make([]*rng.RNG, m)
+	for i := range gens {
+		gens[i] = root.Split()
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < m; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			gen := gens[i]
+			for {
+				if done.Load() {
+					return
+				}
+				// Claim a step from the global budget.
+				if s := steps.Add(1); s > cfg.MaxSteps {
+					steps.Add(-1)
+					return
+				}
+				peer := gen.Pick(m, i)
+				changed := session(p, ms, i, peer)
+				atomic.AddInt64(&exchanges[i], 1)
+				atomic.AddInt64(&exchanges[peer], 1)
+				if cfg.QuiesceStreak > 0 && tracker.record(i, changed, cfg.QuiesceStreak) {
+					done.Store(true)
+					return
+				}
+				// Yield after every session so that all machine loops
+				// interleave even on GOMAXPROCS=1; otherwise one machine
+				// can consume the whole session budget while pairs not
+				// involving it are never balanced.
+				runtime.Gosched()
+			}
+		}(i)
+	}
+	wg.Wait()
+	return finish(p, model, ms, steps.Load(), exchanges)
+}
+
+// quiesceTracker implements the all-machines-quiet stopping rule. It is a
+// single small critical section per session; the sessions themselves do
+// O(u log u) work, so the shared lock is not a scalability concern for a
+// simulator.
+type quiesceTracker struct {
+	mu    sync.Mutex
+	quiet []int64 // consecutive quiet sessions per initiator since last change
+}
+
+func newQuiesceTracker(m int) *quiesceTracker {
+	return &quiesceTracker{quiet: make([]int64, m)}
+}
+
+// record notes the outcome of a session initiated by machine i and reports
+// whether the quiesce condition (every machine quiet for at least k
+// consecutive own sessions) now holds.
+func (q *quiesceTracker) record(i int, changed bool, k int64) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if changed {
+		for idx := range q.quiet {
+			q.quiet[idx] = 0
+		}
+		return false
+	}
+	q.quiet[i]++
+	for _, c := range q.quiet {
+		if c < k {
+			return false
+		}
+	}
+	return true
+}
+
+// session locks the pair in index order, pools their jobs, splits them with
+// the protocol kernel and writes the sides back. It reports whether the
+// partition changed.
+func session(p protocol.Protocol, ms []machineState, i, peer int) bool {
+	lo, hi := i, peer
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	ms[lo].mu.Lock()
+	ms[hi].mu.Lock()
+	defer ms[hi].mu.Unlock()
+	defer ms[lo].mu.Unlock()
+
+	union := mergeSorted(ms[i].jobs, ms[peer].jobs)
+	toI, toPeer := p.Split(i, peer, union)
+	toI = sortedCopy(toI)
+	toPeer = sortedCopy(toPeer)
+	changed := !equalInts(toI, ms[i].jobs) || !equalInts(toPeer, ms[peer].jobs)
+	ms[i].jobs = toI
+	ms[peer].jobs = toPeer
+	return changed
+}
+
+// finish reconstructs the assignment, verifies stability and packages the
+// result.
+func finish(p protocol.Protocol, model core.CostModel, ms []machineState, steps int64, exchanges []int64) (Result, error) {
+	a := core.NewAssignment(model)
+	for i := range ms {
+		for _, j := range ms[i].jobs {
+			a.Assign(j, i)
+		}
+	}
+	if !a.Complete() {
+		return Result{}, fmt.Errorf("distrun: %d jobs lost during the run", model.NumJobs()-a.NumAssigned())
+	}
+	return Result{
+		Assignment: a,
+		Steps:      steps,
+		Converged:  protocol.Stable(p, a),
+		Exchanges:  exchanges,
+	}, nil
+}
+
+func mergeSorted(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	x, y := 0, 0
+	for x < len(a) && y < len(b) {
+		if a[x] < b[y] {
+			out = append(out, a[x])
+			x++
+		} else {
+			out = append(out, b[y])
+			y++
+		}
+	}
+	out = append(out, a[x:]...)
+	return append(out, b[y:]...)
+}
+
+func sortedCopy(s []int) []int {
+	c := append([]int(nil), s...)
+	sort.Ints(c)
+	return c
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if a[k] != b[k] {
+			return false
+		}
+	}
+	return true
+}

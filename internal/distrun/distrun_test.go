@@ -1,0 +1,176 @@
+package distrun
+
+import (
+	"testing"
+
+	"hetlb/internal/core"
+	"hetlb/internal/exact"
+	"hetlb/internal/protocol"
+	"hetlb/internal/rng"
+	"hetlb/internal/workload"
+)
+
+func TestJobsConservedUnderConcurrency(t *testing.T) {
+	gen := rng.New(1)
+	tc := workload.UniformTwoCluster(gen, 8, 4, 96, 1, 100)
+	initial := core.RoundRobin(tc)
+	res, err := Run(protocol.DLB2C{Model: tc}, initial, Config{Seed: 2, MaxSteps: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Assignment.Complete() {
+		t.Fatal("jobs lost")
+	}
+	if err := res.Assignment.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != 5000 && !res.Converged {
+		// With no quiescing the budget must be fully consumed unless the
+		// run converged... the engine has no early exit without
+		// QuiesceStreak, so Steps must equal the budget.
+		t.Fatalf("steps = %d, want 5000", res.Steps)
+	}
+	var totalEx int64
+	for _, e := range res.Exchanges {
+		totalEx += e
+	}
+	if totalEx != 2*res.Steps {
+		t.Fatalf("exchange participations %d != 2×steps %d", totalEx, res.Steps)
+	}
+}
+
+func TestInitialNotMutated(t *testing.T) {
+	gen := rng.New(2)
+	id := workload.UniformIdentical(gen, 4, 20, 1, 50)
+	initial := core.AllOnMachine(id, 0)
+	before := initial.Clone()
+	if _, err := Run(protocol.SameCost{Model: id}, initial, Config{Seed: 3, MaxSteps: 500}); err != nil {
+		t.Fatal(err)
+	}
+	if !initial.Equal(before) {
+		t.Fatal("Run mutated the initial assignment")
+	}
+}
+
+func TestOneTypeReachesOptimalMakespan(t *testing.T) {
+	// Lemma 4 guarantees the *makespan* converges to the optimum under
+	// OJTB with one job type. Job identities may keep churning between
+	// equal-load placements (pairwise kernels re-canonicalize identities),
+	// so exact placement stability is not required — only the makespan.
+	ty, _ := core.NewTyped([][]core.Cost{{2}, {3}, {5}, {4}}, make([]int, 12))
+	initial := core.AllOnMachine(ty, 0)
+	res, err := Run(protocol.OJTB{Model: ty}, initial, Config{Seed: 4, MaxSteps: 20000, QuiesceStreak: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt := exact.Solve(ty).Opt; res.Assignment.Makespan() != opt {
+		t.Fatalf("reached %d, OPT=%d", res.Assignment.Makespan(), opt)
+	}
+}
+
+func TestStableImpliesTwoApproxConcurrent(t *testing.T) {
+	gen := rng.New(5)
+	checked := 0
+	for iter := 0; iter < 250 && checked < 15; iter++ {
+		tc := workload.UniformTwoCluster(gen, 2, 2, 10, 1, 10)
+		initial := core.RoundRobin(tc)
+		res, err := Run(protocol.DLB2C{Model: tc}, initial, Config{Seed: gen.Uint64(), MaxSteps: 4000, QuiesceStreak: 150})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			continue // churn or genuine non-convergence: both allowed
+		}
+		sol := exact.Solve(tc)
+		if !sol.Proven || !core.HypothesisHolds(tc, sol.Opt) {
+			continue
+		}
+		checked++
+		if res.Assignment.Makespan() > 2*sol.Opt {
+			t.Fatalf("stable concurrent DLB2C %d > 2·OPT %d", res.Assignment.Makespan(), sol.Opt)
+		}
+	}
+	if checked < 3 {
+		t.Fatalf("only %d converged instances checked", checked)
+	}
+}
+
+func TestQuiesceStopsEarly(t *testing.T) {
+	// A trivially stable start (perfectly spread unit jobs) must quiesce
+	// long before the budget.
+	id, _ := core.NewIdentical(4, []core.Cost{5, 5, 5, 5})
+	initial := core.RoundRobin(id) // one job per machine: stable
+	res, err := Run(protocol.SameCost{Model: id}, initial, Config{Seed: 6, MaxSteps: 1 << 20, QuiesceStreak: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("stable start not detected")
+	}
+	if res.Steps >= 1<<20 {
+		t.Fatal("quiescing did not stop the run early")
+	}
+}
+
+func TestSingleMachine(t *testing.T) {
+	id, _ := core.NewIdentical(1, []core.Cost{1, 2, 3})
+	initial := core.AllOnMachine(id, 0)
+	res, err := Run(protocol.SameCost{Model: id}, initial, Config{Seed: 7, MaxSteps: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Steps != 0 {
+		t.Fatalf("single machine: %+v", res)
+	}
+	if res.Assignment.Makespan() != 6 {
+		t.Fatal("assignment corrupted")
+	}
+}
+
+func TestRejectsBadConfig(t *testing.T) {
+	id, _ := core.NewIdentical(2, []core.Cost{1})
+	a := core.NewAssignment(id) // incomplete
+	if _, err := Run(protocol.SameCost{Model: id}, a, Config{MaxSteps: 10}); err == nil {
+		t.Fatal("incomplete assignment accepted")
+	}
+	b := core.AllOnMachine(id, 0)
+	if _, err := Run(protocol.SameCost{Model: id}, b, Config{MaxSteps: 0}); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+}
+
+func TestHeavyConcurrencyStress(t *testing.T) {
+	// Large machine count and budget: primarily a -race exercise.
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	gen := rng.New(8)
+	tc := workload.UniformTwoCluster(gen, 32, 16, 384, 1, 1000)
+	initial := core.RoundRobin(tc)
+	res, err := Run(protocol.DLB2C{Model: tc}, initial, Config{Seed: 9, MaxSteps: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Assignment.Complete() {
+		t.Fatal("jobs lost under stress")
+	}
+	if err := res.Assignment.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The schedule should have improved substantially over round-robin.
+	if res.Assignment.Makespan() >= core.RoundRobin(tc).Makespan() {
+		t.Fatal("no improvement after 20000 concurrent sessions")
+	}
+}
+
+func BenchmarkConcurrentDLB2C(b *testing.B) {
+	gen := rng.New(10)
+	tc := workload.UniformTwoCluster(gen, 64, 32, 768, 1, 1000)
+	initial := core.RoundRobin(tc)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(protocol.DLB2C{Model: tc}, initial, Config{Seed: uint64(i), MaxSteps: 96 * 5}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,211 @@
+package dynamic
+
+import (
+	"testing"
+
+	"hetlb/internal/core"
+	"hetlb/internal/protocol"
+	"hetlb/internal/rng"
+	"hetlb/internal/workload"
+)
+
+func TestStaticModeNeedsInitial(t *testing.T) {
+	id, _ := core.NewIdentical(2, []core.Cost{1})
+	if _, err := New(id, protocol.SameCost{Model: id}, Config{}); err == nil {
+		t.Fatal("missing initial accepted")
+	}
+	if _, err := New(id, protocol.SameCost{Model: id}, Config{BalanceEvery: -1}); err == nil {
+		t.Fatal("negative period accepted")
+	}
+	if _, err := New(id, protocol.SameCost{Model: id}, Config{MeanInterarrival: -1}); err == nil {
+		t.Fatal("negative interarrival accepted")
+	}
+}
+
+func TestAllJobsCompleteStatic(t *testing.T) {
+	gen := rng.New(1)
+	id := workload.UniformIdentical(gen, 4, 40, 1, 20)
+	init := core.AllOnMachine(id, 0)
+	sim, err := New(id, protocol.SameCost{Model: id}, Config{Seed: 2, BalanceEvery: 5, Initial: init})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sim.Run()
+	for j, c := range res.Completion {
+		if c <= 0 {
+			t.Fatalf("job %d not completed", j)
+		}
+		if res.Arrival[j] != 0 {
+			t.Fatal("static mode arrivals should be 0")
+		}
+	}
+	if res.Makespan <= 0 {
+		t.Fatal("no makespan")
+	}
+}
+
+func TestBalancingHelpsSkewedStart(t *testing.T) {
+	// Everything starts on one machine. Without balancing the makespan is
+	// the full serial time; with periodic balancing it must come down
+	// substantially.
+	gen := rng.New(3)
+	id := workload.UniformIdentical(gen, 8, 64, 1, 50)
+	init := core.AllOnMachine(id, 0)
+	var serial core.Cost
+	for j := 0; j < 64; j++ {
+		serial += id.Size(j)
+	}
+
+	noBal, err := New(id, protocol.SameCost{Model: id}, Config{Seed: 4, Initial: init})
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := noBal.Run()
+	if off.Makespan != int64(serial) {
+		t.Fatalf("no-balancer makespan %d, want serial %d", off.Makespan, serial)
+	}
+	if off.BalanceEvents != 0 {
+		t.Fatal("balancing happened with BalanceEvery=0")
+	}
+
+	bal, err := New(id, protocol.SameCost{Model: id}, Config{Seed: 4, BalanceEvery: 2, Initial: init})
+	if err != nil {
+		t.Fatal(err)
+	}
+	on := bal.Run()
+	if on.Makespan >= off.Makespan/2 {
+		t.Fatalf("balancing barely helped: %d vs %d", on.Makespan, off.Makespan)
+	}
+	if on.Exchanges == 0 || on.JobsMoved == 0 {
+		t.Fatal("balancing reported no work")
+	}
+}
+
+func TestDynamicArrivalsComplete(t *testing.T) {
+	gen := rng.New(5)
+	tc := workload.UniformTwoCluster(gen, 3, 3, 48, 1, 40)
+	sim, err := New(tc, protocol.DLB2C{Model: tc}, Config{
+		Seed: 6, BalanceEvery: 10, MeanInterarrival: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sim.Run()
+	for j := range res.Completion {
+		if res.Completion[j] < res.Arrival[j] {
+			t.Fatalf("job %d completed before arriving", j)
+		}
+	}
+	if res.MeanFlow <= 0 || res.MaxFlow < int64(res.MeanFlow) {
+		t.Fatalf("flow stats wrong: mean %v max %v", res.MeanFlow, res.MaxFlow)
+	}
+}
+
+func TestArrivalOrderIsSpread(t *testing.T) {
+	// Exponential interarrivals: arrivals must be non-decreasing in job
+	// index and not all zero.
+	gen := rng.New(7)
+	id := workload.UniformIdentical(gen, 4, 30, 1, 10)
+	sim, err := New(id, protocol.SameCost{Model: id}, Config{Seed: 8, MeanInterarrival: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sim.Run()
+	nonzero := 0
+	for j := 1; j < len(res.Arrival); j++ {
+		if res.Arrival[j] < res.Arrival[j-1] {
+			t.Fatal("arrivals not monotone in job index")
+		}
+		if res.Arrival[j] > 0 {
+			nonzero++
+		}
+	}
+	if nonzero == 0 {
+		t.Fatal("all arrivals at time zero despite interarrival mean")
+	}
+}
+
+func TestBalancingUnderArrivalsReducesFlow(t *testing.T) {
+	// Jobs arrive on random machines of a heterogeneous system; the
+	// balancer should reduce the mean flow time versus no balancing
+	// (jobs parked on a bad cluster wait much longer otherwise).
+	gen := rng.New(9)
+	tc := workload.UniformTwoCluster(gen, 4, 4, 96, 1, 100)
+	run := func(every int64) Result {
+		sim, err := New(tc, protocol.DLB2C{Model: tc}, Config{
+			Seed: 10, BalanceEvery: every, MeanInterarrival: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sim.Run()
+	}
+	off := run(0)
+	on := run(5)
+	if on.MeanFlow >= off.MeanFlow {
+		t.Fatalf("balancing did not reduce mean flow: %v vs %v", on.MeanFlow, off.MeanFlow)
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	gen := rng.New(11)
+	id := workload.UniformIdentical(gen, 4, 24, 1, 30)
+	init := core.RoundRobin(id)
+	mk := func() Result {
+		sim, err := New(id, protocol.SameCost{Model: id}, Config{Seed: 12, BalanceEvery: 3, Initial: init})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sim.Run()
+	}
+	a, b := mk(), mk()
+	if a.Makespan != b.Makespan || a.JobsMoved != b.JobsMoved || a.Exchanges != b.Exchanges {
+		t.Fatal("same seed, different run")
+	}
+}
+
+func TestEmptyInstance(t *testing.T) {
+	id, _ := core.NewIdentical(2, nil)
+	sim, err := New(id, protocol.SameCost{Model: id}, Config{Initial: core.NewAssignment(id)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sim.Run()
+	if res.Makespan != 0 {
+		t.Fatal("empty run has makespan")
+	}
+}
+
+func TestRunningJobsNeverMoved(t *testing.T) {
+	// A single huge job starts at t=0 on machine 0; balancing at t=1 must
+	// not move it (non-preemption) and the job completes on machine 0.
+	id, _ := core.NewIdentical(2, []core.Cost{1000, 1, 1})
+	init, _ := core.FromMachineOf(id, []int{0, 0, 0})
+	sim, err := New(id, protocol.SameCost{Model: id}, Config{Seed: 13, BalanceEvery: 1, Initial: init})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sim.Run()
+	if res.Completion[0] != 1000 {
+		t.Fatalf("running job was disturbed: completion %d", res.Completion[0])
+	}
+	// The two small jobs should migrate to machine 1 early and finish
+	// long before the big one.
+	if res.Completion[1] > 100 || res.Completion[2] > 100 {
+		t.Fatalf("small jobs not rescued: %v", res.Completion)
+	}
+}
+
+func BenchmarkDynamicTwoCluster(b *testing.B) {
+	gen := rng.New(14)
+	tc := workload.UniformTwoCluster(gen, 16, 8, 192, 1, 1000)
+	for i := 0; i < b.N; i++ {
+		sim, err := New(tc, protocol.DLB2C{Model: tc}, Config{
+			Seed: uint64(i), BalanceEvery: 20, MeanInterarrival: 2,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sim.Run()
+	}
+}

@@ -1,0 +1,223 @@
+// Package exact computes optimal makespans for small instances by branch and
+// bound. It exists to provide ground truth (OPT) against which the tests and
+// benchmarks measure the approximation ratios claimed by the paper
+// (Theorem 5: MJTB ≤ k·OPT, Theorems 6/7: CLB2C and stable DLB2C ≤ 2·OPT).
+//
+// R||Cmax is NP-complete, so the solver is only intended for the instance
+// sizes used in property tests (n ≲ 14, m ≲ 5); SolveBudget makes the node
+// budget explicit for callers that must not block.
+package exact
+
+import (
+	"sort"
+
+	"hetlb/internal/core"
+)
+
+// Result is the outcome of an exact solve.
+type Result struct {
+	// Opt is the optimal makespan (valid only if Proven).
+	Opt core.Cost
+	// Assignment achieves Opt (valid only if Proven).
+	Assignment *core.Assignment
+	// Proven reports whether the search ran to completion within its node
+	// budget. If false, Opt is the best upper bound found so far.
+	Proven bool
+	// Nodes is the number of branch-and-bound nodes expanded.
+	Nodes int64
+}
+
+// Solve runs branch and bound to completion and returns the optimal
+// makespan. Intended for small instances only.
+func Solve(m core.CostModel) Result {
+	return SolveBudget(m, 1<<62)
+}
+
+// SolveBudget runs branch and bound expanding at most maxNodes nodes.
+func SolveBudget(m core.CostModel, maxNodes int64) Result {
+	s := newSolver(m, maxNodes)
+	s.run()
+	res := Result{
+		Opt:    s.bestVal,
+		Proven: s.nodes < s.maxNodes,
+		Nodes:  s.nodes,
+	}
+	if s.bestOf != nil {
+		a, err := core.FromMachineOf(m, s.bestOf)
+		if err != nil {
+			panic(err) // solver produced an invalid mapping: internal bug
+		}
+		res.Assignment = a
+	}
+	return res
+}
+
+type solver struct {
+	model    core.CostModel
+	order    []int // jobs in branching order (decreasing min cost)
+	sufMin   []core.Cost
+	load     []core.Cost
+	machOf   []int
+	bestVal  core.Cost
+	bestOf   []int
+	nodes    int64
+	maxNodes int64
+	classes  []int // machine equivalence class ids (identical cost columns)
+}
+
+func newSolver(m core.CostModel, maxNodes int64) *solver {
+	n := m.NumJobs()
+	mm := m.NumMachines()
+	s := &solver{
+		model:    m,
+		order:    make([]int, n),
+		sufMin:   make([]core.Cost, n+1),
+		load:     make([]core.Cost, mm),
+		machOf:   make([]int, n),
+		maxNodes: maxNodes,
+	}
+	for j := range s.order {
+		s.order[j] = j
+		s.machOf[j] = -1
+	}
+	// Branch on "hard" jobs first: decreasing cheapest execution time. This
+	// tightens the incumbent early and makes the average-load bound bite.
+	minCost := make([]core.Cost, n)
+	for j := 0; j < n; j++ {
+		minCost[j], _ = core.MinCost(m, j)
+	}
+	sort.Slice(s.order, func(a, b int) bool { return minCost[s.order[a]] > minCost[s.order[b]] })
+	for k := n - 1; k >= 0; k-- {
+		s.sufMin[k] = s.sufMin[k+1] + minCost[s.order[k]]
+	}
+
+	// Machine equivalence classes for symmetry breaking: two machines with
+	// identical cost columns and equal current load are interchangeable, so
+	// only the first of each (class, load) group is branched on.
+	s.classes = make([]int, mm)
+	for i := range s.classes {
+		s.classes[i] = -1
+	}
+	next := 0
+	for i := 0; i < mm; i++ {
+		if s.classes[i] != -1 {
+			continue
+		}
+		s.classes[i] = next
+		for k := i + 1; k < mm; k++ {
+			if s.classes[k] != -1 {
+				continue
+			}
+			same := true
+			for j := 0; j < n && same; j++ {
+				same = m.Cost(i, j) == m.Cost(k, j)
+			}
+			if same {
+				s.classes[k] = next
+			}
+		}
+		next++
+	}
+
+	// Greedy incumbent (earliest completion time) to start with a finite
+	// upper bound.
+	greedyLoad := make([]core.Cost, mm)
+	greedyOf := make([]int, n)
+	for _, j := range s.order {
+		best := 0
+		bestC := greedyLoad[0] + m.Cost(0, j)
+		for i := 1; i < mm; i++ {
+			if c := greedyLoad[i] + m.Cost(i, j); c < bestC {
+				best, bestC = i, c
+			}
+		}
+		greedyLoad[best] += m.Cost(best, j)
+		greedyOf[j] = best
+	}
+	var gMax core.Cost
+	for _, l := range greedyLoad {
+		if l > gMax {
+			gMax = l
+		}
+	}
+	s.bestVal = gMax
+	s.bestOf = append([]int(nil), greedyOf...)
+	return s
+}
+
+func (s *solver) run() {
+	s.branch(0, 0)
+}
+
+// branch assigns s.order[k] onward; curMax is the makespan of the partial
+// assignment so far.
+func (s *solver) branch(k int, curMax core.Cost) {
+	if s.nodes >= s.maxNodes {
+		return
+	}
+	s.nodes++
+	if curMax >= s.bestVal {
+		return
+	}
+	n := s.model.NumJobs()
+	if k == n {
+		s.bestVal = curMax
+		s.bestOf = append(s.bestOf[:0], s.machOf...)
+		return
+	}
+	// Average-load bound: even if the remaining work spreads perfectly over
+	// all machines at cheapest cost, the makespan cannot beat this.
+	var total core.Cost
+	for _, l := range s.load {
+		total += l
+	}
+	mm := core.Cost(s.model.NumMachines())
+	if lb := (total + s.sufMin[k] + mm - 1) / mm; lb >= s.bestVal && lb > curMax {
+		// The bound only prunes when it also exceeds curMax, otherwise the
+		// curMax check above already covers it.
+		return
+	}
+
+	j := s.order[k]
+	// Candidate machines sorted by resulting load so promising branches are
+	// explored first (best-first within the node).
+	type cand struct {
+		machine int
+		newLoad core.Cost
+	}
+	cands := make([]cand, 0, s.model.NumMachines())
+	for i := 0; i < s.model.NumMachines(); i++ {
+		if s.skipSymmetric(i) {
+			continue
+		}
+		nl := s.load[i] + s.model.Cost(i, j)
+		if nl >= s.bestVal {
+			continue
+		}
+		cands = append(cands, cand{i, nl})
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].newLoad < cands[b].newLoad })
+	for _, c := range cands {
+		s.load[c.machine] = c.newLoad
+		s.machOf[j] = c.machine
+		nm := curMax
+		if c.newLoad > nm {
+			nm = c.newLoad
+		}
+		s.branch(k+1, nm)
+		s.load[c.machine] -= s.model.Cost(c.machine, j)
+		s.machOf[j] = -1
+	}
+}
+
+// skipSymmetric reports whether machine i is dominated by an earlier machine
+// of the same equivalence class with the same load: assigning to either
+// yields isomorphic subtrees, so only the first is explored.
+func (s *solver) skipSymmetric(i int) bool {
+	for k := 0; k < i; k++ {
+		if s.classes[k] == s.classes[i] && s.load[k] == s.load[i] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,286 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"hetlb/internal/core"
+)
+
+func TestTableIRatiosGrowLinearly(t *testing.T) {
+	rows := TableI([]core.Cost{10, 100, 1000}, 1)
+	if len(rows) != 3 {
+		t.Fatal("wrong row count")
+	}
+	for _, r := range rows {
+		if r.Opt != 2 {
+			t.Fatalf("opt = %d", r.Opt)
+		}
+		if r.FirstSteal != int64(r.N) {
+			t.Fatalf("n=%d: first steal at %d", r.N, r.FirstSteal)
+		}
+		if r.Makespan != int64(r.N)+1 {
+			t.Fatalf("n=%d: makespan %d", r.N, r.Makespan)
+		}
+	}
+	// Ratio grows linearly: ratio(1000)/ratio(10) ≈ 100.
+	if g := rows[2].Ratio / rows[0].Ratio; g < 50 || g > 200 {
+		t.Fatalf("ratio growth %v not linear-ish", g)
+	}
+}
+
+func TestTableIITrapRows(t *testing.T) {
+	rows := TableII([]core.Cost{5, 50})
+	for _, r := range rows {
+		if r.Opt != 1 {
+			t.Fatalf("opt = %d", r.Opt)
+		}
+		if r.TrapMakespan != r.N {
+			t.Fatalf("trap makespan %d, want %d", r.TrapMakespan, r.N)
+		}
+		if !r.PairwiseOptimal {
+			t.Fatal("trap should be pairwise optimal")
+		}
+	}
+}
+
+func TestFigure1ProvesNonConvergence(t *testing.T) {
+	r := Figure1()
+	if !r.ProvenNonConvergent {
+		t.Fatalf("not proven: %d states, %d stable", r.ReachableStates, r.StableStates)
+	}
+	if r.StableStates != 0 {
+		t.Fatal("stable states present")
+	}
+	if len(r.CycleMakespans) < 3 {
+		t.Fatal("no explicit cycle")
+	}
+	if r.CycleMakespans[0] != r.CycleMakespans[len(r.CycleMakespans)-1] {
+		t.Fatal("cycle endpoints disagree")
+	}
+}
+
+func TestFigure2aShape(t *testing.T) {
+	curves, err := Figure2a([]int64{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curves) != 2 {
+		t.Fatal("wrong curve count")
+	}
+	for _, c := range curves {
+		if c.M != 6 {
+			t.Fatal("Figure 2a is m=6")
+		}
+		var sum float64
+		for _, p := range c.P {
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			t.Fatalf("pmax=%d: probabilities sum to %v", c.PMax, sum)
+		}
+		if c.Mode < 0.1 || c.Mode > 1.0 {
+			t.Fatalf("pmax=%d: mode at %v, expected near 0.5", c.PMax, c.Mode)
+		}
+		if c.TailBeyond15 > 0.02 {
+			t.Fatalf("pmax=%d: tail beyond 1.5 is %v", c.PMax, c.TailBeyond15)
+		}
+	}
+	series := Figure2Series(curves)
+	if len(series) != 2 {
+		t.Fatal("series conversion broken")
+	}
+}
+
+func TestFigure2bShape(t *testing.T) {
+	curves, err := Figure2b([]int{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range curves {
+		if c.PMax != 4 {
+			t.Fatal("Figure 2b is pmax=4")
+		}
+		if c.States <= 0 || c.Iterations <= 0 {
+			t.Fatal("missing metadata")
+		}
+	}
+}
+
+func TestFigure3HeteroSimilarToHomogeneous(t *testing.T) {
+	// The paper's core Figure 3 finding: heterogeneous and homogeneous
+	// equilibrium distributions are qualitatively similar and both low.
+	cfgs := []SimConfig{PaperHetero().Reduced(), PaperHomogeneous().Reduced()}
+	results := Figure3(cfgs)
+	if len(results) != 2 {
+		t.Fatal("wrong result count")
+	}
+	for _, r := range results {
+		if len(r.Deviations) != r.Config.Runs {
+			t.Fatalf("%s: %d deviations for %d runs", r.Config.Name, len(r.Deviations), r.Config.Runs)
+		}
+		for _, ratio := range r.RatioToCent {
+			if ratio <= 0 {
+				t.Fatal("non-positive ratio")
+			}
+			// The equilibrium should be within 3× of the centralized
+			// schedule even on reduced systems (loose sanity bound).
+			if ratio > 3 {
+				t.Fatalf("%s: equilibrium ratio %v too large", r.Config.Name, ratio)
+			}
+		}
+		h := r.Histogram(0, 4, 16)
+		if h.Total != r.Config.Runs {
+			t.Fatal("histogram lost samples")
+		}
+	}
+}
+
+func TestFigure4PlateauAndOscillation(t *testing.T) {
+	cfgs := []SimConfig{PaperHetero().Reduced()}
+	runs := Figure4(cfgs, 2)
+	if len(runs) != 2 {
+		t.Fatal("wrong run count")
+	}
+	for _, r := range runs {
+		if len(r.MakespanOverCent) < 4 {
+			t.Fatal("trajectory too short")
+		}
+		first := r.MakespanOverCent[0]
+		last := r.MakespanOverCent[len(r.MakespanOverCent)-1]
+		if last > first {
+			t.Fatalf("trajectory got worse: %v -> %v", first, last)
+		}
+		if r.MinReached <= 0 {
+			t.Fatal("min not recorded")
+		}
+		if r.FinalOscillation < 0 {
+			t.Fatal("negative oscillation")
+		}
+	}
+	if s := Figure4Series(runs); len(s) != 2 {
+		t.Fatal("series conversion broken")
+	}
+}
+
+func TestFigure5MostMachinesCrossQuickly(t *testing.T) {
+	cfgs := []SimConfig{PaperHetero().Reduced()}
+	results := Figure5(cfgs, 1.5)
+	r := results[0]
+	if r.CrossedRuns == 0 {
+		t.Fatal("no run crossed 1.5×cent")
+	}
+	if len(r.PerMachineExchanges) == 0 {
+		t.Fatal("no per-machine samples")
+	}
+	// The paper's headline: ~90% of machines reach the threshold within a
+	// few exchanges per machine. Allow a loose bound on reduced systems.
+	if r.Summary.P90 > 40 {
+		t.Fatalf("p90 exchanges per machine = %v, far above the paper's ≈5", r.Summary.P90)
+	}
+	cdf := Figure5CDFSeries(results)
+	if len(cdf) != 1 {
+		t.Fatal("CDF conversion broken")
+	}
+	// CDF y-values must be non-decreasing and end at 1.
+	ys := cdf[0].Y
+	for k := 1; k < len(ys); k++ {
+		if ys[k] < ys[k-1] {
+			t.Fatal("CDF not monotone")
+		}
+	}
+	if math.Abs(ys[len(ys)-1]-1) > 1e-9 {
+		t.Fatalf("CDF ends at %v", ys[len(ys)-1])
+	}
+}
+
+func TestReducedKeepsStructure(t *testing.T) {
+	r := PaperHeteroLarge().Reduced()
+	if r.M2 == 0 {
+		t.Fatal("reduction dropped the second cluster")
+	}
+	h := PaperHomogeneous().Reduced()
+	if h.M2 != 0 {
+		t.Fatal("reduction invented a second cluster")
+	}
+	if h.M1 < 2 || h.Jobs < 8 || h.Runs < 3 {
+		t.Fatal("reduction too aggressive")
+	}
+}
+
+func BenchmarkFigure3ReducedHetero(b *testing.B) {
+	cfg := PaperHetero().Reduced()
+	cfg.Runs = 2
+	for i := 0; i < b.N; i++ {
+		Figure3([]SimConfig{cfg})
+	}
+}
+
+func TestResidualCheckAgainstUniformModel(t *testing.T) {
+	// The Markov model assumes residual imbalance ~ U{0..pmax} after each
+	// balancing. Measure the real kernel: the normalized residual must
+	// live in [0, 1] and have a mean well inside (0, 1) — the model's
+	// plausibility check, not an exact match (the real kernel's residual
+	// is pooled-set dependent).
+	res := ResidualCheck(8, 64, 1, 100, 2000, 7)
+	if res.Samples < 1000 {
+		t.Fatalf("only %d samples", res.Samples)
+	}
+	for _, v := range res.Normalized {
+		if v < 0 || v > 1 {
+			t.Fatalf("normalized residual %v outside [0,1]", v)
+		}
+	}
+	if res.Summary.Mean <= 0 || res.Summary.Mean >= 1 {
+		t.Fatalf("degenerate residual mean %v", res.Summary.Mean)
+	}
+	if res.ZeroShare < 0 || res.ZeroShare > 1 {
+		t.Fatalf("bad zero share %v", res.ZeroShare)
+	}
+}
+
+func TestExtKClustersQuality(t *testing.T) {
+	results, err := ExtKClusters([]int{2, 3}, 3, 72, 50, 3, 20, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatal("wrong result count")
+	}
+	for _, r := range results {
+		if len(r.RatioToLB) != 3 {
+			t.Fatal("wrong run count")
+		}
+		for _, ratio := range r.RatioToLB {
+			if ratio < 1-1e-9 {
+				t.Fatalf("k=%d: ratio %v below 1 (LB violated)", r.K, ratio)
+			}
+			if ratio > 3 {
+				t.Fatalf("k=%d: equilibrium ratio %v too large", r.K, ratio)
+			}
+		}
+	}
+	if s := ExtKClustersSeries(results); len(s) != 2 {
+		t.Fatal("series conversion broken")
+	}
+}
+
+func TestExtDynamicSweep(t *testing.T) {
+	results, err := ExtDynamic([]int64{0, 5}, 3, 3, 60, 50, 1, 3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatal("wrong result count")
+	}
+	off, on := results[0], results[1]
+	if off.BalanceEvery != 0 || off.MeanMoved != 0 {
+		t.Fatal("no-balancing row wrong")
+	}
+	if on.MeanFlow >= off.MeanFlow {
+		t.Fatalf("balancing did not reduce mean flow: %v vs %v", on.MeanFlow, off.MeanFlow)
+	}
+	if tab := ExtDynamicTable(results); len(tab) == 0 {
+		t.Fatal("table empty")
+	}
+}

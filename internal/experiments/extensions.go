@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hetlb/internal/core"
+	"hetlb/internal/dynamic"
+	"hetlb/internal/gossip"
+	"hetlb/internal/lp"
+	"hetlb/internal/plot"
+	"hetlb/internal/protocol"
+	"hetlb/internal/rng"
+	"hetlb/internal/stats"
+)
+
+// ExtKClustersResult measures the DLBKC extension: equilibrium quality as
+// the number of clusters grows, judged against the LP fractional lower
+// bound (no exact optimum nor proven ratio exists for k > 2 — the paper's
+// open problem).
+type ExtKClustersResult struct {
+	K int
+	// RatioToLB holds final Cmax / LP-bound per run.
+	RatioToLB []float64
+	Summary   stats.Summary
+}
+
+// ExtKClusters runs DLBKC on systems of k ∈ ks clusters (machinesPerCluster
+// each, jobs jobs, costs U[1, hi]) for runs seeds and stepsPerMachine
+// exchanges per machine.
+func ExtKClusters(ks []int, machinesPerCluster, jobs int, hi core.Cost, runs, stepsPerMachine int, seed uint64) ([]ExtKClustersResult, error) {
+	out := make([]ExtKClustersResult, 0, len(ks))
+	for _, k := range ks {
+		gen := rng.New(seed + uint64(k))
+		res := ExtKClustersResult{K: k}
+		for run := 0; run < runs; run++ {
+			sizes := make([]int, k)
+			p := make([][]core.Cost, k)
+			for c := 0; c < k; c++ {
+				sizes[c] = machinesPerCluster
+				p[c] = make([]core.Cost, jobs)
+				for j := range p[c] {
+					p[c][j] = gen.IntRange(1, hi)
+				}
+			}
+			kc, err := core.NewKCluster(sizes, p)
+			if err != nil {
+				return nil, err
+			}
+			a := core.NewAssignment(kc)
+			for j := 0; j < jobs; j++ {
+				a.Assign(j, gen.Intn(kc.NumMachines()))
+			}
+			e := gossip.New(protocol.DLBKC{Model: kc}, a, gossip.Config{Seed: gen.Uint64()})
+			e.Run(stepsPerMachine*kc.NumMachines(), false)
+			lb, err := lp.FractionalMakespanKCluster(kc)
+			if err != nil {
+				return nil, err
+			}
+			res.RatioToLB = append(res.RatioToLB, float64(a.Makespan())/lb)
+		}
+		res.Summary = stats.Summarize(res.RatioToLB)
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// ExtKClustersSeries renders the per-k quality as plot series (x = k,
+// y = mean ratio with the p90 as a second series).
+func ExtKClustersSeries(results []ExtKClustersResult) []plot.Series {
+	var xs, mean, p90 []float64
+	for _, r := range results {
+		xs = append(xs, float64(r.K))
+		mean = append(mean, r.Summary.Mean)
+		p90 = append(p90, r.Summary.P90)
+	}
+	return []plot.Series{
+		plot.NewSeries("mean Cmax/LB", xs, mean),
+		plot.NewSeries("p90 Cmax/LB", xs, p90),
+	}
+}
+
+// ExtDynamicResult measures the Section IV operational mode: jobs arrive
+// over time on random machines of a two-cluster system; a periodic DLB2C
+// balancer (or none) redistributes pending jobs during execution.
+type ExtDynamicResult struct {
+	// BalanceEvery identifies the row (0 = no balancing).
+	BalanceEvery int64
+	// MeanFlow / MaxFlow / Makespan averaged over runs.
+	MeanFlow, MeanMakespan float64
+	MaxFlow                int64
+	// MeanMoved is the average number of job migrations per run.
+	MeanMoved float64
+}
+
+// ExtDynamic sweeps the balancing period on a fixed arrival workload.
+func ExtDynamic(periods []int64, m1, m2, jobs int, hi core.Cost, meanInterarrival float64, runs int, seed uint64) ([]ExtDynamicResult, error) {
+	out := make([]ExtDynamicResult, 0, len(periods))
+	for _, every := range periods {
+		gen := rng.New(seed)
+		agg := ExtDynamicResult{BalanceEvery: every}
+		for run := 0; run < runs; run++ {
+			tc := coreTwoCluster(gen, SimConfig{M1: m1, M2: m2, Jobs: jobs, CostLo: 1, CostHi: hi})
+			sim, err := dynamic.New(tc, protocol.DLB2C{Model: tc}, dynamic.Config{
+				Seed:             gen.Uint64(),
+				BalanceEvery:     every,
+				MeanInterarrival: meanInterarrival,
+			})
+			if err != nil {
+				return nil, err
+			}
+			res := sim.Run()
+			agg.MeanFlow += res.MeanFlow
+			agg.MeanMakespan += float64(res.Makespan)
+			agg.MeanMoved += float64(res.JobsMoved)
+			if res.MaxFlow > agg.MaxFlow {
+				agg.MaxFlow = res.MaxFlow
+			}
+		}
+		agg.MeanFlow /= float64(runs)
+		agg.MeanMakespan /= float64(runs)
+		agg.MeanMoved /= float64(runs)
+		out = append(out, agg)
+	}
+	return out, nil
+}
+
+// ExtDynamicTable renders the sweep as a text table.
+func ExtDynamicTable(results []ExtDynamicResult) string {
+	rows := make([][]string, 0, len(results))
+	for _, r := range results {
+		period := fmt.Sprint(r.BalanceEvery)
+		if r.BalanceEvery == 0 {
+			period = "off"
+		}
+		rows = append(rows, []string{
+			period,
+			fmt.Sprintf("%.0f", r.MeanFlow),
+			fmt.Sprint(r.MaxFlow),
+			fmt.Sprintf("%.0f", r.MeanMakespan),
+			fmt.Sprintf("%.0f", r.MeanMoved),
+		})
+	}
+	return plot.Table([]string{"balance period", "mean flow", "max flow", "mean makespan", "jobs moved"}, rows)
+}

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"hetlb/internal/core"
+	"hetlb/internal/protocol"
+	"hetlb/internal/workload"
+)
+
+// Figure1Result demonstrates Proposition 8 on the workload.CycleInstance.
+type Figure1Result struct {
+	// ReachableStates is the number of schedules reachable from the
+	// initial distribution under any pairwise balancing sequence.
+	ReachableStates int
+	// StableStates counts reachable fixed points (0 proves that DLB2C can
+	// never converge from this start).
+	StableStates int
+	// ProvenNonConvergent is true when the enumeration was exhaustive and
+	// found no stable state.
+	ProvenNonConvergent bool
+	// CycleMakespans are the makespans along one explicit balancing cycle
+	// S0 → S1 → ... → S0 (the paper's Figures 1(a)–(c)).
+	CycleMakespans []core.Cost
+	// CycleStates are the job placements along the cycle, rendered by
+	// Assignment.String.
+	CycleStates []string
+	// MinMakespan and MaxMakespan over all reachable schedules.
+	MinMakespan, MaxMakespan core.Cost
+}
+
+// Figure1 enumerates the reachable schedule space of the cycling instance
+// and extracts an explicit cycle.
+func Figure1() Figure1Result {
+	tc, start := workload.CycleInstance()
+	proto := protocol.DLB2C{Model: tc}
+	r := protocol.Explore(proto, start, 100000)
+	res := Figure1Result{
+		ReachableStates:     r.States,
+		StableStates:        r.StableStates,
+		ProvenNonConvergent: r.ProvesNonConvergence(),
+		MinMakespan:         r.MinMakespan,
+		MaxMakespan:         r.MaxMakespan,
+	}
+	for _, s := range protocol.FindCycle(proto, start, 100000) {
+		res.CycleMakespans = append(res.CycleMakespans, s.Makespan())
+		res.CycleStates = append(res.CycleStates, s.String())
+	}
+	return res
+}

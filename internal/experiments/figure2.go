@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hetlb/internal/markov"
+	"hetlb/internal/plot"
+)
+
+// Figure2Curve is one stationary makespan distribution of Figure 2.
+type Figure2Curve struct {
+	// M and PMax identify the configuration; Total is ΣP (chosen as the
+	// smallest value for which the Theorem 10 bound is attainable, as in
+	// the paper).
+	M     int
+	PMax  int64
+	Total int64
+	// X is the normalized deviation (Cmax − ⌈ΣP/m⌉)/pmax; P the
+	// stationary probability mass at each deviation.
+	X []float64
+	P []float64
+	// States is the sink-component size; Iterations the power-iteration
+	// count.
+	States     int
+	Iterations int
+	// Mode is the deviation carrying the largest mass (≈ 0.5 in the
+	// paper); TailBeyond15 is the mass beyond deviation 1.5 (≈ 0).
+	Mode         float64
+	TailBeyond15 float64
+}
+
+// figure2Curve computes one configuration.
+func figure2Curve(m int, pmax int64) (Figure2Curve, error) {
+	total := markov.MinimumTotalForBound(m, pmax)
+	chain, err := markov.Build(m, pmax, total)
+	if err != nil {
+		return Figure2Curve{}, err
+	}
+	pi, iters := chain.Stationary(1e-11, 20000)
+	values, probs := chain.MakespanDistribution(pi)
+	c := Figure2Curve{
+		M: m, PMax: pmax, Total: total,
+		States: chain.NumStates(), Iterations: iters,
+	}
+	mode := 0
+	for k, v := range values {
+		x := chain.NormalizedDeviation(v)
+		c.X = append(c.X, x)
+		c.P = append(c.P, probs[k])
+		if probs[k] > probs[mode] {
+			mode = k
+		}
+		if x > 1.5 {
+			c.TailBeyond15 += probs[k]
+		}
+	}
+	c.Mode = chain.NormalizedDeviation(values[mode])
+	return c, nil
+}
+
+// Figure2a reproduces Figure 2(a): m = 6 machines, varying pmax. The
+// paper's values are {2, 4, 8, 16}; pmax = 16 expands to ~1.8M states and
+// several minutes of compute, so callers choose which subset to run.
+func Figure2a(pmaxes []int64) ([]Figure2Curve, error) {
+	curves := make([]Figure2Curve, 0, len(pmaxes))
+	for _, pmax := range pmaxes {
+		c, err := figure2Curve(6, pmax)
+		if err != nil {
+			return nil, err
+		}
+		curves = append(curves, c)
+	}
+	return curves, nil
+}
+
+// Figure2b reproduces Figure 2(b): pmax = 4, varying machine count
+// (the paper uses m ∈ {3, 4, 5, 6}).
+func Figure2b(ms []int) ([]Figure2Curve, error) {
+	curves := make([]Figure2Curve, 0, len(ms))
+	for _, m := range ms {
+		c, err := figure2Curve(m, 4)
+		if err != nil {
+			return nil, err
+		}
+		curves = append(curves, c)
+	}
+	return curves, nil
+}
+
+// Series converts curves to plot series for rendering.
+func Figure2Series(curves []Figure2Curve) []plot.Series {
+	out := make([]plot.Series, 0, len(curves))
+	for _, c := range curves {
+		out = append(out, plot.NewSeries(
+			fmt.Sprintf("m=%d pmax=%d (%d states)", c.M, c.PMax, c.States), c.X, c.P))
+	}
+	return out
+}

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"hetlb/internal/rng"
+	"hetlb/internal/stats"
+)
+
+// Figure3Result holds one configuration's equilibrium makespan sample
+// (Figure 3 of the paper compares the heterogeneous distribution to the
+// homogeneous one).
+type Figure3Result struct {
+	Config SimConfig
+	// Deviations are the final makespans of each run expressed on the
+	// Figure 2 axis: (Cmax − reference)/pmax, where the reference is the
+	// fractional lower bound (two clusters) or ⌈ΣP/m⌉ (one cluster).
+	Deviations []float64
+	// RatioToCent are the final makespans divided by the centralized
+	// reference schedule (CLB2C resp. LPT).
+	RatioToCent []float64
+	// Summary summarizes Deviations.
+	Summary stats.Summary
+}
+
+// Figure3 runs each configuration Runs times, letting the decentralized
+// protocol run for StepsPerMachine exchanges per machine from a random
+// initial distribution, and collects the final (dynamic equilibrium)
+// makespans.
+func Figure3(cfgs []SimConfig) []Figure3Result {
+	out := make([]Figure3Result, 0, len(cfgs))
+	for _, cfg := range cfgs {
+		gen := rng.New(cfg.Seed)
+		res := Figure3Result{Config: cfg}
+		for run := 0; run < cfg.Runs; run++ {
+			inst := cfg.build(gen)
+			a := randomInitial(gen, inst.model)
+			e := newEngine(inst, a, gen.Uint64())
+			e.Run(cfg.StepsPerMachine*cfg.Machines(), false)
+			cm := float64(a.Makespan())
+			res.Deviations = append(res.Deviations, (cm-inst.lb)/float64(inst.pmax))
+			res.RatioToCent = append(res.RatioToCent, cm/float64(inst.cent))
+		}
+		res.Summary = stats.Summarize(res.Deviations)
+		out = append(out, res)
+	}
+	return out
+}
+
+// Histogram bins a result's deviations for plotting; lo/hi/bins choose the
+// binning (the paper's axis spans roughly [0, 2]).
+func (r Figure3Result) Histogram(lo, hi float64, bins int) *stats.Histogram {
+	h := stats.NewHistogram(lo, hi, bins)
+	for _, d := range r.Deviations {
+		h.Add(d)
+	}
+	return h
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hetlb/internal/plot"
+	"hetlb/internal/rng"
+	"hetlb/internal/trace"
+)
+
+// Figure4Run is one makespan trajectory (Figure 4 of the paper shows that
+// runs quickly reach a plateau and oscillate around it without converging).
+type Figure4Run struct {
+	Config SimConfig
+	Run    int
+	// ExchangesPerMachine is the x axis: step/machines at each sample.
+	ExchangesPerMachine []float64
+	// MakespanOverCent is Cmax normalized by the centralized reference so
+	// heterogeneous and homogeneous runs share an axis.
+	MakespanOverCent []float64
+	// MinReached is the best normalized makespan seen during the run.
+	MinReached float64
+	// FinalOscillation is (max − min) of the normalized makespan over the
+	// last quarter of the run — the amplitude of the equilibrium
+	// oscillation.
+	FinalOscillation float64
+}
+
+// Figure4 records runsPerCfg trajectories per configuration, sampling the
+// makespan every machine-count steps (≈ once per "exchange per machine").
+func Figure4(cfgs []SimConfig, runsPerCfg int) []Figure4Run {
+	var out []Figure4Run
+	for _, cfg := range cfgs {
+		gen := rng.New(cfg.Seed + 1000)
+		for run := 0; run < runsPerCfg; run++ {
+			inst := cfg.build(gen)
+			a := randomInitial(gen, inst.model)
+			e := newEngine(inst, a, gen.Uint64())
+			rec := &trace.MakespanSeries{SampleEvery: cfg.Machines()}
+			e.Observe(rec)
+			e.Run(cfg.StepsPerMachine*cfg.Machines(), false)
+			fr := Figure4Run{Config: cfg, Run: run}
+			cent := float64(inst.cent)
+			for k, v := range rec.Values {
+				fr.ExchangesPerMachine = append(fr.ExchangesPerMachine,
+					float64(rec.Steps[k])/float64(cfg.Machines()))
+				fr.MakespanOverCent = append(fr.MakespanOverCent, float64(v)/cent)
+			}
+			fr.MinReached = float64(rec.Min()) / cent
+			fr.FinalOscillation = oscillation(fr.MakespanOverCent)
+			out = append(out, fr)
+		}
+	}
+	return out
+}
+
+// oscillation returns max−min over the last quarter of the series.
+func oscillation(ys []float64) float64 {
+	if len(ys) == 0 {
+		return 0
+	}
+	start := len(ys) * 3 / 4
+	lo, hi := ys[start], ys[start]
+	for _, v := range ys[start:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return hi - lo
+}
+
+// Figure4Series converts runs into plot series.
+func Figure4Series(runs []Figure4Run) []plot.Series {
+	out := make([]plot.Series, 0, len(runs))
+	for _, r := range runs {
+		out = append(out, plot.NewSeries(
+			fmt.Sprintf("%s run %d", r.Config.Name, r.Run),
+			r.ExchangesPerMachine, r.MakespanOverCent))
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"sort"
+
+	"hetlb/internal/core"
+	"hetlb/internal/plot"
+	"hetlb/internal/rng"
+	"hetlb/internal/stats"
+	"hetlb/internal/trace"
+)
+
+// Figure5Result is one configuration's "time to reach 1.5× the centralized
+// makespan" study. The paper reports the distribution, over machines, of
+// the number of pairwise exchanges each machine had participated in when
+// the system's makespan first dropped below the threshold — normalized so
+// that "5 exchanges per machine" is comparable across system sizes.
+type Figure5Result struct {
+	Config SimConfig
+	// Threshold factor relative to the centralized reference (1.5 in the
+	// paper).
+	Factor float64
+	// PerMachineExchanges collects, over all runs and machines, each
+	// machine's exchange count at the first crossing.
+	PerMachineExchanges []float64
+	// CrossedRuns / TotalRuns report how many runs reached the threshold
+	// within the budget at all.
+	CrossedRuns, TotalRuns int
+	// GlobalStepsPerMachine collects, per crossed run, the total step
+	// count at crossing divided by the machine count.
+	GlobalStepsPerMachine []float64
+	// Summary summarizes PerMachineExchanges.
+	Summary stats.Summary
+}
+
+// Figure5 measures time-to-threshold for each configuration.
+func Figure5(cfgs []SimConfig, factor float64) []Figure5Result {
+	out := make([]Figure5Result, 0, len(cfgs))
+	for _, cfg := range cfgs {
+		gen := rng.New(cfg.Seed + 2000)
+		res := Figure5Result{Config: cfg, Factor: factor, TotalRuns: cfg.Runs}
+		for run := 0; run < cfg.Runs; run++ {
+			inst := cfg.build(gen)
+			a := randomInitial(gen, inst.model)
+			threshold := core.Cost(factor * float64(inst.cent))
+			w := &trace.ThresholdWatcher{Threshold: threshold}
+			e := newEngine(inst, a, gen.Uint64())
+			e.Observe(w)
+			if a.Makespan() <= threshold {
+				// Already below at start: every machine needed 0
+				// exchanges (the paper notes this is common in the
+				// homogeneous case).
+				res.CrossedRuns++
+				for i := 0; i < cfg.Machines(); i++ {
+					res.PerMachineExchanges = append(res.PerMachineExchanges, 0)
+				}
+				res.GlobalStepsPerMachine = append(res.GlobalStepsPerMachine, 0)
+				continue
+			}
+			e.Run(cfg.StepsPerMachine*cfg.Machines(), false)
+			if !w.Crossed {
+				continue
+			}
+			res.CrossedRuns++
+			for _, c := range w.ExchangesAtCross {
+				res.PerMachineExchanges = append(res.PerMachineExchanges, float64(c))
+			}
+			if g, ok := w.ExchangesPerMachine(cfg.Machines()); ok {
+				res.GlobalStepsPerMachine = append(res.GlobalStepsPerMachine, g)
+			}
+		}
+		res.Summary = stats.Summarize(res.PerMachineExchanges)
+		out = append(out, res)
+	}
+	return out
+}
+
+// CDFSeries renders each configuration's per-machine exchange counts as an
+// empirical CDF (the Figure 5 axes: x = exchanges per machine, y = fraction
+// of machines that had reached the threshold by then).
+func Figure5CDFSeries(results []Figure5Result) []plot.Series {
+	out := make([]plot.Series, 0, len(results))
+	for _, r := range results {
+		xs := append([]float64(nil), r.PerMachineExchanges...)
+		sort.Float64s(xs)
+		var px, py []float64
+		n := float64(len(xs))
+		for k, x := range xs {
+			if k > 0 && x == xs[k-1] {
+				py[len(py)-1] = float64(k+1) / n
+				continue
+			}
+			px = append(px, x)
+			py = append(py, float64(k+1)/n)
+		}
+		out = append(out, plot.NewSeries(r.Config.Name, px, py))
+	}
+	return out
+}

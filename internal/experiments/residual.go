@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"hetlb/internal/core"
+	"hetlb/internal/gossip"
+	"hetlb/internal/protocol"
+	"hetlb/internal/rng"
+	"hetlb/internal/stats"
+)
+
+// ResidualCheck validates the central modelling assumption of the paper's
+// Markov analysis (Section VII.A): that after a pair balances, the residual
+// imbalance is "uniformly chosen in {0, ..., pmax}". It runs the actual
+// same-cost kernel on a homogeneous system and records, for every step that
+// had jobs to balance, the pair's post-balance imbalance normalized by the
+// largest pooled job.
+type ResidualCheckResult struct {
+	// Samples is the number of balancing steps measured.
+	Samples int
+	// Normalized holds |load_i − load_j| / pmax_pool per step (in [0, 1]).
+	Normalized []float64
+	// Summary of Normalized: a perfectly uniform residual would have mean
+	// 0.5 and be flat; the measured distribution tells how faithful the
+	// abstraction is.
+	Summary stats.Summary
+	// ZeroShare is the fraction of steps ending perfectly balanced.
+	ZeroShare float64
+}
+
+type residualObserver struct {
+	res *ResidualCheckResult
+}
+
+func (o *residualObserver) OnStep(e *gossip.Engine, step, i, j int) {
+	a := e.Assignment()
+	var pmax core.Cost
+	for job := 0; job < a.Model().NumJobs(); job++ {
+		if m := a.MachineOf(job); m == i || m == j {
+			if c := a.Model().Cost(m, job); c > pmax {
+				pmax = c
+			}
+		}
+	}
+	if pmax == 0 {
+		return // nothing pooled
+	}
+	d := a.Load(i) - a.Load(j)
+	if d < 0 {
+		d = -d
+	}
+	o.res.Samples++
+	norm := float64(d) / float64(pmax)
+	o.res.Normalized = append(o.res.Normalized, norm)
+	if d == 0 {
+		o.res.ZeroShare++
+	}
+}
+
+// ResidualCheck runs the measurement on a uniform homogeneous system.
+func ResidualCheck(m, jobs int, costLo, costHi core.Cost, steps int, seed uint64) ResidualCheckResult {
+	gen := rng.New(seed)
+	sizes := make([]core.Cost, jobs)
+	for j := range sizes {
+		sizes[j] = gen.IntRange(costLo, costHi)
+	}
+	id, err := core.NewIdentical(m, sizes)
+	if err != nil {
+		panic(err)
+	}
+	a := core.NewAssignment(id)
+	for j := 0; j < jobs; j++ {
+		a.Assign(j, gen.Intn(m))
+	}
+	res := ResidualCheckResult{}
+	obs := &residualObserver{res: &res}
+	e := gossip.New(protocol.SameCost{Model: id}, a, gossip.Config{Seed: gen.Uint64()})
+	e.Observe(obs)
+	e.Run(steps, false)
+	if res.Samples > 0 {
+		res.ZeroShare /= float64(res.Samples)
+	}
+	res.Summary = stats.Summarize(res.Normalized)
+	return res
+}

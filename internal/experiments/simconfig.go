@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hetlb/internal/central"
+	"hetlb/internal/core"
+	"hetlb/internal/gossip"
+	"hetlb/internal/protocol"
+	"hetlb/internal/rng"
+)
+
+// SimConfig describes one simulated system for Figures 3–5: either a
+// two-cluster heterogeneous system (M2 > 0) running DLB2C, or a single
+// homogeneous cluster (M2 == 0) running the same-cost kernel.
+type SimConfig struct {
+	// Name labels the configuration in figures.
+	Name string
+	// M1, M2 are the cluster sizes; M2 == 0 means one homogeneous cluster
+	// of M1 machines.
+	M1, M2 int
+	// Jobs is the number of jobs; their costs are uniform on
+	// [CostLo, CostHi] (independently per cluster when M2 > 0).
+	Jobs           int
+	CostLo, CostHi core.Cost
+	// Runs is the number of independent instances/seeds.
+	Runs int
+	// StepsPerMachine bounds each run at StepsPerMachine × machines
+	// pairwise exchanges.
+	StepsPerMachine int
+	// Seed drives instance generation and the engines.
+	Seed uint64
+}
+
+// Machines returns the total machine count.
+func (c SimConfig) Machines() int { return c.M1 + c.M2 }
+
+// PaperHetero returns the paper's small heterogeneous system: clusters of
+// 64 and 32 machines, 768 jobs, costs U[1,1000].
+func PaperHetero() SimConfig {
+	return SimConfig{Name: "two clusters 64+32", M1: 64, M2: 32, Jobs: 768,
+		CostLo: 1, CostHi: 1000, Runs: 100, StepsPerMachine: 30, Seed: 1}
+}
+
+// PaperHeteroLarge returns the paper's large heterogeneous system (512 and
+// 256 machines).
+func PaperHeteroLarge() SimConfig {
+	return SimConfig{Name: "two clusters 512+256", M1: 512, M2: 256, Jobs: 768,
+		CostLo: 1, CostHi: 1000, Runs: 50, StepsPerMachine: 30, Seed: 2}
+}
+
+// PaperHomogeneous returns the paper's homogeneous reference: one cluster
+// of 96 machines, 768 jobs.
+func PaperHomogeneous() SimConfig {
+	return SimConfig{Name: "one cluster 96", M1: 96, M2: 0, Jobs: 768,
+		CostLo: 1, CostHi: 1000, Runs: 100, StepsPerMachine: 30, Seed: 3}
+}
+
+// Reduced scales a configuration down for tests: fewer runs, smaller
+// system, same structure.
+func (c SimConfig) Reduced() SimConfig {
+	r := c
+	r.M1 = max(2, c.M1/8)
+	if c.M2 > 0 {
+		r.M2 = max(1, c.M2/8)
+	}
+	r.Jobs = max(8, c.Jobs/8)
+	r.Runs = max(3, c.Runs/20)
+	return r
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// instance bundles one generated system ready to simulate.
+type instance struct {
+	model core.CostModel
+	proto protocol.Protocol
+	// lb is a lower-bound style reference for normalization: the
+	// fractional two-cluster bound, or ⌈ΣP/m⌉ for one cluster.
+	lb float64
+	// cent is the centralized reference schedule makespan: CLB2C for two
+	// clusters (Figure 5's "cent"), LPT for one cluster.
+	cent core.Cost
+	// pmax is the largest processing time in the instance.
+	pmax core.Cost
+}
+
+// build generates the idx-th instance of a configuration.
+func (c SimConfig) build(gen *rng.RNG) instance {
+	if c.M2 > 0 {
+		tc := coreTwoCluster(gen, c)
+		return instance{
+			model: tc,
+			proto: protocol.DLB2C{Model: tc},
+			lb:    core.TwoClusterFractionalLB(tc),
+			cent:  central.RunCLB2C(tc).Makespan(),
+			pmax:  core.PMax(tc),
+		}
+	}
+	id := coreIdentical(gen, c)
+	return instance{
+		model: id,
+		proto: protocol.SameCost{Model: id},
+		lb:    float64(core.IdenticalLowerBound(id)),
+		cent:  central.LPT(id).Makespan(),
+		pmax:  core.PMax(id),
+	}
+}
+
+func coreTwoCluster(gen *rng.RNG, c SimConfig) *core.TwoCluster {
+	p0 := make([]core.Cost, c.Jobs)
+	p1 := make([]core.Cost, c.Jobs)
+	for j := range p0 {
+		p0[j] = gen.IntRange(c.CostLo, c.CostHi)
+		p1[j] = gen.IntRange(c.CostLo, c.CostHi)
+	}
+	tc, err := core.NewTwoCluster(c.M1, c.M2, p0, p1)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	return tc
+}
+
+func coreIdentical(gen *rng.RNG, c SimConfig) *core.Identical {
+	sizes := make([]core.Cost, c.Jobs)
+	for j := range sizes {
+		sizes[j] = gen.IntRange(c.CostLo, c.CostHi)
+	}
+	id, err := core.NewIdentical(c.M1, sizes)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	return id
+}
+
+// randomInitial places each job on a uniformly random machine — the
+// "arbitrary initial distribution" of the paper's decentralized setting.
+func randomInitial(gen *rng.RNG, m core.CostModel) *core.Assignment {
+	a := core.NewAssignment(m)
+	for j := 0; j < m.NumJobs(); j++ {
+		a.Assign(j, gen.Intn(m.NumMachines()))
+	}
+	return a
+}
+
+// newEngine builds a gossip engine for an instance.
+func newEngine(inst instance, a *core.Assignment, seed uint64) *gossip.Engine {
+	return gossip.New(inst.proto, a, gossip.Config{Seed: seed})
+}

@@ -1,0 +1,194 @@
+// Package gossip is the sequential simulation engine for the decentralized
+// protocols: at each step an initiator machine is selected, it picks a random
+// peer, and the pair is balanced with the protocol's kernel. This serializes
+// the asynchronous gossip of the paper's simulator into a reproducible
+// sequence of pairwise exchanges, which is how the paper itself counts
+// "iterations" (Figures 4 and 5).
+//
+// The engine is deliberately decoupled from what is measured: observers
+// receive every step and can record makespan trajectories, threshold
+// crossings or exchange counts (see internal/trace). A concurrent
+// message-passing runtime with the same semantics lives in internal/distrun.
+package gossip
+
+import (
+	"hetlb/internal/core"
+	"hetlb/internal/pairwise"
+	"hetlb/internal/protocol"
+	"hetlb/internal/rng"
+)
+
+// Selection chooses the pair of machines balanced at each step.
+type Selection interface {
+	// Name identifies the policy in benchmark output.
+	Name() string
+	// Pair returns two distinct machines among m.
+	Pair(gen *rng.RNG, m int) (int, int)
+}
+
+// UniformInitiator models the paper's loop most directly: the initiator is
+// uniform over machines (every machine runs the same loop at the same rate)
+// and the target is uniform over the other machines.
+type UniformInitiator struct{}
+
+// Name implements Selection.
+func (UniformInitiator) Name() string { return "uniform-initiator" }
+
+// Pair implements Selection.
+func (UniformInitiator) Pair(gen *rng.RNG, m int) (int, int) {
+	i := gen.Intn(m)
+	return i, gen.Pick(m, i)
+}
+
+// Sweep is a deterministic ablation policy: initiators advance round-robin
+// while targets stay uniform. It removes initiator variance and is used to
+// measure how much of the convergence speed is due to selection randomness.
+type Sweep struct{ next int }
+
+// Name implements Selection.
+func (*Sweep) Name() string { return "sweep" }
+
+// Pair implements Selection.
+func (s *Sweep) Pair(gen *rng.RNG, m int) (int, int) {
+	i := s.next % m
+	s.next++
+	return i, gen.Pick(m, i)
+}
+
+// Observer receives a notification after every balancing step.
+type Observer interface {
+	// OnStep is called after step number step (0-based) balanced machines
+	// i and j; e exposes the current assignment and exchange counters.
+	OnStep(e *Engine, step, i, j int)
+}
+
+// Engine drives one simulation run.
+type Engine struct {
+	proto     protocol.Protocol
+	a         *core.Assignment
+	gen       *rng.RNG
+	selection Selection
+	observers []Observer
+
+	exchanges []int // per-machine count of balancing participations
+	steps     int
+	moves     int // total job migrations across all steps
+	// noChange counts consecutive steps whose pair loads were unchanged;
+	// it gates the expensive full stability check.
+	noChange int
+}
+
+// Config parameterizes New.
+type Config struct {
+	// Seed seeds the engine's generator.
+	Seed uint64
+	// Selection defaults to UniformInitiator.
+	Selection Selection
+}
+
+// New builds an engine around a protocol and an initial assignment. The
+// assignment is mutated in place by Run/Step.
+func New(p protocol.Protocol, a *core.Assignment, cfg Config) *Engine {
+	sel := cfg.Selection
+	if sel == nil {
+		sel = UniformInitiator{}
+	}
+	return &Engine{
+		proto:     p,
+		a:         a,
+		gen:       rng.New(cfg.Seed),
+		selection: sel,
+		exchanges: make([]int, a.Model().NumMachines()),
+	}
+}
+
+// Observe registers an observer.
+func (e *Engine) Observe(o Observer) { e.observers = append(e.observers, o) }
+
+// Assignment returns the live assignment.
+func (e *Engine) Assignment() *core.Assignment { return e.a }
+
+// Exchanges returns the per-machine balancing participation counts (live
+// slice; callers must copy to snapshot).
+func (e *Engine) Exchanges() []int { return e.exchanges }
+
+// Steps returns the number of steps executed so far.
+func (e *Engine) Steps() int { return e.steps }
+
+// Moves returns the total number of job migrations so far — the "amount of
+// tasks exchanged" the paper's conclusion asks to minimize. A job moved in
+// k different steps counts k times (it would cross the network each time).
+func (e *Engine) Moves() int { return e.moves }
+
+// Step performs one pairwise balancing and reports whether the pair's loads
+// changed (a cheap proxy for "the schedule changed" used to pace stability
+// checks; a full check is Stable()).
+func (e *Engine) Step() bool {
+	m := e.a.Model().NumMachines()
+	i, j := e.selection.Pair(e.gen, m)
+	l1, l2 := e.a.Load(i), e.a.Load(j)
+	// Snapshot the pair's jobs to count migrations afterwards.
+	union := pairwise.Union(e.a, i, j)
+	before := make([]int, len(union))
+	for k, job := range union {
+		before[k] = e.a.MachineOf(job)
+	}
+	e.proto.Balance(e.a, i, j)
+	for k, job := range union {
+		if e.a.MachineOf(job) != before[k] {
+			e.moves++
+		}
+	}
+	e.exchanges[i]++
+	e.exchanges[j]++
+	changed := e.a.Load(i) != l1 || e.a.Load(j) != l2
+	if changed {
+		e.noChange = 0
+	} else {
+		e.noChange++
+	}
+	step := e.steps
+	e.steps++
+	for _, o := range e.observers {
+		o.OnStep(e, step, i, j)
+	}
+	return changed
+}
+
+// Result summarizes a Run.
+type Result struct {
+	// Steps is the number of pairwise balancing operations executed.
+	Steps int
+	// Converged is true if the run stopped at a verified stable schedule.
+	Converged bool
+	// FinalMakespan is Cmax of the assignment when the run stopped.
+	FinalMakespan core.Cost
+}
+
+// Run executes up to maxSteps balancing steps. If detectStability is true,
+// the run stops early once the schedule is provably stable: after every
+// window of steps with no observed load change, a full O(m²) stability check
+// is performed. DLB2C runs on adversarial instances may never converge
+// (Proposition 8); maxSteps bounds those.
+func (e *Engine) Run(maxSteps int, detectStability bool) Result {
+	m := e.a.Model().NumMachines()
+	// A full sweep's worth of quiet steps before paying for a full check.
+	window := 2 * m
+	if window < 8 {
+		window = 8
+	}
+	for s := 0; s < maxSteps; s++ {
+		e.Step()
+		if detectStability && e.noChange >= window {
+			e.noChange = 0
+			if protocol.Stable(e.proto, e.a) {
+				return Result{Steps: e.steps, Converged: true, FinalMakespan: e.a.Makespan()}
+			}
+		}
+	}
+	converged := false
+	if detectStability {
+		converged = protocol.Stable(e.proto, e.a)
+	}
+	return Result{Steps: e.steps, Converged: converged, FinalMakespan: e.a.Makespan()}
+}

@@ -1,0 +1,209 @@
+package lp
+
+import (
+	"math"
+	"testing"
+
+	"hetlb/internal/core"
+	"hetlb/internal/exact"
+	"hetlb/internal/rng"
+	"hetlb/internal/workload"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSolveTextbook(t *testing.T) {
+	// max 3x+5y s.t. x≤4, 2y≤12, 3x+2y≤18 → min -3x-5y; optimum (2,6), 36.
+	x, val, st := Solve([]float64{-3, -5}, []Constraint{
+		{Coeffs: []float64{1, 0}, Rel: LE, RHS: 4},
+		{Coeffs: []float64{0, 2}, Rel: LE, RHS: 12},
+		{Coeffs: []float64{3, 2}, Rel: LE, RHS: 18},
+	})
+	if st != Optimal {
+		t.Fatalf("status %v", st)
+	}
+	if !almost(val, -36, 1e-6) || !almost(x[0], 2, 1e-6) || !almost(x[1], 6, 1e-6) {
+		t.Fatalf("x=%v val=%v", x, val)
+	}
+}
+
+func TestSolveWithEquality(t *testing.T) {
+	// min x+2y s.t. x+y = 10, x ≤ 4 → x=4, y=6, val 16.
+	x, val, st := Solve([]float64{1, 2}, []Constraint{
+		{Coeffs: []float64{1, 1}, Rel: EQ, RHS: 10},
+		{Coeffs: []float64{1, 0}, Rel: LE, RHS: 4},
+	})
+	if st != Optimal {
+		t.Fatalf("status %v", st)
+	}
+	if !almost(val, 16, 1e-6) || !almost(x[0], 4, 1e-6) {
+		t.Fatalf("x=%v val=%v", x, val)
+	}
+}
+
+func TestSolveWithGE(t *testing.T) {
+	// min 2x+3y s.t. x+y ≥ 4, x ≥ 1 → x=4? cost 2·4=8 at (4,0); or x=1,y=3
+	// cost 2+9=11. Optimum (4,0) → 8.
+	x, val, st := Solve([]float64{2, 3}, []Constraint{
+		{Coeffs: []float64{1, 1}, Rel: GE, RHS: 4},
+		{Coeffs: []float64{1, 0}, Rel: GE, RHS: 1},
+	})
+	if st != Optimal {
+		t.Fatalf("status %v", st)
+	}
+	if !almost(val, 8, 1e-6) || !almost(x[0], 4, 1e-6) {
+		t.Fatalf("x=%v val=%v", x, val)
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	_, _, st := Solve([]float64{1}, []Constraint{
+		{Coeffs: []float64{1}, Rel: LE, RHS: 1},
+		{Coeffs: []float64{1}, Rel: GE, RHS: 2},
+	})
+	if st != Infeasible {
+		t.Fatalf("status %v, want infeasible", st)
+	}
+}
+
+func TestSolveUnbounded(t *testing.T) {
+	_, _, st := Solve([]float64{-1}, []Constraint{
+		{Coeffs: []float64{-1}, Rel: LE, RHS: 0},
+	})
+	if st != Unbounded {
+		t.Fatalf("status %v, want unbounded", st)
+	}
+}
+
+func TestSolveNegativeRHSNormalization(t *testing.T) {
+	// x - y ≤ -2 with min x+y → y ≥ x+2, optimum (0,2), val 2.
+	x, val, st := Solve([]float64{1, 1}, []Constraint{
+		{Coeffs: []float64{1, -1}, Rel: LE, RHS: -2},
+	})
+	if st != Optimal {
+		t.Fatalf("status %v", st)
+	}
+	if !almost(val, 2, 1e-6) || !almost(x[1], 2, 1e-6) {
+		t.Fatalf("x=%v val=%v", x, val)
+	}
+}
+
+func TestFractionalMatchesTwoClusterClosedForm(t *testing.T) {
+	// The LP bound must agree with the prefix-scan closed form for two
+	// clusters (strong cross-validation of both implementations).
+	gen := rng.New(1)
+	for iter := 0; iter < 40; iter++ {
+		m1 := 1 + gen.Intn(4)
+		m2 := 1 + gen.Intn(4)
+		n := 1 + gen.Intn(10)
+		tc := workload.UniformTwoCluster(gen, m1, m2, n, 1, 50)
+		closed := core.TwoClusterFractionalLB(tc)
+		sizes := []int{m1, m2}
+		p0 := make([]core.Cost, n)
+		p1 := make([]core.Cost, n)
+		for j := 0; j < n; j++ {
+			p0[j] = tc.ClusterCost(0, j)
+			p1[j] = tc.ClusterCost(1, j)
+		}
+		lpv, err := FractionalMakespanClustered(sizes, [][]core.Cost{p0, p1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almost(lpv, closed, 1e-6*(1+closed)) {
+			t.Fatalf("iter %d: LP %v != closed form %v (m1=%d m2=%d n=%d)",
+				iter, lpv, closed, m1, m2, n)
+		}
+	}
+}
+
+func TestFractionalIsLowerBoundOnOPT(t *testing.T) {
+	gen := rng.New(2)
+	for iter := 0; iter < 25; iter++ {
+		k := 2 + gen.Intn(2)
+		sizes := make([]int, k)
+		p := make([][]core.Cost, k)
+		n := 3 + gen.Intn(6)
+		for c := 0; c < k; c++ {
+			sizes[c] = 1 + gen.Intn(2)
+			p[c] = make([]core.Cost, n)
+			for j := range p[c] {
+				p[c][j] = gen.IntRange(1, 20)
+			}
+		}
+		kc, err := core.NewKCluster(sizes, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb, err := FractionalMakespanKCluster(kc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := exact.Solve(kc)
+		if !res.Proven {
+			continue
+		}
+		if lb > float64(res.Opt)+1e-6 {
+			t.Fatalf("LP bound %v exceeds OPT %d", lb, res.Opt)
+		}
+	}
+}
+
+func TestFractionalDenseIdentical(t *testing.T) {
+	// Identical machines: fractional optimum is exactly ΣP/m.
+	id, _ := core.NewIdentical(4, []core.Cost{7, 9, 4})
+	lb, err := FractionalMakespanDense(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(lb, 5, 1e-6) {
+		t.Fatalf("dense fractional = %v, want 5", lb)
+	}
+}
+
+func TestFractionalEmptyJobs(t *testing.T) {
+	lb, err := FractionalMakespanClustered([]int{2}, [][]core.Cost{{}})
+	if err != nil || lb != 0 {
+		t.Fatalf("empty: %v, %v", lb, err)
+	}
+}
+
+func TestFractionalBadShape(t *testing.T) {
+	if _, err := FractionalMakespanClustered(nil, nil); err == nil {
+		t.Fatal("empty clusters accepted")
+	}
+	if _, err := FractionalMakespanClustered([]int{1, 1}, [][]core.Cost{{1}, {1, 2}}); err == nil {
+		t.Fatal("ragged costs accepted")
+	}
+}
+
+func TestFractionalBiasedJobsSplitPerfectly(t *testing.T) {
+	// Two jobs perfectly biased: fractional = integral = 1 each.
+	lb, err := FractionalMakespanClustered([]int{1, 1}, [][]core.Cost{
+		{1, 100},
+		{100, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(lb, 1, 1e-6) {
+		t.Fatalf("lb = %v, want 1", lb)
+	}
+}
+
+func BenchmarkFractionalKCluster4x192(b *testing.B) {
+	gen := rng.New(3)
+	sizes := []int{8, 8, 4, 4}
+	p := make([][]core.Cost, 4)
+	for c := range p {
+		p[c] = make([]core.Cost, 192)
+		for j := range p[c] {
+			p[c][j] = gen.IntRange(1, 1000)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FractionalMakespanClustered(sizes, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package lp
+
+import (
+	"fmt"
+
+	"hetlb/internal/core"
+)
+
+// FractionalMakespanClustered computes the optimal fractional makespan for
+// clusters of identical machines: jobs may be split arbitrarily between
+// clusters, and within a cluster the pooled work spreads perfectly over its
+// machines. It solves
+//
+//	min T  s.t.  Σ_c x[c][j] = 1            for every job j
+//	             Σ_j p[c][j]·x[c][j] ≤ S_c·T for every cluster c
+//	             x ≥ 0, T ≥ 0
+//
+// and returns T. This is a valid lower bound on the integral optimum for
+// any number of clusters, generalizing core.TwoClusterFractionalLB.
+func FractionalMakespanClustered(sizes []int, p [][]core.Cost) (float64, error) {
+	k := len(sizes)
+	if k == 0 || len(p) != k {
+		return 0, fmt.Errorf("lp: need one cost row per cluster")
+	}
+	n := len(p[0])
+	if n == 0 {
+		return 0, nil
+	}
+	// Variables: x[c][j] at index c*n+j, then T at index k*n.
+	nv := k*n + 1
+	tIdx := k * n
+	obj := make([]float64, nv)
+	obj[tIdx] = 1
+
+	cons := make([]Constraint, 0, n+k)
+	for j := 0; j < n; j++ {
+		coeffs := make([]float64, nv)
+		for c := 0; c < k; c++ {
+			coeffs[c*n+j] = 1
+		}
+		cons = append(cons, Constraint{Coeffs: coeffs, Rel: EQ, RHS: 1})
+	}
+	for c := 0; c < k; c++ {
+		if len(p[c]) != n {
+			return 0, fmt.Errorf("lp: cluster %d has %d costs, cluster 0 has %d", c, len(p[c]), n)
+		}
+		coeffs := make([]float64, nv)
+		for j := 0; j < n; j++ {
+			coeffs[c*n+j] = float64(p[c][j])
+		}
+		coeffs[tIdx] = -float64(sizes[c])
+		cons = append(cons, Constraint{Coeffs: coeffs, Rel: LE, RHS: 0})
+	}
+	_, val, st := Solve(obj, cons)
+	if st != Optimal {
+		return 0, fmt.Errorf("lp: fractional makespan LP ended %v", st)
+	}
+	return val, nil
+}
+
+// FractionalMakespanKCluster is the KCluster convenience wrapper.
+func FractionalMakespanKCluster(kc *core.KCluster) (float64, error) {
+	sizes := make([]int, kc.NumClusters())
+	p := make([][]core.Cost, kc.NumClusters())
+	for c := range sizes {
+		sizes[c] = kc.ClusterSize(c)
+		row := make([]core.Cost, kc.NumJobs())
+		for j := range row {
+			row[j] = kc.ClusterCost(c, j)
+		}
+		p[c] = row
+	}
+	return FractionalMakespanClustered(sizes, p)
+}
+
+// FractionalMakespanDense computes the Lawler–Labetoulle style fractional
+// bound at machine granularity for an arbitrary cost model:
+//
+//	min T  s.t.  Σ_i x[i][j] = 1             for every job j
+//	             Σ_j p[i][j]·x[i][j] ≤ T      for every machine i
+//
+// (each machine is its own "cluster" of size 1). Dense in m·n variables —
+// use for small and medium instances.
+func FractionalMakespanDense(m core.CostModel) (float64, error) {
+	sizes := make([]int, m.NumMachines())
+	p := make([][]core.Cost, m.NumMachines())
+	for i := range sizes {
+		sizes[i] = 1
+		row := make([]core.Cost, m.NumJobs())
+		for j := range row {
+			row[j] = m.Cost(i, j)
+		}
+		p[i] = row
+	}
+	return FractionalMakespanClustered(sizes, p)
+}

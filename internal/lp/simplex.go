@@ -1,0 +1,290 @@
+// Package lp is a small, dependency-free linear programming solver (dense
+// two-phase primal simplex with Bland's anti-cycling rule) plus the
+// fractional-makespan formulations built on it.
+//
+// The paper's related work solves R||Cmax relaxations by linear programming
+// (Lawler & Labetoulle's preemptive optimum; Lenstra, Shmoys & Tardos'
+// 2-approximation rounds an LP solution). This package reproduces the
+// fractional bound as a principled reference for the experiments — in
+// particular it provides the only practical lower bound for the k-cluster
+// extension, where the two-cluster prefix argument no longer applies.
+//
+// The solver targets the moderate, dense problems these formulations
+// produce (thousands of variables, hundreds of constraints); it is not a
+// general-purpose LP code.
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Relation is a constraint sense.
+type Relation int
+
+// Constraint senses.
+const (
+	LE Relation = iota // Σ aᵢxᵢ ≤ b
+	GE                 // Σ aᵢxᵢ ≥ b
+	EQ                 // Σ aᵢxᵢ = b
+)
+
+// Constraint is one row of the problem.
+type Constraint struct {
+	// Coeffs has one coefficient per structural variable (missing ones
+	// are treated as 0).
+	Coeffs []float64
+	Rel    Relation
+	RHS    float64
+}
+
+// Status reports the outcome of Solve.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+	IterLimit
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case IterLimit:
+		return "iteration-limit"
+	}
+	return fmt.Sprintf("status(%d)", int(s))
+}
+
+const eps = 1e-9
+
+// Solve minimizes obj·x subject to the constraints and x ≥ 0. It returns
+// the optimal structural variables and objective value when Status ==
+// Optimal.
+func Solve(obj []float64, cons []Constraint) ([]float64, float64, Status) {
+	n := len(obj)
+	m := len(cons)
+
+	// Normalize: RHS ≥ 0 (flip rows), count slack/surplus/artificials.
+	rows := make([]Constraint, m)
+	for r, c := range cons {
+		cc := Constraint{Coeffs: append([]float64(nil), c.Coeffs...), Rel: c.Rel, RHS: c.RHS}
+		for len(cc.Coeffs) < n {
+			cc.Coeffs = append(cc.Coeffs, 0)
+		}
+		if cc.RHS < 0 {
+			for i := range cc.Coeffs {
+				cc.Coeffs[i] = -cc.Coeffs[i]
+			}
+			cc.RHS = -cc.RHS
+			switch cc.Rel {
+			case LE:
+				cc.Rel = GE
+			case GE:
+				cc.Rel = LE
+			}
+		}
+		rows[r] = cc
+	}
+
+	// Column layout: [structural | slack/surplus | artificial].
+	numSlack := 0
+	for _, c := range rows {
+		if c.Rel != EQ {
+			numSlack++
+		}
+	}
+	numArt := 0
+	for _, c := range rows {
+		if c.Rel != LE {
+			numArt++
+		}
+	}
+	total := n + numSlack + numArt
+	artStart := n + numSlack
+
+	// Build the tableau: m rows × (total+1) columns (last = RHS).
+	t := make([][]float64, m)
+	basis := make([]int, m)
+	slackIdx, artIdx := n, artStart
+	for r, c := range rows {
+		t[r] = make([]float64, total+1)
+		copy(t[r], c.Coeffs)
+		t[r][total] = c.RHS
+		switch c.Rel {
+		case LE:
+			t[r][slackIdx] = 1
+			basis[r] = slackIdx
+			slackIdx++
+		case GE:
+			t[r][slackIdx] = -1
+			slackIdx++
+			t[r][artIdx] = 1
+			basis[r] = artIdx
+			artIdx++
+		case EQ:
+			t[r][artIdx] = 1
+			basis[r] = artIdx
+			artIdx++
+		}
+	}
+
+	maxIter := 50 * (m + total)
+
+	// Phase 1: minimize the sum of artificials.
+	if numArt > 0 {
+		cost := make([]float64, total)
+		for i := artStart; i < total; i++ {
+			cost[i] = 1
+		}
+		st := runSimplex(t, basis, cost, maxIter)
+		if st != Optimal {
+			return nil, 0, st
+		}
+		// Feasible iff the phase-1 objective is 0.
+		var art float64
+		for r, b := range basis {
+			if b >= artStart {
+				art += t[r][total]
+			}
+		}
+		if art > 1e-7 {
+			return nil, 0, Infeasible
+		}
+		// Drive remaining artificials out of the basis where possible.
+		for r, b := range basis {
+			if b < artStart {
+				continue
+			}
+			pivoted := false
+			for c := 0; c < artStart; c++ {
+				if math.Abs(t[r][c]) > eps {
+					pivot(t, basis, r, c)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				// Redundant row; harmless (stays with a zero artificial).
+				_ = pivoted
+			}
+		}
+	}
+
+	// Phase 2: minimize the real objective (artificials excluded by cost 0
+	// and by never letting them enter).
+	cost := make([]float64, total)
+	copy(cost, obj)
+	st := runPhase2(t, basis, cost, artStart, maxIter)
+	if st != Optimal {
+		return nil, 0, st
+	}
+	x := make([]float64, n)
+	for r, b := range basis {
+		if b < n {
+			x[b] = t[r][total]
+		}
+	}
+	var val float64
+	for i := range obj {
+		val += obj[i] * x[i]
+	}
+	return x, val, Optimal
+}
+
+// reducedCosts computes cost_j − c_B·B⁻¹A_j for every column under the
+// current tableau representation.
+func reducedCosts(t [][]float64, basis []int, cost []float64) []float64 {
+	total := len(cost)
+	red := append([]float64(nil), cost...)
+	for r, b := range basis {
+		cb := cost[b]
+		if cb == 0 {
+			continue
+		}
+		for c := 0; c < total; c++ {
+			red[c] -= cb * t[r][c]
+		}
+	}
+	return red
+}
+
+func runSimplex(t [][]float64, basis []int, cost []float64, maxIter int) Status {
+	return iterate(t, basis, cost, len(cost), maxIter)
+}
+
+func runPhase2(t [][]float64, basis []int, cost []float64, artStart, maxIter int) Status {
+	return iterate(t, basis, cost, artStart, maxIter)
+}
+
+// iterate runs primal simplex allowing only columns < allowCols to enter
+// (this is how artificials are frozen in phase 2). Bland's rule: the
+// lowest-index improving column enters; the lowest-index eligible row
+// leaves.
+func iterate(t [][]float64, basis []int, cost []float64, allowCols, maxIter int) Status {
+	m := len(t)
+	if m == 0 {
+		return Optimal
+	}
+	total := len(t[0]) - 1
+	for iter := 0; iter < maxIter; iter++ {
+		red := reducedCosts(t, basis, cost)
+		enter := -1
+		for c := 0; c < allowCols && c < total; c++ {
+			if red[c] < -eps {
+				enter = c
+				break
+			}
+		}
+		if enter == -1 {
+			return Optimal
+		}
+		// Ratio test with Bland tie break.
+		leave := -1
+		best := math.Inf(1)
+		for r := 0; r < m; r++ {
+			a := t[r][enter]
+			if a > eps {
+				ratio := t[r][total] / a
+				if ratio < best-eps || (ratio < best+eps && (leave == -1 || basis[r] < basis[leave])) {
+					best = ratio
+					leave = r
+				}
+			}
+		}
+		if leave == -1 {
+			return Unbounded
+		}
+		pivot(t, basis, leave, enter)
+	}
+	return IterLimit
+}
+
+// pivot makes column enter basic in row leave.
+func pivot(t [][]float64, basis []int, leave, enter int) {
+	row := t[leave]
+	p := row[enter]
+	for c := range row {
+		row[c] /= p
+	}
+	for r := range t {
+		if r == leave {
+			continue
+		}
+		f := t[r][enter]
+		if f == 0 {
+			continue
+		}
+		for c := range t[r] {
+			t[r][c] -= f * row[c]
+		}
+	}
+	basis[leave] = enter
+}

@@ -1,0 +1,363 @@
+// Package markov implements the Section VII.A analysis of the paper: the
+// dynamics of DLB2C on a single homogeneous cluster abstracted as a Markov
+// chain over integer load vectors.
+//
+// A state is a load vector L with ΣL = ΣP fixed. One step picks an
+// unordered pair of machines uniformly, pools their load T, and re-splits it
+// with a residual imbalance d chosen uniformly over the achievable values
+// {d : 0 ≤ d ≤ min(pmax, T), d ≡ T (mod 2)} (the parity constraint keeps
+// loads integral; the paper states the model as "uniform over {0..pmax}").
+//
+// Machine identities do not matter for the makespan, and the dynamics are
+// symmetric under permutation, so states are canonicalized as sorted
+// (non-increasing) vectors, which shrinks the space by up to m!.
+//
+// The sink strongly connected component (Theorem 9) is exactly the set of
+// states reachable from the perfectly balanced state: the balanced state
+// belongs to the sink, and the sink has no outgoing edges, so forward
+// closure from it yields the whole component. Build enumerates it by BFS,
+// Stationary computes the stationary distribution by power iteration, and
+// MakespanDistribution projects it to the Figure 2 curves.
+package markov
+
+import (
+	"fmt"
+	"sort"
+)
+
+// entry is one sparse transition.
+type entry struct {
+	to   int32
+	prob float64
+}
+
+// Chain is the canonicalized Markov chain restricted to the sink component.
+type Chain struct {
+	// M is the number of machines; PMax the largest job size; Total ΣP.
+	M     int
+	PMax  int64
+	Total int64
+
+	states [][]int64 // canonical (non-increasing) load vectors
+	index  map[string]int32
+	trans  [][]entry
+}
+
+// MaxStates caps enumeration to keep memory bounded; Build fails beyond it.
+const MaxStates = 4_000_000
+
+// key encodes a canonical vector for hashing.
+func key(v []int64) string {
+	b := make([]byte, 0, 3*len(v))
+	for _, x := range v {
+		// Loads are bounded by Total; 3 bytes cover every experiment here
+		// (Total < 2^24). Guarded in Build.
+		b = append(b, byte(x), byte(x>>8), byte(x>>16))
+	}
+	return string(b)
+}
+
+// canon sorts a copy of v in non-increasing order.
+func canon(v []int64) []int64 {
+	c := append([]int64(nil), v...)
+	sortDesc(c)
+	return c
+}
+
+// sortDesc sorts in place in non-increasing order. Machine counts are tiny
+// (m ≤ 10 in every experiment), so insertion sort beats sort.Slice by a
+// wide margin and allocates nothing — this is the hottest path of Build.
+func sortDesc(c []int64) {
+	for i := 1; i < len(c); i++ {
+		v := c[i]
+		k := i - 1
+		for k >= 0 && c[k] < v {
+			c[k+1] = c[k]
+			k--
+		}
+		c[k+1] = v
+	}
+}
+
+// Build enumerates the sink component for m machines, total load total and
+// maximum job size pmax, and precomputes the sparse transition matrix.
+func Build(m int, pmax, total int64) (*Chain, error) {
+	if m < 2 {
+		return nil, fmt.Errorf("markov: need at least 2 machines, got %d", m)
+	}
+	if pmax < 1 {
+		return nil, fmt.Errorf("markov: pmax must be >= 1, got %d", pmax)
+	}
+	if total < 0 {
+		return nil, fmt.Errorf("markov: negative total load")
+	}
+	if total >= 1<<24 {
+		return nil, fmt.Errorf("markov: total load %d too large for state encoding", total)
+	}
+	c := &Chain{M: m, PMax: pmax, Total: total, index: make(map[string]int32)}
+
+	// Perfectly balanced start: total = q·m + r gives r machines with q+1.
+	q, r := total/int64(m), total%int64(m)
+	start := make([]int64, m)
+	for i := range start {
+		start[i] = q
+		if int64(i) < r {
+			start[i] = q + 1
+		}
+	}
+	start = canon(start)
+	c.index[key(start)] = 0
+	c.states = append(c.states, start)
+
+	// Precompute the achievable residual splits for every pooled load t
+	// (t ≤ total), so the hot loop never re-derives them.
+	splitsByT := make([][]int64, total+1)
+	for t := int64(0); t <= total; t++ {
+		splitsByT[t] = splits(t, pmax)
+	}
+
+	numPairs := float64(m*(m-1)) / 2
+	scratch := make([]int64, m)    // successor vector, reused
+	keyBuf := make([]byte, 3*m)    // key bytes, reused for lookups
+	acc := make(map[int32]float64) // successor → probability, reused
+	for head := 0; head < len(c.states); head++ {
+		cur := c.states[head]
+		for k := range acc {
+			delete(acc, k)
+		}
+		for a := 0; a < m; a++ {
+			for b := a + 1; b < m; b++ {
+				t := cur[a] + cur[b]
+				ds := splitsByT[t]
+				pd := 1 / (numPairs * float64(len(ds)))
+				for _, d := range ds {
+					copy(scratch, cur)
+					scratch[a] = (t + d) / 2
+					scratch[b] = (t - d) / 2
+					sortDesc(scratch)
+					for i, x := range scratch {
+						keyBuf[3*i] = byte(x)
+						keyBuf[3*i+1] = byte(x >> 8)
+						keyBuf[3*i+2] = byte(x >> 16)
+					}
+					id, ok := c.index[string(keyBuf)]
+					if !ok {
+						if len(c.states) >= MaxStates {
+							return nil, fmt.Errorf("markov: state space exceeds %d states (m=%d pmax=%d total=%d)",
+								MaxStates, m, pmax, total)
+						}
+						id = int32(len(c.states))
+						c.index[string(keyBuf)] = id
+						c.states = append(c.states, append([]int64(nil), scratch...))
+					}
+					acc[id] += pd
+				}
+			}
+		}
+		row := make([]entry, 0, len(acc))
+		for to, p := range acc {
+			row = append(row, entry{to: to, prob: p})
+		}
+		sort.Slice(row, func(x, y int) bool { return row[x].to < row[y].to })
+		c.trans = append(c.trans, row)
+	}
+	return c, nil
+}
+
+// splits returns the achievable residual imbalances for pooled load t.
+func splits(t, pmax int64) []int64 {
+	max := pmax
+	if t < max {
+		max = t
+	}
+	var ds []int64
+	for d := t % 2; d <= max; d += 2 {
+		ds = append(ds, d)
+	}
+	if len(ds) == 0 {
+		// t odd and pmax == 0 cannot happen (pmax >= 1); t == 0 gives d=0.
+		ds = []int64{t % 2}
+	}
+	return ds
+}
+
+// NumStates returns the size of the sink component.
+func (c *Chain) NumStates() int { return len(c.states) }
+
+// State returns the canonical load vector of state id (shared slice; do not
+// mutate).
+func (c *Chain) State(id int) []int64 { return c.states[id] }
+
+// Makespan returns the largest load of state id.
+func (c *Chain) Makespan(id int) int64 { return c.states[id][0] }
+
+// MaxMakespan returns the largest makespan over the component.
+func (c *Chain) MaxMakespan() int64 {
+	var max int64
+	for _, s := range c.states {
+		if s[0] > max {
+			max = s[0]
+		}
+	}
+	return max
+}
+
+// TheoremTenBound returns ΣP/m + (m-1)/2·pmax, the Theorem 10 upper bound on
+// the makespan of any sink-component state.
+func (c *Chain) TheoremTenBound() float64 {
+	return float64(c.Total)/float64(c.M) + float64(c.M-1)/2*float64(c.PMax)
+}
+
+// RowSum returns the total outgoing probability of state id (should be 1).
+func (c *Chain) RowSum(id int) float64 {
+	var s float64
+	for _, e := range c.trans[id] {
+		s += e.prob
+	}
+	return s
+}
+
+// Successors returns the transition row of a state as (state id,
+// probability) pairs, for tests and inspection.
+func (c *Chain) Successors(id int) ([]int, []float64) {
+	row := c.trans[id]
+	ids := make([]int, len(row))
+	ps := make([]float64, len(row))
+	for k, e := range row {
+		ids[k] = int(e.to)
+		ps[k] = e.prob
+	}
+	return ids, ps
+}
+
+// Stationary computes the stationary distribution by power iteration,
+// stopping when the L1 change drops below tol or after maxIter sweeps.
+// It returns the distribution and the number of iterations performed.
+func (c *Chain) Stationary(tol float64, maxIter int) ([]float64, int) {
+	n := len(c.states)
+	pi := make([]float64, n)
+	next := make([]float64, n)
+	for i := range pi {
+		pi[i] = 1 / float64(n)
+	}
+	for it := 1; it <= maxIter; it++ {
+		for i := range next {
+			next[i] = 0
+		}
+		for i, row := range c.trans {
+			p := pi[i]
+			if p == 0 {
+				continue
+			}
+			for _, e := range row {
+				next[e.to] += p * e.prob
+			}
+		}
+		var diff, sum float64
+		for i := range next {
+			d := next[i] - pi[i]
+			if d < 0 {
+				d = -d
+			}
+			diff += d
+			sum += next[i]
+		}
+		// Renormalize to counter floating point drift.
+		for i := range next {
+			next[i] /= sum
+		}
+		pi, next = next, pi
+		if diff < tol {
+			return pi, it
+		}
+	}
+	return pi, maxIter
+}
+
+// StationaryResidual returns ‖πP − π‖₁ for a candidate stationary vector.
+func (c *Chain) StationaryResidual(pi []float64) float64 {
+	n := len(c.states)
+	out := make([]float64, n)
+	for i, row := range c.trans {
+		for _, e := range row {
+			out[e.to] += pi[i] * e.prob
+		}
+	}
+	var r float64
+	for i := range out {
+		d := out[i] - pi[i]
+		if d < 0 {
+			d = -d
+		}
+		r += d
+	}
+	return r
+}
+
+// MakespanDistribution projects a state distribution onto the makespan:
+// it returns the sorted support values and their probabilities.
+func (c *Chain) MakespanDistribution(pi []float64) ([]int64, []float64) {
+	acc := make(map[int64]float64)
+	for id, p := range pi {
+		acc[c.Makespan(id)] += p
+	}
+	values := make([]int64, 0, len(acc))
+	for v := range acc {
+		values = append(values, v)
+	}
+	sort.Slice(values, func(a, b int) bool { return values[a] < values[b] })
+	probs := make([]float64, len(values))
+	for k, v := range values {
+		probs[k] = acc[v]
+	}
+	return values, probs
+}
+
+// NormalizedDeviation converts a makespan value to the Figure 2 x-axis:
+// (Cmax − ⌈ΣP/m⌉) / pmax.
+func (c *Chain) NormalizedDeviation(makespan int64) float64 {
+	balanced := (c.Total + int64(c.M) - 1) / int64(c.M)
+	return float64(makespan-balanced) / float64(c.PMax)
+}
+
+// ReachesBalancedFromAll verifies the strong-connectivity half of Theorem 9:
+// every enumerated state can reach the balanced state. It runs a reverse BFS
+// from state 0 and reports whether it covers the component.
+func (c *Chain) ReachesBalancedFromAll() bool {
+	n := len(c.states)
+	rev := make([][]int32, n)
+	for from, row := range c.trans {
+		for _, e := range row {
+			rev[e.to] = append(rev[e.to], int32(from))
+		}
+	}
+	seen := make([]bool, n)
+	queue := []int32{0}
+	seen[0] = true
+	count := 1
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range rev[v] {
+			if !seen[w] {
+				seen[w] = true
+				count++
+				queue = append(queue, w)
+			}
+		}
+	}
+	return count == n
+}
+
+// MinimumTotalForBound returns the smallest ΣP for which the Theorem 10
+// bound is attainable (all chain terms non-negative): m(m-1)/2 · pmax,
+// rounded up to a multiple of m so the balanced state is uniform. This is
+// how the paper "set ΣP so that the maximum imbalance given in Theorem 10
+// can be reached".
+func MinimumTotalForBound(m int, pmax int64) int64 {
+	w := int64(m) * int64(m-1) / 2 * pmax
+	if rem := w % int64(m); rem != 0 {
+		w += int64(m) - rem
+	}
+	return w
+}

@@ -1,0 +1,295 @@
+package markov
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBuildRejectsBadParams(t *testing.T) {
+	if _, err := Build(1, 4, 10); err == nil {
+		t.Fatal("m=1 accepted")
+	}
+	if _, err := Build(3, 0, 10); err == nil {
+		t.Fatal("pmax=0 accepted")
+	}
+	if _, err := Build(3, 4, -1); err == nil {
+		t.Fatal("negative total accepted")
+	}
+}
+
+func TestTwoMachineHandComputed(t *testing.T) {
+	// m=2, total=2, pmax=2: states [1,1] and [2,0]; both transition to
+	// each with probability 1/2, so the stationary distribution is
+	// uniform.
+	c, err := Build(2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumStates() != 2 {
+		t.Fatalf("states = %d, want 2", c.NumStates())
+	}
+	pi, _ := c.Stationary(1e-12, 1000)
+	for i, p := range pi {
+		if math.Abs(p-0.5) > 1e-9 {
+			t.Fatalf("pi[%d] = %v, want 0.5", i, p)
+		}
+	}
+}
+
+func TestRowsSumToOne(t *testing.T) {
+	c, err := Build(4, 3, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < c.NumStates(); id++ {
+		if s := c.RowSum(id); math.Abs(s-1) > 1e-9 {
+			t.Fatalf("state %d row sum %v", id, s)
+		}
+	}
+}
+
+func TestStatesAreCanonicalAndConserve(t *testing.T) {
+	c, err := Build(5, 4, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < c.NumStates(); id++ {
+		s := c.State(id)
+		var sum int64
+		for k, v := range s {
+			sum += v
+			if v < 0 {
+				t.Fatalf("state %d has negative load", id)
+			}
+			if k > 0 && s[k-1] < v {
+				t.Fatalf("state %d not sorted: %v", id, s)
+			}
+		}
+		if sum != 20 {
+			t.Fatalf("state %d total %d, want 20", id, sum)
+		}
+	}
+}
+
+func TestTheorem9StrongConnectivity(t *testing.T) {
+	// Every sink-component state must be able to return to the balanced
+	// state (the component is strongly connected).
+	for _, tc := range []struct {
+		m     int
+		pmax  int64
+		total int64
+	}{
+		{3, 2, 6}, {4, 3, 16}, {6, 2, 30}, {5, 4, 40},
+	} {
+		c, err := Build(tc.m, tc.pmax, tc.total)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !c.ReachesBalancedFromAll() {
+			t.Fatalf("m=%d pmax=%d total=%d: component not strongly connected",
+				tc.m, tc.pmax, tc.total)
+		}
+	}
+}
+
+func TestTheorem10Bound(t *testing.T) {
+	// No sink state exceeds ΣP/m + (m-1)/2·pmax.
+	for _, tc := range []struct {
+		m    int
+		pmax int64
+	}{
+		{3, 2}, {4, 4}, {6, 2}, {5, 3},
+	} {
+		total := MinimumTotalForBound(tc.m, tc.pmax)
+		c, err := Build(tc.m, tc.pmax, total)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := c.TheoremTenBound()
+		if got := float64(c.MaxMakespan()); got > bound+1e-9 {
+			t.Fatalf("m=%d pmax=%d: max makespan %v exceeds Theorem 10 bound %v",
+				tc.m, tc.pmax, got, bound)
+		}
+	}
+}
+
+func TestStationaryIsFixedPoint(t *testing.T) {
+	c, err := Build(4, 4, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, iters := c.Stationary(1e-12, 5000)
+	if iters >= 5000 {
+		t.Fatal("power iteration did not converge")
+	}
+	var sum float64
+	for _, p := range pi {
+		if p < 0 {
+			t.Fatal("negative stationary probability")
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("stationary sums to %v", sum)
+	}
+	if r := c.StationaryResidual(pi); r > 1e-8 {
+		t.Fatalf("residual %v too large", r)
+	}
+}
+
+func TestMakespanDistribution(t *testing.T) {
+	c, err := Build(3, 2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, _ := c.Stationary(1e-12, 2000)
+	values, probs := c.MakespanDistribution(pi)
+	var sum float64
+	for k, p := range probs {
+		sum += p
+		if k > 0 && values[k] <= values[k-1] {
+			t.Fatal("support not strictly increasing")
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("distribution sums to %v", sum)
+	}
+	// The balanced makespan (2) must carry positive probability, and no
+	// value can be below it.
+	if values[0] != 2 {
+		t.Fatalf("smallest makespan %d, want 2", values[0])
+	}
+}
+
+func TestNormalizedDeviation(t *testing.T) {
+	c, err := Build(6, 4, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := c.NormalizedDeviation(10); math.Abs(d-0) > 1e-9 {
+		t.Fatalf("deviation of balanced = %v", d)
+	}
+	if d := c.NormalizedDeviation(14); math.Abs(d-1) > 1e-9 {
+		t.Fatalf("deviation of balanced+pmax = %v", d)
+	}
+}
+
+func TestFigure2ShapeSmall(t *testing.T) {
+	// Core qualitative claim of Figure 2: the stationary makespan
+	// distribution is unimodal with mode near 0.5·pmax above balanced,
+	// and the mass above 1.5·pmax is negligible.
+	c, err := Build(6, 4, MinimumTotalForBound(6, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, _ := c.Stationary(1e-11, 5000)
+	values, probs := c.MakespanDistribution(pi)
+	// Mode position.
+	mode := 0
+	for k, p := range probs {
+		if p > probs[mode] {
+			mode = k
+		}
+	}
+	dev := c.NormalizedDeviation(values[mode])
+	if dev < 0.2 || dev > 0.9 {
+		t.Fatalf("mode at normalized deviation %v, expected near 0.5", dev)
+	}
+	// Tail mass beyond 1.5·pmax.
+	var tail float64
+	for k, v := range values {
+		if c.NormalizedDeviation(v) > 1.5 {
+			tail += probs[k]
+		}
+	}
+	if tail > 0.01 {
+		t.Fatalf("tail mass beyond 1.5·pmax is %v, expected < 1%%", tail)
+	}
+}
+
+func TestMinimumTotalForBound(t *testing.T) {
+	// m(m-1)/2·pmax rounded up to a multiple of m.
+	if got := MinimumTotalForBound(6, 4); got != 60 {
+		t.Fatalf("got %d, want 60", got)
+	}
+	if got := MinimumTotalForBound(3, 3); got != 9 {
+		t.Fatalf("got %d, want 9", got)
+	}
+	if got := MinimumTotalForBound(4, 3); got != 20 { // 18 → 20
+		t.Fatalf("got %d, want 20", got)
+	}
+}
+
+func TestSuccessorsExposedSorted(t *testing.T) {
+	c, err := Build(3, 2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, ps := c.Successors(0)
+	if len(ids) == 0 || len(ids) != len(ps) {
+		t.Fatal("bad successor row")
+	}
+	for k := 1; k < len(ids); k++ {
+		if ids[k] <= ids[k-1] {
+			t.Fatal("successors not sorted by id")
+		}
+	}
+}
+
+func BenchmarkBuildM6PMax4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(6, 4, 60); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStationaryM6PMax4(b *testing.B) {
+	c, err := Build(6, 4, 60)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Stationary(1e-10, 3000)
+	}
+}
+
+func TestTwoMachineStationaryIsUniformAnalytic(t *testing.T) {
+	// For m=2 the pooled load is always the full total, so the next state
+	// is drawn uniformly over the achievable imbalances REGARDLESS of the
+	// current state — the chain forgets its state in one step and the
+	// stationary distribution is exactly uniform over the imbalance
+	// support. This is an analytic ground truth for the whole pipeline.
+	for _, tc := range []struct {
+		pmax, total int64
+	}{
+		{4, 10}, {5, 11}, {3, 9}, {8, 8},
+	} {
+		c, err := Build(2, tc.pmax, tc.total)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pi, _ := c.Stationary(1e-13, 5000)
+		want := 1 / float64(c.NumStates())
+		for id, p := range pi {
+			if math.Abs(p-want) > 1e-8 {
+				t.Fatalf("pmax=%d total=%d: pi[%d]=%v, want uniform %v",
+					tc.pmax, tc.total, id, p, want)
+			}
+		}
+		// Support size: imbalances d ≡ total mod 2, 0 ≤ d ≤ min(pmax, total).
+		maxD := tc.pmax
+		if tc.total < maxD {
+			maxD = tc.total
+		}
+		support := 0
+		for d := tc.total % 2; d <= maxD; d += 2 {
+			support++
+		}
+		if c.NumStates() != support {
+			t.Fatalf("pmax=%d total=%d: %d states, want %d",
+				tc.pmax, tc.total, c.NumStates(), support)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package markov
+
+import (
+	"fmt"
+	"sort"
+
+	"hetlb/internal/rng"
+)
+
+// SampleResult is an empirical estimate of the stationary makespan
+// distribution obtained by running the load-vector random walk directly,
+// without enumerating the state space. It cross-validates the exact chain
+// on small parameters and extends Figure 2 to parameters whose sink
+// component is too large to enumerate (the paper notes "the computational
+// cost quickly increases with m and pmax, making larger runs prohibitively
+// long" — sampling is the practical fallback).
+type SampleResult struct {
+	M     int
+	PMax  int64
+	Total int64
+	// Values and Probs are the empirical makespan distribution.
+	Values []int64
+	Probs  []float64
+	// Samples is the number of recorded observations.
+	Samples int
+	// MaxSeen is the largest makespan observed (must respect Theorem 10).
+	MaxSeen int64
+}
+
+// Sample runs the walk for burnin steps, then records the makespan every
+// thin steps until samples observations are collected.
+func Sample(m int, pmax, total int64, burnin, samples, thin int, seed uint64) (*SampleResult, error) {
+	if m < 2 {
+		return nil, fmt.Errorf("markov: need at least 2 machines, got %d", m)
+	}
+	if pmax < 1 {
+		return nil, fmt.Errorf("markov: pmax must be >= 1, got %d", pmax)
+	}
+	if total < 0 {
+		return nil, fmt.Errorf("markov: negative total load")
+	}
+	if samples <= 0 || thin <= 0 || burnin < 0 {
+		return nil, fmt.Errorf("markov: bad sampling parameters")
+	}
+	gen := rng.New(seed)
+
+	// Start perfectly balanced (inside the sink component by Theorem 9).
+	load := make([]int64, m)
+	q, r := total/int64(m), total%int64(m)
+	for i := range load {
+		load[i] = q
+		if int64(i) < r {
+			load[i]++
+		}
+	}
+
+	step := func() {
+		a := gen.Intn(m)
+		b := gen.Pick(m, a)
+		t := load[a] + load[b]
+		ds := splits(t, pmax)
+		d := ds[gen.Intn(len(ds))]
+		hi, lo := (t+d)/2, (t-d)/2
+		if gen.Bool() {
+			load[a], load[b] = hi, lo
+		} else {
+			load[a], load[b] = lo, hi
+		}
+	}
+
+	for s := 0; s < burnin; s++ {
+		step()
+	}
+	counts := make(map[int64]int)
+	res := &SampleResult{M: m, PMax: pmax, Total: total, Samples: samples}
+	for s := 0; s < samples; s++ {
+		for k := 0; k < thin; k++ {
+			step()
+		}
+		var mx int64
+		for _, l := range load {
+			if l > mx {
+				mx = l
+			}
+		}
+		counts[mx]++
+		if mx > res.MaxSeen {
+			res.MaxSeen = mx
+		}
+	}
+	for v := range counts {
+		res.Values = append(res.Values, v)
+	}
+	sort.Slice(res.Values, func(a, b int) bool { return res.Values[a] < res.Values[b] })
+	res.Probs = make([]float64, len(res.Values))
+	for k, v := range res.Values {
+		res.Probs[k] = float64(counts[v]) / float64(samples)
+	}
+	return res, nil
+}
+
+// NormalizedDeviation converts a makespan to the Figure 2 axis.
+func (s *SampleResult) NormalizedDeviation(makespan int64) float64 {
+	balanced := (s.Total + int64(s.M) - 1) / int64(s.M)
+	return float64(makespan-balanced) / float64(s.PMax)
+}
+
+// TotalVariation computes ½·Σ|p−q| between the empirical distribution and
+// an exact one given as parallel (values, probs) slices.
+func (s *SampleResult) TotalVariation(values []int64, probs []float64) float64 {
+	exact := make(map[int64]float64, len(values))
+	for k, v := range values {
+		exact[v] = probs[k]
+	}
+	seen := make(map[int64]bool)
+	var tv float64
+	for k, v := range s.Values {
+		seen[v] = true
+		d := s.Probs[k] - exact[v]
+		if d < 0 {
+			d = -d
+		}
+		tv += d
+	}
+	for k, v := range values {
+		if !seen[v] {
+			tv += probs[k]
+		}
+	}
+	return tv / 2
+}

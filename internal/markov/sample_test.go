@@ -1,0 +1,116 @@
+package markov
+
+import (
+	"testing"
+)
+
+func TestSampleRejectsBadParams(t *testing.T) {
+	if _, err := Sample(1, 4, 10, 0, 10, 1, 1); err == nil {
+		t.Fatal("m=1 accepted")
+	}
+	if _, err := Sample(3, 0, 10, 0, 10, 1, 1); err == nil {
+		t.Fatal("pmax=0 accepted")
+	}
+	if _, err := Sample(3, 4, 10, 0, 0, 1, 1); err == nil {
+		t.Fatal("samples=0 accepted")
+	}
+	if _, err := Sample(3, 4, 10, -1, 10, 1, 1); err == nil {
+		t.Fatal("negative burnin accepted")
+	}
+}
+
+func TestSampleDistributionSumsToOne(t *testing.T) {
+	s, err := Sample(4, 3, 16, 1000, 5000, 3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, p := range s.Probs {
+		sum += p
+	}
+	if sum < 0.9999 || sum > 1.0001 {
+		t.Fatalf("probs sum to %v", sum)
+	}
+	if s.Samples != 5000 {
+		t.Fatal("sample count wrong")
+	}
+}
+
+func TestSampleRespectsTheorem10(t *testing.T) {
+	for _, tc := range []struct {
+		m    int
+		pmax int64
+	}{
+		{4, 3}, {6, 4}, {5, 8},
+	} {
+		total := MinimumTotalForBound(tc.m, tc.pmax)
+		s, err := Sample(tc.m, tc.pmax, total, 2000, 20000, 2, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := float64(total)/float64(tc.m) + float64(tc.m-1)/2*float64(tc.pmax)
+		if float64(s.MaxSeen) > bound+1e-9 {
+			t.Fatalf("m=%d pmax=%d: sampled makespan %d above Theorem 10 bound %v",
+				tc.m, tc.pmax, s.MaxSeen, bound)
+		}
+	}
+}
+
+func TestSampleMatchesExactChain(t *testing.T) {
+	// Monte Carlo vs exact stationary distribution: total variation must
+	// be small with enough samples (cross-validation of both paths).
+	const m, pmax, total = 4, 3, 20
+	chain, err := Build(m, pmax, total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, _ := chain.Stationary(1e-11, 10000)
+	values, probs := chain.MakespanDistribution(pi)
+
+	s, err := Sample(m, pmax, total, 20000, 200000, 5, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tv := s.TotalVariation(values, probs); tv > 0.02 {
+		t.Fatalf("total variation %v between sampler and exact chain", tv)
+	}
+}
+
+func TestSampleDeterministicForSeed(t *testing.T) {
+	a, _ := Sample(4, 3, 16, 100, 1000, 2, 5)
+	b, _ := Sample(4, 3, 16, 100, 1000, 2, 5)
+	if len(a.Values) != len(b.Values) {
+		t.Fatal("seeded sampling not deterministic")
+	}
+	for k := range a.Values {
+		if a.Values[k] != b.Values[k] || a.Probs[k] != b.Probs[k] {
+			t.Fatal("seeded sampling not deterministic")
+		}
+	}
+}
+
+func TestSampleNormalizedDeviation(t *testing.T) {
+	s := &SampleResult{M: 6, PMax: 4, Total: 60}
+	if d := s.NormalizedDeviation(14); d != 1 {
+		t.Fatalf("deviation = %v, want 1", d)
+	}
+}
+
+func TestTotalVariationEdges(t *testing.T) {
+	s := &SampleResult{Values: []int64{5}, Probs: []float64{1}}
+	if tv := s.TotalVariation([]int64{5}, []float64{1}); tv != 0 {
+		t.Fatalf("identical distributions have TV %v", tv)
+	}
+	if tv := s.TotalVariation([]int64{6}, []float64{1}); tv != 1 {
+		t.Fatalf("disjoint distributions have TV %v", tv)
+	}
+}
+
+func BenchmarkSampleM6PMax16(b *testing.B) {
+	total := MinimumTotalForBound(6, 16)
+	for i := 0; i < b.N; i++ {
+		if _, err := Sample(6, 16, total, 1000, 10000, 2, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,265 @@
+// Package netsim runs the decentralized protocols over an explicitly
+// simulated network: machines are independent state machines that
+// communicate only by timestamped point-to-point messages with latency —
+// no shared memory of any kind, which is the paper's actual system model
+// ("the machines do not share memory").
+//
+// A balancing session is a three-message handshake:
+//
+//	initiator            target
+//	   | --- REQUEST ------> |   target idle? lock + reply
+//	   | <----- OFFER ------ |   (carries the target's job list)
+//	   | --- COMMIT -------> |   (carries the jobs now owned by target)
+//	   | <----- REJECT ----- |   (instead of OFFER when target is busy)
+//
+// The initiator locks itself while a session is in flight, computes the
+// protocol's pure Split kernel between OFFER and COMMIT, and both sides
+// unlock on completion. Concurrent sessions on disjoint pairs proceed in
+// parallel in virtual time; a busy target rejects, and the initiator backs
+// off and retries with a fresh random peer. This demonstrates that
+// DLB2C/OJTB/MJTB need nothing beyond pairwise messages — and lets the
+// experiments measure how network latency stretches convergence.
+package netsim
+
+import (
+	"fmt"
+	"sort"
+
+	"hetlb/internal/core"
+	"hetlb/internal/des"
+	"hetlb/internal/protocol"
+	"hetlb/internal/rng"
+)
+
+// Config parameterizes a run.
+type Config struct {
+	// Seed drives peer selection and period jitter.
+	Seed uint64
+	// Latency is the one-way message delay in virtual time units
+	// (must be ≥ 1: a network takes time).
+	Latency int64
+	// Period is the mean time between balancing attempts per machine;
+	// actual gaps are Period ± up to 50% jitter to avoid lockstep.
+	Period int64
+	// Horizon stops the simulation at this virtual time.
+	Horizon int64
+}
+
+// Stats summarizes a run.
+type Stats struct {
+	// Sessions counts completed balancing handshakes; Rejections counts
+	// REQUESTs that hit a busy target.
+	Sessions, Rejections int
+	// Messages counts all messages delivered.
+	Messages int
+	// FinalMakespan is Cmax of the final placement.
+	FinalMakespan core.Cost
+	// MakespanAt samples (time, Cmax) once per Period.
+	Times     []int64
+	Makespans []core.Cost
+}
+
+type machineState struct {
+	jobs []int // sorted
+	busy bool
+}
+
+// Simulator executes the handshake protocol in virtual time.
+type Simulator struct {
+	model core.CostModel
+	proto protocol.Protocol
+	cfg   Config
+	sim   *des.Simulator
+	gens  []*rng.RNG
+	ms    []machineState
+	stats Stats
+}
+
+// New validates the configuration and prepares a run from the initial
+// placement (not mutated).
+func New(model core.CostModel, proto protocol.Protocol, initial *core.Assignment, cfg Config) (*Simulator, error) {
+	if !initial.Complete() {
+		return nil, fmt.Errorf("netsim: initial assignment must place every job")
+	}
+	if cfg.Latency < 1 {
+		return nil, fmt.Errorf("netsim: latency must be >= 1")
+	}
+	if cfg.Period < 1 {
+		return nil, fmt.Errorf("netsim: period must be >= 1")
+	}
+	if cfg.Horizon < 1 {
+		return nil, fmt.Errorf("netsim: horizon must be >= 1")
+	}
+	s := &Simulator{
+		model: model,
+		proto: proto,
+		cfg:   cfg,
+		sim:   des.New(),
+		ms:    make([]machineState, model.NumMachines()),
+	}
+	root := rng.New(cfg.Seed)
+	s.gens = make([]*rng.RNG, model.NumMachines())
+	for i := range s.gens {
+		s.gens[i] = root.Split()
+	}
+	for j := 0; j < model.NumJobs(); j++ {
+		i := initial.MachineOf(j)
+		s.ms[i].jobs = append(s.ms[i].jobs, j)
+	}
+	return s, nil
+}
+
+// send delivers fn at the receiver after one network hop.
+func (s *Simulator) send(fn func()) {
+	s.stats.Messages++
+	s.sim.After(s.cfg.Latency, des.PhaseTransfer, fn)
+}
+
+// Run executes until the horizon (plus drainage of in-flight handshakes)
+// and returns the statistics.
+func (s *Simulator) Run() Stats {
+	m := s.model.NumMachines()
+	if m > 1 {
+		for i := 0; i < m; i++ {
+			s.scheduleAttempt(i)
+		}
+	}
+	// Makespan sampling once per period.
+	var sampler func()
+	sampler = func() {
+		s.stats.Times = append(s.stats.Times, s.sim.Now())
+		s.stats.Makespans = append(s.stats.Makespans, s.makespan())
+		if s.sim.Now()+s.cfg.Period <= s.cfg.Horizon {
+			s.sim.After(s.cfg.Period, des.PhaseComplete, sampler)
+		}
+	}
+	s.sim.At(0, des.PhaseComplete, sampler)
+
+	// Drain the queue completely: no NEW session starts after the horizon
+	// (attempt checks the clock), but handshakes already on the wire
+	// finish, so ownership is never truncated mid-transfer.
+	for s.sim.Step() {
+	}
+	s.stats.FinalMakespan = s.makespan()
+	return s.stats
+}
+
+// scheduleAttempt queues machine i's next balancing attempt with jitter; it
+// stops re-arming once the horizon has passed so the event queue drains.
+func (s *Simulator) scheduleAttempt(i int) {
+	gap := s.cfg.Period/2 + s.gens[i].Int64n(s.cfg.Period) // U[P/2, 3P/2)
+	if gap < 1 {
+		gap = 1
+	}
+	if s.sim.Now()+gap > s.cfg.Horizon {
+		return
+	}
+	s.sim.After(gap, des.PhaseStart, func() { s.attempt(i) })
+}
+
+// attempt starts a session if machine i is free.
+func (s *Simulator) attempt(i int) {
+	defer s.scheduleAttempt(i)
+	if s.ms[i].busy {
+		return // still in a session (as target or initiator); try later
+	}
+	m := s.model.NumMachines()
+	peer := s.gens[i].Pick(m, i)
+	s.ms[i].busy = true
+	s.send(func() { s.onRequest(i, peer) })
+}
+
+// onRequest is the target's handler. On acceptance the target hands its
+// whole job list to the initiator (single ownership: from OFFER to COMMIT
+// the pooled jobs live at the initiator side of the handshake).
+func (s *Simulator) onRequest(initiator, target int) {
+	if s.ms[target].busy {
+		s.send(func() { s.onReject(initiator) })
+		return
+	}
+	s.ms[target].busy = true
+	offer := s.ms[target].jobs
+	s.ms[target].jobs = nil
+	s.send(func() { s.onOffer(initiator, target, offer) })
+}
+
+// onReject unlocks the initiator.
+func (s *Simulator) onReject(initiator int) {
+	s.stats.Rejections++
+	s.ms[initiator].busy = false
+}
+
+// onOffer runs the kernel at the initiator and commits.
+func (s *Simulator) onOffer(initiator, target int, targetJobs []int) {
+	union := mergeSorted(s.ms[initiator].jobs, targetJobs)
+	toI, toT := s.proto.Split(initiator, target, union)
+	toI = sortedCopy(toI)
+	toT = sortedCopy(toT)
+	s.ms[initiator].jobs = toI
+	s.ms[initiator].busy = false
+	s.stats.Sessions++
+	s.send(func() { s.onCommit(target, toT) })
+}
+
+// onCommit installs the target's new job list and unlocks it.
+func (s *Simulator) onCommit(target int, jobs []int) {
+	s.ms[target].jobs = jobs
+	s.ms[target].busy = false
+}
+
+// makespan computes Cmax from the owned job lists. Mid-handshake the pooled
+// jobs live at the initiator/on the wire, so a sample may transiently
+// undercount the target; it can never double-count (single ownership), and
+// the final value is taken after the queue drains with no handshake in
+// flight.
+func (s *Simulator) makespan() core.Cost {
+	var max core.Cost
+	for i := range s.ms {
+		var l core.Cost
+		for _, j := range s.ms[i].jobs {
+			l += s.model.Cost(i, j)
+		}
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// Placement reconstructs a core.Assignment from the current job lists.
+// Jobs in flight inside an interrupted handshake stay with their previous
+// owner.
+func (s *Simulator) Placement() (*core.Assignment, error) {
+	a := core.NewAssignment(s.model)
+	for i := range s.ms {
+		for _, j := range s.ms[i].jobs {
+			if a.MachineOf(j) != -1 {
+				return nil, fmt.Errorf("netsim: job %d owned twice", j)
+			}
+			a.Assign(j, i)
+		}
+	}
+	return a, nil
+}
+
+func mergeSorted(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	x, y := 0, 0
+	for x < len(a) && y < len(b) {
+		if a[x] < b[y] {
+			out = append(out, a[x])
+			x++
+		} else {
+			out = append(out, b[y])
+			y++
+		}
+	}
+	out = append(out, a[x:]...)
+	return append(out, b[y:]...)
+}
+
+func sortedCopy(s []int) []int {
+	c := append([]int(nil), s...)
+	sort.Ints(c)
+	return c
+}

@@ -1,0 +1,199 @@
+package netsim
+
+import (
+	"testing"
+
+	"hetlb/internal/core"
+	"hetlb/internal/protocol"
+	"hetlb/internal/rng"
+	"hetlb/internal/workload"
+)
+
+func TestConfigValidation(t *testing.T) {
+	gen := rng.New(1)
+	tc := workload.UniformTwoCluster(gen, 2, 2, 8, 1, 10)
+	init := core.RoundRobin(tc)
+	proto := protocol.DLB2C{Model: tc}
+	if _, err := New(tc, proto, init, Config{Latency: 0, Period: 5, Horizon: 100}); err == nil {
+		t.Fatal("latency 0 accepted")
+	}
+	if _, err := New(tc, proto, init, Config{Latency: 1, Period: 0, Horizon: 100}); err == nil {
+		t.Fatal("period 0 accepted")
+	}
+	if _, err := New(tc, proto, init, Config{Latency: 1, Period: 5, Horizon: 0}); err == nil {
+		t.Fatal("horizon 0 accepted")
+	}
+	incomplete := core.NewAssignment(tc)
+	if _, err := New(tc, proto, incomplete, Config{Latency: 1, Period: 5, Horizon: 100}); err == nil {
+		t.Fatal("incomplete initial accepted")
+	}
+}
+
+func TestJobConservationSingleOwnership(t *testing.T) {
+	gen := rng.New(2)
+	tc := workload.UniformTwoCluster(gen, 6, 3, 72, 1, 100)
+	init := core.RoundRobin(tc)
+	sim, err := New(tc, protocol.DLB2C{Model: tc}, init, Config{
+		Seed: 3, Latency: 2, Period: 10, Horizon: 2000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sim.Run()
+	a, err := sim.Placement()
+	if err != nil {
+		t.Fatal(err) // double ownership would error here
+	}
+	if !a.Complete() {
+		t.Fatalf("jobs lost: %d/%d placed", a.NumAssigned(), tc.NumJobs())
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if st.Sessions == 0 {
+		t.Fatal("no sessions completed")
+	}
+	if a.Makespan() != st.FinalMakespan {
+		t.Fatalf("final makespan mismatch: %d vs %d", a.Makespan(), st.FinalMakespan)
+	}
+}
+
+func TestImprovesOverInitial(t *testing.T) {
+	gen := rng.New(4)
+	tc := workload.UniformTwoCluster(gen, 8, 4, 96, 1, 100)
+	init := core.AllOnMachine(tc, 0)
+	before := init.Makespan()
+	sim, err := New(tc, protocol.DLB2C{Model: tc}, init, Config{
+		Seed: 5, Latency: 1, Period: 8, Horizon: 3000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sim.Run()
+	if st.FinalMakespan >= before/2 {
+		t.Fatalf("message-passing runtime barely improved: %d -> %d", before, st.FinalMakespan)
+	}
+}
+
+func TestRejectionsHappenUnderContention(t *testing.T) {
+	// Tiny system, aggressive period vs latency: initiators must collide
+	// and produce rejections without deadlocking.
+	gen := rng.New(6)
+	tc := workload.UniformTwoCluster(gen, 2, 1, 24, 1, 50)
+	init := core.RoundRobin(tc)
+	sim, err := New(tc, protocol.DLB2C{Model: tc}, init, Config{
+		Seed: 7, Latency: 5, Period: 3, Horizon: 4000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sim.Run()
+	if st.Rejections == 0 {
+		t.Fatal("no rejections despite heavy contention")
+	}
+	if st.Sessions == 0 {
+		t.Fatal("contention starved all sessions")
+	}
+	if _, err := sim.Placement(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHigherLatencyFewerSessions(t *testing.T) {
+	gen := rng.New(8)
+	tc := workload.UniformTwoCluster(gen, 4, 4, 64, 1, 100)
+	init := core.RoundRobin(tc)
+	run := func(latency int64) Stats {
+		sim, err := New(tc, protocol.DLB2C{Model: tc}, init, Config{
+			Seed: 9, Latency: latency, Period: 10, Horizon: 5000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sim.Run()
+	}
+	fast := run(1)
+	slow := run(40) // session takes 3 hops = 120 >> period: mostly busy
+	if slow.Sessions >= fast.Sessions {
+		t.Fatalf("latency 40 completed %d sessions vs %d at latency 1",
+			slow.Sessions, fast.Sessions)
+	}
+}
+
+func TestSamplingCoversHorizon(t *testing.T) {
+	gen := rng.New(10)
+	id := workload.UniformIdentical(gen, 4, 32, 1, 20)
+	init := core.RoundRobin(id)
+	sim, err := New(id, protocol.SameCost{Model: id}, init, Config{
+		Seed: 11, Latency: 1, Period: 50, Horizon: 1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sim.Run()
+	if len(st.Times) < 10 {
+		t.Fatalf("only %d samples over the horizon", len(st.Times))
+	}
+	for k := 1; k < len(st.Times); k++ {
+		if st.Times[k] <= st.Times[k-1] {
+			t.Fatal("sample times not increasing")
+		}
+	}
+	if st.Times[len(st.Times)-1] > 1000 {
+		t.Fatal("sampled past the horizon")
+	}
+}
+
+func TestMessageCountAccounting(t *testing.T) {
+	// Every session costs 3 messages; every rejection costs 2.
+	gen := rng.New(12)
+	tc := workload.UniformTwoCluster(gen, 3, 3, 36, 1, 50)
+	init := core.RoundRobin(tc)
+	sim, err := New(tc, protocol.DLB2C{Model: tc}, init, Config{
+		Seed: 13, Latency: 2, Period: 7, Horizon: 2000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sim.Run()
+	want := 3*st.Sessions + 2*st.Rejections
+	if st.Messages != want {
+		t.Fatalf("messages = %d, want 3·%d + 2·%d = %d",
+			st.Messages, st.Sessions, st.Rejections, want)
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	gen := rng.New(14)
+	tc := workload.UniformTwoCluster(gen, 4, 2, 48, 1, 60)
+	init := core.RoundRobin(tc)
+	run := func() Stats {
+		sim, err := New(tc, protocol.DLB2C{Model: tc}, init, Config{
+			Seed: 15, Latency: 3, Period: 9, Horizon: 1500,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sim.Run()
+	}
+	a, b := run(), run()
+	if a.Sessions != b.Sessions || a.Messages != b.Messages || a.FinalMakespan != b.FinalMakespan {
+		t.Fatal("same seed produced different runs")
+	}
+}
+
+func BenchmarkNetsimPaperScale(b *testing.B) {
+	gen := rng.New(16)
+	tc := workload.UniformTwoCluster(gen, 64, 32, 768, 1, 1000)
+	init := core.RoundRobin(tc)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim, err := New(tc, protocol.DLB2C{Model: tc}, init, Config{
+			Seed: uint64(i), Latency: 1, Period: 10, Horizon: 500,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sim.Run()
+	}
+}

@@ -1,0 +1,231 @@
+// Package pairwise implements the two-machine balancing kernels that the
+// decentralized protocols are built from:
+//
+//   - BasicGreedy (Algorithm 2): earliest-completion-time greedy over the
+//     union of the two machines' jobs; optimal when all jobs are of one type.
+//   - GreedyLoadBalancing (Algorithm 6): same-cluster rebalancing that sorts
+//     the union by cluster cost ratio and assigns each job to the less
+//     loaded machine.
+//   - CLB2C on a pair: Algorithm 5 run on two singleton clusters, used by
+//     DLB2C when the two machines belong to different clusters.
+//
+// Every kernel exists in two layers. The Split* functions are pure: given
+// the pooled job set they return the partition (jobs for the first machine,
+// jobs for the second) without touching any shared state — this is what the
+// concurrent runtime (internal/distrun) calls while holding only the two
+// machines involved. The same-named convenience wrappers apply a split to a
+// core.Assignment for the sequential engine and the tests.
+//
+// All kernels are deterministic functions of the pooled job set (not of how
+// the pair currently splits it), which makes them idempotent: applying the
+// same kernel to the same pair twice in a row leaves the partition
+// unchanged. Stability detection relies on this.
+package pairwise
+
+import (
+	"sort"
+
+	"hetlb/internal/core"
+)
+
+// Union returns the jobs currently assigned to either machine, in increasing
+// job order.
+func Union(a *core.Assignment, m1, m2 int) []int {
+	var jobs []int
+	for j := 0; j < a.Model().NumJobs(); j++ {
+		if i := a.MachineOf(j); i == m1 || i == m2 {
+			jobs = append(jobs, j)
+		}
+	}
+	return jobs
+}
+
+// Apply moves the pooled jobs of machines m1 and m2 according to a split.
+// Every job in to1/to2 must currently be assigned to m1 or m2.
+func Apply(a *core.Assignment, m1, m2 int, to1, to2 []int) {
+	for _, j := range to1 {
+		if a.MachineOf(j) != m1 {
+			a.Move(j, m1)
+		}
+	}
+	for _, j := range to2 {
+		if a.MachineOf(j) != m2 {
+			a.Move(j, m2)
+		}
+	}
+}
+
+// SplitBasicGreedy implements Algorithm 2 as a pure function: each job of
+// jobs (in the given order; callers pass increasing job index) goes to the
+// machine where it would complete earliest given the loads accumulated so
+// far, ties to the lower-indexed machine (so the kernel is a function of
+// the unordered pair and stability is well defined). When the jobs all have the same cost per machine (one job
+// type), the result is an optimal two-machine schedule (Lemma 3).
+func SplitBasicGreedy(m core.CostModel, m1, m2 int, jobs []int) (to1, to2 []int) {
+	if m1 > m2 {
+		to2, to1 = SplitBasicGreedy(m, m2, m1, jobs)
+		return to1, to2
+	}
+	var l1, l2 core.Cost
+	for _, j := range jobs {
+		c1, c2 := m.Cost(m1, j), m.Cost(m2, j)
+		if l1+c1 <= l2+c2 {
+			to1 = append(to1, j)
+			l1 += c1
+		} else {
+			to2 = append(to2, j)
+			l2 += c2
+		}
+	}
+	return to1, to2
+}
+
+// BasicGreedy applies SplitBasicGreedy to the live union of a pair.
+func BasicGreedy(a *core.Assignment, m1, m2 int) {
+	jobs := Union(a, m1, m2)
+	to1, to2 := SplitBasicGreedy(a.Model(), m1, m2, jobs)
+	Apply(a, m1, m2, to1, to2)
+}
+
+// BasicGreedyJobs is BasicGreedy restricted to an explicit job set (used by
+// MJTB to balance one type at a time). The jobs must currently be assigned
+// to m1 or m2.
+func BasicGreedyJobs(a *core.Assignment, m1, m2 int, jobs []int) {
+	to1, to2 := SplitBasicGreedy(a.Model(), m1, m2, jobs)
+	Apply(a, m1, m2, to1, to2)
+}
+
+// sortByOwnRatio orders jobs by increasing cost ratio own-cluster cost over
+// other-cluster cost (exact integer cross multiplication, index tie break).
+func sortByOwnRatio(c core.Clustered, own int, jobs []int) []int {
+	other := 1 - own
+	sorted := append([]int(nil), jobs...)
+	sort.Slice(sorted, func(x, y int) bool {
+		jx, jy := sorted[x], sorted[y]
+		lx := c.ClusterCost(own, jx) * c.ClusterCost(other, jy)
+		ly := c.ClusterCost(own, jy) * c.ClusterCost(other, jx)
+		if lx != ly {
+			return lx < ly
+		}
+		return jx < jy
+	})
+	return sorted
+}
+
+// SplitGreedyLoadBalancing implements Algorithm 6 as a pure function for two
+// machines of the same cluster: the pooled jobs are sorted by increasing
+// cost ratio of the pair's own cluster over the other cluster, then each job
+// goes to the machine with the smaller accumulated load (ties to the
+// lower-indexed machine, making the kernel symmetric in its arguments).
+//
+// The ratio order does not change the loads (both machines price jobs
+// identically) but it is essential to the stable-state analysis of
+// Theorem 7: it guarantees that the job of maximal ratio on the makespan
+// machine is placed last.
+func SplitGreedyLoadBalancing(c core.Clustered, m1, m2 int, jobs []int) (to1, to2 []int) {
+	if c.ClusterOf(m1) != c.ClusterOf(m2) {
+		panic("pairwise: GreedyLoadBalancing requires machines of the same cluster")
+	}
+	if m1 > m2 {
+		to2, to1 = SplitGreedyLoadBalancing(c, m2, m1, jobs)
+		return to1, to2
+	}
+	own := c.ClusterOf(m1)
+	var l1, l2 core.Cost
+	for _, j := range sortByOwnRatio(c, own, jobs) {
+		cost := c.ClusterCost(own, j)
+		if l1 <= l2 {
+			to1 = append(to1, j)
+			l1 += cost
+		} else {
+			to2 = append(to2, j)
+			l2 += cost
+		}
+	}
+	return to1, to2
+}
+
+// GreedyLoadBalancing applies SplitGreedyLoadBalancing to the live union of
+// a same-cluster pair.
+func GreedyLoadBalancing(a *core.Assignment, c core.Clustered, m1, m2 int) {
+	jobs := Union(a, m1, m2)
+	to1, to2 := SplitGreedyLoadBalancing(c, m1, m2, jobs)
+	Apply(a, m1, m2, to1, to2)
+}
+
+// SplitSameCost rebalances two machines that price every job identically
+// (identical machines, or any single-cluster model): each job, in the given
+// order, goes to the machine with the smaller accumulated load. This is
+// BasicGreedy specialized to equal costs and is the kernel used for the
+// homogeneous one-cluster experiments (Section VII.A).
+func SplitSameCost(m core.CostModel, m1, m2 int, jobs []int) (to1, to2 []int) {
+	if m1 > m2 {
+		to2, to1 = SplitSameCost(m, m2, m1, jobs)
+		return to1, to2
+	}
+	var l1, l2 core.Cost
+	for _, j := range jobs {
+		if l1 <= l2 {
+			to1 = append(to1, j)
+			l1 += m.Cost(m1, j)
+		} else {
+			to2 = append(to2, j)
+			l2 += m.Cost(m2, j)
+		}
+	}
+	return to1, to2
+}
+
+// GreedySameCost applies SplitSameCost to the live union of a pair.
+func GreedySameCost(a *core.Assignment, m1, m2 int) {
+	jobs := Union(a, m1, m2)
+	to1, to2 := SplitSameCost(a.Model(), m1, m2, jobs)
+	Apply(a, m1, m2, to1, to2)
+}
+
+// SplitCLB2C runs Algorithm 5 on two singleton clusters as a pure function.
+// mA and mB may be passed in either order; the returned toA/toB correspond
+// to mA/mB respectively. The jobs are sorted by increasing cluster-0/1 cost
+// ratio; at each step the head job is tentatively placed on the cluster-0
+// machine and the tail job on the cluster-1 machine, and the placement that
+// finishes earlier is committed (ties favor cluster 0).
+func SplitCLB2C(c core.Clustered, mA, mB int, jobs []int) (toA, toB []int) {
+	if c.ClusterOf(mA) == c.ClusterOf(mB) {
+		panic("pairwise: CLB2C on a pair requires machines of different clusters")
+	}
+	swapped := false
+	m0, m1 := mA, mB
+	if c.ClusterOf(m0) == 1 {
+		m0, m1 = m1, m0
+		swapped = true
+	}
+	sorted := sortByOwnRatio(c, 0, jobs)
+	var to0, to1 []int
+	var l0, l1 core.Cost
+	lo, hi := 0, len(sorted)-1
+	for lo <= hi {
+		jHead, jTail := sorted[lo], sorted[hi]
+		c0 := l0 + c.ClusterCost(0, jHead)
+		c1 := l1 + c.ClusterCost(1, jTail)
+		if c0 <= c1 {
+			to0 = append(to0, jHead)
+			l0 = c0
+			lo++
+		} else {
+			to1 = append(to1, jTail)
+			l1 = c1
+			hi--
+		}
+	}
+	if swapped {
+		return to1, to0
+	}
+	return to0, to1
+}
+
+// CLB2CPair applies SplitCLB2C to the live union of a cross-cluster pair.
+func CLB2CPair(a *core.Assignment, c core.Clustered, mA, mB int) {
+	jobs := Union(a, mA, mB)
+	toA, toB := SplitCLB2C(c, mA, mB, jobs)
+	Apply(a, mA, mB, toA, toB)
+}

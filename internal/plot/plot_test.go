@@ -1,0 +1,110 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewSeriesPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch accepted")
+		}
+	}()
+	NewSeries("bad", []float64{1, 2}, []float64{1})
+}
+
+func TestWriteCSV(t *testing.T) {
+	var b strings.Builder
+	s := []Series{
+		NewSeries("a", []float64{1, 2}, []float64{3, 4}),
+		NewSeries("b,with comma", []float64{5}, []float64{6}),
+	}
+	if err := WriteCSV(&b, s); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines: %q", len(lines), out)
+	}
+	if lines[0] != "series,x,y" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "a,1,3" || lines[2] != "a,2,4" {
+		t.Fatalf("rows = %q", lines[1:3])
+	}
+	if !strings.HasPrefix(lines[3], `"b,with comma"`) {
+		t.Fatalf("escaping broken: %q", lines[3])
+	}
+}
+
+func TestASCIIContainsMarkersAndLegend(t *testing.T) {
+	s := []Series{
+		NewSeries("first", []float64{0, 1, 2}, []float64{0, 1, 4}),
+		NewSeries("second", []float64{0, 1, 2}, []float64{4, 1, 0}),
+	}
+	out := ASCII("demo", s, 40, 10)
+	if !strings.Contains(out, "demo") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatal("markers missing")
+	}
+	if !strings.Contains(out, "first") || !strings.Contains(out, "second") {
+		t.Fatal("legend missing")
+	}
+}
+
+func TestASCIIEmpty(t *testing.T) {
+	out := ASCII("empty", nil, 40, 10)
+	if !strings.Contains(out, "(no data)") {
+		t.Fatal("empty chart should say so")
+	}
+}
+
+func TestASCIIConstantSeries(t *testing.T) {
+	// Constant x or y must not divide by zero.
+	s := []Series{NewSeries("flat", []float64{1, 1, 1}, []float64{2, 2, 2})}
+	out := ASCII("flat", s, 20, 5)
+	if !strings.Contains(out, "*") {
+		t.Fatal("flat series not plotted")
+	}
+}
+
+func TestASCIIMinimumDimensions(t *testing.T) {
+	s := []Series{NewSeries("p", []float64{0}, []float64{0})}
+	out := ASCII("tiny", s, 1, 1) // clamped internally
+	if len(out) == 0 {
+		t.Fatal("no output")
+	}
+}
+
+func TestTable(t *testing.T) {
+	out := Table([]string{"name", "value"}, [][]string{
+		{"alpha", "1"},
+		{"a-much-longer-name", "22"},
+	})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "name") {
+		t.Fatalf("header: %q", lines[0])
+	}
+	if !strings.Contains(lines[3], "a-much-longer-name") {
+		t.Fatal("row missing")
+	}
+	// Columns aligned: "value" column starts at the same offset in all rows.
+	idx := strings.Index(lines[0], "value")
+	if !strings.HasPrefix(lines[2][idx:], "1") || !strings.HasPrefix(lines[3][idx:], "22") {
+		t.Fatalf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestTableShortRow(t *testing.T) {
+	out := Table([]string{"a", "b"}, [][]string{{"only"}})
+	if !strings.Contains(out, "only") {
+		t.Fatal("short row dropped")
+	}
+}

@@ -1,0 +1,73 @@
+package protocol
+
+import (
+	"sort"
+
+	"hetlb/internal/core"
+	"hetlb/internal/pairwise"
+)
+
+// DLBKC extends DLB2C to k clusters of identical machines — the paper's
+// named future work. The pairwise rule generalizes naturally:
+//
+//   - machines of the same cluster pool their jobs and split them with a
+//     size-descending greedy (LPT order; any order keeps the residual
+//     imbalance within pmax, descending order tightens it in practice);
+//   - machines of different clusters a and b run CLB2C on the two-cluster
+//     restriction of the instance (costs of clusters a and b only).
+//
+// No approximation guarantee is proven for k > 2 (that is exactly what the
+// paper leaves open); the repository's benchmarks measure its equilibrium
+// quality against the fractional lower bound instead.
+type DLBKC struct {
+	// Model is the k-cluster instance; it must be the assignment's model.
+	Model *core.KCluster
+}
+
+// Name implements Protocol.
+func (DLBKC) Name() string { return "DLBKC" }
+
+// Split implements Protocol.
+func (p DLBKC) Split(i, j int, jobs []int) ([]int, []int) {
+	a := p.Model.ClusterOf(i)
+	b := p.Model.ClusterOf(j)
+	if a == b {
+		return p.splitSameCluster(a, i, j, jobs)
+	}
+	view := p.Model.PairView(a, b)
+	return pairwise.SplitCLB2C(view, i, j, jobs)
+}
+
+// splitSameCluster pools the jobs and assigns each, in decreasing size
+// (ties by index), to the machine with the smaller accumulated load; ties
+// go to the lower-indexed machine so the kernel is symmetric.
+func (p DLBKC) splitSameCluster(cluster, m1, m2 int, jobs []int) (to1, to2 []int) {
+	if m1 > m2 {
+		to2, to1 = p.splitSameCluster(cluster, m2, m1, jobs)
+		return to1, to2
+	}
+	sorted := append([]int(nil), jobs...)
+	sort.Slice(sorted, func(x, y int) bool {
+		cx := p.Model.ClusterCost(cluster, sorted[x])
+		cy := p.Model.ClusterCost(cluster, sorted[y])
+		if cx != cy {
+			return cx > cy
+		}
+		return sorted[x] < sorted[y]
+	})
+	var l1, l2 core.Cost
+	for _, j := range sorted {
+		c := p.Model.ClusterCost(cluster, j)
+		if l1 <= l2 {
+			to1 = append(to1, j)
+			l1 += c
+		} else {
+			to2 = append(to2, j)
+			l2 += c
+		}
+	}
+	return to1, to2
+}
+
+// Balance implements Protocol.
+func (p DLBKC) Balance(a *core.Assignment, i, j int) { balance(p, a, i, j) }

@@ -1,0 +1,172 @@
+// Package protocol defines the paper's decentralized balancing protocols as
+// deterministic pairwise step functions:
+//
+//   - OJTB (Algorithm 3): One Job Type Balancing — BasicGreedy per pair;
+//     converges to an optimal distribution when there is a single job type
+//     (Lemma 4).
+//   - MJTB (Algorithm 4): Multiple Job Type Balancing — OJTB applied
+//     independently per job type; converges to a k-approximation
+//     (Theorem 5).
+//   - DLB2C (Algorithm 7): Decentralized Load Balancing for Two Clusters —
+//     Greedy Load Balancing within a cluster, pairwise CLB2C across
+//     clusters; any stable schedule is a 2-approximation (Theorem 7), but
+//     the protocol may never stabilize (Proposition 8).
+//
+// Each protocol exposes the pure Split form (partition a pooled job set
+// between two machines) used by the concurrent runtime, and the Balance
+// form that applies the split to a core.Assignment, used by the sequential
+// gossip engine and the exhaustive state-space exploration of
+// Proposition 8. Both forms share the kernels in internal/pairwise.
+package protocol
+
+import (
+	"hetlb/internal/core"
+	"hetlb/internal/pairwise"
+)
+
+// Protocol is a decentralized balancing rule. Split must be a deterministic
+// function of (i, j, jobs) so that stability is well defined and so that the
+// sequential and concurrent engines behave identically.
+type Protocol interface {
+	// Name identifies the protocol in traces and benchmark output.
+	Name() string
+	// Split partitions the pooled jobs between machines i and j and
+	// returns the two sides. jobs is given in increasing index order and
+	// must not be mutated.
+	Split(i, j int, jobs []int) (toI, toJ []int)
+	// Balance performs one pairwise balancing step between machines i and
+	// j of the assignment.
+	Balance(a *core.Assignment, i, j int)
+}
+
+// balance pools the pair's jobs, splits them with p and applies the result.
+func balance(p Protocol, a *core.Assignment, i, j int) {
+	jobs := pairwise.Union(a, i, j)
+	toI, toJ := p.Split(i, j, jobs)
+	pairwise.Apply(a, i, j, toI, toJ)
+}
+
+// OJTB is Algorithm 3. It assumes (but does not verify) that all jobs have
+// the same processing time on any given machine; under that assumption each
+// pairwise step is an optimal two-machine rebalancing and the protocol
+// converges to a global optimum (Lemma 4).
+type OJTB struct {
+	// Model prices the jobs; it must be the model of any assignment
+	// passed to Balance.
+	Model core.CostModel
+}
+
+// Name implements Protocol.
+func (OJTB) Name() string { return "OJTB" }
+
+// Split implements Protocol using BasicGreedy (Algorithm 2).
+func (p OJTB) Split(i, j int, jobs []int) ([]int, []int) {
+	return pairwise.SplitBasicGreedy(p.Model, i, j, jobs)
+}
+
+// Balance implements Protocol.
+func (p OJTB) Balance(a *core.Assignment, i, j int) { balance(p, a, i, j) }
+
+// MJTB is Algorithm 4: the typed generalization of OJTB. Each pairwise step
+// rebalances every job type independently with BasicGreedy, so each type's
+// sub-schedule converges to its own optimum and the total makespan is at
+// most k·OPT (Theorem 5).
+type MJTB struct {
+	// Model is the typed instance; it must be the assignment's model.
+	Model *core.Typed
+}
+
+// Name implements Protocol.
+func (MJTB) Name() string { return "MJTB" }
+
+// Split implements Protocol.
+func (p MJTB) Split(i, j int, jobs []int) ([]int, []int) {
+	// Partition the union by type, preserving index order within a type,
+	// then balance each type independently.
+	byType := make([][]int, p.Model.NumTypes())
+	for _, job := range jobs {
+		t := p.Model.TypeOf(job)
+		byType[t] = append(byType[t], job)
+	}
+	var toI, toJ []int
+	for t := 0; t < p.Model.NumTypes(); t++ {
+		if len(byType[t]) == 0 {
+			continue
+		}
+		a, b := pairwise.SplitBasicGreedy(p.Model, i, j, byType[t])
+		toI = append(toI, a...)
+		toJ = append(toJ, b...)
+	}
+	return toI, toJ
+}
+
+// Balance implements Protocol.
+func (p MJTB) Balance(a *core.Assignment, i, j int) { balance(p, a, i, j) }
+
+// DLB2C is Algorithm 7 for a two-cluster model: same-cluster pairs use
+// Greedy Load Balancing (Algorithm 6), cross-cluster pairs use CLB2C on two
+// singleton clusters (Algorithm 5).
+type DLB2C struct {
+	// Model is the clustered instance; it must be the assignment's model.
+	Model core.Clustered
+}
+
+// Name implements Protocol.
+func (DLB2C) Name() string { return "DLB2C" }
+
+// Split implements Protocol.
+func (p DLB2C) Split(i, j int, jobs []int) ([]int, []int) {
+	if p.Model.ClusterOf(i) == p.Model.ClusterOf(j) {
+		return pairwise.SplitGreedyLoadBalancing(p.Model, i, j, jobs)
+	}
+	return pairwise.SplitCLB2C(p.Model, i, j, jobs)
+}
+
+// Balance implements Protocol.
+func (p DLB2C) Balance(a *core.Assignment, i, j int) { balance(p, a, i, j) }
+
+// SameCost is the single-cluster protocol used for the homogeneous
+// experiments of Section VII.A: every pair is balanced with the same-cost
+// greedy kernel. On an identical-machines model it is exactly the dynamics
+// the paper's Markov chain abstracts.
+type SameCost struct {
+	// Model prices the jobs; it must be the model of any assignment
+	// passed to Balance.
+	Model core.CostModel
+}
+
+// Name implements Protocol.
+func (SameCost) Name() string { return "SameCost" }
+
+// Split implements Protocol.
+func (p SameCost) Split(i, j int, jobs []int) ([]int, []int) {
+	return pairwise.SplitSameCost(p.Model, i, j, jobs)
+}
+
+// Balance implements Protocol.
+func (p SameCost) Balance(a *core.Assignment, i, j int) { balance(p, a, i, j) }
+
+// Stable reports whether the assignment is a fixed point of the protocol:
+// no pairwise balancing step changes the placement of any job. Stability is
+// the premise of Theorem 7 ("if the algorithm converges..."). The check is
+// O(m²) balancing steps, each on a clone.
+func Stable(p Protocol, a *core.Assignment) bool {
+	i, j := UnstablePair(p, a)
+	return i == -1 && j == -1
+}
+
+// UnstablePair returns a pair of machines whose balancing step would change
+// the assignment, or (-1, -1) if the assignment is stable.
+func UnstablePair(p Protocol, a *core.Assignment) (int, int) {
+	m := a.Model().NumMachines()
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			b := a.Clone()
+			p.Balance(b, i, j)
+			if !b.Equal(a) {
+				return i, j
+			}
+		}
+	}
+	return -1, -1
+}

@@ -1,0 +1,228 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("step %d: streams diverge: %d != %d", i, got, want)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams from different seeds coincide %d/100 times", same)
+	}
+}
+
+func TestZeroSeedValid(t *testing.T) {
+	r := New(0)
+	var acc uint64
+	for i := 0; i < 100; i++ {
+		acc |= r.Uint64()
+	}
+	if acc == 0 {
+		t.Fatal("seed 0 produced an all-zero stream")
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	a := parent.Split()
+	b := parent.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split streams coincide %d/100 times", same)
+	}
+}
+
+func TestSplitDeterminism(t *testing.T) {
+	a := New(9).Split()
+	b := New(9).Split()
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("Split is not deterministic")
+		}
+	}
+}
+
+func TestInt64nRange(t *testing.T) {
+	r := New(3)
+	if err := quick.Check(func(nRaw int64) bool {
+		n := nRaw%1000 + 1
+		if n <= 0 {
+			n = -n + 1
+		}
+		v := r.Int64n(n)
+		return v >= 0 && v < n
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInt64nPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n=0")
+		}
+	}()
+	New(1).Int64n(0)
+}
+
+func TestIntRangeInclusive(t *testing.T) {
+	r := New(5)
+	seenLo, seenHi := false, false
+	for i := 0; i < 10000; i++ {
+		v := r.IntRange(10, 13)
+		if v < 10 || v > 13 {
+			t.Fatalf("IntRange out of bounds: %d", v)
+		}
+		if v == 10 {
+			seenLo = true
+		}
+		if v == 13 {
+			seenHi = true
+		}
+	}
+	if !seenLo || !seenHi {
+		t.Fatal("IntRange endpoints never sampled")
+	}
+}
+
+func TestIntRangeSingleton(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 10; i++ {
+		if v := r.IntRange(4, 4); v != 4 {
+			t.Fatalf("IntRange(4,4) = %d", v)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(11)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 || math.IsNaN(v) {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestUniformityChiSquare(t *testing.T) {
+	// Crude uniformity check for Intn over 10 buckets: chi-square with 9
+	// degrees of freedom should be far below 30 for a healthy generator.
+	r := New(123)
+	const buckets, samples = 10, 100000
+	counts := make([]float64, buckets)
+	for i := 0; i < samples; i++ {
+		counts[r.Intn(buckets)]++
+	}
+	expected := float64(samples) / buckets
+	chi2 := 0.0
+	for _, c := range counts {
+		d := c - expected
+		chi2 += d * d / expected
+	}
+	if chi2 > 30 {
+		t.Fatalf("chi-square too large: %v (counts %v)", chi2, counts)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(17)
+	for n := 1; n <= 32; n++ {
+		p := r.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) is not a permutation: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestPickExcludes(t *testing.T) {
+	r := New(23)
+	for n := 2; n <= 8; n++ {
+		for excluded := 0; excluded < n; excluded++ {
+			seen := make(map[int]bool)
+			for i := 0; i < 200; i++ {
+				v := r.Pick(n, excluded)
+				if v == excluded {
+					t.Fatalf("Pick(%d, %d) returned the excluded value", n, excluded)
+				}
+				if v < 0 || v >= n {
+					t.Fatalf("Pick(%d, %d) out of range: %d", n, excluded, v)
+				}
+				seen[v] = true
+			}
+			if len(seen) != n-1 {
+				t.Fatalf("Pick(%d, %d) did not cover all candidates: %v", n, excluded, seen)
+			}
+		}
+	}
+}
+
+func TestPickPanicsOnTooFew(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n=1")
+		}
+	}()
+	New(1).Pick(1, 0)
+}
+
+func TestShuffleSwapConsistency(t *testing.T) {
+	// Shuffle via the swap callback must agree with ShuffleInts for the
+	// same generator state.
+	a := New(99)
+	b := New(99)
+	s1 := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	s2 := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	a.ShuffleInts(s1)
+	b.Shuffle(len(s2), func(i, k int) { s2[i], s2[k] = s2[k], s2[i] })
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("Shuffle and ShuffleInts disagree: %v vs %v", s1, s2)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkIntn(b *testing.B) {
+	r := New(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += r.Intn(1000)
+	}
+	_ = sink
+}

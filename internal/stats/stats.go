@@ -1,0 +1,205 @@
+// Package stats provides the small statistical toolkit used to reduce
+// experiment output: summaries, quantiles, histograms and empirical
+// CDFs/PDFs. It is deliberately dependency-free and operates on float64
+// samples.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds the usual descriptive statistics of a sample.
+type Summary struct {
+	N                               int
+	Min, Max                        float64
+	Mean, Std                       float64
+	P25, Median, P75, P90, P95, P99 float64
+}
+
+// Summarize computes a Summary. It returns a zero Summary for an empty
+// sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	var sum, sum2 float64
+	for _, v := range s {
+		sum += v
+		sum2 += v * v
+	}
+	n := float64(len(s))
+	mean := sum / n
+	variance := sum2/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return Summary{
+		N:      len(s),
+		Min:    s[0],
+		Max:    s[len(s)-1],
+		Mean:   mean,
+		Std:    math.Sqrt(variance),
+		P25:    Quantile(s, 0.25),
+		Median: Quantile(s, 0.5),
+		P75:    Quantile(s, 0.75),
+		P90:    Quantile(s, 0.90),
+		P95:    Quantile(s, 0.95),
+		P99:    Quantile(s, 0.99),
+	}
+}
+
+// String renders the summary on one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d min=%.3g p25=%.3g med=%.3g mean=%.3g p75=%.3g p90=%.3g max=%.3g std=%.3g",
+		s.N, s.Min, s.P25, s.Median, s.Mean, s.P75, s.P90, s.Max, s.Std)
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of an already sorted sample
+// using linear interpolation between order statistics. It panics on an empty
+// sample.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		panic("stats: Quantile of empty sample")
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Histogram is a fixed-width binning of a sample over [Lo, Hi).
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	Under  int // samples below Lo
+	Over   int // samples at or above Hi
+	Total  int
+}
+
+// NewHistogram builds a histogram with the given number of bins over
+// [lo, hi). It panics if bins <= 0 or hi <= lo.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 {
+		panic("stats: histogram needs at least one bin")
+	}
+	if hi <= lo {
+		panic("stats: histogram needs hi > lo")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.Total++
+	switch {
+	case x < h.Lo:
+		h.Under++
+	case x >= h.Hi:
+		h.Over++
+	default:
+		k := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
+		if k == len(h.Counts) { // x == Hi guarded above; float edge safety
+			k--
+		}
+		h.Counts[k]++
+	}
+}
+
+// BinCenter returns the center of bin k.
+func (h *Histogram) BinCenter(k int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + (float64(k)+0.5)*w
+}
+
+// Density returns the empirical probability density of bin k (mass divided
+// by bin width), so densities integrate to the in-range mass.
+func (h *Histogram) Density(k int) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return float64(h.Counts[k]) / float64(h.Total) / w
+}
+
+// Mass returns the fraction of all observations in bin k.
+func (h *Histogram) Mass(k int) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	return float64(h.Counts[k]) / float64(h.Total)
+}
+
+// Mode returns the center of the fullest bin.
+func (h *Histogram) Mode() float64 {
+	best := 0
+	for k, c := range h.Counts {
+		if c > h.Counts[best] {
+			best = k
+		}
+	}
+	return h.BinCenter(best)
+}
+
+// CDF is an empirical cumulative distribution function.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds a CDF from a sample (copied and sorted).
+func NewCDF(xs []float64) *CDF {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return &CDF{sorted: s}
+}
+
+// At returns P(X ≤ x).
+func (c *CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	// Upper bound: first index with sorted[i] > x.
+	k := sort.Search(len(c.sorted), func(i int) bool { return c.sorted[i] > x })
+	return float64(k) / float64(len(c.sorted))
+}
+
+// InverseAt returns the q-quantile of the sample.
+func (c *CDF) InverseAt(q float64) float64 {
+	return Quantile(c.sorted, q)
+}
+
+// Len returns the sample size.
+func (c *CDF) Len() int { return len(c.sorted) }
+
+// Mean returns the arithmetic mean of a sample (0 for empty).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range xs {
+		sum += v
+	}
+	return sum / float64(len(xs))
+}
+
+// FromCosts converts an integer cost/load slice to float64 samples.
+func FromCosts(cs []int64) []float64 {
+	out := make([]float64, len(cs))
+	for i, c := range cs {
+		out[i] = float64(c)
+	}
+	return out
+}

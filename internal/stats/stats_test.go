@@ -1,0 +1,185 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hetlb/internal/rng"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("bad extremes: %+v", s)
+	}
+	if !almost(s.Mean, 3) || !almost(s.Median, 3) {
+		t.Fatalf("bad center: %+v", s)
+	}
+	if !almost(s.Std, math.Sqrt(2)) {
+		t.Fatalf("std = %v, want sqrt(2)", s.Std)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary not zero: %+v", s)
+	}
+}
+
+func TestSummarizeDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Summarize(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Summarize mutated its input")
+	}
+}
+
+func TestQuantileEndpoints(t *testing.T) {
+	s := []float64{10, 20, 30, 40}
+	if Quantile(s, 0) != 10 || Quantile(s, 1) != 40 {
+		t.Fatal("endpoint quantiles wrong")
+	}
+	if !almost(Quantile(s, 0.5), 25) {
+		t.Fatalf("median = %v, want 25", Quantile(s, 0.5))
+	}
+}
+
+func TestQuantileMonotone(t *testing.T) {
+	gen := rng.New(1)
+	xs := make([]float64, 50)
+	for i := range xs {
+		xs[i] = gen.Float64() * 100
+	}
+	c := NewCDF(xs)
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		v := c.InverseAt(q)
+		if v < prev {
+			t.Fatalf("quantile not monotone at q=%v: %v < %v", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestHistogramBinning(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{0, 1.9, 2, 5.5, 9.99, -1, 10, 42} {
+		h.Add(x)
+	}
+	if h.Total != 8 {
+		t.Fatalf("Total = %d", h.Total)
+	}
+	if h.Under != 1 || h.Over != 2 {
+		t.Fatalf("Under=%d Over=%d", h.Under, h.Over)
+	}
+	if h.Counts[0] != 2 { // 0 and 1.9
+		t.Fatalf("bin0 = %d", h.Counts[0])
+	}
+	if h.Counts[1] != 1 || h.Counts[2] != 1 || h.Counts[4] != 1 {
+		t.Fatalf("counts = %v", h.Counts)
+	}
+}
+
+func TestHistogramMassAndDensity(t *testing.T) {
+	h := NewHistogram(0, 1, 2)
+	h.Add(0.1)
+	h.Add(0.2)
+	h.Add(0.7)
+	if !almost(h.Mass(0), 2.0/3) {
+		t.Fatalf("Mass(0) = %v", h.Mass(0))
+	}
+	// bin width 0.5: density = mass / width.
+	if !almost(h.Density(0), (2.0/3)/0.5) {
+		t.Fatalf("Density(0) = %v", h.Density(0))
+	}
+	if !almost(h.Mode(), 0.25) {
+		t.Fatalf("Mode = %v", h.Mode())
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewHistogram(0, 1, 0) },
+		func() { NewHistogram(1, 1, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCDFProperties(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 2, 3})
+	if !almost(c.At(0), 0) || !almost(c.At(5), 1) {
+		t.Fatal("CDF tails wrong")
+	}
+	if !almost(c.At(2), 0.75) {
+		t.Fatalf("At(2) = %v, want 0.75", c.At(2))
+	}
+	if !almost(c.At(1.5), 0.25) {
+		t.Fatalf("At(1.5) = %v, want 0.25", c.At(1.5))
+	}
+	if c.Len() != 4 {
+		t.Fatal("Len wrong")
+	}
+}
+
+func TestCDFMonotoneProperty(t *testing.T) {
+	gen := rng.New(2)
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = gen.Float64() * 10
+	}
+	c := NewCDF(xs)
+	f := func(a, b float64) bool {
+		x := math.Mod(math.Abs(a), 12)
+		y := math.Mod(math.Abs(b), 12)
+		if x > y {
+			x, y = y, x
+		}
+		return c.At(x) <= c.At(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanAndFromCosts(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+	xs := FromCosts([]int64{2, 4, 6})
+	if !almost(Mean(xs), 4) {
+		t.Fatalf("Mean = %v", Mean(xs))
+	}
+}
+
+func TestHistogramDensityIntegratesToInRangeMass(t *testing.T) {
+	gen := rng.New(3)
+	h := NewHistogram(0, 100, 20)
+	inRange := 0
+	for i := 0; i < 1000; i++ {
+		x := gen.Float64()*120 - 10
+		h.Add(x)
+		if x >= 0 && x < 100 {
+			inRange++
+		}
+	}
+	w := 100.0 / 20
+	var integral float64
+	for k := range h.Counts {
+		integral += h.Density(k) * w
+	}
+	if !almost(integral, float64(inRange)/1000) {
+		t.Fatalf("density integral %v != in-range mass %v", integral, float64(inRange)/1000)
+	}
+}

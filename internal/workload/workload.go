@@ -1,0 +1,127 @@
+// Package workload generates problem instances: the random workloads used by
+// the paper's evaluation (job lengths uniform on [1, 1000]) and the three
+// hand-crafted adversarial instances of Table I, Table II and Figure 1.
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"hetlb/internal/core"
+	"hetlb/internal/rng"
+)
+
+// UniformIdentical returns an identical-machines instance with n jobs whose
+// sizes are uniform on [lo, hi]. This is the paper's homogeneous workload
+// (one cluster of 96 machines, 768 jobs, sizes U[1,1000]).
+func UniformIdentical(r *rng.RNG, m, n int, lo, hi core.Cost) *core.Identical {
+	sizes := make([]core.Cost, n)
+	for j := range sizes {
+		sizes[j] = r.IntRange(lo, hi)
+	}
+	id, err := core.NewIdentical(m, sizes)
+	if err != nil {
+		panic(err) // m > 0 is the caller's responsibility; misuse is a bug
+	}
+	return id
+}
+
+// UniformTwoCluster returns a two-cluster instance with m1+m2 machines and n
+// jobs whose per-cluster costs are drawn independently and uniformly on
+// [lo, hi]. This is the paper's heterogeneous workload (clusters of 64 and
+// 32 machines, 768 jobs, costs U[1,1000]): "the time to execute a job on
+// each cluster is a probability distribution", independent per cluster.
+func UniformTwoCluster(r *rng.RNG, m1, m2, n int, lo, hi core.Cost) *core.TwoCluster {
+	p0 := make([]core.Cost, n)
+	p1 := make([]core.Cost, n)
+	for j := 0; j < n; j++ {
+		p0[j] = r.IntRange(lo, hi)
+		p1[j] = r.IntRange(lo, hi)
+	}
+	tc, err := core.NewTwoCluster(m1, m2, p0, p1)
+	if err != nil {
+		panic(err)
+	}
+	return tc
+}
+
+// CorrelatedTwoCluster returns a two-cluster instance where cluster-1 costs
+// are the cluster-0 cost scaled by a per-job factor drawn uniformly from
+// [1/maxRatio, maxRatio]. It models accelerators that are consistently
+// faster or slower per job family, and is used in ablation benches.
+func CorrelatedTwoCluster(r *rng.RNG, m1, m2, n int, lo, hi core.Cost, maxRatio float64) *core.TwoCluster {
+	if maxRatio < 1 {
+		panic(fmt.Sprintf("workload: maxRatio must be >= 1, got %v", maxRatio))
+	}
+	p0 := make([]core.Cost, n)
+	p1 := make([]core.Cost, n)
+	for j := 0; j < n; j++ {
+		p0[j] = r.IntRange(lo, hi)
+		// log-uniform ratio in [1/maxRatio, maxRatio]
+		u := r.Float64()*2 - 1 // [-1, 1)
+		ratio := math.Pow(maxRatio, u)
+		c := core.Cost(float64(p0[j]) * ratio)
+		if c < 1 {
+			c = 1
+		}
+		p1[j] = c
+	}
+	tc, err := core.NewTwoCluster(m1, m2, p0, p1)
+	if err != nil {
+		panic(err)
+	}
+	return tc
+}
+
+// UniformTyped returns a typed instance with k job types. The cost of each
+// (machine, type) pair is uniform on [lo, hi] and each job's type is uniform
+// on [0, k).
+func UniformTyped(r *rng.RNG, m, n, k int, lo, hi core.Cost) *core.Typed {
+	p := make([][]core.Cost, m)
+	for i := range p {
+		p[i] = make([]core.Cost, k)
+		for t := range p[i] {
+			p[i][t] = r.IntRange(lo, hi)
+		}
+	}
+	typeOf := make([]int, n)
+	for j := range typeOf {
+		typeOf[j] = r.Intn(k)
+	}
+	ty, err := core.NewTyped(p, typeOf)
+	if err != nil {
+		panic(err)
+	}
+	return ty
+}
+
+// UniformDense returns a fully unrelated instance with all m×n costs drawn
+// independently and uniformly on [lo, hi].
+func UniformDense(r *rng.RNG, m, n int, lo, hi core.Cost) *core.Dense {
+	p := make([][]core.Cost, m)
+	for i := range p {
+		p[i] = make([]core.Cost, n)
+		for j := range p[i] {
+			p[i][j] = r.IntRange(lo, hi)
+		}
+	}
+	return core.MustDense(p)
+}
+
+// UniformRelated returns a related instance with integer speeds uniform on
+// [1, maxSpeed] and job sizes uniform on [lo, hi].
+func UniformRelated(r *rng.RNG, m, n int, maxSpeed int64, lo, hi core.Cost) *core.Related {
+	speeds := make([]int64, m)
+	for i := range speeds {
+		speeds[i] = r.IntRange(1, maxSpeed)
+	}
+	sizes := make([]core.Cost, n)
+	for j := range sizes {
+		sizes[j] = r.IntRange(lo, hi)
+	}
+	rel, err := core.NewRelated(speeds, sizes)
+	if err != nil {
+		panic(err)
+	}
+	return rel
+}

@@ -1,0 +1,173 @@
+package workload
+
+import (
+	"testing"
+
+	"hetlb/internal/core"
+	"hetlb/internal/rng"
+)
+
+func TestUniformIdenticalRanges(t *testing.T) {
+	gen := rng.New(1)
+	id := UniformIdentical(gen, 96, 768, 1, 1000)
+	if id.NumMachines() != 96 || id.NumJobs() != 768 {
+		t.Fatalf("dims %dx%d", id.NumMachines(), id.NumJobs())
+	}
+	for j := 0; j < 768; j++ {
+		if s := id.Size(j); s < 1 || s > 1000 {
+			t.Fatalf("job %d size %d out of [1,1000]", j, s)
+		}
+	}
+}
+
+func TestUniformTwoClusterRanges(t *testing.T) {
+	gen := rng.New(2)
+	tc := UniformTwoCluster(gen, 64, 32, 768, 1, 1000)
+	if tc.NumMachines() != 96 || tc.NumJobs() != 768 {
+		t.Fatalf("dims %dx%d", tc.NumMachines(), tc.NumJobs())
+	}
+	for j := 0; j < 768; j++ {
+		for c := 0; c < 2; c++ {
+			if v := tc.ClusterCost(c, j); v < 1 || v > 1000 {
+				t.Fatalf("cost[%d][%d] = %d", c, j, v)
+			}
+		}
+	}
+}
+
+func TestUniformTwoClusterIndependence(t *testing.T) {
+	// The two cluster cost vectors should not be identical (they are
+	// drawn independently).
+	gen := rng.New(3)
+	tc := UniformTwoCluster(gen, 2, 2, 200, 1, 1000)
+	same := 0
+	for j := 0; j < 200; j++ {
+		if tc.ClusterCost(0, j) == tc.ClusterCost(1, j) {
+			same++
+		}
+	}
+	if same > 10 {
+		t.Fatalf("%d/200 identical cluster costs; generator correlated?", same)
+	}
+}
+
+func TestCorrelatedTwoClusterRatioBounded(t *testing.T) {
+	gen := rng.New(4)
+	tc := CorrelatedTwoCluster(gen, 2, 2, 300, 10, 1000, 3)
+	for j := 0; j < 300; j++ {
+		a := float64(tc.ClusterCost(0, j))
+		b := float64(tc.ClusterCost(1, j))
+		r := b / a
+		if r > 3.5 || r < 1/3.5 { // slack for integer truncation
+			t.Fatalf("job %d ratio %v outside [1/3, 3]", j, r)
+		}
+		if b < 1 {
+			t.Fatalf("job %d cost below 1", j)
+		}
+	}
+}
+
+func TestCorrelatedPanicsOnBadRatio(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("maxRatio < 1 accepted")
+		}
+	}()
+	CorrelatedTwoCluster(rng.New(1), 1, 1, 1, 1, 10, 0.5)
+}
+
+func TestUniformTypedShape(t *testing.T) {
+	gen := rng.New(5)
+	ty := UniformTyped(gen, 5, 100, 4, 1, 50)
+	if ty.NumTypes() != 4 || ty.NumJobs() != 100 || ty.NumMachines() != 5 {
+		t.Fatal("bad dims")
+	}
+	counted := 0
+	for k := 0; k < 4; k++ {
+		counted += len(ty.JobsOfType(k))
+	}
+	if counted != 100 {
+		t.Fatalf("types partition %d/100 jobs", counted)
+	}
+}
+
+func TestUniformDenseAndRelated(t *testing.T) {
+	gen := rng.New(6)
+	d := UniformDense(gen, 4, 9, 5, 15)
+	if err := core.CheckModel(d); err != nil {
+		t.Fatal(err)
+	}
+	rel := UniformRelated(gen, 4, 9, 10, 1, 100)
+	if err := core.CheckModel(rel); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkStealingTrapShape(t *testing.T) {
+	d, a := WorkStealingTrap(50)
+	if d.NumMachines() != 3 || d.NumJobs() != 5 {
+		t.Fatal("Table I dims wrong")
+	}
+	// Initial distribution: job0 on B, job1 on C, jobs 2..4 on A.
+	if a.MachineOf(0) != 1 || a.MachineOf(1) != 2 {
+		t.Fatal("Table I circled distribution wrong")
+	}
+	for j := 2; j < 5; j++ {
+		if a.MachineOf(j) != 0 {
+			t.Fatal("Table I circled distribution wrong")
+		}
+	}
+	// Each job must cost n on its initial machine (that is the trap).
+	for j := 0; j < 5; j++ {
+		if d.Cost(a.MachineOf(j), j) != 50 {
+			t.Fatalf("job %d costs %d on its trap machine, want 50", j, d.Cost(a.MachineOf(j), j))
+		}
+	}
+	opt := WorkStealingTrapOptimal(d)
+	if opt.Makespan() != 2 {
+		t.Fatalf("claimed optimal has makespan %d, want 2", opt.Makespan())
+	}
+}
+
+func TestPairwiseTrapShape(t *testing.T) {
+	d, a := PairwiseTrap(9)
+	if d.NumMachines() != 3 || d.NumJobs() != 3 {
+		t.Fatal("Table II dims wrong")
+	}
+	if a.Makespan() != 9 {
+		t.Fatalf("trap makespan %d, want 9", a.Makespan())
+	}
+	opt := PairwiseTrapOptimal(d)
+	if opt.Makespan() != 1 {
+		t.Fatalf("optimal makespan %d, want 1", opt.Makespan())
+	}
+	// Structure: job j costs 1 on machine j, n on (j+1)%3, n² on (j+2)%3.
+	for j := 0; j < 3; j++ {
+		if d.Cost(j, j) != 1 || d.Cost((j+1)%3, j) != 9 || d.Cost((j+2)%3, j) != 81 {
+			t.Fatalf("Table II costs wrong for job %d", j)
+		}
+	}
+}
+
+func TestCycleInstanceShape(t *testing.T) {
+	tc, a := CycleInstance()
+	if tc.NumMachines() != 3 || tc.NumJobs() != 5 {
+		t.Fatal("Figure 1 instance dims wrong")
+	}
+	if !a.Complete() {
+		t.Fatal("initial assignment incomplete")
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a := UniformTwoCluster(rng.New(99), 4, 4, 50, 1, 100)
+	b := UniformTwoCluster(rng.New(99), 4, 4, 50, 1, 100)
+	for j := 0; j < 50; j++ {
+		if a.ClusterCost(0, j) != b.ClusterCost(0, j) || a.ClusterCost(1, j) != b.ClusterCost(1, j) {
+			t.Fatal("generator not deterministic")
+		}
+	}
+}
