@@ -1,0 +1,24 @@
+# Developer entry points; CI (.github/workflows/ci.yml) runs `make check`.
+
+GO ?= go
+
+.PHONY: check vet build test race bench
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The concurrent runtime and the observability layer are the packages with
+# real cross-goroutine traffic; keep them under the race detector.
+race:
+	$(GO) test -race ./internal/distrun/... ./internal/obs/... ./internal/gossip/...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

@@ -244,3 +244,35 @@ func BenchmarkMessagePassingLatency1(b *testing.B) { benchNetLatency(b, 1) }
 
 // BenchmarkMessagePassingLatency20 is the high-latency variant.
 func BenchmarkMessagePassingLatency20(b *testing.B) { benchNetLatency(b, 20) }
+
+// BenchmarkGossipBare / BenchmarkGossipObserved quantify the cost of full
+// observability (metrics registry + event trace) on the sequential engine.
+// The record path is allocation-free by construction, so the gap should stay
+// within a few percent; the measured number is documented in README.md.
+func BenchmarkGossipBare(b *testing.B) {
+	benchGossipObserved(b, false)
+}
+
+// BenchmarkGossipObserved is the fully instrumented variant.
+func BenchmarkGossipObserved(b *testing.B) {
+	benchGossipObserved(b, true)
+}
+
+func benchGossipObserved(b *testing.B, observed bool) {
+	tc := ablationInstance(b)
+	var reg *hetlb.MetricsRegistry
+	var tr *hetlb.EventTrace
+	if observed {
+		reg = hetlb.NewMetricsRegistry()
+		tr = hetlb.NewEventTrace(1 << 16)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		initial := hetlb.RandomInitial(tc, uint64(i))
+		if _, err := hetlb.DLB2C(tc, initial, hetlb.RunOptions{
+			Seed: uint64(i), MaxExchanges: 24 * 10, Metrics: reg, Trace: tr,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -56,8 +56,13 @@ subcommands:
   explore    enumerate reachable schedules / prove non-convergence (Prop. 8)
   solve      exactly solve a small cost matrix read from stdin
 
+sim and worksteal accept observability flags: --metrics-out (Prometheus
+text, or JSON with --metrics-json), --trace-out (Chrome trace_event JSON,
+or --trace-format=jsonl) and --pprof <addr>.
+
 examples:
   hetlb sim -proto dlb2c -m1 64 -m2 32 -jobs 768 -steps 480
+  hetlb sim -proto dlb2c --metrics-out=- --trace-out=trace.json
   hetlb markov -m 6 -pmax 4
   hetlb worksteal -trap 1000
   echo '1,2,3

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof"
+	"os"
+
+	"hetlb"
+)
+
+// obsFlags is the shared observability flag set: any subcommand that calls
+// register gains --metrics-out / --trace-out / --pprof.
+type obsFlags struct {
+	metricsOut  string
+	metricsJSON bool
+	traceOut    string
+	traceFormat string
+	traceCap    int
+	pprofAddr   string
+}
+
+func (o *obsFlags) register(fs *flag.FlagSet) {
+	fs.StringVar(&o.metricsOut, "metrics-out", "", "write run metrics to this file after the run (\"-\" = stdout)")
+	fs.BoolVar(&o.metricsJSON, "metrics-json", false, "emit metrics as JSON instead of Prometheus text")
+	fs.StringVar(&o.traceOut, "trace-out", "", "write the event trace to this file after the run (\"-\" = stdout)")
+	fs.StringVar(&o.traceFormat, "trace-format", "chrome", "trace format: chrome (trace_event JSON) or jsonl")
+	fs.IntVar(&o.traceCap, "trace-cap", 1<<20, "event trace ring capacity (oldest events overwritten beyond it)")
+	fs.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the run's duration")
+}
+
+// setup builds the registry and tracer the flags ask for (nil when the
+// corresponding output is disabled) and starts the pprof server if requested.
+func (o *obsFlags) setup() (*hetlb.MetricsRegistry, *hetlb.EventTrace, error) {
+	switch o.traceFormat {
+	case "chrome", "jsonl":
+	default:
+		return nil, nil, fmt.Errorf("unknown trace format %q (want chrome or jsonl)", o.traceFormat)
+	}
+	var reg *hetlb.MetricsRegistry
+	var tr *hetlb.EventTrace
+	if o.metricsOut != "" {
+		reg = hetlb.NewMetricsRegistry()
+	}
+	if o.traceOut != "" {
+		if o.traceCap <= 0 {
+			return nil, nil, fmt.Errorf("trace capacity must be positive")
+		}
+		tr = hetlb.NewEventTrace(o.traceCap)
+	}
+	if o.pprofAddr != "" {
+		// Bind synchronously so an unusable address fails the command
+		// instead of silently running without profiling.
+		ln, err := net.Listen("tcp", o.pprofAddr)
+		if err != nil {
+			return nil, nil, fmt.Errorf("pprof server: %w", err)
+		}
+		go http.Serve(ln, nil)
+		fmt.Fprintf(os.Stderr, "pprof: serving on http://%s/debug/pprof/\n", ln.Addr())
+	}
+	return reg, tr, nil
+}
+
+// flush writes the collected metrics and trace to their destinations.
+func (o *obsFlags) flush(reg *hetlb.MetricsRegistry, tr *hetlb.EventTrace) error {
+	if reg != nil {
+		err := withOut(o.metricsOut, func(f *os.File) error {
+			if o.metricsJSON {
+				return reg.WriteJSON(f)
+			}
+			return reg.WritePrometheus(f)
+		})
+		if err != nil {
+			return fmt.Errorf("writing metrics: %w", err)
+		}
+	}
+	if tr != nil {
+		if n := tr.Dropped(); n > 0 {
+			fmt.Fprintf(os.Stderr, "trace: ring overflowed, oldest %d events dropped (raise -trace-cap)\n", n)
+		}
+		err := withOut(o.traceOut, func(f *os.File) error {
+			if o.traceFormat == "jsonl" {
+				return tr.WriteJSONL(f)
+			}
+			return tr.WriteChromeTrace(f)
+		})
+		if err != nil {
+			return fmt.Errorf("writing trace: %w", err)
+		}
+	}
+	return nil
+}
+
+// withOut runs fn on the named file ("-" = stdout), creating and closing it
+// as needed.
+func withOut(path string, fn func(*os.File) error) error {
+	if path == "-" {
+		return fn(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -26,16 +26,24 @@ func cmdSim(args []string) error {
 	seed := fs.Uint64("seed", 1, "random seed")
 	concurrent := fs.Bool("concurrent", false, "use the goroutine-per-machine runtime")
 	stable := fs.Bool("stable", false, "stop early at a verified stable schedule (sequential only)")
+	var ob obsFlags
+	ob.register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	gen := rng.New(*seed)
+	reg, tr, err := ob.setup()
+	if err != nil {
+		return err
+	}
 
 	opt := hetlb.RunOptions{
 		Seed:            gen.Uint64(),
 		Concurrent:      *concurrent,
 		DetectStability: *stable,
 		QuiesceStreak:   64,
+		Metrics:         reg,
+		Trace:           tr,
 	}
 
 	switch *proto {
@@ -93,7 +101,7 @@ func cmdSim(args []string) error {
 	default:
 		return fmt.Errorf("unknown protocol %q", *proto)
 	}
-	return nil
+	return ob.flush(reg, tr)
 }
 
 func budget(steps, machines int) int {

@@ -11,14 +11,7 @@ import (
 	"hetlb/internal/central"
 	"hetlb/internal/core"
 	"hetlb/internal/exact"
-	"hetlb/internal/worksteal"
 )
-
-// newWSSim adapts the internal work-stealing simulator for the latency flag
-// of cmdWorksteal.
-func newWSSim(model core.CostModel, initial *core.Assignment, seed uint64, latency int64) (*worksteal.Simulator, error) {
-	return worksteal.New(model, initial, worksteal.Config{Seed: seed, StealLatency: latency})
-}
 
 // cmdSolve reads a dense cost matrix from stdin (CSV: one machine per line,
 // one job per column) and reports the exact optimum (when provable within

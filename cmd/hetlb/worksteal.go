@@ -22,7 +22,13 @@ func cmdWorksteal(args []string) error {
 	hi := fs.Int64("hi", 1000, "maximum cost")
 	latency := fs.Int64("latency", 0, "steal probe latency in time units")
 	seed := fs.Uint64("seed", 1, "random seed")
+	var ob obsFlags
+	ob.register(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	reg, tr, err := ob.setup()
+	if err != nil {
 		return err
 	}
 
@@ -40,7 +46,12 @@ func cmdWorksteal(args []string) error {
 		fmt.Printf("generated unrelated instance: %d machines, %d jobs, costs U[%d,%d]\n",
 			*m, *jobs, *lo, *hi)
 	}
-	st, err := simulateWS(model, initial, *seed, *latency)
+	st, err := hetlb.WorkStealingRun(model, initial, hetlb.WorkStealingOptions{
+		Seed:         *seed,
+		StealLatency: *latency,
+		Metrics:      reg,
+		Trace:        tr,
+	})
 	if err != nil {
 		return err
 	}
@@ -59,17 +70,5 @@ func cmdWorksteal(args []string) error {
 		fmt.Printf("instance lower bound: %d → ratio ≤ %.2f of LB\n",
 			lb, float64(st.Makespan)/float64(lb))
 	}
-	return nil
-}
-
-func simulateWS(model core.CostModel, initial *core.Assignment, seed uint64, latency int64) (hetlb.WorkStealingStats, error) {
-	if latency == 0 {
-		return hetlb.WorkStealing(model, initial, seed)
-	}
-	// Latency requires the internal simulator configuration.
-	sim, err := newWSSim(model, initial, seed, latency)
-	if err != nil {
-		return hetlb.WorkStealingStats{}, err
-	}
-	return sim.Run(), nil
+	return ob.flush(reg, tr)
 }

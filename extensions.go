@@ -122,6 +122,12 @@ type MessagePassingOptions struct {
 	Period int64
 	// Horizon is the virtual-time budget.
 	Horizon int64
+	// Metrics, when non-nil, receives the netsim_* instruments (per-kind
+	// message counts, latency and handshake histograms).
+	Metrics *MetricsRegistry
+	// Trace, when non-nil, receives message send/receive and session
+	// start/end events on the virtual clock.
+	Trace *EventTrace
 }
 
 // MessagePassingResult reports a DLB2CMessagePassing run.
@@ -142,12 +148,17 @@ type MessagePassingResult struct {
 // ("the machines do not share memory"). Use it to study how communication
 // delay stretches convergence; for plain simulations prefer DLB2C.
 func DLB2CMessagePassing(model Clustered, initial *Assignment, opt MessagePassingOptions) (MessagePassingResult, error) {
-	sim, err := netsim.New(model, protocol.DLB2C{Model: model}, initial, netsim.Config{
+	cfg := netsim.Config{
 		Seed:    opt.Seed,
 		Latency: opt.Latency,
 		Period:  opt.Period,
 		Horizon: opt.Horizon,
-	})
+		Tracer:  opt.Trace,
+	}
+	if opt.Metrics != nil {
+		cfg.Metrics = netsim.NewMetrics(opt.Metrics)
+	}
+	sim, err := netsim.New(model, protocol.DLB2C{Model: model}, initial, cfg)
 	if err != nil {
 		return MessagePassingResult{}, err
 	}

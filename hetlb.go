@@ -136,6 +136,12 @@ type RunOptions struct {
 	// QuiesceStreak (concurrent only) stops early once every machine saw
 	// this many consecutive unchanged sessions; 0 disables.
 	QuiesceStreak int64
+	// Metrics, when non-nil, receives the run's counters and histograms
+	// (gossip_* for sequential runs, distrun_* for concurrent ones).
+	Metrics *MetricsRegistry
+	// Trace, when non-nil, receives one pair-selected event per exchange
+	// (and makespan samples on sequential runs).
+	Trace *EventTrace
 }
 
 // Result is the outcome of a decentralized balancing run.
@@ -162,11 +168,16 @@ func runProtocol(p protocol.Protocol, initial *Assignment, opt RunOptions) (Resu
 		return Result{}, fmt.Errorf("hetlb: initial assignment must place every job")
 	}
 	if opt.Concurrent {
-		res, err := distrun.Run(p, initial, distrun.Config{
+		cfg := distrun.Config{
 			Seed:          opt.Seed,
 			MaxSteps:      int64(opt.MaxExchanges),
 			QuiesceStreak: opt.QuiesceStreak,
-		})
+			Tracer:        opt.Trace,
+		}
+		if opt.Metrics != nil {
+			cfg.Metrics = distrun.NewMetrics(opt.Metrics, initial.Model().NumMachines())
+		}
+		res, err := distrun.Run(p, initial, cfg)
 		if err != nil {
 			return Result{}, err
 		}
@@ -177,7 +188,11 @@ func runProtocol(p protocol.Protocol, initial *Assignment, opt RunOptions) (Resu
 			Converged:  res.Converged,
 		}, nil
 	}
-	e := gossip.New(p, initial, gossip.Config{Seed: opt.Seed})
+	cfg := gossip.Config{Seed: opt.Seed, Tracer: opt.Trace}
+	if opt.Metrics != nil {
+		cfg.Metrics = gossip.NewMetrics(opt.Metrics)
+	}
+	e := gossip.New(p, initial, cfg)
 	r := e.Run(opt.MaxExchanges, opt.DetectStability)
 	return Result{
 		Assignment: initial,
@@ -221,7 +236,39 @@ type WorkStealingStats = worksteal.Stats
 // unrelated machines its makespan is unbounded relative to the optimum for
 // bad initial distributions (Theorem 1).
 func WorkStealing(model CostModel, initial *Assignment, seed uint64) (WorkStealingStats, error) {
-	sim, err := worksteal.New(model, initial, worksteal.Config{Seed: seed})
+	return WorkStealingRun(model, initial, WorkStealingOptions{Seed: seed})
+}
+
+// WorkStealingOptions parameterizes WorkStealingRun.
+type WorkStealingOptions struct {
+	// Seed drives victim selection.
+	Seed uint64
+	// StealLatency is the virtual time consumed by each victim probe; 0
+	// models instantaneous steals (the paper's idealization).
+	StealLatency int64
+	// StealOne takes one job per steal instead of the back half.
+	StealOne bool
+	// Metrics, when non-nil, receives the worksteal_* instruments
+	// (probes, steals, jobs stolen, per-machine idle time).
+	Metrics *MetricsRegistry
+	// Trace, when non-nil, receives one event per probe and per steal.
+	Trace *EventTrace
+}
+
+// WorkStealingRun is WorkStealing with the full option set.
+func WorkStealingRun(model CostModel, initial *Assignment, opt WorkStealingOptions) (WorkStealingStats, error) {
+	cfg := worksteal.Config{
+		Seed:         opt.Seed,
+		StealLatency: opt.StealLatency,
+		Tracer:       opt.Trace,
+	}
+	if opt.StealOne {
+		cfg.Policy = worksteal.StealOne
+	}
+	if opt.Metrics != nil {
+		cfg.Metrics = worksteal.NewMetrics(opt.Metrics, model.NumMachines())
+	}
+	sim, err := worksteal.New(model, initial, cfg)
 	if err != nil {
 		return WorkStealingStats{}, err
 	}

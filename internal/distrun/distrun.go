@@ -26,11 +26,39 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"hetlb/internal/core"
+	"hetlb/internal/obs"
 	"hetlb/internal/protocol"
 	"hetlb/internal/rng"
 )
+
+// Metrics bundles the runtime's obs instruments. All record paths are
+// allocation-free and safe from every machine goroutine.
+type Metrics struct {
+	// Sessions counts completed pairwise sessions; Changed those that
+	// altered the partition; Moves the jobs that switched sides.
+	Sessions, Changed, Moves *obs.Counter
+	// PerMachine counts each machine's session participations (initiator
+	// or target), mirroring Result.Exchanges.
+	PerMachine *obs.CounterVec
+	// LockWait is the wall-clock nanoseconds a session spent acquiring the
+	// pair's two mutexes — the runtime's only contention point.
+	LockWait *obs.Histogram
+}
+
+// NewMetrics registers the runtime's instruments for a system of the given
+// machine count (idempotent on the same registry).
+func NewMetrics(r *obs.Registry, machines int) *Metrics {
+	return &Metrics{
+		Sessions:   r.Counter("distrun_sessions_total", "pairwise balancing sessions completed"),
+		Changed:    r.Counter("distrun_changed_sessions_total", "sessions that changed the partition"),
+		Moves:      r.Counter("distrun_moves_total", "jobs that switched machines across all sessions"),
+		PerMachine: r.CounterVec("distrun_machine_sessions_total", "session participations per machine", "machine", obs.IndexLabels(machines)),
+		LockWait:   r.Histogram("distrun_lock_wait_ns", "nanoseconds spent acquiring the session's pair locks", obs.Pow2Bounds(30)),
+	}
+}
 
 // Config parameterizes a run.
 type Config struct {
@@ -45,6 +73,12 @@ type Config struct {
 	// see hundreds of quiet sessions while a pair it never probes is
 	// still unbalanced.
 	QuiesceStreak int64
+	// Metrics, when non-nil, receives session/lock instrumentation (build
+	// with NewMetrics for the same machine count).
+	Metrics *Metrics
+	// Tracer, when non-nil, receives one EvPairSelected event per session
+	// (Time = session sequence number, Value = jobs moved).
+	Tracer *obs.Tracer
 }
 
 // Result summarizes a run.
@@ -112,14 +146,28 @@ func Run(p protocol.Protocol, initial *core.Assignment, cfg Config) (Result, err
 					return
 				}
 				// Claim a step from the global budget.
-				if s := steps.Add(1); s > cfg.MaxSteps {
+				s := steps.Add(1)
+				if s > cfg.MaxSteps {
 					steps.Add(-1)
 					return
 				}
 				peer := gen.Pick(m, i)
-				changed := session(p, ms, i, peer)
+				moved := session(p, ms, i, peer, cfg.Metrics)
+				changed := moved > 0
 				atomic.AddInt64(&exchanges[i], 1)
 				atomic.AddInt64(&exchanges[peer], 1)
+				if met := cfg.Metrics; met != nil {
+					met.Sessions.Inc()
+					if changed {
+						met.Changed.Inc()
+						met.Moves.Add(int64(moved))
+					}
+					met.PerMachine.At(i).Inc()
+					met.PerMachine.At(peer).Inc()
+				}
+				if cfg.Tracer != nil {
+					cfg.Tracer.Emit(obs.Event{Time: s - 1, Type: obs.EvPairSelected, A: int32(i), B: int32(peer), Value: int64(moved)})
+				}
 				if cfg.QuiesceStreak > 0 && tracker.record(i, changed, cfg.QuiesceStreak) {
 					done.Store(true)
 					return
@@ -171,15 +219,23 @@ func (q *quiesceTracker) record(i int, changed bool, k int64) bool {
 }
 
 // session locks the pair in index order, pools their jobs, splits them with
-// the protocol kernel and writes the sides back. It reports whether the
-// partition changed.
-func session(p protocol.Protocol, ms []machineState, i, peer int) bool {
+// the protocol kernel and writes the sides back. It returns the number of
+// jobs that switched sides (0 means the partition is unchanged: the union
+// is conserved, so any change shows up as a job missing from its old list).
+func session(p protocol.Protocol, ms []machineState, i, peer int, met *Metrics) int {
 	lo, hi := i, peer
 	if lo > hi {
 		lo, hi = hi, lo
 	}
-	ms[lo].mu.Lock()
-	ms[hi].mu.Lock()
+	if met != nil {
+		t0 := time.Now()
+		ms[lo].mu.Lock()
+		ms[hi].mu.Lock()
+		met.LockWait.Observe(time.Since(t0).Nanoseconds())
+	} else {
+		ms[lo].mu.Lock()
+		ms[hi].mu.Lock()
+	}
 	defer ms[hi].mu.Unlock()
 	defer ms[lo].mu.Unlock()
 
@@ -187,10 +243,10 @@ func session(p protocol.Protocol, ms []machineState, i, peer int) bool {
 	toI, toPeer := p.Split(i, peer, union)
 	toI = sortedCopy(toI)
 	toPeer = sortedCopy(toPeer)
-	changed := !equalInts(toI, ms[i].jobs) || !equalInts(toPeer, ms[peer].jobs)
+	moved := diffCount(ms[i].jobs, toI) + diffCount(ms[peer].jobs, toPeer)
 	ms[i].jobs = toI
 	ms[peer].jobs = toPeer
-	return changed
+	return moved
 }
 
 // finish reconstructs the assignment, verifies stability and packages the
@@ -235,14 +291,19 @@ func sortedCopy(s []int) []int {
 	return c
 }
 
-func equalInts(a, b []int) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for k := range a {
-		if a[k] != b[k] {
-			return false
+// diffCount returns how many elements of new are absent from old (both
+// sorted ascending) — i.e. the jobs that arrived on this side.
+func diffCount(old, new []int) int {
+	moved, x := 0, 0
+	for _, v := range new {
+		for x < len(old) && old[x] < v {
+			x++
+		}
+		if x < len(old) && old[x] == v {
+			x++
+		} else {
+			moved++
 		}
 	}
-	return true
+	return moved
 }

@@ -5,6 +5,7 @@ import (
 
 	"hetlb/internal/core"
 	"hetlb/internal/exact"
+	"hetlb/internal/obs"
 	"hetlb/internal/protocol"
 	"hetlb/internal/rng"
 	"hetlb/internal/workload"
@@ -172,5 +173,81 @@ func BenchmarkConcurrentDLB2C(b *testing.B) {
 		if _, err := Run(protocol.DLB2C{Model: tc}, initial, Config{Seed: uint64(i), MaxSteps: 96 * 5}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestObsCountersMatchExchanges runs the concurrent runtime with the obs
+// instruments attached and asserts that every metric agrees exactly with
+// the runtime's own accounting — under -race in CI, this exercises the
+// record path from all machine goroutines simultaneously.
+func TestObsCountersMatchExchanges(t *testing.T) {
+	gen := rng.New(71)
+	tc := workload.UniformTwoCluster(gen, 8, 4, 96, 1, 100)
+	initial := core.RoundRobin(tc)
+	reg := obs.NewRegistry()
+	met := NewMetrics(reg, tc.NumMachines())
+	tr := obs.NewTracer(1 << 14)
+	res, err := Run(protocol.DLB2C{Model: tc}, initial, Config{
+		Seed:     72,
+		MaxSteps: 600,
+		Metrics:  met,
+		Tracer:   tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := met.Sessions.Value(); got != res.Steps {
+		t.Fatalf("distrun_sessions_total = %d, want %d", got, res.Steps)
+	}
+	for i, want := range res.Exchanges {
+		if got := met.PerMachine.At(i).Value(); got != want {
+			t.Fatalf("machine %d sessions = %d, want %d", i, got, want)
+		}
+	}
+	if got, want := met.PerMachine.Total(), 2*res.Steps; got != want {
+		t.Fatalf("total participations = %d, want %d", got, want)
+	}
+	if met.Changed.Value() > met.Sessions.Value() {
+		t.Fatal("more changed sessions than sessions")
+	}
+	if met.Changed.Value() == 0 {
+		t.Fatal("no session changed anything on an unbalanced start")
+	}
+	if met.LockWait.Count() != res.Steps {
+		t.Fatalf("lock-wait observations = %d, want %d", met.LockWait.Count(), res.Steps)
+	}
+	if got := tr.Total(); got != uint64(res.Steps) {
+		t.Fatalf("tracer events = %d, want %d", got, res.Steps)
+	}
+	// The final placement must still be a valid assignment.
+	if err := res.Assignment.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestObsMovesMatchPlacementDrift cross-checks the moves counter: from an
+// all-on-one-machine start, the first sessions must move jobs, and the
+// total moved can never be less than the number of jobs that ended up away
+// from machine 0.
+func TestObsMovesMatchPlacementDrift(t *testing.T) {
+	gen := rng.New(81)
+	id := workload.UniformIdentical(gen, 6, 48, 1, 50)
+	initial := core.AllOnMachine(id, 0)
+	reg := obs.NewRegistry()
+	met := NewMetrics(reg, id.NumMachines())
+	res, err := Run(protocol.SameCost{Model: id}, initial, Config{
+		Seed: 82, MaxSteps: 400, Metrics: met,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	away := 0
+	for j := 0; j < id.NumJobs(); j++ {
+		if res.Assignment.MachineOf(j) != 0 {
+			away++
+		}
+	}
+	if met.Moves.Value() < int64(away) {
+		t.Fatalf("moves counter %d < %d jobs that left machine 0", met.Moves.Value(), away)
 	}
 }

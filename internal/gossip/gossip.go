@@ -13,6 +13,7 @@ package gossip
 
 import (
 	"hetlb/internal/core"
+	"hetlb/internal/obs"
 	"hetlb/internal/pairwise"
 	"hetlb/internal/protocol"
 	"hetlb/internal/rng"
@@ -62,6 +63,31 @@ type Observer interface {
 	OnStep(e *Engine, step, i, j int)
 }
 
+// Metrics bundles the engine-internal obs instruments. All fields are
+// registered by NewMetrics; a nil *Metrics disables instrumentation with a
+// single branch per step.
+type Metrics struct {
+	// Steps counts balancing steps; Moves counts job migrations; Changed
+	// counts steps whose pair loads changed.
+	Steps, Moves, Changed *obs.Counter
+	// Makespan tracks the current Cmax after every step.
+	Makespan *obs.Gauge
+	// StepMoves is the distribution of migrations per step.
+	StepMoves *obs.Histogram
+}
+
+// NewMetrics registers the engine's instruments on a registry (idempotent:
+// repeated calls on the same registry share the same counters).
+func NewMetrics(r *obs.Registry) *Metrics {
+	return &Metrics{
+		Steps:     r.Counter("gossip_steps_total", "pairwise balancing steps executed"),
+		Moves:     r.Counter("gossip_moves_total", "job migrations across all steps"),
+		Changed:   r.Counter("gossip_changed_steps_total", "steps whose pair loads changed"),
+		Makespan:  r.Gauge("gossip_makespan", "current Cmax of the schedule"),
+		StepMoves: r.Histogram("gossip_step_moves", "jobs migrated per balancing step", obs.Pow2Bounds(8)),
+	}
+}
+
 // Engine drives one simulation run.
 type Engine struct {
 	proto     protocol.Protocol
@@ -69,6 +95,8 @@ type Engine struct {
 	gen       *rng.RNG
 	selection Selection
 	observers []Observer
+	metrics   *Metrics
+	tracer    *obs.Tracer
 
 	exchanges []int // per-machine count of balancing participations
 	steps     int
@@ -76,6 +104,11 @@ type Engine struct {
 	// noChange counts consecutive steps whose pair loads were unchanged;
 	// it gates the expensive full stability check.
 	noChange int
+	// cachedMax caches the makespan between steps: a step only touches two
+	// machines, so the maximum is maintained incrementally and the O(m)
+	// rescan happens lazily, only after the top machine loses its top spot.
+	cachedMax core.Cost
+	maxValid  bool
 }
 
 // Config parameterizes New.
@@ -84,6 +117,13 @@ type Config struct {
 	Seed uint64
 	// Selection defaults to UniformInitiator.
 	Selection Selection
+	// Metrics, when non-nil, receives engine-internal counters every step
+	// (build one with NewMetrics).
+	Metrics *Metrics
+	// Tracer, when non-nil, receives a pair-selected event per step (Time =
+	// step index, Value = jobs migrated) and a makespan sample whenever the
+	// schedule changed.
+	Tracer *obs.Tracer
 }
 
 // New builds an engine around a protocol and an initial assignment. The
@@ -98,6 +138,8 @@ func New(p protocol.Protocol, a *core.Assignment, cfg Config) *Engine {
 		a:         a,
 		gen:       rng.New(cfg.Seed),
 		selection: sel,
+		metrics:   cfg.Metrics,
+		tracer:    cfg.Tracer,
 		exchanges: make([]int, a.Model().NumMachines()),
 	}
 }
@@ -134,25 +176,73 @@ func (e *Engine) Step() bool {
 		before[k] = e.a.MachineOf(job)
 	}
 	e.proto.Balance(e.a, i, j)
+	moved := 0
 	for k, job := range union {
 		if e.a.MachineOf(job) != before[k] {
-			e.moves++
+			moved++
 		}
 	}
+	e.moves += moved
 	e.exchanges[i]++
 	e.exchanges[j]++
-	changed := e.a.Load(i) != l1 || e.a.Load(j) != l2
+	n1, n2 := e.a.Load(i), e.a.Load(j)
+	changed := n1 != l1 || n2 != l2
 	if changed {
 		e.noChange = 0
 	} else {
 		e.noChange++
 	}
+	// Maintain the makespan cache: only machines i and j changed load. If
+	// either rose to (or above) the cached maximum it is the new maximum;
+	// otherwise, if a pair machine may have held the maximum and dropped,
+	// the maximum could now be anywhere — invalidate and rescan lazily.
+	if e.maxValid && changed {
+		hi := n1
+		if n2 > hi {
+			hi = n2
+		}
+		if hi >= e.cachedMax {
+			e.cachedMax = hi
+		} else if l1 >= e.cachedMax || l2 >= e.cachedMax {
+			e.maxValid = false
+		}
+	}
 	step := e.steps
 	e.steps++
+	if e.metrics != nil {
+		e.metrics.Steps.Inc()
+		if moved > 0 {
+			e.metrics.Moves.Add(int64(moved))
+		}
+		if changed {
+			e.metrics.Changed.Inc()
+		}
+		e.metrics.StepMoves.Observe(int64(moved))
+		e.metrics.Makespan.Set(int64(e.Makespan()))
+	}
+	if e.tracer != nil {
+		e.tracer.Emit(obs.Event{Time: int64(step), Type: obs.EvPairSelected, A: int32(i), B: int32(j), Value: int64(moved)})
+		if changed {
+			e.tracer.Emit(obs.Event{Time: int64(step), Type: obs.EvMakespanSample, A: -1, B: -1, Value: int64(e.Makespan())})
+		}
+	}
 	for _, o := range e.observers {
 		o.OnStep(e, step, i, j)
 	}
 	return changed
+}
+
+// Makespan returns the current Cmax of the schedule, served from the
+// engine's incremental cache (amortized O(1) per step versus the O(m) scan
+// of Assignment.Makespan). The cache assumes the assignment is mutated only
+// through Step; an observer that moves jobs itself must use
+// e.Assignment().Makespan() instead.
+func (e *Engine) Makespan() core.Cost {
+	if !e.maxValid {
+		e.cachedMax = e.a.Makespan()
+		e.maxValid = true
+	}
+	return e.cachedMax
 }
 
 // Result summarizes a Run.
@@ -182,7 +272,7 @@ func (e *Engine) Run(maxSteps int, detectStability bool) Result {
 		if detectStability && e.noChange >= window {
 			e.noChange = 0
 			if protocol.Stable(e.proto, e.a) {
-				return Result{Steps: e.steps, Converged: true, FinalMakespan: e.a.Makespan()}
+				return Result{Steps: e.steps, Converged: true, FinalMakespan: e.Makespan()}
 			}
 		}
 	}
@@ -190,5 +280,5 @@ func (e *Engine) Run(maxSteps int, detectStability bool) Result {
 	if detectStability {
 		converged = protocol.Stable(e.proto, e.a)
 	}
-	return Result{Steps: e.steps, Converged: converged, FinalMakespan: e.a.Makespan()}
+	return Result{Steps: e.steps, Converged: converged, FinalMakespan: e.Makespan()}
 }

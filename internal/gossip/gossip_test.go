@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"hetlb/internal/core"
+	"hetlb/internal/obs"
 	"hetlb/internal/protocol"
 	"hetlb/internal/rng"
 	"hetlb/internal/workload"
@@ -204,4 +205,104 @@ func TestMinMoveProtocolFewerMoves(t *testing.T) {
 	if minmove >= rebuild {
 		t.Fatalf("min-move moved %d jobs, rebuild %d", minmove, rebuild)
 	}
+}
+
+func TestMakespanCacheMatchesRecompute(t *testing.T) {
+	// The cached makespan must equal a full rescan after every single step,
+	// across protocols that move jobs in both directions.
+	gen := rng.New(31)
+	tc := workload.UniformTwoCluster(gen, 6, 4, 80, 1, 100)
+	a := core.RoundRobin(tc)
+	e := New(protocol.DLB2C{Model: tc}, a, Config{Seed: 32})
+	if e.Makespan() != a.Makespan() {
+		t.Fatal("initial cached makespan wrong")
+	}
+	e.Observe(observerFunc(func(e *Engine, step, i, j int) {
+		if got, want := e.Makespan(), e.Assignment().Makespan(); got != want {
+			t.Fatalf("step %d: cached makespan %d != recomputed %d", step, got, want)
+		}
+	}))
+	e.Run(2000, false)
+}
+
+func TestEngineMetrics(t *testing.T) {
+	gen := rng.New(41)
+	id := workload.UniformIdentical(gen, 5, 40, 1, 30)
+	a := core.AllOnMachine(id, 0)
+	reg := obs.NewRegistry()
+	met := NewMetrics(reg)
+	tr := obs.NewTracer(4096)
+	e := New(protocol.SameCost{Model: id}, a, Config{Seed: 42, Metrics: met, Tracer: tr})
+	const steps = 300
+	e.Run(steps, false)
+
+	if got := met.Steps.Value(); got != steps {
+		t.Fatalf("gossip_steps_total = %d, want %d", got, steps)
+	}
+	if got := met.Moves.Value(); got != int64(e.Moves()) {
+		t.Fatalf("gossip_moves_total = %d, want %d", got, e.Moves())
+	}
+	if got := met.Makespan.Value(); got != int64(a.Makespan()) {
+		t.Fatalf("gossip_makespan = %d, want %d", got, a.Makespan())
+	}
+	if got := met.StepMoves.Count(); got != steps {
+		t.Fatalf("gossip_step_moves count = %d, want %d", got, steps)
+	}
+	if got := met.StepMoves.Sum(); got != int64(e.Moves()) {
+		t.Fatalf("gossip_step_moves sum = %d, want %d", got, e.Moves())
+	}
+	// One pair-selected event per step, each mirroring the step index.
+	var pairs int
+	for _, ev := range tr.Events() {
+		if ev.Type == obs.EvPairSelected {
+			pairs++
+		}
+	}
+	if pairs != steps {
+		t.Fatalf("tracer recorded %d pair-selected events, want %d", pairs, steps)
+	}
+}
+
+func TestMetricsRegistryReuseAcrossRuns(t *testing.T) {
+	// Re-wiring the same registry into a second engine must accumulate, not
+	// panic on duplicate registration.
+	id, _ := core.NewIdentical(3, []core.Cost{5, 5, 5, 5, 5, 5})
+	reg := obs.NewRegistry()
+	for run := 0; run < 2; run++ {
+		a := core.RoundRobin(id)
+		e := New(protocol.SameCost{Model: id}, a, Config{Seed: uint64(run), Metrics: NewMetrics(reg)})
+		e.Run(10, false)
+	}
+	if got := NewMetrics(reg).Steps.Value(); got != 20 {
+		t.Fatalf("accumulated steps = %d, want 20", got)
+	}
+}
+
+// BenchmarkEngineMakespanCached measures Engine.Makespan (incremental cache)
+// queried every step; BenchmarkEngineMakespanRecompute is the old path, a
+// full O(m) rescan per query. The gap is the satellite-task win inherited by
+// trace.MakespanSeries and trace.ThresholdWatcher.
+func BenchmarkEngineMakespanCached(b *testing.B) {
+	benchMakespanQuery(b, func(e *Engine) core.Cost { return e.Makespan() })
+}
+
+// BenchmarkEngineMakespanRecompute is the baseline full-rescan variant.
+func BenchmarkEngineMakespanRecompute(b *testing.B) {
+	benchMakespanQuery(b, func(e *Engine) core.Cost { return e.Assignment().Makespan() })
+}
+
+func benchMakespanQuery(b *testing.B, query func(*Engine) core.Cost) {
+	// Many machines, few jobs per machine: the regime where the O(m) rescan
+	// dominates a step and the incremental cache pays off.
+	gen := rng.New(50)
+	tc := workload.UniformTwoCluster(gen, 2048, 1024, 1024, 1, 1000)
+	a := core.RoundRobin(tc)
+	e := New(protocol.DLB2C{Model: tc}, a, Config{Seed: 51})
+	var sink core.Cost
+	e.Observe(observerFunc(func(e *Engine, _, _, _ int) { sink = query(e) }))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+	_ = sink
 }

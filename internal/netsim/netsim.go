@@ -27,9 +27,51 @@ import (
 
 	"hetlb/internal/core"
 	"hetlb/internal/des"
+	"hetlb/internal/obs"
 	"hetlb/internal/protocol"
 	"hetlb/internal/rng"
 )
+
+// Message kinds, used as the CounterVec index and the tracer event payload.
+const (
+	MsgRequest = iota
+	MsgOffer
+	MsgCommit
+	MsgReject
+)
+
+// MsgKinds are the wire names of the message kinds, indexed by the Msg*
+// constants.
+var MsgKinds = []string{"request", "offer", "commit", "reject"}
+
+// Metrics bundles the runtime's obs instruments.
+type Metrics struct {
+	// Messages counts delivered messages by kind (request/offer/commit/
+	// reject).
+	Messages *obs.CounterVec
+	// Sessions counts completed handshakes; Rejections REQUESTs that hit a
+	// busy target.
+	Sessions, Rejections *obs.Counter
+	// Latency observes each message's simulated one-way delay; Handshake
+	// the virtual time from REQUEST send to COMMIT delivery of completed
+	// sessions (both in virtual time units).
+	Latency, Handshake *obs.Histogram
+	// Makespan tracks the last sampled Cmax.
+	Makespan *obs.Gauge
+}
+
+// NewMetrics registers the runtime's instruments (idempotent on the same
+// registry).
+func NewMetrics(r *obs.Registry) *Metrics {
+	return &Metrics{
+		Messages:   r.CounterVec("netsim_messages_total", "messages delivered by kind", "kind", MsgKinds),
+		Sessions:   r.Counter("netsim_sessions_total", "completed balancing handshakes"),
+		Rejections: r.Counter("netsim_rejections_total", "REQUESTs rejected by a busy target"),
+		Latency:    r.Histogram("netsim_message_latency_vt", "simulated one-way message delay in virtual time", obs.Pow2Bounds(16)),
+		Handshake:  r.Histogram("netsim_handshake_vt", "virtual time from REQUEST send to COMMIT delivery", obs.Pow2Bounds(20)),
+		Makespan:   r.Gauge("netsim_makespan", "last sampled Cmax"),
+	}
+}
 
 // Config parameterizes a run.
 type Config struct {
@@ -43,6 +85,12 @@ type Config struct {
 	Period int64
 	// Horizon stops the simulation at this virtual time.
 	Horizon int64
+	// Metrics, when non-nil, receives message/handshake instrumentation.
+	Metrics *Metrics
+	// Tracer, when non-nil, receives EvMessageSent/EvMessageRecv events
+	// (Time = virtual time, A = sender, B = receiver, Value = kind) and an
+	// EvSessionEnd per completed handshake.
+	Tracer *obs.Tracer
 }
 
 // Stats summarizes a run.
@@ -109,10 +157,23 @@ func New(model core.CostModel, proto protocol.Protocol, initial *core.Assignment
 	return s, nil
 }
 
-// send delivers fn at the receiver after one network hop.
-func (s *Simulator) send(fn func()) {
+// send delivers fn at the receiver after one network hop, recording the
+// message on both ends when instrumentation is attached.
+func (s *Simulator) send(kind, from, to int, fn func()) {
 	s.stats.Messages++
-	s.sim.After(s.cfg.Latency, des.PhaseTransfer, fn)
+	if met := s.cfg.Metrics; met != nil {
+		met.Messages.At(kind).Inc()
+		met.Latency.Observe(s.cfg.Latency)
+	}
+	if tr := s.cfg.Tracer; tr != nil {
+		tr.Emit(obs.Event{Time: s.sim.Now(), Type: obs.EvMessageSent, A: int32(from), B: int32(to), Value: int64(kind)})
+	}
+	s.sim.After(s.cfg.Latency, des.PhaseTransfer, func() {
+		if tr := s.cfg.Tracer; tr != nil {
+			tr.Emit(obs.Event{Time: s.sim.Now(), Type: obs.EvMessageRecv, A: int32(from), B: int32(to), Value: int64(kind)})
+		}
+		fn()
+	})
 }
 
 // Run executes until the horizon (plus drainage of in-flight handshakes)
@@ -127,8 +188,15 @@ func (s *Simulator) Run() Stats {
 	// Makespan sampling once per period.
 	var sampler func()
 	sampler = func() {
+		cmax := s.makespan()
 		s.stats.Times = append(s.stats.Times, s.sim.Now())
-		s.stats.Makespans = append(s.stats.Makespans, s.makespan())
+		s.stats.Makespans = append(s.stats.Makespans, cmax)
+		if s.cfg.Metrics != nil {
+			s.cfg.Metrics.Makespan.Set(int64(cmax))
+		}
+		if s.cfg.Tracer != nil {
+			s.cfg.Tracer.Emit(obs.Event{Time: s.sim.Now(), Type: obs.EvMakespanSample, A: -1, B: -1, Value: int64(cmax)})
+		}
 		if s.sim.Now()+s.cfg.Period <= s.cfg.Horizon {
 			s.sim.After(s.cfg.Period, des.PhaseComplete, sampler)
 		}
@@ -157,7 +225,9 @@ func (s *Simulator) scheduleAttempt(i int) {
 	s.sim.After(gap, des.PhaseStart, func() { s.attempt(i) })
 }
 
-// attempt starts a session if machine i is free.
+// attempt starts a session if machine i is free. The attempt's start time
+// travels with the handshake so the completed-session duration can be
+// observed at COMMIT delivery.
 func (s *Simulator) attempt(i int) {
 	defer s.scheduleAttempt(i)
 	if s.ms[i].busy {
@@ -166,31 +236,38 @@ func (s *Simulator) attempt(i int) {
 	m := s.model.NumMachines()
 	peer := s.gens[i].Pick(m, i)
 	s.ms[i].busy = true
-	s.send(func() { s.onRequest(i, peer) })
+	start := s.sim.Now()
+	if s.cfg.Tracer != nil {
+		s.cfg.Tracer.Emit(obs.Event{Time: start, Type: obs.EvSessionStart, A: int32(i), B: int32(peer)})
+	}
+	s.send(MsgRequest, i, peer, func() { s.onRequest(i, peer, start) })
 }
 
 // onRequest is the target's handler. On acceptance the target hands its
 // whole job list to the initiator (single ownership: from OFFER to COMMIT
 // the pooled jobs live at the initiator side of the handshake).
-func (s *Simulator) onRequest(initiator, target int) {
+func (s *Simulator) onRequest(initiator, target int, start int64) {
 	if s.ms[target].busy {
-		s.send(func() { s.onReject(initiator) })
+		s.send(MsgReject, target, initiator, func() { s.onReject(initiator) })
 		return
 	}
 	s.ms[target].busy = true
 	offer := s.ms[target].jobs
 	s.ms[target].jobs = nil
-	s.send(func() { s.onOffer(initiator, target, offer) })
+	s.send(MsgOffer, target, initiator, func() { s.onOffer(initiator, target, offer, start) })
 }
 
 // onReject unlocks the initiator.
 func (s *Simulator) onReject(initiator int) {
 	s.stats.Rejections++
+	if s.cfg.Metrics != nil {
+		s.cfg.Metrics.Rejections.Inc()
+	}
 	s.ms[initiator].busy = false
 }
 
 // onOffer runs the kernel at the initiator and commits.
-func (s *Simulator) onOffer(initiator, target int, targetJobs []int) {
+func (s *Simulator) onOffer(initiator, target int, targetJobs []int, start int64) {
 	union := mergeSorted(s.ms[initiator].jobs, targetJobs)
 	toI, toT := s.proto.Split(initiator, target, union)
 	toI = sortedCopy(toI)
@@ -198,13 +275,22 @@ func (s *Simulator) onOffer(initiator, target int, targetJobs []int) {
 	s.ms[initiator].jobs = toI
 	s.ms[initiator].busy = false
 	s.stats.Sessions++
-	s.send(func() { s.onCommit(target, toT) })
+	if s.cfg.Metrics != nil {
+		s.cfg.Metrics.Sessions.Inc()
+	}
+	s.send(MsgCommit, initiator, target, func() { s.onCommit(initiator, target, toT, start) })
 }
 
 // onCommit installs the target's new job list and unlocks it.
-func (s *Simulator) onCommit(target int, jobs []int) {
+func (s *Simulator) onCommit(initiator, target int, jobs []int, start int64) {
 	s.ms[target].jobs = jobs
 	s.ms[target].busy = false
+	if s.cfg.Metrics != nil {
+		s.cfg.Metrics.Handshake.Observe(s.sim.Now() - start)
+	}
+	if s.cfg.Tracer != nil {
+		s.cfg.Tracer.Emit(obs.Event{Time: s.sim.Now(), Type: obs.EvSessionEnd, A: int32(initiator), B: int32(target), Value: s.sim.Now() - start})
+	}
 }
 
 // makespan computes Cmax from the owned job lists. Mid-handshake the pooled

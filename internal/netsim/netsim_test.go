@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"hetlb/internal/core"
+	"hetlb/internal/obs"
 	"hetlb/internal/protocol"
 	"hetlb/internal/rng"
 	"hetlb/internal/workload"
@@ -195,5 +196,95 @@ func BenchmarkNetsimPaperScale(b *testing.B) {
 			b.Fatal(err)
 		}
 		sim.Run()
+	}
+}
+
+// TestObsMetricsMatchStats attaches the obs instruments and checks every
+// counter against the simulator's own statistics, plus the invariants of
+// the three-message handshake.
+func TestObsMetricsMatchStats(t *testing.T) {
+	gen := rng.New(91)
+	tc := workload.UniformTwoCluster(gen, 6, 3, 72, 1, 100)
+	init := core.RoundRobin(tc)
+	reg := obs.NewRegistry()
+	met := NewMetrics(reg)
+	tr := obs.NewTracer(1 << 15)
+	sim, err := New(tc, protocol.DLB2C{Model: tc}, init, Config{
+		Seed: 92, Latency: 3, Period: 10, Horizon: 1500,
+		Metrics: met, Tracer: tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sim.Run()
+
+	if got := met.Sessions.Value(); got != int64(st.Sessions) {
+		t.Fatalf("netsim_sessions_total = %d, want %d", got, st.Sessions)
+	}
+	if got := met.Rejections.Value(); got != int64(st.Rejections) {
+		t.Fatalf("netsim_rejections_total = %d, want %d", got, st.Rejections)
+	}
+	if got := met.Messages.Total(); got != int64(st.Messages) {
+		t.Fatalf("netsim_messages_total = %d, want %d", got, st.Messages)
+	}
+	// Handshake shape: each completed session is REQUEST+OFFER+COMMIT, each
+	// rejection REQUEST+REJECT.
+	if got, want := met.Messages.At(MsgRequest).Value(), int64(st.Sessions+st.Rejections); got != want {
+		t.Fatalf("requests = %d, want %d", got, want)
+	}
+	if got := met.Messages.At(MsgOffer).Value(); got != int64(st.Sessions) {
+		t.Fatalf("offers = %d, want sessions %d", got, st.Sessions)
+	}
+	if got := met.Messages.At(MsgCommit).Value(); got != int64(st.Sessions) {
+		t.Fatalf("commits = %d, want sessions %d", got, st.Sessions)
+	}
+	if got := met.Messages.At(MsgReject).Value(); got != int64(st.Rejections) {
+		t.Fatalf("rejects = %d, want rejections %d", got, st.Rejections)
+	}
+	// Every message observed the constant simulated latency.
+	if met.Latency.Count() != int64(st.Messages) || met.Latency.Sum() != 3*int64(st.Messages) {
+		t.Fatalf("latency histogram count=%d sum=%d, want %d/%d",
+			met.Latency.Count(), met.Latency.Sum(), st.Messages, 3*st.Messages)
+	}
+	// A completed handshake is exactly three hops of latency 3.
+	if met.Handshake.Count() != int64(st.Sessions) {
+		t.Fatalf("handshake count = %d, want %d", met.Handshake.Count(), st.Sessions)
+	}
+	if st.Sessions > 0 && met.Handshake.Sum() != 9*int64(st.Sessions) {
+		t.Fatalf("handshake sum = %d, want %d", met.Handshake.Sum(), 9*st.Sessions)
+	}
+	if got := met.Makespan.Value(); got != int64(st.FinalMakespan) {
+		// The gauge holds the last *sample*; after drainage the final value
+		// can only differ if jobs were mid-flight at the last sample, which
+		// Run's drain rules out at the final sample time. Allow either the
+		// final makespan or the last sampled one.
+		last := st.Makespans[len(st.Makespans)-1]
+		if got != int64(last) {
+			t.Fatalf("netsim_makespan = %d, want %d or %d", got, st.FinalMakespan, last)
+		}
+	}
+	// Tracer: sent events must equal delivered messages (queue fully
+	// drained), and session-end events equal sessions.
+	var sent, recv, ended int
+	for _, ev := range tr.Events() {
+		switch ev.Type {
+		case obs.EvMessageSent:
+			sent++
+		case obs.EvMessageRecv:
+			recv++
+		case obs.EvSessionEnd:
+			ended++
+		}
+	}
+	if tr.Dropped() == 0 {
+		if sent != st.Messages || recv != st.Messages {
+			t.Fatalf("tracer sent/recv = %d/%d, want %d", sent, recv, st.Messages)
+		}
+		if ended != st.Sessions {
+			t.Fatalf("tracer session-end = %d, want %d", ended, st.Sessions)
+		}
+	}
+	if st.Sessions == 0 {
+		t.Fatal("test instance produced no sessions; weaken the horizon")
 	}
 }

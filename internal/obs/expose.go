@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4): HELP/TYPE headers, counter/gauge
+// samples, cumulative histogram buckets with `le` labels plus _sum and
+// _count series.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range r.snapshotEntries() {
+		if e.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", e.name, e.help)
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", e.name, e.kind)
+		switch e.kind {
+		case kindCounter:
+			fmt.Fprintf(bw, "%s %d\n", e.name, e.c.Value())
+		case kindGauge:
+			fmt.Fprintf(bw, "%s %d\n", e.name, e.g.Value())
+		case kindCounterVec:
+			for i, lv := range e.cv.values {
+				fmt.Fprintf(bw, "%s{%s=%q} %d\n", e.name, e.cv.label, lv, e.cv.At(i).Value())
+			}
+		case kindHistogram:
+			var cum int64
+			for i, b := range e.h.bounds {
+				cum += e.h.BucketCount(i)
+				fmt.Fprintf(bw, "%s_bucket{le=\"%d\"} %d\n", e.name, b, cum)
+			}
+			cum += e.h.BucketCount(len(e.h.bounds))
+			fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", e.name, cum)
+			fmt.Fprintf(bw, "%s_sum %d\n", e.name, e.h.Sum())
+			fmt.Fprintf(bw, "%s_count %d\n", e.name, e.h.Count())
+		}
+	}
+	return bw.Flush()
+}
+
+// SnapshotValue is the JSON form of one metric.
+type SnapshotValue struct {
+	Type  string           `json:"type"`
+	Help  string           `json:"help,omitempty"`
+	Value int64            `json:"value,omitempty"`
+	Cells map[string]int64 `json:"cells,omitempty"`
+	// Histogram-only fields.
+	Sum     int64   `json:"sum,omitempty"`
+	Count   int64   `json:"count,omitempty"`
+	Bounds  []int64 `json:"bounds,omitempty"`
+	Buckets []int64 `json:"buckets,omitempty"` // raw counts; last is +Inf overflow
+}
+
+// Snapshot returns a point-in-time copy of every metric, keyed by name.
+// Counters and gauges populate Value; vectors populate Cells; histograms
+// populate Sum/Count/Bounds/Buckets.
+func (r *Registry) Snapshot() map[string]SnapshotValue {
+	out := make(map[string]SnapshotValue)
+	for _, e := range r.snapshotEntries() {
+		sv := SnapshotValue{Type: e.kind.String(), Help: e.help}
+		switch e.kind {
+		case kindCounter:
+			sv.Value = e.c.Value()
+		case kindGauge:
+			sv.Value = e.g.Value()
+		case kindCounterVec:
+			sv.Cells = make(map[string]int64, e.cv.Len())
+			for i, lv := range e.cv.values {
+				sv.Cells[lv] = e.cv.At(i).Value()
+			}
+		case kindHistogram:
+			sv.Sum = e.h.Sum()
+			sv.Count = e.h.Count()
+			sv.Bounds = append([]int64(nil), e.h.bounds...)
+			sv.Buckets = make([]int64, len(e.h.bounds)+1)
+			for i := range sv.Buckets {
+				sv.Buckets[i] = e.h.BucketCount(i)
+			}
+		}
+		out[e.name] = sv
+	}
+	return out
+}
+
+// WriteJSON renders the snapshot as one JSON object with sorted keys. It is
+// emitted by hand (not encoding/json) to keep field order deterministic and
+// the package free of reflection on its output path.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	snap := r.Snapshot()
+	names := make([]string, 0, len(snap))
+	for n := range snap {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	bw := bufio.NewWriter(w)
+	bw.WriteString("{\n")
+	for k, n := range names {
+		sv := snap[n]
+		fmt.Fprintf(bw, "  %q: {\"type\":%q", n, sv.Type)
+		switch sv.Type {
+		case "histogram":
+			fmt.Fprintf(bw, ",\"sum\":%d,\"count\":%d,\"bounds\":", sv.Sum, sv.Count)
+			writeInt64JSON(bw, sv.Bounds)
+			bw.WriteString(",\"buckets\":")
+			writeInt64JSON(bw, sv.Buckets)
+		default:
+			if sv.Cells != nil {
+				bw.WriteString(",\"cells\":{")
+				cellKeys := make([]string, 0, len(sv.Cells))
+				for c := range sv.Cells {
+					cellKeys = append(cellKeys, c)
+				}
+				sort.Strings(cellKeys)
+				for i, c := range cellKeys {
+					if i > 0 {
+						bw.WriteString(",")
+					}
+					fmt.Fprintf(bw, "%q:%d", c, sv.Cells[c])
+				}
+				bw.WriteString("}")
+			} else {
+				fmt.Fprintf(bw, ",\"value\":%d", sv.Value)
+			}
+		}
+		bw.WriteString("}")
+		if k < len(names)-1 {
+			bw.WriteString(",")
+		}
+		bw.WriteString("\n")
+	}
+	bw.WriteString("}\n")
+	return bw.Flush()
+}
+
+func writeInt64JSON(w *bufio.Writer, xs []int64) {
+	w.WriteString("[")
+	for i, x := range xs {
+		if i > 0 {
+			w.WriteString(",")
+		}
+		fmt.Fprintf(w, "%d", x)
+	}
+	w.WriteString("]")
+}

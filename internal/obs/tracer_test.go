@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestTracerRingOverflow(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Emit(Event{Time: int64(i), Type: EvPairSelected})
+	}
+	if tr.Total() != 10 {
+		t.Fatalf("total = %d, want 10", tr.Total())
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", tr.Dropped())
+	}
+	events := tr.Events()
+	if len(events) != 4 {
+		t.Fatalf("len = %d, want 4", len(events))
+	}
+	for k, e := range events {
+		if e.Time != int64(6+k) {
+			t.Fatalf("event %d has time %d, want %d (oldest-first order)", k, e.Time, 6+k)
+		}
+	}
+}
+
+func TestTracerNoOverflow(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Emit(Event{Time: 1})
+	tr.Emit(Event{Time: 2})
+	if tr.Dropped() != 0 {
+		t.Fatalf("dropped = %d, want 0", tr.Dropped())
+	}
+	ev := tr.Events()
+	if len(ev) != 2 || ev[0].Time != 1 || ev[1].Time != 2 {
+		t.Fatalf("events = %v", ev)
+	}
+	tr.Reset()
+	if tr.Len() != 0 || tr.Total() != 0 {
+		t.Fatal("Reset did not clear the tracer")
+	}
+}
+
+func TestEventTypeNames(t *testing.T) {
+	// The wire names are part of the export format; pin them.
+	want := map[EventType]string{
+		EvPairSelected:   "pair-selected",
+		EvJobsMigrated:   "jobs-migrated",
+		EvMessageSent:    "message-sent",
+		EvMessageRecv:    "message-recv",
+		EvStealAttempt:   "steal-attempt",
+		EvStealSuccess:   "steal-success",
+		EvMakespanSample: "makespan-sample",
+		EvSessionStart:   "session-start",
+		EvSessionEnd:     "session-end",
+	}
+	for ty, name := range want {
+		if ty.String() != name {
+			t.Errorf("%d.String() = %q, want %q", ty, ty.String(), name)
+		}
+	}
+	if EventType(0).String() != "unknown" {
+		t.Error("zero event type should stringify as unknown")
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Emit(Event{Time: 5, Type: EvStealSuccess, A: 1, B: 2, Value: 3})
+	tr.Emit(Event{Time: 6, Type: EvMakespanSample, A: -1, B: -1, Value: 77})
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	var rec struct {
+		T    int64  `json:"t"`
+		Type string `json:"type"`
+		A    int32  `json:"a"`
+		B    int32  `json:"b"`
+		V    int64  `json:"v"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("line 0 invalid JSON: %v", err)
+	}
+	if rec.T != 5 || rec.Type != "steal-success" || rec.A != 1 || rec.B != 2 || rec.V != 3 {
+		t.Fatalf("line 0 = %+v", rec)
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Emit(Event{Time: 10, Type: EvPairSelected, A: 3, B: 4, Value: 2})
+	tr.Emit(Event{Time: 20, Type: EvMakespanSample, A: -1, B: -1, Value: 9})
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Pid  int    `json:"pid"`
+			Tid  int    `json:"tid"`
+			Ts   int64  `json:"ts"`
+			Args struct {
+				A     int32 `json:"a"`
+				B     int32 `json:"b"`
+				Value int64 `json:"value"`
+			} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("got %d events, want 2", len(doc.TraceEvents))
+	}
+	e0 := doc.TraceEvents[0]
+	if e0.Name != "pair-selected" || e0.Ph != "i" || e0.Tid != 3 || e0.Ts != 10 || e0.Args.Value != 2 {
+		t.Fatalf("event 0 = %+v", e0)
+	}
+	// Negative actor maps to tid 0 so viewers do not choke.
+	if doc.TraceEvents[1].Tid != 0 {
+		t.Fatalf("makespan sample tid = %d, want 0", doc.TraceEvents[1].Tid)
+	}
+}

@@ -26,14 +26,16 @@ func Summarize(xs []float64) Summary {
 	}
 	s := append([]float64(nil), xs...)
 	sort.Float64s(s)
-	var sum, sum2 float64
-	for _, v := range s {
-		sum += v
-		sum2 += v * v
+	// Welford's online update: the naive E[x²]−E[x]² form cancels
+	// catastrophically when std ≪ mean (e.g. nanosecond timestamps around
+	// 1e9) and can even go negative.
+	var mean, m2 float64
+	for k, v := range s {
+		delta := v - mean
+		mean += delta / float64(k+1)
+		m2 += delta * (v - mean)
 	}
-	n := float64(len(s))
-	mean := sum / n
-	variance := sum2/n - mean*mean
+	variance := m2 / float64(len(s)) // population variance, as before
 	if variance < 0 {
 		variance = 0
 	}

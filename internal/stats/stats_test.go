@@ -183,3 +183,29 @@ func TestHistogramDensityIntegratesToInRangeMass(t *testing.T) {
 		t.Fatalf("density integral %v != in-range mass %v", integral, float64(inRange)/1000)
 	}
 }
+
+func TestSummarizeVarianceNearLargeMean(t *testing.T) {
+	// Samples with a tiny spread around a huge mean — the regime where the
+	// naive E[x²]−E[x]² variance cancels catastrophically (it yields 0 or
+	// even negative for these inputs in float64). Welford must recover the
+	// exact population std.
+	base := 1e9
+	offsets := []float64{0, 1, 2, 3, 4}
+	xs := make([]float64, len(offsets))
+	for i, o := range offsets {
+		xs[i] = base + o
+	}
+	got := Summarize(xs).Std
+	want := math.Sqrt(2.0) // population std of {0,1,2,3,4}
+	if math.Abs(got-want) > 1e-6 {
+		t.Fatalf("std near 1e9 mean = %v, want %v", got, want)
+	}
+
+	// Constant samples at an even larger magnitude must give exactly 0.
+	for i := range xs {
+		xs[i] = 1e15 + 0.5
+	}
+	if got := Summarize(xs).Std; got != 0 {
+		t.Fatalf("std of constant sample = %v, want 0", got)
+	}
+}

@@ -2,11 +2,19 @@
 // the paper's figures plot: makespan trajectories over iterations
 // (Figure 4), first-crossing times of a makespan threshold with per-machine
 // exchange counts (Figure 5), and generic step logs.
+//
+// The probes are built on the observability layer: makespan queries go
+// through the engine's incremental cache (Engine.Makespan, amortized O(1)
+// instead of an O(m) rescan per sampled step), and every probe can tee its
+// samples into an obs.Tracer ring for timeline export. Instrument is the
+// generic metrics-backed observer for callers that want a trajectory in an
+// obs.Registry without touching the engine configuration.
 package trace
 
 import (
 	"hetlb/internal/core"
 	"hetlb/internal/gossip"
+	"hetlb/internal/obs"
 )
 
 // MakespanSeries records Cmax every SampleEvery steps (and at step 0).
@@ -16,6 +24,9 @@ type MakespanSeries struct {
 	// Steps and Values are the recorded series.
 	Steps  []int
 	Values []core.Cost
+	// Tracer, when non-nil, additionally receives one EvMakespanSample
+	// event per recorded point.
+	Tracer *obs.Tracer
 }
 
 // OnStep implements gossip.Observer.
@@ -27,8 +38,12 @@ func (t *MakespanSeries) OnStep(e *gossip.Engine, step, i, j int) {
 	if step%every != 0 {
 		return
 	}
+	cmax := e.Makespan()
 	t.Steps = append(t.Steps, step)
-	t.Values = append(t.Values, e.Assignment().Makespan())
+	t.Values = append(t.Values, cmax)
+	if t.Tracer != nil {
+		t.Tracer.Emit(obs.Event{Time: int64(step), Type: obs.EvMakespanSample, A: -1, B: -1, Value: int64(cmax)})
+	}
 }
 
 // Min returns the smallest recorded makespan (0 if empty).
@@ -59,6 +74,9 @@ type ThresholdWatcher struct {
 	// ExchangesAtCross is a copy of the per-machine exchange counts at the
 	// crossing.
 	ExchangesAtCross []int
+	// Tracer, when non-nil, receives one EvMakespanSample event at the
+	// crossing.
+	Tracer *obs.Tracer
 }
 
 // OnStep implements gossip.Observer.
@@ -66,10 +84,14 @@ func (t *ThresholdWatcher) OnStep(e *gossip.Engine, step, i, j int) {
 	if t.Crossed {
 		return
 	}
-	if e.Assignment().Makespan() <= t.Threshold {
+	cmax := e.Makespan()
+	if cmax <= t.Threshold {
 		t.Crossed = true
 		t.FirstStep = step
 		t.ExchangesAtCross = append([]int(nil), e.Exchanges()...)
+		if t.Tracer != nil {
+			t.Tracer.Emit(obs.Event{Time: int64(step), Type: obs.EvMakespanSample, A: -1, B: -1, Value: int64(cmax)})
+		}
 	}
 }
 
@@ -92,4 +114,54 @@ type StepLog struct {
 // OnStep implements gossip.Observer.
 func (t *StepLog) OnStep(_ *gossip.Engine, _ int, i, j int) {
 	t.Pairs = append(t.Pairs, [2]int{i, j})
+}
+
+// Instrument is the metrics-backed observer: it mirrors the engine's
+// trajectory into an obs registry (observed steps, sampled Cmax, minimum
+// Cmax seen) and optionally a tracer ring, for engines whose configuration
+// the caller does not control (e.g. when attaching to an engine built
+// elsewhere). Engines built with gossip.Config.Metrics do not need it.
+type Instrument struct {
+	// SampleEvery thins the makespan sampling; 0 or 1 samples every step.
+	SampleEvery int
+	// Steps counts observed steps; Makespan is the last sampled Cmax;
+	// MinMakespan is the smallest Cmax sampled so far (negated SetMax).
+	Steps       *obs.Counter
+	Makespan    *obs.Gauge
+	MinMakespan *obs.Gauge
+	// Tracer, when non-nil, receives one EvMakespanSample per sample.
+	Tracer *obs.Tracer
+
+	sampled bool
+}
+
+// NewInstrument registers the observer's instruments on a registry.
+func NewInstrument(r *obs.Registry, tracer *obs.Tracer) *Instrument {
+	return &Instrument{
+		Steps:       r.Counter("trace_observed_steps_total", "steps seen by the trace instrument"),
+		Makespan:    r.Gauge("trace_makespan", "last sampled Cmax"),
+		MinMakespan: r.Gauge("trace_makespan_min", "smallest Cmax sampled"),
+		Tracer:      tracer,
+	}
+}
+
+// OnStep implements gossip.Observer.
+func (t *Instrument) OnStep(e *gossip.Engine, step, i, j int) {
+	t.Steps.Inc()
+	every := t.SampleEvery
+	if every < 1 {
+		every = 1
+	}
+	if step%every != 0 {
+		return
+	}
+	cmax := int64(e.Makespan())
+	t.Makespan.Set(cmax)
+	if !t.sampled || cmax < t.MinMakespan.Value() {
+		t.MinMakespan.Set(cmax)
+		t.sampled = true
+	}
+	if t.Tracer != nil {
+		t.Tracer.Emit(obs.Event{Time: int64(step), Type: obs.EvMakespanSample, A: int32(i), B: int32(j), Value: cmax})
+	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"hetlb/internal/core"
 	"hetlb/internal/gossip"
+	"hetlb/internal/obs"
 	"hetlb/internal/protocol"
 	"hetlb/internal/rng"
 	"hetlb/internal/workload"
@@ -120,5 +121,76 @@ func TestStepLogRecordsPairs(t *testing.T) {
 		if p[0] == p[1] || p[0] >= m || p[1] >= m {
 			t.Fatalf("invalid pair %v", p)
 		}
+	}
+}
+
+func TestMakespanSeriesTracerTee(t *testing.T) {
+	tr := obs.NewTracer(256)
+	s := &MakespanSeries{SampleEvery: 5, Tracer: tr}
+	run(t, 50, s)
+	events := tr.Events()
+	if len(events) != len(s.Values) {
+		t.Fatalf("tracer has %d events, series has %d samples", len(events), len(s.Values))
+	}
+	for k, ev := range events {
+		if ev.Type != obs.EvMakespanSample {
+			t.Fatalf("event %d type = %v", k, ev.Type)
+		}
+		if ev.Time != int64(s.Steps[k]) || ev.Value != int64(s.Values[k]) {
+			t.Fatalf("event %d = %+v, want step %d value %d", k, ev, s.Steps[k], s.Values[k])
+		}
+	}
+}
+
+func TestInstrumentObserver(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer(1024)
+	ins := NewInstrument(reg, tr)
+	e := run(t, 200, ins)
+	if got := ins.Steps.Value(); got != 200 {
+		t.Fatalf("observed steps = %d, want 200", got)
+	}
+	if got := ins.Makespan.Value(); got != int64(e.Assignment().Makespan()) {
+		t.Fatalf("trace_makespan = %d, want %d", got, e.Assignment().Makespan())
+	}
+	if ins.MinMakespan.Value() > ins.Makespan.Value() {
+		// From the pathological start the series is near-monotone down; at
+		// minimum the min must not exceed the last sample.
+		t.Fatalf("min %d > last %d", ins.MinMakespan.Value(), ins.Makespan.Value())
+	}
+	if tr.Total() == 0 {
+		t.Fatal("instrument emitted no tracer events")
+	}
+}
+
+// benchSeries drives MakespanSeries sampling every step on a many-machine
+// instance. Compare against benchSeriesRecompute: the series now reads the
+// engine's incremental cache rather than rescanning all machine loads.
+func BenchmarkMakespanSeriesCached(b *testing.B) {
+	benchSeries(b, func(e *gossip.Engine) core.Cost { return e.Makespan() })
+}
+
+// BenchmarkMakespanSeriesRecompute is the pre-obs baseline: a full O(m)
+// makespan rescan on every sampled step.
+func BenchmarkMakespanSeriesRecompute(b *testing.B) {
+	benchSeries(b, func(e *gossip.Engine) core.Cost { return e.Assignment().Makespan() })
+}
+
+type queryObserver struct {
+	query func(*gossip.Engine) core.Cost
+	sink  core.Cost
+}
+
+func (q *queryObserver) OnStep(e *gossip.Engine, _, _, _ int) { q.sink = q.query(e) }
+
+func benchSeries(b *testing.B, query func(*gossip.Engine) core.Cost) {
+	gen := rng.New(60)
+	id := workload.UniformIdentical(gen, 3072, 1024, 1, 100)
+	a := core.RoundRobin(id)
+	e := gossip.New(protocol.SameCost{Model: id}, a, gossip.Config{Seed: 61})
+	e.Observe(&queryObserver{query: query})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
 	}
 }

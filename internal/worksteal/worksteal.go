@@ -25,8 +25,37 @@ import (
 
 	"hetlb/internal/core"
 	"hetlb/internal/des"
+	"hetlb/internal/obs"
 	"hetlb/internal/rng"
 )
+
+// Metrics bundles the simulator's obs instruments.
+type Metrics struct {
+	// Probes counts victim probes; Steals successful steals; JobsStolen
+	// the jobs transferred by them.
+	Probes, Steals, JobsStolen *obs.Counter
+	// Idle accumulates, per machine, the virtual time spent with an empty
+	// deque waiting for work (probing victims or blocked on latency).
+	// Trailing idleness of retired machines is not charged: once nothing is
+	// pending anywhere a machine can never run again, so its "idle" tail is
+	// unbounded-by-definition rather than schedulable waste.
+	Idle *obs.CounterVec
+	// StolenPerSteal is the distribution of jobs taken per successful
+	// steal.
+	StolenPerSteal *obs.Histogram
+}
+
+// NewMetrics registers the simulator's instruments for the given machine
+// count (idempotent on the same registry).
+func NewMetrics(r *obs.Registry, machines int) *Metrics {
+	return &Metrics{
+		Probes:         r.Counter("worksteal_probes_total", "victim probes"),
+		Steals:         r.Counter("worksteal_steals_total", "successful steals"),
+		JobsStolen:     r.Counter("worksteal_jobs_stolen_total", "jobs transferred by steals"),
+		Idle:           r.CounterVec("worksteal_idle_vt_total", "virtual time spent idle per machine", "machine", obs.IndexLabels(machines)),
+		StolenPerSteal: r.Histogram("worksteal_stolen_per_steal", "jobs taken per successful steal", obs.Pow2Bounds(12)),
+	}
+}
 
 // StealPolicy selects how much a successful steal takes.
 type StealPolicy int
@@ -53,6 +82,13 @@ type Config struct {
 	// MaxEvents bounds the simulation as a safety valve; 0 picks a
 	// generous default derived from the instance size.
 	MaxEvents uint64
+	// Metrics, when non-nil, receives steal/idle instrumentation (build
+	// with NewMetrics for the same machine count).
+	Metrics *Metrics
+	// Tracer, when non-nil, receives EvStealAttempt per probe and
+	// EvStealSuccess per steal (Time = virtual time, A = thief,
+	// B = victim, Value = jobs taken).
+	Tracer *obs.Tracer
 }
 
 // Stats is the outcome of a simulation.
@@ -88,6 +124,9 @@ type Simulator struct {
 	left    int // jobs not yet completed
 	stats   Stats
 	moved   []bool
+	// idleSince[i] is the virtual time machine i last ran out of local
+	// work, or -1 while it is running/has work; used for the idle metric.
+	idleSince []int64
 }
 
 // New builds a simulator from a complete initial assignment. The assignment
@@ -101,13 +140,17 @@ func New(m core.CostModel, initial *core.Assignment, cfg Config) (*Simulator, er
 		return nil, fmt.Errorf("worksteal: negative steal latency")
 	}
 	s := &Simulator{
-		model: m,
-		sim:   des.New(),
-		gen:   rng.New(cfg.Seed),
-		cfg:   cfg,
-		ms:    make([]machine, m.NumMachines()),
-		left:  m.NumJobs(),
-		moved: make([]bool, m.NumJobs()),
+		model:     m,
+		sim:       des.New(),
+		gen:       rng.New(cfg.Seed),
+		cfg:       cfg,
+		ms:        make([]machine, m.NumMachines()),
+		left:      m.NumJobs(),
+		moved:     make([]bool, m.NumJobs()),
+		idleSince: make([]int64, m.NumMachines()),
+	}
+	for i := range s.idleSince {
+		s.idleSince[i] = -1
 	}
 	s.stats.FirstStealTime = -1
 	s.stats.Completion = make([]int64, m.NumJobs())
@@ -154,6 +197,7 @@ func (s *Simulator) start(i int) {
 		return
 	}
 	if len(m.pending) > 0 {
+		s.settleIdle(i)
 		j := m.pending[0]
 		m.pending = m.pending[1:]
 		s.pending--
@@ -162,11 +206,32 @@ func (s *Simulator) start(i int) {
 		s.sim.At(done, des.PhaseComplete, func() { s.complete(i, j) })
 		return
 	}
+	s.markIdle(i)
 	if s.pending == 0 {
 		// Nothing stealable exists now or ever again: retire.
 		return
 	}
 	s.episode(i, s.gen.Perm(s.model.NumMachines()))
+}
+
+// markIdle notes that machine i ran out of local work at the current time
+// (no-op if it is already idle).
+func (s *Simulator) markIdle(i int) {
+	if s.idleSince[i] < 0 {
+		s.idleSince[i] = s.sim.Now()
+	}
+}
+
+// settleIdle charges machine i's accumulated idle span to the idle metric
+// when it resumes running.
+func (s *Simulator) settleIdle(i int) {
+	if s.idleSince[i] < 0 {
+		return
+	}
+	if s.cfg.Metrics != nil {
+		s.cfg.Metrics.Idle.At(i).Add(s.sim.Now() - s.idleSince[i])
+	}
+	s.idleSince[i] = -1
 }
 
 // complete finishes job j on machine i and schedules what i does next: a
@@ -189,6 +254,7 @@ func (s *Simulator) complete(i, j int) {
 	if len(m.pending) > 0 {
 		s.sim.At(s.sim.Now(), des.PhaseStart, func() { s.start(i) })
 	} else if s.pending > 0 {
+		s.markIdle(i)
 		order := s.gen.Perm(s.model.NumMachines())
 		s.sim.At(s.sim.Now(), des.PhaseTransfer, func() { s.episode(i, order) })
 	}
@@ -203,6 +269,12 @@ func (s *Simulator) episode(i int, order []int) {
 			continue
 		}
 		s.stats.Probes++
+		if s.cfg.Metrics != nil {
+			s.cfg.Metrics.Probes.Inc()
+		}
+		if s.cfg.Tracer != nil {
+			s.cfg.Tracer.Emit(obs.Event{Time: s.sim.Now(), Type: obs.EvStealAttempt, A: int32(i), B: int32(victim)})
+		}
 		v := &s.ms[victim]
 		if len(v.pending) == 0 {
 			if s.cfg.StealLatency > 0 {
@@ -257,6 +329,14 @@ func (s *Simulator) steal(i, victim int) {
 	s.stats.Steals++
 	if s.stats.FirstStealTime == -1 {
 		s.stats.FirstStealTime = s.sim.Now()
+	}
+	if met := s.cfg.Metrics; met != nil {
+		met.Steals.Inc()
+		met.JobsStolen.Add(int64(take))
+		met.StolenPerSteal.Observe(int64(take))
+	}
+	if s.cfg.Tracer != nil {
+		s.cfg.Tracer.Emit(obs.Event{Time: s.sim.Now(), Type: obs.EvStealSuccess, A: int32(i), B: int32(victim), Value: int64(take)})
 	}
 	s.start(i)
 }

@@ -6,6 +6,7 @@ import (
 	"hetlb/internal/central"
 	"hetlb/internal/core"
 	"hetlb/internal/exact"
+	"hetlb/internal/obs"
 	"hetlb/internal/rng"
 	"hetlb/internal/workload"
 )
@@ -248,5 +249,67 @@ func BenchmarkWorkStealStealOne(b *testing.B) {
 			b.Fatal(err)
 		}
 		sim.Run()
+	}
+}
+
+func TestObsMetricsMatchStats(t *testing.T) {
+	// The obs counters must agree with the Stats the simulator already
+	// reports, and the tracer must carry one event per probe and per steal.
+	gen := rng.New(61)
+	tc := workload.UniformTwoCluster(gen, 8, 4, 96, 1, 100)
+	init := core.AllOnMachine(tc, 0)
+	reg := obs.NewRegistry()
+	met := NewMetrics(reg, tc.NumMachines())
+	tr := obs.NewTracer(1 << 16)
+	sim, err := New(tc, init, Config{Seed: 62, StealLatency: 3, Metrics: met, Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sim.Run()
+
+	if got := met.Probes.Value(); got != int64(st.Probes) {
+		t.Fatalf("worksteal_probes_total = %d, want %d", got, st.Probes)
+	}
+	if got := met.Steals.Value(); got != int64(st.Steals) {
+		t.Fatalf("worksteal_steals_total = %d, want %d", got, st.Steals)
+	}
+	if met.Steals.Value() == 0 {
+		t.Fatal("instance produced no steals; test is vacuous")
+	}
+	if got := met.StolenPerSteal.Count(); got != int64(st.Steals) {
+		t.Fatalf("worksteal_stolen_per_steal count = %d, want %d", got, st.Steals)
+	}
+	if got, want := met.JobsStolen.Value(), met.StolenPerSteal.Sum(); got != want {
+		t.Fatalf("worksteal_jobs_stolen_total = %d, histogram sum %d", got, want)
+	}
+	// Idle time: non-negative per machine, and bounded by makespan each.
+	var idle int64
+	for i := 0; i < tc.NumMachines(); i++ {
+		v := met.Idle.At(i).Value()
+		if v < 0 || v > st.Makespan {
+			t.Fatalf("machine %d idle %d outside [0, %d]", i, v, st.Makespan)
+		}
+		idle += v
+	}
+	// Machines 1.. start empty next to a loaded machine 0, so some idle
+	// time must have been charged before the first successful steals.
+	if idle == 0 {
+		t.Fatal("no idle time charged on an all-on-one start")
+	}
+	var attempts, successes int64
+	for _, ev := range tr.Events() {
+		switch ev.Type {
+		case obs.EvStealAttempt:
+			attempts++
+		case obs.EvStealSuccess:
+			successes++
+		}
+	}
+	if tr.Dropped() != 0 {
+		t.Fatalf("tracer dropped %d events; raise capacity", tr.Dropped())
+	}
+	if attempts != int64(st.Probes) || successes != int64(st.Steals) {
+		t.Fatalf("tracer saw %d attempts / %d successes, want %d / %d",
+			attempts, successes, st.Probes, st.Steals)
 	}
 }

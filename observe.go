@@ -1,0 +1,36 @@
+package hetlb
+
+import (
+	"hetlb/internal/obs"
+)
+
+// This file exposes the observability layer. A MetricsRegistry collects
+// named counters, gauges and histograms from every runtime that is handed
+// one (via RunOptions.Metrics, MessagePassingOptions.Metrics or
+// WorkStealingOptions.Metrics); an EventTrace is a bounded ring of typed
+// protocol events. Both are concurrency-safe and allocation-free on the
+// record path, so attaching them does not perturb what is being measured.
+
+// MetricsRegistry holds named metric instruments. Export its contents with
+// WritePrometheus (text exposition format) or WriteJSON (deterministic
+// snapshot); registration is idempotent, so one registry can accumulate
+// across repeated runs.
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry returns an empty registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// EventTrace is a bounded ring buffer of protocol events (pair selections,
+// migrations, messages, steals, makespan samples). When full it overwrites
+// the oldest events and counts them in Dropped. Export with WriteJSONL or
+// WriteChromeTrace (load the latter in a trace viewer such as Perfetto).
+type EventTrace = obs.Tracer
+
+// TraceEvent is one recorded event: Time is the runtime's own clock (step
+// index, virtual time, or nanoseconds depending on the source), A and B the
+// actor machines (-1 when not applicable), Value an event-specific quantity
+// such as jobs moved.
+type TraceEvent = obs.Event
+
+// NewEventTrace returns a trace ring holding up to capacity events.
+func NewEventTrace(capacity int) *EventTrace { return obs.NewTracer(capacity) }
