@@ -15,10 +15,14 @@ build:
 test:
 	$(GO) test ./...
 
-# The concurrent runtime and the observability layer are the packages with
-# real cross-goroutine traffic; keep them under the race detector.
+# The concurrent runtime, the observability layer and the replication
+# harness are the packages with real cross-goroutine traffic; keep them
+# under the race detector. The experiments package rides along because its
+# determinism tests drive every figure's scaled-down driver through the
+# harness at Parallelism 4 and GOMAXPROCS.
 race:
-	$(GO) test -race ./internal/distrun/... ./internal/obs/... ./internal/gossip/...
+	$(GO) test -race ./internal/distrun/... ./internal/obs/... ./internal/gossip/... \
+		./internal/harness/... ./internal/experiments/...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -11,6 +11,7 @@ import (
 	"hetlb"
 	"hetlb/internal/core"
 	"hetlb/internal/experiments"
+	"hetlb/internal/harness"
 )
 
 // BenchmarkTableI — Theorem 1: work stealing on the trap instance. Reports
@@ -94,6 +95,30 @@ func BenchmarkFigure3(b *testing.B) {
 	}
 	b.ReportMetric(het, "mean-dev-hetero")
 	b.ReportMetric(hom, "mean-dev-homog")
+}
+
+// BenchmarkFigure3Harness measures the replication harness itself on a
+// paper-sized Figure 3 configuration (64+32 machines, 768 jobs, 8 runs):
+// Sequential is the Parallelism=1 baseline, Parallel4 the 4-worker pool.
+// Both produce identical results (see internal/experiments determinism
+// tests); the sub-benchmark ratio is the harness's speedup.
+func BenchmarkFigure3Harness(b *testing.B) {
+	cfg := experiments.PaperHetero()
+	cfg.Runs = 8
+	cfgs := []experiments.SimConfig{cfg}
+	run := func(b *testing.B, parallelism int) {
+		var mean float64
+		for i := 0; i < b.N; i++ {
+			res, err := experiments.Figure3With(harness.Options{Parallelism: parallelism}, cfgs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			mean = res[0].Summary.Mean
+		}
+		b.ReportMetric(mean, "mean-dev")
+	}
+	b.Run("Sequential", func(b *testing.B) { run(b, 1) })
+	b.Run("Parallel4", func(b *testing.B) { run(b, 4) })
 }
 
 // BenchmarkFigure4 — makespan trajectories. Reports the equilibrium

@@ -1,296 +1,53 @@
 // Command figures regenerates every table and figure of the paper's
 // evaluation section at full scale, printing each as text/ASCII and writing
-// tidy CSV files for external plotting.
+// tidy CSV files for external plotting. It is a thin front end over
+// internal/evaluation, which runs every experiment's replications through
+// the deterministic parallel harness (internal/harness): -parallel
+// accelerates the evaluation without changing any number.
 //
 // Usage:
 //
 //	figures [-exp all|tableI|tableII|fig1|fig2a|fig2b|fig3|fig4|fig5|
 //	              extk|extdyn|residual]
-//	        [-out DIR] [-full] [-seed N]
+//	        [-out DIR] [-full] [-seed N] [-parallel N] [-timeout D]
 //
 // -full includes the expensive configurations (Figure 2a with pmax=16
 // expands to ~1.8M Markov states and takes several minutes; Figure 5 with
 // the 512+256 system).
+//
+// The hetlb CLI exposes the same evaluation as `hetlb figures`, with the
+// scaled-down configurations by default and the shared observability flags.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
-	"strings"
 
-	"hetlb/internal/core"
-	"hetlb/internal/experiments"
-	"hetlb/internal/plot"
-	"hetlb/internal/stats"
+	"hetlb/internal/evaluation"
+	"hetlb/internal/harness"
 )
-
-type runner struct {
-	outDir string
-	full   bool
-	seed   uint64
-}
 
 func main() {
 	exp := flag.String("exp", "all", "which experiment to run (all, tableI, tableII, fig1, fig2a, fig2b, fig3, fig4, fig5, extk, extdyn, residual)")
 	out := flag.String("out", "figures", "output directory for CSV files")
 	full := flag.Bool("full", false, "run the most expensive configurations too")
 	seed := flag.Uint64("seed", 1, "base random seed")
+	parallel := flag.Int("parallel", 0, "replication worker pool size (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 0, "abort the run after this wall time (0 = no limit)")
 	flag.Parse()
 
-	if err := os.MkdirAll(*out, 0o755); err != nil {
-		fatal(err)
+	cfg := evaluation.Config{
+		OutDir: *out,
+		Full:   *full,
+		Seed:   *seed,
+		Harness: harness.Options{
+			Parallelism: *parallel,
+			Timeout:     *timeout,
+		},
 	}
-	r := runner{outDir: *out, full: *full, seed: *seed}
-	steps := map[string]func() error{
-		"tableI":   r.tableI,
-		"tableII":  r.tableII,
-		"fig1":     r.figure1,
-		"fig2a":    r.figure2a,
-		"fig2b":    r.figure2b,
-		"fig3":     r.figure3,
-		"fig4":     r.figure4,
-		"fig5":     r.figure5,
-		"extk":     r.extKClusters,
-		"extdyn":   r.extDynamic,
-		"residual": r.residual,
+	if err := evaluation.Run(cfg, *exp); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
 	}
-	order := []string{"tableI", "tableII", "fig1", "fig2a", "fig2b", "fig3", "fig4", "fig5", "extk", "extdyn", "residual"}
-	if *exp != "all" {
-		f, ok := steps[*exp]
-		if !ok {
-			fatal(fmt.Errorf("unknown experiment %q (want one of %s)", *exp, strings.Join(order, ", ")))
-		}
-		if err := f(); err != nil {
-			fatal(err)
-		}
-		return
-	}
-	for _, name := range order {
-		if err := steps[name](); err != nil {
-			fatal(fmt.Errorf("%s: %w", name, err))
-		}
-	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "figures:", err)
-	os.Exit(1)
-}
-
-func (r runner) writeCSV(name string, series []plot.Series) error {
-	path := filepath.Join(r.outDir, name)
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := plot.WriteCSV(f, series); err != nil {
-		return err
-	}
-	fmt.Printf("  wrote %s\n", path)
-	return nil
-}
-
-func (r runner) tableI() error {
-	fmt.Println("== Table I / Theorem 1: work stealing on the trap instance ==")
-	ns := []core.Cost{10, 100, 1000, 10000, 100000}
-	rows := experiments.TableI(ns, r.seed)
-	var trows [][]string
-	var xs, ys []float64
-	for _, row := range rows {
-		trows = append(trows, []string{
-			fmt.Sprint(row.N), fmt.Sprint(row.FirstSteal), fmt.Sprint(row.Makespan),
-			fmt.Sprint(row.Opt), fmt.Sprintf("%.1f", row.Ratio),
-		})
-		xs = append(xs, float64(row.N))
-		ys = append(ys, row.Ratio)
-	}
-	fmt.Print(plot.Table([]string{"n", "first steal", "WS makespan", "OPT", "ratio"}, trows))
-	fmt.Println("shape check: first steal at n, makespan n+1, OPT 2 → unbounded ratio ✓")
-	return r.writeCSV("tableI.csv", []plot.Series{plot.NewSeries("ws-ratio", xs, ys)})
-}
-
-func (r runner) tableII() error {
-	fmt.Println("== Table II / Proposition 2: pairwise-optimal trap ==")
-	ns := []core.Cost{10, 100, 1000, 10000}
-	rows := experiments.TableII(ns)
-	var trows [][]string
-	var xs, ys []float64
-	for _, row := range rows {
-		trows = append(trows, []string{
-			fmt.Sprint(row.N), fmt.Sprint(row.TrapMakespan), fmt.Sprint(row.Opt),
-			fmt.Sprint(row.PairwiseOptimal),
-		})
-		xs = append(xs, float64(row.N))
-		ys = append(ys, float64(row.TrapMakespan)/float64(row.Opt))
-	}
-	fmt.Print(plot.Table([]string{"n", "trap Cmax", "OPT", "pairwise-optimal"}, trows))
-	return r.writeCSV("tableII.csv", []plot.Series{plot.NewSeries("trap-ratio", xs, ys)})
-}
-
-func (r runner) figure1() error {
-	fmt.Println("== Figure 1 / Proposition 8: DLB2C non-convergence ==")
-	res := experiments.Figure1()
-	fmt.Printf("reachable schedules: %d, stable: %d, proven non-convergent: %v\n",
-		res.ReachableStates, res.StableStates, res.ProvenNonConvergent)
-	fmt.Printf("explicit cycle (length %d):\n", len(res.CycleStates)-1)
-	for k, s := range res.CycleStates {
-		fmt.Printf("  step %d: %s\n", k, s)
-	}
-	xs := make([]float64, len(res.CycleMakespans))
-	ys := make([]float64, len(res.CycleMakespans))
-	for k, v := range res.CycleMakespans {
-		xs[k] = float64(k)
-		ys[k] = float64(v)
-	}
-	return r.writeCSV("figure1.csv", []plot.Series{plot.NewSeries("cycle-makespan", xs, ys)})
-}
-
-func (r runner) figure2a() error {
-	fmt.Println("== Figure 2(a): stationary makespan pdf, m=6, varying pmax ==")
-	pmaxes := []int64{2, 4, 8}
-	if r.full {
-		pmaxes = append(pmaxes, 16)
-		fmt.Println("(-full: including pmax=16, ~1.8M states; this takes several minutes)")
-	}
-	curves, err := experiments.Figure2a(pmaxes)
-	if err != nil {
-		return err
-	}
-	series := experiments.Figure2Series(curves)
-	fmt.Print(plot.ASCII("P(Cmax) vs normalized deviation (Cmax-⌈ΣP/m⌉)/pmax", series, 64, 16))
-	for _, c := range curves {
-		fmt.Printf("  pmax=%-3d states=%-8d mode=%.2f tail>1.5: %.4f\n", c.PMax, c.States, c.Mode, c.TailBeyond15)
-	}
-	return r.writeCSV("figure2a.csv", series)
-}
-
-func (r runner) figure2b() error {
-	fmt.Println("== Figure 2(b): stationary makespan pdf, pmax=4, varying m ==")
-	curves, err := experiments.Figure2b([]int{3, 4, 5, 6})
-	if err != nil {
-		return err
-	}
-	series := experiments.Figure2Series(curves)
-	fmt.Print(plot.ASCII("P(Cmax) vs normalized deviation", series, 64, 16))
-	for _, c := range curves {
-		fmt.Printf("  m=%-2d states=%-8d mode=%.2f tail>1.5: %.4f\n", c.M, c.States, c.Mode, c.TailBeyond15)
-	}
-	return r.writeCSV("figure2b.csv", series)
-}
-
-func (r runner) simConfigs() []experiments.SimConfig {
-	het := experiments.PaperHetero()
-	hom := experiments.PaperHomogeneous()
-	het.Seed, hom.Seed = r.seed+10, r.seed+20
-	return []experiments.SimConfig{het, hom}
-}
-
-func (r runner) figure3() error {
-	fmt.Println("== Figure 3: equilibrium makespan distribution, hetero vs homog ==")
-	results := experiments.Figure3(r.simConfigs())
-	var series []plot.Series
-	for _, res := range results {
-		h := res.Histogram(0, 3, 24)
-		var xs, ys []float64
-		for k := range h.Counts {
-			xs = append(xs, h.BinCenter(k))
-			ys = append(ys, h.Density(k))
-		}
-		series = append(series, plot.NewSeries(res.Config.Name, xs, ys))
-		fmt.Printf("  %-22s %s\n", res.Config.Name, res.Summary)
-	}
-	fmt.Print(plot.ASCII("density of (Cmax-LB)/pmax after 30 exchanges/machine", series, 64, 14))
-	return r.writeCSV("figure3.csv", series)
-}
-
-func (r runner) figure4() error {
-	fmt.Println("== Figure 4: makespan trajectories over exchanges ==")
-	runs := experiments.Figure4(r.simConfigs(), 2)
-	series := experiments.Figure4Series(runs)
-	fmt.Print(plot.ASCII("Cmax/centralized vs exchanges per machine", series, 64, 14))
-	for _, run := range runs {
-		fmt.Printf("  %-22s run %d: min %.3f, equilibrium oscillation %.3f\n",
-			run.Config.Name, run.Run, run.MinReached, run.FinalOscillation)
-	}
-	return r.writeCSV("figure4.csv", series)
-}
-
-func (r runner) figure5() error {
-	fmt.Println("== Figure 5: exchanges per machine to first reach 1.5×cent ==")
-	cfgs := r.simConfigs()
-	if r.full {
-		large := experiments.PaperHeteroLarge()
-		large.Seed = r.seed + 30
-		cfgs = append(cfgs, large)
-		fmt.Println("(-full: including the 512+256 system)")
-	}
-	results := experiments.Figure5(cfgs, 1.5)
-	series := experiments.Figure5CDFSeries(results)
-	fmt.Print(plot.ASCII("CDF over machines of exchanges at first crossing", series, 64, 14))
-	for _, res := range results {
-		fmt.Printf("  %-22s crossed %d/%d runs; per-machine exchanges: %s\n",
-			res.Config.Name, res.CrossedRuns, res.TotalRuns, res.Summary)
-	}
-	return r.writeCSV("figure5.csv", series)
-}
-
-func (r runner) extKClusters() error {
-	fmt.Println("== Extension: DLBKC equilibrium quality vs number of clusters ==")
-	ks := []int{2, 3, 4, 6}
-	results, err := experiments.ExtKClusters(ks, 8, 384, 1000, 10, 30, r.seed+40)
-	if err != nil {
-		return err
-	}
-	for _, res := range results {
-		fmt.Printf("  k=%d: Cmax/LP-LB %s\n", res.K, res.Summary)
-	}
-	series := experiments.ExtKClustersSeries(results)
-	fmt.Print(plot.ASCII("equilibrium Cmax / LP fractional LB vs k", series, 64, 12))
-	return r.writeCSV("ext_kclusters.csv", series)
-}
-
-func (r runner) extDynamic() error {
-	fmt.Println("== Extension: periodic balancing during execution (Section IV mode) ==")
-	results, err := experiments.ExtDynamic([]int64{0, 50, 10, 2}, 16, 8, 384, 1000, 2, 10, r.seed+50)
-	if err != nil {
-		return err
-	}
-	fmt.Print(experiments.ExtDynamicTable(results))
-	var series []plot.Series
-	var xs, ys []float64
-	for _, res := range results {
-		x := float64(res.BalanceEvery)
-		xs = append(xs, x)
-		ys = append(ys, res.MeanFlow)
-	}
-	series = append(series, plot.NewSeries("mean flow vs balance period (0 = off)", xs, ys))
-	return r.writeCSV("ext_dynamic.csv", series)
-}
-
-func (r runner) residual() error {
-	fmt.Println("== Ablation: measured residual imbalance vs the Markov model's uniform assumption ==")
-	res := experiments.ResidualCheck(96, 768, 1, 1000, 20000, r.seed+60)
-	fmt.Printf("  %d balancing steps measured on the 96-machine/768-job system\n", res.Samples)
-	fmt.Printf("  normalized residual |Δload|/pmax_pool: %s\n", res.Summary)
-	fmt.Printf("  model assumes uniform {0..pmax} (mean 0.5); measured mean %.2f → model is conservative\n",
-		res.Summary.Mean)
-	// Histogram as a series.
-	h := histOf(res.Normalized)
-	var xs, ys []float64
-	for k := range h.Counts {
-		xs = append(xs, h.BinCenter(k))
-		ys = append(ys, h.Density(k))
-	}
-	return r.writeCSV("residual.csv", []plot.Series{plot.NewSeries("measured residual density", xs, ys)})
-}
-
-func histOf(xs []float64) *stats.Histogram {
-	h := stats.NewHistogram(0, 1.0001, 20)
-	for _, v := range xs {
-		h.Add(v)
-	}
-	return h
 }

@@ -6,6 +6,8 @@
 //	worksteal  simulate work stealing, including the Theorem 1 trap
 //	solve      read a cost matrix (CSV, one machine per line) on stdin and
 //	           solve it exactly (small instances) and with the baselines
+//	figures    regenerate the paper's evaluation (tables + figures) through
+//	           the parallel replication harness
 //
 // Run `hetlb <subcommand> -h` for flags.
 package main
@@ -33,6 +35,8 @@ func main() {
 		err = cmdExplore(args)
 	case "solve":
 		err = cmdSolve(args)
+	case "figures":
+		err = cmdFigures(args)
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -55,16 +59,22 @@ subcommands:
   worksteal  simulate the work-stealing baseline (Algorithm 1)
   explore    enumerate reachable schedules / prove non-convergence (Prop. 8)
   solve      exactly solve a small cost matrix read from stdin
+  figures    regenerate the paper's evaluation (Tables I/II, Figures 1-5,
+             extensions) through the parallel replication harness
 
-sim and worksteal accept observability flags: --metrics-out (Prometheus
-text, or JSON with --metrics-json), --trace-out (Chrome trace_event JSON,
-or --trace-format=jsonl) and --pprof <addr>.
+sim, worksteal and figures accept observability flags: --metrics-out
+(Prometheus text, or JSON with --metrics-json), --trace-out (Chrome
+trace_event JSON, or --trace-format=jsonl) and --pprof <addr>. figures
+additionally accepts --parallel (worker pool size; the results are
+identical for every value) and --timeout.
 
 examples:
   hetlb sim -proto dlb2c -m1 64 -m2 32 -jobs 768 -steps 480
   hetlb sim -proto dlb2c --metrics-out=- --trace-out=trace.json
   hetlb markov -m 6 -pmax 4
   hetlb worksteal -trap 1000
+  hetlb figures --parallel 8 --metrics-out=-
+  hetlb figures -paper -exp fig3 --parallel 8 --timeout 10m
   echo '1,2,3
 4,5,6' | hetlb solve
 `)

@@ -39,6 +39,15 @@
 //	})
 //	fmt.Println(res.Makespan, res.Converged)
 //
+// # Replication
+//
+// Monte-Carlo studies over the library run through Replicate, a
+// deterministic parallel replication harness: each replication draws all
+// randomness from a substream keyed by (seed, index), so the results are
+// bit-identical for every worker count. The experiment drivers behind the
+// paper's tables and figures are built on the same runner.
+//
 // The executables under cmd/ regenerate every table and figure of the
-// paper's evaluation; see DESIGN.md and EXPERIMENTS.md.
+// paper's evaluation ("hetlb figures" / cmd/figures run it end to end,
+// in parallel with --parallel); see DESIGN.md and EXPERIMENTS.md.
 package hetlb

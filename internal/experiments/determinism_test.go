@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"math"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"hetlb/internal/core"
+	"hetlb/internal/harness"
+)
+
+// The harness determinism contract, asserted end to end: every refactored
+// driver must produce byte-identical structured results for Parallelism 1,
+// 4 and GOMAXPROCS, and the small fixed-seed configurations must match the
+// pinned golden summaries below. If a refactor changes the numbers on
+// purpose (new substream keying, different replication bodies), regenerate
+// the goldens — but a change that appears here without an intentional cause
+// is a scheduling leak into the results, the exact bug class the harness
+// exists to prevent.
+
+// parallelisms are the worker counts every driver is checked across.
+func parallelisms() []harness.Options {
+	return []harness.Options{
+		{Parallelism: 1},
+		{Parallelism: 4},
+		{Parallelism: runtime.GOMAXPROCS(0)},
+	}
+}
+
+// assertInvariant runs drive once per parallelism setting and requires
+// deep-equal results.
+func assertInvariant[T any](t *testing.T, name string, drive func(harness.Options) (T, error)) T {
+	t.Helper()
+	ref, err := drive(harness.Options{Parallelism: 1})
+	if err != nil {
+		t.Fatalf("%s sequential: %v", name, err)
+	}
+	for _, opt := range parallelisms()[1:] {
+		got, err := drive(opt)
+		if err != nil {
+			t.Fatalf("%s parallelism %d: %v", name, opt.Parallelism, err)
+		}
+		if !reflect.DeepEqual(ref, got) {
+			t.Fatalf("%s: results differ between parallelism 1 and %d", name, opt.Parallelism)
+		}
+	}
+	return ref
+}
+
+// exactly pins a float golden bit-for-bit: the determinism contract is
+// bit-identity, not tolerance.
+func exactly(t *testing.T, name string, got, want float64) {
+	t.Helper()
+	if math.Float64bits(got) != math.Float64bits(want) {
+		t.Fatalf("%s = %.17g, golden %.17g", name, got, want)
+	}
+}
+
+func TestTableIDeterministicAcrossParallelism(t *testing.T) {
+	rows := assertInvariant(t, "TableI", func(opt harness.Options) ([]TableIRow, error) {
+		return TableIWith(opt, []core.Cost{10, 100}, 1)
+	})
+	// Golden: the trap's shape is seed-independent (Theorem 1).
+	for i, n := range []core.Cost{10, 100} {
+		if rows[i].FirstSteal != int64(n) || rows[i].Makespan != int64(n)+1 || rows[i].Opt != 2 {
+			t.Fatalf("row %d regressed: %+v", i, rows[i])
+		}
+	}
+}
+
+func TestTableIIDeterministicAcrossParallelism(t *testing.T) {
+	assertInvariant(t, "TableII", func(opt harness.Options) ([]TableIIRow, error) {
+		return TableIIWith(opt, []core.Cost{5, 50})
+	})
+}
+
+func TestFigure1DeterministicAcrossParallelism(t *testing.T) {
+	assertInvariant(t, "Figure1", func(opt harness.Options) (Figure1Result, error) {
+		return Figure1With(opt)
+	})
+}
+
+func TestFigure2DeterministicAcrossParallelism(t *testing.T) {
+	assertInvariant(t, "Figure2a", func(opt harness.Options) ([]Figure2Curve, error) {
+		return Figure2aWith(opt, []int64{2, 4})
+	})
+	assertInvariant(t, "Figure2b", func(opt harness.Options) ([]Figure2Curve, error) {
+		return Figure2bWith(opt, []int{3, 4})
+	})
+}
+
+func TestFigure3DeterministicAcrossParallelism(t *testing.T) {
+	cfgs := []SimConfig{PaperHetero().Reduced(), PaperHomogeneous().Reduced()}
+	results := assertInvariant(t, "Figure3", func(opt harness.Options) ([]Figure3Result, error) {
+		return Figure3With(opt, cfgs)
+	})
+	// Pinned goldens for the reduced paper configurations (seeds 1 and 3).
+	exactly(t, "hetero mean deviation", results[0].Summary.Mean, 0.32625848431910853)
+	exactly(t, "hetero p90 deviation", results[0].Summary.P90, 0.38048152881504205)
+	exactly(t, "homog mean deviation", results[1].Summary.Mean, 0.47909158378857941)
+}
+
+func TestFigure4DeterministicAcrossParallelism(t *testing.T) {
+	cfgs := []SimConfig{PaperHetero().Reduced()}
+	runs := assertInvariant(t, "Figure4", func(opt harness.Options) ([]Figure4Run, error) {
+		return Figure4With(opt, cfgs, 2)
+	})
+	exactly(t, "run 0 min reached", runs[0].MinReached, 0.92589508742714399)
+	exactly(t, "run 0 oscillation", runs[0].FinalOscillation, 0.0036081043574798244)
+	if len(runs[0].MakespanOverCent) != 30 {
+		t.Fatalf("trajectory length %d", len(runs[0].MakespanOverCent))
+	}
+}
+
+func TestFigure5DeterministicAcrossParallelism(t *testing.T) {
+	cfgs := []SimConfig{PaperHetero().Reduced()}
+	results := assertInvariant(t, "Figure5", func(opt harness.Options) ([]Figure5Result, error) {
+		return Figure5With(opt, cfgs, 1.5)
+	})
+	if results[0].CrossedRuns != 5 {
+		t.Fatalf("crossed runs = %d, golden 5", results[0].CrossedRuns)
+	}
+	exactly(t, "mean per-machine exchanges", results[0].Summary.Mean, 3.0333333333333332)
+}
+
+func TestResidualDeterministicAcrossParallelism(t *testing.T) {
+	res := assertInvariant(t, "ResidualCheck", func(opt harness.Options) (ResidualCheckResult, error) {
+		return ResidualCheckWith(opt, 8, 64, 1, 100, 2000, 7)
+	})
+	if res.Samples != 2000 {
+		t.Fatalf("samples = %d, golden 2000", res.Samples)
+	}
+	exactly(t, "residual mean", res.Summary.Mean, 0.26473706939832448)
+	exactly(t, "residual zero share", res.ZeroShare, 0.030499999999999999)
+}
+
+func TestExtensionsDeterministicAcrossParallelism(t *testing.T) {
+	assertInvariant(t, "ExtKClusters", func(opt harness.Options) ([]ExtKClustersResult, error) {
+		return ExtKClustersWith(opt, []int{2, 3}, 3, 72, 50, 3, 20, 5)
+	})
+	assertInvariant(t, "ExtDynamic", func(opt harness.Options) ([]ExtDynamicResult, error) {
+		return ExtDynamicWith(opt, []int64{0, 5}, 3, 3, 60, 50, 1, 3, 6)
+	})
+}
+
+// TestRunResultDependsOnlyOnItsIndex is the satellite fix made observable:
+// shrinking a configuration's run count must not change the runs that
+// remain. Under the old serial seed draw, run r consumed state left by runs
+// 0..r-1, so any change to the run count rewrote every result.
+func TestRunResultDependsOnlyOnItsIndex(t *testing.T) {
+	cfg := PaperHetero().Reduced()
+	long := must(Figure3With(harness.Sequential(), []SimConfig{cfg}))[0]
+	short := cfg
+	short.Runs = 2
+	got := must(Figure3With(harness.Sequential(), []SimConfig{short}))[0]
+	for i := 0; i < short.Runs; i++ {
+		exactly(t, "prefix deviation", got.Deviations[i], long.Deviations[i])
+		exactly(t, "prefix ratio", got.RatioToCent[i], long.RatioToCent[i])
+	}
+}

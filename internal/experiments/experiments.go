@@ -20,9 +20,28 @@ package experiments
 import (
 	"hetlb/internal/core"
 	"hetlb/internal/exact"
+	"hetlb/internal/harness"
 	"hetlb/internal/workload"
 	"hetlb/internal/worksteal"
 )
+
+// Every driver in this package executes its replications through
+// harness.Map: one keyed RNG substream per replication, results addressed by
+// index, optional worker-pool parallelism. The plain constructors
+// (TableI, Figure3, ...) run with harness defaults; the *With variants take
+// harness.Options so callers (cmd/figures, `hetlb figures`, tests) can set
+// parallelism, deadlines and observability. A driver's output is identical
+// for every Options.Parallelism — see determinism_test.go.
+
+// must surfaces harness errors in the plain wrappers. Their replication
+// bodies cannot fail and they pass no cancellable context, so an error here
+// is a programming bug, not an operational condition.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
 
 // TableIRow is one n column of Table I's reproduction: the behaviour of
 // work stealing on the trap instance.
@@ -43,24 +62,29 @@ type TableIRow struct {
 // circled distribution of Table I and reports the first steal time and the
 // achieved makespan against the optimum.
 func TableI(ns []core.Cost, seed uint64) []TableIRow {
-	rows := make([]TableIRow, 0, len(ns))
-	for _, n := range ns {
+	return must(TableIWith(harness.Options{}, ns, seed))
+}
+
+// TableIWith is TableI with explicit harness options; each n column is one
+// replication.
+func TableIWith(opt harness.Options, ns []core.Cost, seed uint64) ([]TableIRow, error) {
+	return harness.Map(opt, seed, len(ns), func(rep *harness.Rep) (TableIRow, error) {
+		n := ns[rep.Index]
 		d, init := workload.WorkStealingTrap(n)
-		sim, err := worksteal.New(d, init, worksteal.Config{Seed: seed})
+		sim, err := worksteal.New(d, init, worksteal.Config{Seed: rep.RNG.Uint64()})
 		if err != nil {
 			panic(err) // static instance; cannot fail
 		}
 		st := sim.Run()
 		opt := exact.Solve(d).Opt
-		rows = append(rows, TableIRow{
+		return TableIRow{
 			N:          n,
 			FirstSteal: st.FirstStealTime,
 			Makespan:   st.Makespan,
 			Opt:        opt,
 			Ratio:      float64(st.Makespan) / float64(opt),
-		})
-	}
-	return rows
+		}, nil
+	})
 }
 
 // TableIIRow is one n column of the Table II reproduction.
@@ -81,17 +105,24 @@ type TableIIRow struct {
 // optimally balanced for every machine pair yet its makespan is unbounded
 // relative to OPT.
 func TableII(ns []core.Cost) []TableIIRow {
-	rows := make([]TableIIRow, 0, len(ns))
-	for _, n := range ns {
+	return must(TableIIWith(harness.Options{}, ns))
+}
+
+// TableIIWith is TableII with explicit harness options. The driver is fully
+// deterministic (no randomness), so the harness contributes only the worker
+// pool: the pairwise-optimality exhaustion per column is exponential in the
+// pooled job count and dominates the run.
+func TableIIWith(opt harness.Options, ns []core.Cost) ([]TableIIRow, error) {
+	return harness.Map(opt, 0, len(ns), func(rep *harness.Rep) (TableIIRow, error) {
+		n := ns[rep.Index]
 		d, trap := workload.PairwiseTrap(n)
-		rows = append(rows, TableIIRow{
+		return TableIIRow{
 			N:               n,
 			TrapMakespan:    trap.Makespan(),
 			Opt:             exact.Solve(d).Opt,
 			PairwiseOptimal: pairwiseOptimal(d, trap),
-		})
-	}
-	return rows
+		}, nil
+	})
 }
 
 // pairwiseOptimal checks by exhaustion that no pair of machines can lower

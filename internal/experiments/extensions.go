@@ -6,10 +6,10 @@ import (
 	"hetlb/internal/core"
 	"hetlb/internal/dynamic"
 	"hetlb/internal/gossip"
+	"hetlb/internal/harness"
 	"hetlb/internal/lp"
 	"hetlb/internal/plot"
 	"hetlb/internal/protocol"
-	"hetlb/internal/rng"
 	"hetlb/internal/stats"
 )
 
@@ -28,11 +28,17 @@ type ExtKClustersResult struct {
 // each, jobs jobs, costs U[1, hi]) for runs seeds and stepsPerMachine
 // exchanges per machine.
 func ExtKClusters(ks []int, machinesPerCluster, jobs int, hi core.Cost, runs, stepsPerMachine int, seed uint64) ([]ExtKClustersResult, error) {
+	return ExtKClustersWith(harness.Options{}, ks, machinesPerCluster, jobs, hi, runs, stepsPerMachine, seed)
+}
+
+// ExtKClustersWith is ExtKClusters with explicit harness options; run r of
+// the k-cluster sweep is keyed by (seed+k, r).
+func ExtKClustersWith(opt harness.Options, ks []int, machinesPerCluster, jobs int, hi core.Cost, runs, stepsPerMachine int, seed uint64) ([]ExtKClustersResult, error) {
 	out := make([]ExtKClustersResult, 0, len(ks))
 	for _, k := range ks {
-		gen := rng.New(seed + uint64(k))
-		res := ExtKClustersResult{K: k}
-		for run := 0; run < runs; run++ {
+		k := k
+		ratios, err := harness.Map(opt, seed+uint64(k), runs, func(rep *harness.Rep) (float64, error) {
+			gen := rep.RNG
 			sizes := make([]int, k)
 			p := make([][]core.Cost, k)
 			for c := 0; c < k; c++ {
@@ -44,7 +50,7 @@ func ExtKClusters(ks []int, machinesPerCluster, jobs int, hi core.Cost, runs, st
 			}
 			kc, err := core.NewKCluster(sizes, p)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			a := core.NewAssignment(kc)
 			for j := 0; j < jobs; j++ {
@@ -54,11 +60,14 @@ func ExtKClusters(ks []int, machinesPerCluster, jobs int, hi core.Cost, runs, st
 			e.Run(stepsPerMachine*kc.NumMachines(), false)
 			lb, err := lp.FractionalMakespanKCluster(kc)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
-			res.RatioToLB = append(res.RatioToLB, float64(a.Makespan())/lb)
+			return float64(a.Makespan()) / lb, nil
+		})
+		if err != nil {
+			return nil, err
 		}
-		res.Summary = stats.Summarize(res.RatioToLB)
+		res := ExtKClustersResult{K: k, RatioToLB: ratios, Summary: stats.Summarize(ratios)}
 		out = append(out, res)
 	}
 	return out, nil
@@ -94,11 +103,27 @@ type ExtDynamicResult struct {
 
 // ExtDynamic sweeps the balancing period on a fixed arrival workload.
 func ExtDynamic(periods []int64, m1, m2, jobs int, hi core.Cost, meanInterarrival float64, runs int, seed uint64) ([]ExtDynamicResult, error) {
+	return ExtDynamicWith(harness.Options{}, periods, m1, m2, jobs, hi, meanInterarrival, runs, seed)
+}
+
+// extDynamicRun is one replication's raw simulation outcome.
+type extDynamicRun struct {
+	MeanFlow float64
+	Makespan int64
+	MaxFlow  int64
+	Moved    int
+}
+
+// ExtDynamicWith is ExtDynamic with explicit harness options. Run r is keyed
+// by (seed, r) only — not by the balancing period — so every period of the
+// sweep executes the identical instance/arrival workloads and the rows are
+// directly comparable, as in the sequential original.
+func ExtDynamicWith(opt harness.Options, periods []int64, m1, m2, jobs int, hi core.Cost, meanInterarrival float64, runs int, seed uint64) ([]ExtDynamicResult, error) {
 	out := make([]ExtDynamicResult, 0, len(periods))
 	for _, every := range periods {
-		gen := rng.New(seed)
-		agg := ExtDynamicResult{BalanceEvery: every}
-		for run := 0; run < runs; run++ {
+		every := every
+		rs, err := harness.Map(opt, seed, runs, func(rep *harness.Rep) (extDynamicRun, error) {
+			gen := rep.RNG
 			tc := coreTwoCluster(gen, SimConfig{M1: m1, M2: m2, Jobs: jobs, CostLo: 1, CostHi: hi})
 			sim, err := dynamic.New(tc, protocol.DLB2C{Model: tc}, dynamic.Config{
 				Seed:             gen.Uint64(),
@@ -106,14 +131,26 @@ func ExtDynamic(periods []int64, m1, m2, jobs int, hi core.Cost, meanInterarriva
 				MeanInterarrival: meanInterarrival,
 			})
 			if err != nil {
-				return nil, err
+				return extDynamicRun{}, err
 			}
 			res := sim.Run()
-			agg.MeanFlow += res.MeanFlow
-			agg.MeanMakespan += float64(res.Makespan)
-			agg.MeanMoved += float64(res.JobsMoved)
-			if res.MaxFlow > agg.MaxFlow {
-				agg.MaxFlow = res.MaxFlow
+			return extDynamicRun{
+				MeanFlow: res.MeanFlow,
+				Makespan: res.Makespan,
+				MaxFlow:  res.MaxFlow,
+				Moved:    res.JobsMoved,
+			}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		agg := ExtDynamicResult{BalanceEvery: every}
+		for _, r := range rs {
+			agg.MeanFlow += r.MeanFlow
+			agg.MeanMakespan += float64(r.Makespan)
+			agg.MeanMoved += float64(r.Moved)
+			if r.MaxFlow > agg.MaxFlow {
+				agg.MaxFlow = r.MaxFlow
 			}
 		}
 		agg.MeanFlow /= float64(runs)

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"hetlb/internal/core"
+	"hetlb/internal/harness"
 	"hetlb/internal/protocol"
 	"hetlb/internal/workload"
 )
@@ -30,19 +31,33 @@ type Figure1Result struct {
 // Figure1 enumerates the reachable schedule space of the cycling instance
 // and extracts an explicit cycle.
 func Figure1() Figure1Result {
-	tc, start := workload.CycleInstance()
-	proto := protocol.DLB2C{Model: tc}
-	r := protocol.Explore(proto, start, 100000)
-	res := Figure1Result{
-		ReachableStates:     r.States,
-		StableStates:        r.StableStates,
-		ProvenNonConvergent: r.ProvesNonConvergence(),
-		MinMakespan:         r.MinMakespan,
-		MaxMakespan:         r.MaxMakespan,
+	return must(Figure1With(harness.Options{}))
+}
+
+// Figure1With is Figure1 with explicit harness options. The enumeration is
+// one deterministic replication; routing it through the harness buys the
+// deadline/cancellation contract and the shared instrumentation, not
+// parallelism.
+func Figure1With(opt harness.Options) (Figure1Result, error) {
+	out, err := harness.Map(opt, 0, 1, func(rep *harness.Rep) (Figure1Result, error) {
+		tc, start := workload.CycleInstance()
+		proto := protocol.DLB2C{Model: tc}
+		r := protocol.Explore(proto, start, 100000)
+		res := Figure1Result{
+			ReachableStates:     r.States,
+			StableStates:        r.StableStates,
+			ProvenNonConvergent: r.ProvesNonConvergence(),
+			MinMakespan:         r.MinMakespan,
+			MaxMakespan:         r.MaxMakespan,
+		}
+		for _, s := range protocol.FindCycle(proto, start, 100000) {
+			res.CycleMakespans = append(res.CycleMakespans, s.Makespan())
+			res.CycleStates = append(res.CycleStates, s.String())
+		}
+		return res, nil
+	})
+	if err != nil {
+		return Figure1Result{}, err
 	}
-	for _, s := range protocol.FindCycle(proto, start, 100000) {
-		res.CycleMakespans = append(res.CycleMakespans, s.Makespan())
-		res.CycleStates = append(res.CycleStates, s.String())
-	}
-	return res
+	return out[0], nil
 }

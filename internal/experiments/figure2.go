@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"hetlb/internal/harness"
 	"hetlb/internal/markov"
 	"hetlb/internal/plot"
 )
@@ -62,29 +63,31 @@ func figure2Curve(m int, pmax int64) (Figure2Curve, error) {
 // paper's values are {2, 4, 8, 16}; pmax = 16 expands to ~1.8M states and
 // several minutes of compute, so callers choose which subset to run.
 func Figure2a(pmaxes []int64) ([]Figure2Curve, error) {
-	curves := make([]Figure2Curve, 0, len(pmaxes))
-	for _, pmax := range pmaxes {
-		c, err := figure2Curve(6, pmax)
-		if err != nil {
-			return nil, err
-		}
-		curves = append(curves, c)
-	}
-	return curves, nil
+	return Figure2aWith(harness.Options{}, pmaxes)
+}
+
+// Figure2aWith is Figure2a with explicit harness options. Each pmax curve
+// is one (deterministic) replication; the chains grow steeply with pmax, so
+// running the curves on the worker pool overlaps the cheap ones with the
+// expensive one.
+func Figure2aWith(opt harness.Options, pmaxes []int64) ([]Figure2Curve, error) {
+	return harness.Map(opt, 0, len(pmaxes), func(rep *harness.Rep) (Figure2Curve, error) {
+		return figure2Curve(6, pmaxes[rep.Index])
+	})
 }
 
 // Figure2b reproduces Figure 2(b): pmax = 4, varying machine count
 // (the paper uses m ∈ {3, 4, 5, 6}).
 func Figure2b(ms []int) ([]Figure2Curve, error) {
-	curves := make([]Figure2Curve, 0, len(ms))
-	for _, m := range ms {
-		c, err := figure2Curve(m, 4)
-		if err != nil {
-			return nil, err
-		}
-		curves = append(curves, c)
-	}
-	return curves, nil
+	return Figure2bWith(harness.Options{}, ms)
+}
+
+// Figure2bWith is Figure2b with explicit harness options; one replication
+// per machine count.
+func Figure2bWith(opt harness.Options, ms []int) ([]Figure2Curve, error) {
+	return harness.Map(opt, 0, len(ms), func(rep *harness.Rep) (Figure2Curve, error) {
+		return figure2Curve(ms[rep.Index], 4)
+	})
 }
 
 // Series converts curves to plot series for rendering.

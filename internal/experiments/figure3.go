@@ -1,7 +1,7 @@
 package experiments
 
 import (
-	"hetlb/internal/rng"
+	"hetlb/internal/harness"
 	"hetlb/internal/stats"
 )
 
@@ -21,28 +21,52 @@ type Figure3Result struct {
 	Summary stats.Summary
 }
 
+// figure3Run is one replication's contribution, merged in index order.
+type figure3Run struct {
+	Deviation   float64
+	RatioToCent float64
+}
+
 // Figure3 runs each configuration Runs times, letting the decentralized
 // protocol run for StepsPerMachine exchanges per machine from a random
 // initial distribution, and collects the final (dynamic equilibrium)
 // makespans.
 func Figure3(cfgs []SimConfig) []Figure3Result {
+	return must(Figure3With(harness.Options{}, cfgs))
+}
+
+// Figure3With is Figure3 with explicit harness options. Each run draws its
+// instance, initial placement and engine seed from the substream keyed by
+// (cfg.Seed, run index), so run r's final makespan is a function of r alone
+// — not of how many runs preceded it or on which worker it executed.
+func Figure3With(opt harness.Options, cfgs []SimConfig) ([]Figure3Result, error) {
 	out := make([]Figure3Result, 0, len(cfgs))
 	for _, cfg := range cfgs {
-		gen := rng.New(cfg.Seed)
-		res := Figure3Result{Config: cfg}
-		for run := 0; run < cfg.Runs; run++ {
+		cfg := cfg
+		runs, err := harness.Map(opt, cfg.Seed, cfg.Runs, func(rep *harness.Rep) (figure3Run, error) {
+			gen := rep.RNG
 			inst := cfg.build(gen)
 			a := randomInitial(gen, inst.model)
 			e := newEngine(inst, a, gen.Uint64())
 			e.Run(cfg.StepsPerMachine*cfg.Machines(), false)
 			cm := float64(a.Makespan())
-			res.Deviations = append(res.Deviations, (cm-inst.lb)/float64(inst.pmax))
-			res.RatioToCent = append(res.RatioToCent, cm/float64(inst.cent))
+			return figure3Run{
+				Deviation:   (cm - inst.lb) / float64(inst.pmax),
+				RatioToCent: cm / float64(inst.cent),
+			}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		res := Figure3Result{Config: cfg}
+		for _, r := range runs {
+			res.Deviations = append(res.Deviations, r.Deviation)
+			res.RatioToCent = append(res.RatioToCent, r.RatioToCent)
 		}
 		res.Summary = stats.Summarize(res.Deviations)
 		out = append(out, res)
 	}
-	return out
+	return out, nil
 }
 
 // Histogram bins a result's deviations for plotting; lo/hi/bins choose the

@@ -3,8 +3,8 @@ package experiments
 import (
 	"fmt"
 
+	"hetlb/internal/harness"
 	"hetlb/internal/plot"
-	"hetlb/internal/rng"
 	"hetlb/internal/trace"
 )
 
@@ -29,17 +29,24 @@ type Figure4Run struct {
 // Figure4 records runsPerCfg trajectories per configuration, sampling the
 // makespan every machine-count steps (≈ once per "exchange per machine").
 func Figure4(cfgs []SimConfig, runsPerCfg int) []Figure4Run {
+	return must(Figure4With(harness.Options{}, cfgs, runsPerCfg))
+}
+
+// Figure4With is Figure4 with explicit harness options. Trajectory r of a
+// configuration is keyed by (cfg.Seed+1000, r) and recorded in index order.
+func Figure4With(opt harness.Options, cfgs []SimConfig, runsPerCfg int) ([]Figure4Run, error) {
 	var out []Figure4Run
 	for _, cfg := range cfgs {
-		gen := rng.New(cfg.Seed + 1000)
-		for run := 0; run < runsPerCfg; run++ {
+		cfg := cfg
+		runs, err := harness.Map(opt, cfg.Seed+1000, runsPerCfg, func(rep *harness.Rep) (Figure4Run, error) {
+			gen := rep.RNG
 			inst := cfg.build(gen)
 			a := randomInitial(gen, inst.model)
 			e := newEngine(inst, a, gen.Uint64())
 			rec := &trace.MakespanSeries{SampleEvery: cfg.Machines()}
 			e.Observe(rec)
 			e.Run(cfg.StepsPerMachine*cfg.Machines(), false)
-			fr := Figure4Run{Config: cfg, Run: run}
+			fr := Figure4Run{Config: cfg, Run: rep.Index}
 			cent := float64(inst.cent)
 			for k, v := range rec.Values {
 				fr.ExchangesPerMachine = append(fr.ExchangesPerMachine,
@@ -48,10 +55,14 @@ func Figure4(cfgs []SimConfig, runsPerCfg int) []Figure4Run {
 			}
 			fr.MinReached = float64(rec.Min()) / cent
 			fr.FinalOscillation = oscillation(fr.MakespanOverCent)
-			out = append(out, fr)
+			return fr, nil
+		})
+		if err != nil {
+			return nil, err
 		}
+		out = append(out, runs...)
 	}
-	return out
+	return out, nil
 }
 
 // oscillation returns max−min over the last quarter of the series.

@@ -4,8 +4,8 @@ import (
 	"sort"
 
 	"hetlb/internal/core"
+	"hetlb/internal/harness"
 	"hetlb/internal/plot"
-	"hetlb/internal/rng"
 	"hetlb/internal/stats"
 	"hetlb/internal/trace"
 )
@@ -33,13 +33,31 @@ type Figure5Result struct {
 	Summary stats.Summary
 }
 
+// figure5Run is one replication's contribution, merged in index order.
+type figure5Run struct {
+	Crossed bool
+	// PerMachine holds each machine's exchange count at the first crossing
+	// (all zeros when the run started below the threshold).
+	PerMachine []float64
+	// Global is the run's total step count at crossing divided by the
+	// machine count; HasGlobal reports whether it is meaningful.
+	Global    float64
+	HasGlobal bool
+}
+
 // Figure5 measures time-to-threshold for each configuration.
 func Figure5(cfgs []SimConfig, factor float64) []Figure5Result {
+	return must(Figure5With(harness.Options{}, cfgs, factor))
+}
+
+// Figure5With is Figure5 with explicit harness options; run r of a
+// configuration is keyed by (cfg.Seed+2000, r).
+func Figure5With(opt harness.Options, cfgs []SimConfig, factor float64) ([]Figure5Result, error) {
 	out := make([]Figure5Result, 0, len(cfgs))
 	for _, cfg := range cfgs {
-		gen := rng.New(cfg.Seed + 2000)
-		res := Figure5Result{Config: cfg, Factor: factor, TotalRuns: cfg.Runs}
-		for run := 0; run < cfg.Runs; run++ {
+		cfg := cfg
+		runs, err := harness.Map(opt, cfg.Seed+2000, cfg.Runs, func(rep *harness.Rep) (figure5Run, error) {
+			gen := rep.RNG
 			inst := cfg.build(gen)
 			a := randomInitial(gen, inst.model)
 			threshold := core.Cost(factor * float64(inst.cent))
@@ -50,29 +68,41 @@ func Figure5(cfgs []SimConfig, factor float64) []Figure5Result {
 				// Already below at start: every machine needed 0
 				// exchanges (the paper notes this is common in the
 				// homogeneous case).
-				res.CrossedRuns++
-				for i := 0; i < cfg.Machines(); i++ {
-					res.PerMachineExchanges = append(res.PerMachineExchanges, 0)
-				}
-				res.GlobalStepsPerMachine = append(res.GlobalStepsPerMachine, 0)
-				continue
+				return figure5Run{
+					Crossed:    true,
+					PerMachine: make([]float64, cfg.Machines()),
+					HasGlobal:  true,
+				}, nil
 			}
 			e.Run(cfg.StepsPerMachine*cfg.Machines(), false)
 			if !w.Crossed {
+				return figure5Run{}, nil
+			}
+			r := figure5Run{Crossed: true}
+			for _, c := range w.ExchangesAtCross {
+				r.PerMachine = append(r.PerMachine, float64(c))
+			}
+			r.Global, r.HasGlobal = w.ExchangesPerMachine(cfg.Machines())
+			return r, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		res := Figure5Result{Config: cfg, Factor: factor, TotalRuns: cfg.Runs}
+		for _, r := range runs {
+			if !r.Crossed {
 				continue
 			}
 			res.CrossedRuns++
-			for _, c := range w.ExchangesAtCross {
-				res.PerMachineExchanges = append(res.PerMachineExchanges, float64(c))
-			}
-			if g, ok := w.ExchangesPerMachine(cfg.Machines()); ok {
-				res.GlobalStepsPerMachine = append(res.GlobalStepsPerMachine, g)
+			res.PerMachineExchanges = append(res.PerMachineExchanges, r.PerMachine...)
+			if r.HasGlobal {
+				res.GlobalStepsPerMachine = append(res.GlobalStepsPerMachine, r.Global)
 			}
 		}
 		res.Summary = stats.Summarize(res.PerMachineExchanges)
 		out = append(out, res)
 	}
-	return out
+	return out, nil
 }
 
 // CDFSeries renders each configuration's per-machine exchange counts as an

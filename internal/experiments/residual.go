@@ -3,8 +3,8 @@ package experiments
 import (
 	"hetlb/internal/core"
 	"hetlb/internal/gossip"
+	"hetlb/internal/harness"
 	"hetlb/internal/protocol"
-	"hetlb/internal/rng"
 	"hetlb/internal/stats"
 )
 
@@ -58,27 +58,39 @@ func (o *residualObserver) OnStep(e *gossip.Engine, step, i, j int) {
 
 // ResidualCheck runs the measurement on a uniform homogeneous system.
 func ResidualCheck(m, jobs int, costLo, costHi core.Cost, steps int, seed uint64) ResidualCheckResult {
-	gen := rng.New(seed)
-	sizes := make([]core.Cost, jobs)
-	for j := range sizes {
-		sizes[j] = gen.IntRange(costLo, costHi)
-	}
-	id, err := core.NewIdentical(m, sizes)
+	return must(ResidualCheckWith(harness.Options{}, m, jobs, costLo, costHi, steps, seed))
+}
+
+// ResidualCheckWith is ResidualCheck with explicit harness options; the
+// measurement is one replication.
+func ResidualCheckWith(opt harness.Options, m, jobs int, costLo, costHi core.Cost, steps int, seed uint64) (ResidualCheckResult, error) {
+	out, err := harness.Map(opt, seed, 1, func(rep *harness.Rep) (ResidualCheckResult, error) {
+		gen := rep.RNG
+		sizes := make([]core.Cost, jobs)
+		for j := range sizes {
+			sizes[j] = gen.IntRange(costLo, costHi)
+		}
+		id, err := core.NewIdentical(m, sizes)
+		if err != nil {
+			panic(err)
+		}
+		a := core.NewAssignment(id)
+		for j := 0; j < jobs; j++ {
+			a.Assign(j, gen.Intn(m))
+		}
+		res := ResidualCheckResult{}
+		obs := &residualObserver{res: &res}
+		e := gossip.New(protocol.SameCost{Model: id}, a, gossip.Config{Seed: gen.Uint64()})
+		e.Observe(obs)
+		e.Run(steps, false)
+		if res.Samples > 0 {
+			res.ZeroShare /= float64(res.Samples)
+		}
+		res.Summary = stats.Summarize(res.Normalized)
+		return res, nil
+	})
 	if err != nil {
-		panic(err)
+		return ResidualCheckResult{}, err
 	}
-	a := core.NewAssignment(id)
-	for j := 0; j < jobs; j++ {
-		a.Assign(j, gen.Intn(m))
-	}
-	res := ResidualCheckResult{}
-	obs := &residualObserver{res: &res}
-	e := gossip.New(protocol.SameCost{Model: id}, a, gossip.Config{Seed: gen.Uint64()})
-	e.Observe(obs)
-	e.Run(steps, false)
-	if res.Samples > 0 {
-		res.ZeroShare /= float64(res.Samples)
-	}
-	res.Summary = stats.Summarize(res.Normalized)
-	return res
+	return out[0], nil
 }

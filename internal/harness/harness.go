@@ -1,0 +1,243 @@
+// Package harness is the deterministic replication runner behind every
+// experiment driver in the repository. A stochastic-scheduling evaluation is
+// embarrassingly parallel — thousands of independent replications of the same
+// simulation under different seeds — but parallel execution is only
+// acceptable if it cannot change the numbers. The harness guarantees that by
+// construction:
+//
+//  1. Keyed substreams, pre-split before dispatch. Replication i draws all
+//     of its randomness from rng.Substream(seed, i), a pure function of the
+//     experiment seed and the replication index. No replication ever reads
+//     another's stream, so results are bit-identical for any worker count
+//     and any completion order.
+//  2. Index-addressed results. Replication i writes results[i]; aggregation
+//     happens over the ordered slice after the pool drains, never in
+//     completion order.
+//  3. Bounded worker pool. Parallelism caps the number of in-flight
+//     replications (default GOMAXPROCS); a context and an optional deadline
+//     cancel the remainder of a run early.
+//
+// The harness also plumbs the observability layer through every run:
+// replications started/completed/failed counters, a wall-time histogram, one
+// EvReplicationStart/End trace event pair per replication, and an optional
+// progress callback for interactive front ends.
+package harness
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hetlb/internal/obs"
+	"hetlb/internal/rng"
+)
+
+// Options configures a replication run. The zero value is valid: run on
+// GOMAXPROCS workers with no deadline and no instrumentation.
+type Options struct {
+	// Parallelism bounds the number of concurrently executing replications.
+	// 0 (or negative) means runtime.GOMAXPROCS(0). Parallelism 1 executes
+	// the replications strictly in index order on the calling goroutine's
+	// schedule — the sequential reference every other setting must match.
+	Parallelism int
+	// Context cancels the run early when done; nil means Background.
+	// Replications that never started report context.Cause as the run
+	// error; completed replications keep their results.
+	Context context.Context
+	// Timeout, when positive, bounds the whole run's wall time.
+	Timeout time.Duration
+	// Metrics, when non-nil, receives the harness_* instruments
+	// (replications started/completed/failed, wall-time histogram, worker
+	// gauge). Safe to share across runs: registration is idempotent and the
+	// counters accumulate.
+	Metrics *obs.Registry
+	// Trace, when non-nil, receives one EvReplicationStart/EvReplicationEnd
+	// event pair per replication (Time is the replication index, Value the
+	// wall nanoseconds, negative on failure).
+	Trace *obs.Tracer
+	// OnProgress, when non-nil, is called after every finished replication
+	// with the number completed so far and the total. Calls are serialized
+	// but arrive in completion order, which under parallelism is not index
+	// order.
+	OnProgress func(completed, total int)
+}
+
+// Rep is one replication's execution context, handed to the replication
+// body.
+type Rep struct {
+	// Index is the replication number in [0, n).
+	Index int
+	// RNG is the replication's private generator, derived as
+	// rng.Substream(seed, Index) before dispatch. All of the replication's
+	// randomness — instance generation, initial placement, engine seeds —
+	// must come from it (or from streams split off it).
+	RNG *rng.RNG
+	// Ctx is the run's context; long replications should poll it and bail
+	// out early on cancellation.
+	Ctx context.Context
+}
+
+// metrics bundles the harness instruments; nil disables them with one
+// branch per replication.
+type metrics struct {
+	started, completed, failed *obs.Counter
+	wall                       *obs.Histogram
+	workers                    *obs.Gauge
+}
+
+func newMetrics(r *obs.Registry) *metrics {
+	if r == nil {
+		return nil
+	}
+	return &metrics{
+		started:   r.Counter("harness_replications_started_total", "replications dispatched to the worker pool"),
+		completed: r.Counter("harness_replications_completed_total", "replications that finished successfully"),
+		failed:    r.Counter("harness_replications_failed_total", "replications that returned an error"),
+		wall:      r.Histogram("harness_replication_wall_ns", "wall time per replication in nanoseconds", obs.Pow2Bounds(40)),
+		workers:   r.Gauge("harness_workers", "worker pool size of the most recent run"),
+	}
+}
+
+// Error reports a failed run: the lowest-indexed replication error observed
+// before the pool drained.
+type Error struct {
+	// Index is the replication that failed.
+	Index int
+	// Err is its error.
+	Err error
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("harness: replication %d: %v", e.Index, e.Err) }
+
+// Unwrap exposes the underlying replication error to errors.Is/As.
+func (e *Error) Unwrap() error { return e.Err }
+
+// Map runs n replications of fn on a bounded worker pool and returns their
+// results in index order. Replication i receives a Rep whose RNG is the
+// keyed substream rng.Substream(seed, i), so the returned slice is identical
+// for every Options.Parallelism — the determinism contract the experiment
+// drivers and their golden tests rely on.
+//
+// If any replication returns an error, the rest of the run is cancelled and
+// Map returns a *Error for the lowest-indexed failure it observed. If the
+// context expires first, Map returns the context's error. In both cases the
+// already-completed results are returned alongside the error (failed or
+// skipped slots hold the zero value of T).
+func Map[T any](opt Options, seed uint64, n int, fn func(rep *Rep) (T, error)) ([]T, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("harness: negative replication count %d", n)
+	}
+	out := make([]T, n)
+	if n == 0 {
+		return out, nil
+	}
+	workers := opt.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	ctx := opt.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var cancel context.CancelFunc
+	if opt.Timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, opt.Timeout)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	defer cancel()
+
+	ins := newMetrics(opt.Metrics)
+	if ins != nil {
+		ins.workers.Set(int64(workers))
+	}
+
+	// Pre-split every substream before dispatch. This is cheap (a few
+	// SplitMix64 rounds per replication) and makes the determinism argument
+	// trivial: the streams exist, fully formed, before any worker runs.
+	gens := make([]*rng.RNG, n)
+	for i := range gens {
+		gens[i] = rng.Substream(seed, uint64(i))
+	}
+
+	var (
+		next      atomic.Int64 // next replication index to claim
+		mu        sync.Mutex   // guards completed, firstErr and OnProgress
+		completed int
+		firstErr  *Error
+		wg        sync.WaitGroup
+	)
+	body := func() {
+		defer wg.Done()
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n || ctx.Err() != nil {
+				return
+			}
+			if ins != nil {
+				ins.started.Inc()
+			}
+			if opt.Trace != nil {
+				opt.Trace.Emit(obs.Event{Time: int64(i), Type: obs.EvReplicationStart, A: int32(i), B: -1})
+			}
+			start := time.Now()
+			v, err := fn(&Rep{Index: i, RNG: gens[i], Ctx: ctx})
+			wall := time.Since(start).Nanoseconds()
+			if err != nil {
+				if ins != nil {
+					ins.failed.Inc()
+					ins.wall.Observe(wall)
+				}
+				if opt.Trace != nil {
+					opt.Trace.Emit(obs.Event{Time: int64(i), Type: obs.EvReplicationEnd, A: int32(i), B: -1, Value: -wall})
+				}
+				mu.Lock()
+				if firstErr == nil || i < firstErr.Index {
+					firstErr = &Error{Index: i, Err: err}
+				}
+				mu.Unlock()
+				cancel()
+				return
+			}
+			out[i] = v
+			if ins != nil {
+				ins.completed.Inc()
+				ins.wall.Observe(wall)
+			}
+			if opt.Trace != nil {
+				opt.Trace.Emit(obs.Event{Time: int64(i), Type: obs.EvReplicationEnd, A: int32(i), B: -1, Value: wall})
+			}
+			mu.Lock()
+			completed++
+			if opt.OnProgress != nil {
+				opt.OnProgress(completed, n)
+			}
+			mu.Unlock()
+		}
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go body()
+	}
+	wg.Wait()
+
+	if firstErr != nil {
+		return out, firstErr
+	}
+	if completed < n {
+		// Only a context expiry can leave work undone without a
+		// replication error.
+		return out, fmt.Errorf("harness: run cancelled after %d/%d replications: %w", completed, n, context.Cause(ctx))
+	}
+	return out, nil
+}
+
+// Sequential returns options that force single-worker in-order execution —
+// the reference schedule for determinism tests.
+func Sequential() Options { return Options{Parallelism: 1} }

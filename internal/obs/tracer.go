@@ -38,6 +38,12 @@ const (
 	// EvSessionEnd: the session between A and B completed; Value = duration
 	// in the runtime's time unit.
 	EvSessionEnd
+	// EvReplicationStart: the harness dispatched replication A of an
+	// experiment (B = -1).
+	EvReplicationStart
+	// EvReplicationEnd: replication A finished; Value = wall time in
+	// nanoseconds (negative when the replication failed).
+	EvReplicationEnd
 )
 
 // String returns the stable wire name of the event type (used by the JSONL
@@ -62,6 +68,10 @@ func (t EventType) String() string {
 		return "session-start"
 	case EvSessionEnd:
 		return "session-end"
+	case EvReplicationStart:
+		return "replication-start"
+	case EvReplicationEnd:
+		return "replication-end"
 	}
 	return "unknown"
 }

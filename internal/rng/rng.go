@@ -67,6 +67,32 @@ func (r *RNG) Split() *RNG {
 	return New(r.Uint64())
 }
 
+// DeriveSeed deterministically mixes a base seed with a key path and returns
+// a substream seed. Unlike Split, it is a pure function: the result depends
+// only on (seed, keys), never on how many other substreams were derived
+// before it. This is the primitive behind keyed replication streams — the
+// i-th replication of an experiment uses DeriveSeed(expSeed, i), so its
+// result is a function of its index alone and is identical no matter in
+// which order (or on how many workers) the replications execute.
+func DeriveSeed(seed uint64, keys ...uint64) uint64 {
+	st := seed
+	out := splitmix64(&st)
+	for _, k := range keys {
+		// Fold each key into the running state through an odd multiplier
+		// (golden ratio) so that adjacent keys land in distant states, then
+		// re-scramble with SplitMix64.
+		st = out ^ (k*0x9e3779b97f4a7c15 + 0x6a09e667f3bcc909)
+		out = splitmix64(&st)
+	}
+	return out
+}
+
+// Substream returns a generator seeded with DeriveSeed(seed, keys...): the
+// keyed, order-independent counterpart of Split.
+func Substream(seed uint64, keys ...uint64) *RNG {
+	return New(DeriveSeed(seed, keys...))
+}
+
 // Int63 returns a non-negative int64.
 func (r *RNG) Int63() int64 {
 	return int64(r.Uint64() >> 1)

@@ -66,6 +66,66 @@ func TestSplitDeterminism(t *testing.T) {
 	}
 }
 
+func TestDeriveSeedPure(t *testing.T) {
+	if DeriveSeed(42, 7) != DeriveSeed(42, 7) {
+		t.Fatal("DeriveSeed is not a pure function")
+	}
+	if DeriveSeed(42) != DeriveSeed(42) {
+		t.Fatal("DeriveSeed without keys is not pure")
+	}
+}
+
+func TestDeriveSeedKeySensitivity(t *testing.T) {
+	// Distinct indices, seeds or key paths must produce distinct seeds
+	// (collisions among a few thousand derivations would indicate a broken
+	// mixer, not bad luck).
+	seen := make(map[uint64][2]uint64)
+	for seed := uint64(0); seed < 8; seed++ {
+		for key := uint64(0); key < 512; key++ {
+			v := DeriveSeed(seed, key)
+			if prev, ok := seen[v]; ok {
+				t.Fatalf("DeriveSeed(%d,%d) == DeriveSeed(%d,%d)", seed, key, prev[0], prev[1])
+			}
+			seen[v] = [2]uint64{seed, key}
+		}
+	}
+	if DeriveSeed(1, 2, 3) == DeriveSeed(1, 3, 2) {
+		t.Fatal("key order must matter")
+	}
+	if DeriveSeed(1, 2) == DeriveSeed(1, 2, 0) {
+		t.Fatal("key path length must matter")
+	}
+}
+
+func TestSubstreamOrderIndependence(t *testing.T) {
+	// Substream(seed, i) must equal itself regardless of which other
+	// substreams were derived first — the property the parallel harness
+	// relies on.
+	a := Substream(5, 3)
+	_ = Substream(5, 0)
+	_ = Substream(5, 1)
+	b := Substream(5, 3)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("Substream depends on derivation order")
+		}
+	}
+}
+
+func TestSubstreamsIndependent(t *testing.T) {
+	a := Substream(5, 0)
+	b := Substream(5, 1)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("adjacent substreams coincide %d/100 times", same)
+	}
+}
+
 func TestInt64nRange(t *testing.T) {
 	r := New(3)
 	if err := quick.Check(func(nRaw int64) bool {
