@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench
+.PHONY: check vet build test race bench bench-smoke
 
 check: vet build test race
 
@@ -26,3 +26,8 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# One iteration of every benchmark: catches benchmarks that no longer
+# compile or panic without paying for real measurement. CI runs this.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x -benchmem ./...

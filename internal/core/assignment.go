@@ -2,12 +2,22 @@ package core
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 )
 
 // Assignment is a partition of the jobs of a cost model onto its machines.
 // It is the object every balancing algorithm manipulates. Loads are
 // maintained incrementally so Makespan and Load are O(1) amortized queries.
+//
+// Beyond the job→machine map, an Assignment keeps a per-machine job index
+// (jobsOn/posOf) so that Jobs and AppendJobs are O(jobs-on-machine) instead
+// of O(n). The index is built lazily on the first per-machine query and
+// maintained by every mutation from then on; assignments that are never
+// queried per machine (solver outputs, the clones of the stability check)
+// never pay for it. Per-machine lists use swap-delete and are therefore
+// unordered internally; queries sort on the way out, preserving the
+// increasing-job-order contract the kernels and stability detection rely on.
 //
 // An Assignment is not safe for concurrent mutation; the concurrent runtime
 // gives each machine ownership of its own job set and serializes pairwise
@@ -17,6 +27,13 @@ type Assignment struct {
 	machineOf []int  // machineOf[job] = machine, or -1 if unassigned
 	load      []Cost // load[machine] = sum of costs of its jobs
 	assigned  int    // number of assigned jobs
+
+	// Per-machine job index, live iff indexed is true. jobsOn[i] holds
+	// machine i's jobs in arbitrary order; posOf[j] is job j's position in
+	// jobsOn[machineOf[j]] (meaningless while j is unassigned).
+	jobsOn  [][]int
+	posOf   []int
+	indexed bool
 }
 
 // NewAssignment returns an empty assignment (all jobs unassigned) over the
@@ -37,6 +54,9 @@ func NewAssignment(m CostModel) *Assignment {
 func (a *Assignment) Model() CostModel { return a.model }
 
 // Clone returns a deep copy of the assignment sharing the (immutable) model.
+// The job index is not copied: the clone rebuilds it lazily on its first
+// per-machine query. This keeps Clone at three allocations, which the
+// O(m²)-clones stability check (protocol.Stable) depends on.
 func (a *Assignment) Clone() *Assignment {
 	b := &Assignment{
 		model:     a.model,
@@ -45,6 +65,47 @@ func (a *Assignment) Clone() *Assignment {
 		assigned:  a.assigned,
 	}
 	return b
+}
+
+// ensureIndex builds the per-machine job index if it is not live. Buffers
+// from a previously discarded index are reused.
+func (a *Assignment) ensureIndex() {
+	if a.indexed {
+		return
+	}
+	if a.jobsOn == nil {
+		a.jobsOn = make([][]int, a.model.NumMachines())
+	} else {
+		for i := range a.jobsOn {
+			a.jobsOn[i] = a.jobsOn[i][:0]
+		}
+	}
+	if a.posOf == nil {
+		a.posOf = make([]int, a.model.NumJobs())
+	}
+	for j, i := range a.machineOf {
+		if i != -1 {
+			a.posOf[j] = len(a.jobsOn[i])
+			a.jobsOn[i] = append(a.jobsOn[i], j)
+		}
+	}
+	a.indexed = true
+}
+
+// indexAssign records job joining machine in the live index.
+func (a *Assignment) indexAssign(job, machine int) {
+	a.posOf[job] = len(a.jobsOn[machine])
+	a.jobsOn[machine] = append(a.jobsOn[machine], job)
+}
+
+// indexUnassign removes job from machine's list by swap-delete.
+func (a *Assignment) indexUnassign(job, machine int) {
+	list := a.jobsOn[machine]
+	pos, last := a.posOf[job], len(list)-1
+	moved := list[last]
+	list[pos] = moved
+	a.posOf[moved] = pos
+	a.jobsOn[machine] = list[:last]
 }
 
 // Assign places job j on the given machine. The job must currently be
@@ -56,6 +117,9 @@ func (a *Assignment) Assign(job, machine int) {
 	a.machineOf[job] = machine
 	a.load[machine] += a.model.Cost(machine, job)
 	a.assigned++
+	if a.indexed {
+		a.indexAssign(job, machine)
+	}
 }
 
 // Unassign removes job j from its machine. The job must be assigned.
@@ -67,6 +131,9 @@ func (a *Assignment) Unassign(job int) {
 	a.load[i] -= a.model.Cost(i, job)
 	a.machineOf[job] = -1
 	a.assigned--
+	if a.indexed {
+		a.indexUnassign(job, i)
+	}
 }
 
 // Move transfers job j to the given machine (assigning it if it was
@@ -96,16 +163,23 @@ func (a *Assignment) NumAssigned() int { return a.assigned }
 func (a *Assignment) Complete() bool { return a.assigned == a.model.NumJobs() }
 
 // Jobs returns the jobs currently assigned to the given machine, in
-// increasing job order. It is O(n); algorithms on hot paths should keep
-// their own per-machine job lists (the gossip engine does).
+// increasing job order. It is O(k log k) for k jobs on the machine (plus a
+// one-time O(n+m) index build on the assignment's first per-machine query);
+// hot paths that want to avoid the allocation use AppendJobs.
 func (a *Assignment) Jobs(machine int) []int {
-	var jobs []int
-	for j, i := range a.machineOf {
-		if i == machine {
-			jobs = append(jobs, j)
-		}
-	}
-	return jobs
+	return a.AppendJobs(nil, machine)
+}
+
+// AppendJobs appends the jobs currently assigned to the given machine to
+// dst, in increasing job order, and returns the extended slice. It performs
+// no allocation once dst has the capacity, which is what makes the engines'
+// step paths allocation-free in steady state.
+func (a *Assignment) AppendJobs(dst []int, machine int) []int {
+	a.ensureIndex()
+	start := len(dst)
+	dst = append(dst, a.jobsOn[machine]...)
+	slices.Sort(dst[start:])
+	return dst
 }
 
 // Makespan returns the maximum machine load, i.e. Cmax of the partition.
@@ -175,6 +249,39 @@ func (a *Assignment) Validate() error {
 	}
 	if count != a.assigned {
 		return fmt.Errorf("core: assigned counter %d != actual %d", a.assigned, count)
+	}
+	return a.validateIndex()
+}
+
+// validateIndex cross-checks the per-machine job index against machineOf:
+// every assigned job must sit exactly where posOf says, every indexed job
+// must be assigned to the machine whose list holds it, and list sizes must
+// add up. A live index that drifted from machineOf would silently corrupt
+// every kernel input, so tests surface it here rather than downstream.
+func (a *Assignment) validateIndex() error {
+	if !a.indexed {
+		return nil
+	}
+	if len(a.jobsOn) != a.model.NumMachines() {
+		return fmt.Errorf("core: index has %d machine lists for %d machines", len(a.jobsOn), a.model.NumMachines())
+	}
+	total := 0
+	for i, list := range a.jobsOn {
+		total += len(list)
+		for pos, j := range list {
+			if j < 0 || j >= len(a.machineOf) {
+				return fmt.Errorf("core: index lists invalid job %d on machine %d", j, i)
+			}
+			if a.machineOf[j] != i {
+				return fmt.Errorf("core: index lists job %d on machine %d but machineOf says %d", j, i, a.machineOf[j])
+			}
+			if a.posOf[j] != pos {
+				return fmt.Errorf("core: job %d at position %d of machine %d but posOf says %d", j, pos, i, a.posOf[j])
+			}
+		}
+	}
+	if total != a.assigned {
+		return fmt.Errorf("core: index holds %d jobs, assigned counter %d", total, a.assigned)
 	}
 	return nil
 }

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"testing"
+
+	"hetlb/internal/rng"
+)
+
+// scanJobs is the brute-force O(n) reference the index must agree with.
+func scanJobs(a *Assignment, machine int) []int {
+	var jobs []int
+	for j := 0; j < a.Model().NumJobs(); j++ {
+		if a.MachineOf(j) == machine {
+			jobs = append(jobs, j)
+		}
+	}
+	return jobs
+}
+
+func sameInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if a[k] != b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestJobIndexTracksRandomMutations(t *testing.T) {
+	gen := rng.New(101)
+	const m, n = 5, 40
+	p := make([][]Cost, m)
+	for i := range p {
+		p[i] = make([]Cost, n)
+		for j := range p[i] {
+			p[i][j] = gen.IntRange(1, 50)
+		}
+	}
+	a := NewAssignment(MustDense(p))
+	// Force the index live before any assignment exists.
+	if got := a.Jobs(0); got != nil {
+		t.Fatalf("Jobs on empty assignment = %v", got)
+	}
+	for step := 0; step < 2000; step++ {
+		j := gen.Intn(n)
+		switch {
+		case a.MachineOf(j) == -1:
+			a.Assign(j, gen.Intn(m))
+		case gen.Bool():
+			a.Unassign(j)
+		default:
+			a.Move(j, gen.Intn(m))
+		}
+		if step%97 == 0 {
+			for i := 0; i < m; i++ {
+				if got, want := a.Jobs(i), scanJobs(a, i); !sameInts(got, want) {
+					t.Fatalf("step %d machine %d: Jobs = %v, scan = %v", step, i, got, want)
+				}
+			}
+			if err := a.Validate(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		}
+	}
+}
+
+func TestAppendJobsReusesAndOrders(t *testing.T) {
+	id, _ := NewIdentical(2, []Cost{1, 1, 1, 1, 1, 1})
+	a := NewAssignment(id)
+	// Assign out of order so the swap-delete list is genuinely unsorted.
+	for _, j := range []int{4, 0, 2, 5, 1} {
+		a.Assign(j, 0)
+	}
+	a.Unassign(2) // swap-delete moves job 1 into job 2's slot
+	buf := make([]int, 0, 8)
+	got := a.AppendJobs(buf, 0)
+	if !sameInts(got, []int{0, 1, 4, 5}) {
+		t.Fatalf("AppendJobs = %v", got)
+	}
+	if &got[0] != &buf[:1][0] {
+		t.Fatal("AppendJobs reallocated despite sufficient capacity")
+	}
+	// Appending after existing content must sort only the new segment.
+	pre := []int{99}
+	got = a.AppendJobs(pre, 0)
+	if !sameInts(got, []int{99, 0, 1, 4, 5}) {
+		t.Fatalf("AppendJobs with prefix = %v", got)
+	}
+}
+
+func TestCloneRebuildsIndexLazily(t *testing.T) {
+	id, _ := NewIdentical(3, []Cost{2, 3, 5, 7})
+	a := RoundRobin(id)
+	_ = a.Jobs(0) // index live on the original
+	b := a.Clone()
+	if b.indexed {
+		t.Fatal("clone should not inherit a live index")
+	}
+	b.Move(0, 2)
+	if got := b.Jobs(2); !sameInts(got, scanJobs(b, 2)) {
+		t.Fatalf("clone Jobs(2) = %v", got)
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The original's index must be unaffected by the clone's mutations.
+	if got := a.Jobs(0); !sameInts(got, scanJobs(a, 0)) {
+		t.Fatalf("original Jobs(0) = %v", got)
+	}
+}
+
+func TestValidateCatchesIndexCorruption(t *testing.T) {
+	id, _ := NewIdentical(2, []Cost{1, 1, 1, 1})
+	corrupt := []struct {
+		name string
+		do   func(a *Assignment)
+	}{
+		{"wrong machine list", func(a *Assignment) {
+			a.jobsOn[1] = append(a.jobsOn[1], a.jobsOn[0][0])
+			a.jobsOn[0] = a.jobsOn[0][1:]
+		}},
+		{"stale position", func(a *Assignment) { a.posOf[a.jobsOn[0][0]]++ }},
+		{"dropped entry", func(a *Assignment) { a.jobsOn[0] = a.jobsOn[0][:len(a.jobsOn[0])-1] }},
+		{"duplicated entry", func(a *Assignment) { a.jobsOn[0] = append(a.jobsOn[0], a.jobsOn[0][0]) }},
+	}
+	for _, tc := range corrupt {
+		a := RoundRobin(id)
+		_ = a.Jobs(0) // make the index live
+		if err := a.Validate(); err != nil {
+			t.Fatalf("%s: pre-corruption Validate failed: %v", tc.name, err)
+		}
+		tc.do(a)
+		if err := a.Validate(); err == nil {
+			t.Fatalf("%s: Validate missed the corruption", tc.name)
+		}
+	}
+}

@@ -7,9 +7,10 @@ import "fmt"
 // two clusters of machines are possible future works"). A job's cost
 // depends only on the cluster, so the matrix collapses to k×n.
 type KCluster struct {
-	sizes     []int    // machines per cluster
-	clusterOf []int    // precomputed machine → cluster
-	p         [][]Cost // p[cluster][job]
+	sizes     []int         // machines per cluster
+	clusterOf []int         // precomputed machine → cluster
+	p         [][]Cost      // p[cluster][job]
+	views     [][]*pairView // cached two-cluster views, views[a][b] with a != b
 }
 
 // NewKCluster builds a k-cluster instance. sizes[c] is the machine count of
@@ -39,7 +40,21 @@ func NewKCluster(sizes []int, p [][]Cost) (*KCluster, error) {
 			clusterOf = append(clusterOf, c)
 		}
 	}
-	return &KCluster{sizes: sizes, clusterOf: clusterOf, p: p}, nil
+	k := &KCluster{sizes: sizes, clusterOf: clusterOf, p: p}
+	// Precompute every two-cluster view. Views are tiny, read-only, and
+	// requested on every cross-cluster balancing step, so caching them here
+	// keeps PairView allocation-free and safe to call from concurrent
+	// sessions.
+	k.views = make([][]*pairView, len(sizes))
+	for a := range k.views {
+		k.views[a] = make([]*pairView, len(sizes))
+		for b := range k.views[a] {
+			if a != b {
+				k.views[a][b] = &pairView{k: k, a: a, b: b}
+			}
+		}
+	}
+	return k, nil
 }
 
 // NumMachines implements CostModel.
@@ -67,12 +82,13 @@ func (k *KCluster) ClusterCost(cluster, job int) Cost { return k.p[cluster][job]
 // two-cluster kernels (CLB2C on a pair, Greedy Load Balancing) apply
 // unchanged: view cluster 0 is KCluster cluster a, view cluster 1 is b.
 // Machine indices are unchanged — only machines actually belonging to a or
-// b may be passed to kernels using the view.
+// b may be passed to kernels using the view. Views are cached at
+// construction, so the call is allocation-free.
 func (k *KCluster) PairView(a, b int) Clustered {
 	if a == b {
 		panic("core: PairView needs two distinct clusters")
 	}
-	return &pairView{k: k, a: a, b: b}
+	return k.views[a][b]
 }
 
 type pairView struct {

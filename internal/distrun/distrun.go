@@ -23,13 +23,14 @@ package distrun
 import (
 	"fmt"
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"hetlb/internal/core"
 	"hetlb/internal/obs"
+	"hetlb/internal/pairwise"
 	"hetlb/internal/protocol"
 	"hetlb/internal/rng"
 )
@@ -141,6 +142,9 @@ func Run(p protocol.Protocol, initial *core.Assignment, cfg Config) (Result, err
 		go func(i int) {
 			defer wg.Done()
 			gen := gens[i]
+			// One scratch per machine goroutine: sessions run under the
+			// pair's locks, but scratch reuse must not cross goroutines.
+			var scratch pairwise.Scratch
 			for {
 				if done.Load() {
 					return
@@ -152,7 +156,7 @@ func Run(p protocol.Protocol, initial *core.Assignment, cfg Config) (Result, err
 					return
 				}
 				peer := gen.Pick(m, i)
-				moved := session(p, ms, i, peer, cfg.Metrics)
+				moved := session(p, ms, i, peer, &scratch, cfg.Metrics)
 				changed := moved > 0
 				atomic.AddInt64(&exchanges[i], 1)
 				atomic.AddInt64(&exchanges[peer], 1)
@@ -218,11 +222,14 @@ func (q *quiesceTracker) record(i int, changed bool, k int64) bool {
 	return true
 }
 
-// session locks the pair in index order, pools their jobs, splits them with
-// the protocol kernel and writes the sides back. It returns the number of
-// jobs that switched sides (0 means the partition is unchanged: the union
-// is conserved, so any change shows up as a job missing from its old list).
-func session(p protocol.Protocol, ms []machineState, i, peer int, met *Metrics) int {
+// session locks the pair in index order, pools their jobs into the caller's
+// scratch, splits them with the protocol's scratch kernel and writes the
+// sides back into the machines' own buffers. It returns the number of jobs
+// that switched sides (0 means the partition is unchanged: the union is
+// conserved, so any change shows up as a job missing from its old list).
+// In steady state the only memory touched is the scratch and the two job
+// lists, so sessions are allocation-free.
+func session(p protocol.Protocol, ms []machineState, i, peer int, s *pairwise.Scratch, met *Metrics) int {
 	lo, hi := i, peer
 	if lo > hi {
 		lo, hi = hi, lo
@@ -239,13 +246,15 @@ func session(p protocol.Protocol, ms []machineState, i, peer int, met *Metrics) 
 	defer ms[hi].mu.Unlock()
 	defer ms[lo].mu.Unlock()
 
-	union := mergeSorted(ms[i].jobs, ms[peer].jobs)
-	toI, toPeer := p.Split(i, peer, union)
-	toI = sortedCopy(toI)
-	toPeer = sortedCopy(toPeer)
+	s.Union = mergeSortedInto(s.Union[:0], ms[i].jobs, ms[peer].jobs)
+	toI, toPeer := p.SplitScratch(s, i, peer, s.Union)
+	// The split sides alias the scratch, which the session owns — sort them
+	// in place to restore the increasing-index invariant of the job lists.
+	slices.Sort(toI)
+	slices.Sort(toPeer)
 	moved := diffCount(ms[i].jobs, toI) + diffCount(ms[peer].jobs, toPeer)
-	ms[i].jobs = toI
-	ms[peer].jobs = toPeer
+	ms[i].jobs = append(ms[i].jobs[:0], toI...)
+	ms[peer].jobs = append(ms[peer].jobs[:0], toPeer...)
 	return moved
 }
 
@@ -269,26 +278,20 @@ func finish(p protocol.Protocol, model core.CostModel, ms []machineState, steps 
 	}, nil
 }
 
-func mergeSorted(a, b []int) []int {
-	out := make([]int, 0, len(a)+len(b))
+// mergeSortedInto appends the sorted merge of a and b to dst and returns it.
+func mergeSortedInto(dst, a, b []int) []int {
 	x, y := 0, 0
 	for x < len(a) && y < len(b) {
 		if a[x] < b[y] {
-			out = append(out, a[x])
+			dst = append(dst, a[x])
 			x++
 		} else {
-			out = append(out, b[y])
+			dst = append(dst, b[y])
 			y++
 		}
 	}
-	out = append(out, a[x:]...)
-	return append(out, b[y:]...)
-}
-
-func sortedCopy(s []int) []int {
-	c := append([]int(nil), s...)
-	sort.Ints(c)
-	return c
+	dst = append(dst, a[x:]...)
+	return append(dst, b[y:]...)
 }
 
 // diffCount returns how many elements of new are absent from old (both

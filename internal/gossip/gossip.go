@@ -52,7 +52,9 @@ func (*Sweep) Name() string { return "sweep" }
 // Pair implements Selection.
 func (s *Sweep) Pair(gen *rng.RNG, m int) (int, int) {
 	i := s.next % m
-	s.next++
+	// Advance modulo m so the counter never overflows, no matter how long
+	// the run (and so a Sweep reused across machine counts stays in range).
+	s.next = (i + 1) % m
 	return i, gen.Pick(m, i)
 }
 
@@ -101,6 +103,9 @@ type Engine struct {
 	exchanges []int // per-machine count of balancing participations
 	steps     int
 	moves     int // total job migrations across all steps
+	// scratch backs the allocation-free step path; buffers grow to their
+	// high-water marks during the first steps and are reused thereafter.
+	scratch pairwise.Scratch
 	// noChange counts consecutive steps whose pair loads were unchanged;
 	// it gates the expensive full stability check.
 	noChange int
@@ -169,19 +174,7 @@ func (e *Engine) Step() bool {
 	m := e.a.Model().NumMachines()
 	i, j := e.selection.Pair(e.gen, m)
 	l1, l2 := e.a.Load(i), e.a.Load(j)
-	// Snapshot the pair's jobs to count migrations afterwards.
-	union := pairwise.Union(e.a, i, j)
-	before := make([]int, len(union))
-	for k, job := range union {
-		before[k] = e.a.MachineOf(job)
-	}
-	e.proto.Balance(e.a, i, j)
-	moved := 0
-	for k, job := range union {
-		if e.a.MachineOf(job) != before[k] {
-			moved++
-		}
-	}
+	moved := e.proto.BalanceScratch(&e.scratch, e.a, i, j)
 	e.moves += moved
 	e.exchanges[i]++
 	e.exchanges[j]++

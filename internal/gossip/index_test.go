@@ -1,0 +1,92 @@
+package gossip
+
+import (
+	"slices"
+	"testing"
+
+	"hetlb/internal/core"
+	"hetlb/internal/pairwise"
+	"hetlb/internal/protocol"
+	"hetlb/internal/rng"
+	"hetlb/internal/workload"
+)
+
+// TestUnionMatchesScan is the tentpole property test of the per-machine job
+// index: after every engine step, the index-backed pooling (AppendUnion and
+// per-machine Jobs) must agree with a brute-force O(n) scan of the
+// job→machine map, for random instances, protocols and step counts.
+func TestUnionMatchesScan(t *testing.T) {
+	for seed := uint64(1); seed <= 15; seed++ {
+		gen := rng.New(seed * 2654435761)
+		m := 3 + gen.Intn(8)
+		n := 2*m + gen.Intn(6*m)
+		for _, c := range indexScanCases(gen, m, n) {
+			a := core.NewAssignment(c.model)
+			for j := 0; j < n; j++ {
+				a.Assign(j, gen.Intn(m))
+			}
+			e := New(c.proto, a, Config{Seed: seed})
+			steps := 1 + gen.Intn(120)
+			for s := 0; s < steps; s++ {
+				e.Step()
+				if err := a.Validate(); err != nil {
+					t.Fatalf("%s seed=%d step=%d: %v", c.name, seed, s, err)
+				}
+				for i := 0; i < m; i++ {
+					want := scanMachine(a, i)
+					got := a.Jobs(i)
+					if !slices.Equal(want, got) {
+						t.Fatalf("%s seed=%d step=%d: Jobs(%d) = %v, scan = %v",
+							c.name, seed, s, i, got, want)
+					}
+				}
+				// Random pairs: index-backed union vs the O(n) scan union.
+				for trial := 0; trial < 4; trial++ {
+					i := gen.Intn(m)
+					j := gen.Pick(m, i)
+					want := pairwise.Union(a, i, j)
+					got := pairwise.AppendUnion(nil, a, i, j)
+					if !slices.Equal(want, got) {
+						t.Fatalf("%s seed=%d step=%d: AppendUnion(%d,%d) = %v, Union scan = %v",
+							c.name, seed, s, i, j, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+type indexScanCase struct {
+	name  string
+	model core.CostModel
+	proto protocol.Protocol
+}
+
+// indexScanCases covers every protocol family with a small random instance.
+func indexScanCases(gen *rng.RNG, m, n int) []indexScanCase {
+	id := workload.UniformIdentical(gen, m, n, 1, 25)
+	rel := workload.UniformRelated(gen, m, n, 5, 1, 25)
+	ty := workload.UniformTyped(gen, m, n, 1+gen.Intn(3), 1, 25)
+	m1 := 1 + gen.Intn(m-1)
+	tc := workload.UniformTwoCluster(gen, m1, m-m1, n, 1, 25)
+	return []indexScanCase{
+		{"SameCost", id, protocol.SameCost{Model: id}},
+		{"OJTB", rel, protocol.OJTB{Model: rel}},
+		{"MJTB", ty, protocol.MJTB{Model: ty}},
+		{"DLB2C", tc, protocol.DLB2C{Model: tc}},
+		{"SameCostMinMove", id, protocol.SameCostMinMove{Model: id}},
+		{"DLB2CMinMove", tc, protocol.DLB2CMinMove{Model: tc}},
+	}
+}
+
+// scanMachine lists the jobs on a machine by scanning every job — the
+// trusted O(n) reference the index must reproduce.
+func scanMachine(a *core.Assignment, machine int) []int {
+	var jobs []int
+	for j := 0; j < a.Model().NumJobs(); j++ {
+		if a.MachineOf(j) == machine {
+			jobs = append(jobs, j)
+		}
+	}
+	return jobs
+}

@@ -23,13 +23,17 @@
 package pairwise
 
 import (
-	"sort"
+	"slices"
 
 	"hetlb/internal/core"
 )
 
 // Union returns the jobs currently assigned to either machine, in increasing
-// job order.
+// job order, by a brute-force O(n) scan of the job→machine map. The step
+// paths use the index-backed AppendUnion instead; the scan form stays as the
+// reference the property tests compare the index against, and as what the
+// stability check's short-lived clones use (they never amortize an index
+// build).
 func Union(a *core.Assignment, m1, m2 int) []int {
 	var jobs []int
 	for j := 0; j < a.Model().NumJobs(); j++ {
@@ -40,19 +44,45 @@ func Union(a *core.Assignment, m1, m2 int) []int {
 	return jobs
 }
 
+// AppendUnion appends the jobs currently assigned to either machine to dst,
+// in increasing job order, and returns the extended slice. It reads the
+// assignment's per-machine job index, so it is O(u log u) for a union of
+// size u — independent of the total job count — and allocation-free once
+// dst has the capacity.
+func AppendUnion(dst []int, a *core.Assignment, m1, m2 int) []int {
+	start := len(dst)
+	dst = a.AppendJobs(dst, m1)
+	dst = a.AppendJobs(dst, m2)
+	// The two segments are each sorted and disjoint; one more sort of the
+	// combined (mostly ordered) segment interleaves them.
+	slices.Sort(dst[start:])
+	return dst
+}
+
 // Apply moves the pooled jobs of machines m1 and m2 according to a split.
 // Every job in to1/to2 must currently be assigned to m1 or m2.
 func Apply(a *core.Assignment, m1, m2 int, to1, to2 []int) {
+	ApplyCount(a, m1, m2, to1, to2)
+}
+
+// ApplyCount is Apply returning the number of jobs whose machine changed —
+// the per-step migration count the engines report. to1 and to2 are disjoint,
+// so the count equals the number of Move operations performed.
+func ApplyCount(a *core.Assignment, m1, m2 int, to1, to2 []int) int {
+	moved := 0
 	for _, j := range to1 {
 		if a.MachineOf(j) != m1 {
 			a.Move(j, m1)
+			moved++
 		}
 	}
 	for _, j := range to2 {
 		if a.MachineOf(j) != m2 {
 			a.Move(j, m2)
+			moved++
 		}
 	}
+	return moved
 }
 
 // SplitBasicGreedy implements Algorithm 2 as a pure function: each job of
@@ -62,8 +92,16 @@ func Apply(a *core.Assignment, m1, m2 int, to1, to2 []int) {
 // the unordered pair and stability is well defined). When the jobs all have the same cost per machine (one job
 // type), the result is an optimal two-machine schedule (Lemma 3).
 func SplitBasicGreedy(m core.CostModel, m1, m2 int, jobs []int) (to1, to2 []int) {
+	return AppendSplitBasicGreedy(m, m1, m2, jobs, nil, nil)
+}
+
+// AppendSplitBasicGreedy is SplitBasicGreedy appending into caller-owned
+// buffers (reused capacity, no allocation in steady state). The greedy loads
+// start at zero regardless of existing buffer content, so MJTB can
+// accumulate the per-type splits of one pair into a single pair of buffers.
+func AppendSplitBasicGreedy(m core.CostModel, m1, m2 int, jobs, to1, to2 []int) ([]int, []int) {
 	if m1 > m2 {
-		to2, to1 = SplitBasicGreedy(m, m2, m1, jobs)
+		to2, to1 = AppendSplitBasicGreedy(m, m2, m1, jobs, to2, to1)
 		return to1, to2
 	}
 	var l1, l2 core.Cost
@@ -98,18 +136,29 @@ func BasicGreedyJobs(a *core.Assignment, m1, m2 int, jobs []int) {
 // sortByOwnRatio orders jobs by increasing cost ratio own-cluster cost over
 // other-cluster cost (exact integer cross multiplication, index tie break).
 func sortByOwnRatio(c core.Clustered, own int, jobs []int) []int {
+	return appendSortedByOwnRatio(nil, c, own, jobs)
+}
+
+// appendSortedByOwnRatio appends jobs to dst and sorts the appended segment
+// by the ratio order. The comparator is a total order (index tie break), so
+// the result is unique regardless of the sort algorithm.
+func appendSortedByOwnRatio(dst []int, c core.Clustered, own int, jobs []int) []int {
 	other := 1 - own
-	sorted := append([]int(nil), jobs...)
-	sort.Slice(sorted, func(x, y int) bool {
-		jx, jy := sorted[x], sorted[y]
+	start := len(dst)
+	dst = append(dst, jobs...)
+	slices.SortFunc(dst[start:], func(jx, jy int) int {
 		lx := c.ClusterCost(own, jx) * c.ClusterCost(other, jy)
 		ly := c.ClusterCost(own, jy) * c.ClusterCost(other, jx)
-		if lx != ly {
-			return lx < ly
+		switch {
+		case lx < ly:
+			return -1
+		case lx > ly:
+			return 1
+		default:
+			return jx - jy
 		}
-		return jx < jy
 	})
-	return sorted
+	return dst
 }
 
 // SplitGreedyLoadBalancing implements Algorithm 6 as a pure function for two
@@ -145,6 +194,39 @@ func SplitGreedyLoadBalancing(c core.Clustered, m1, m2 int, jobs []int) (to1, to
 	return to1, to2
 }
 
+// SplitGreedyLoadBalancingScratch is SplitGreedyLoadBalancing against
+// caller-owned scratch: the returned slices alias s.To1/s.To2 and the ratio
+// order is built in s.Sorted. No allocation in steady state.
+func SplitGreedyLoadBalancingScratch(s *Scratch, c core.Clustered, m1, m2 int, jobs []int) (to1, to2 []int) {
+	if c.ClusterOf(m1) != c.ClusterOf(m2) {
+		panic("pairwise: GreedyLoadBalancing requires machines of the same cluster")
+	}
+	swapped := m1 > m2
+	lo := m1
+	if swapped {
+		lo = m2
+	}
+	own := c.ClusterOf(lo)
+	s.Sorted = appendSortedByOwnRatio(s.Sorted[:0], c, own, jobs)
+	tLo, tHi := s.To1[:0], s.To2[:0]
+	var l1, l2 core.Cost
+	for _, j := range s.Sorted {
+		cost := c.ClusterCost(own, j)
+		if l1 <= l2 {
+			tLo = append(tLo, j)
+			l1 += cost
+		} else {
+			tHi = append(tHi, j)
+			l2 += cost
+		}
+	}
+	s.To1, s.To2 = tLo, tHi
+	if swapped {
+		return tHi, tLo
+	}
+	return tLo, tHi
+}
+
 // GreedyLoadBalancing applies SplitGreedyLoadBalancing to the live union of
 // a same-cluster pair.
 func GreedyLoadBalancing(a *core.Assignment, c core.Clustered, m1, m2 int) {
@@ -159,8 +241,14 @@ func GreedyLoadBalancing(a *core.Assignment, c core.Clustered, m1, m2 int) {
 // BasicGreedy specialized to equal costs and is the kernel used for the
 // homogeneous one-cluster experiments (Section VII.A).
 func SplitSameCost(m core.CostModel, m1, m2 int, jobs []int) (to1, to2 []int) {
+	return AppendSplitSameCost(m, m1, m2, jobs, nil, nil)
+}
+
+// AppendSplitSameCost is SplitSameCost appending into caller-owned buffers;
+// like AppendSplitBasicGreedy, the loads start at zero for this call.
+func AppendSplitSameCost(m core.CostModel, m1, m2 int, jobs, to1, to2 []int) ([]int, []int) {
 	if m1 > m2 {
-		to2, to1 = SplitSameCost(m, m2, m1, jobs)
+		to2, to1 = AppendSplitSameCost(m, m2, m1, jobs, to2, to1)
 		return to1, to2
 	}
 	var l1, l2 core.Cost
@@ -217,6 +305,38 @@ func SplitCLB2C(c core.Clustered, mA, mB int, jobs []int) (toA, toB []int) {
 			hi--
 		}
 	}
+	if swapped {
+		return to1, to0
+	}
+	return to0, to1
+}
+
+// SplitCLB2CScratch is SplitCLB2C against caller-owned scratch: the returned
+// slices alias s.To1/s.To2 and the ratio order is built in s.Sorted.
+func SplitCLB2CScratch(s *Scratch, c core.Clustered, mA, mB int, jobs []int) (toA, toB []int) {
+	if c.ClusterOf(mA) == c.ClusterOf(mB) {
+		panic("pairwise: CLB2C on a pair requires machines of different clusters")
+	}
+	swapped := c.ClusterOf(mA) == 1
+	s.Sorted = appendSortedByOwnRatio(s.Sorted[:0], c, 0, jobs)
+	to0, to1 := s.To1[:0], s.To2[:0]
+	var l0, l1 core.Cost
+	lo, hi := 0, len(s.Sorted)-1
+	for lo <= hi {
+		jHead, jTail := s.Sorted[lo], s.Sorted[hi]
+		c0 := l0 + c.ClusterCost(0, jHead)
+		c1 := l1 + c.ClusterCost(1, jTail)
+		if c0 <= c1 {
+			to0 = append(to0, jHead)
+			l0 = c0
+			lo++
+		} else {
+			to1 = append(to1, jTail)
+			l1 = c1
+			hi--
+		}
+	}
+	s.To1, s.To2 = to0, to1
 	if swapped {
 		return to1, to0
 	}

@@ -1,6 +1,7 @@
 package protocol
 
 import (
+	"slices"
 	"sort"
 
 	"hetlb/internal/core"
@@ -69,5 +70,57 @@ func (p DLBKC) splitSameCluster(cluster, m1, m2 int, jobs []int) (to1, to2 []int
 	return to1, to2
 }
 
+// SplitScratch implements Protocol. Cross-cluster pairs reuse the views
+// cached by the model at construction, so both branches are allocation-free.
+func (p DLBKC) SplitScratch(s *pairwise.Scratch, i, j int, jobs []int) ([]int, []int) {
+	a := p.Model.ClusterOf(i)
+	b := p.Model.ClusterOf(j)
+	if a == b {
+		return p.splitSameClusterScratch(s, a, i, j, jobs)
+	}
+	view := p.Model.PairView(a, b)
+	return pairwise.SplitCLB2CScratch(s, view, i, j, jobs)
+}
+
+// splitSameClusterScratch is splitSameCluster against caller-owned scratch.
+func (p DLBKC) splitSameClusterScratch(s *pairwise.Scratch, cluster, m1, m2 int, jobs []int) (to1, to2 []int) {
+	swapped := m1 > m2
+	s.Sorted = append(s.Sorted[:0], jobs...)
+	slices.SortFunc(s.Sorted, func(jx, jy int) int {
+		cx := p.Model.ClusterCost(cluster, jx)
+		cy := p.Model.ClusterCost(cluster, jy)
+		switch {
+		case cx > cy:
+			return -1
+		case cx < cy:
+			return 1
+		default:
+			return jx - jy
+		}
+	})
+	tLo, tHi := s.To1[:0], s.To2[:0]
+	var lLo, lHi core.Cost
+	for _, j := range s.Sorted {
+		c := p.Model.ClusterCost(cluster, j)
+		if lLo <= lHi {
+			tLo = append(tLo, j)
+			lLo += c
+		} else {
+			tHi = append(tHi, j)
+			lHi += c
+		}
+	}
+	s.To1, s.To2 = tLo, tHi
+	if swapped {
+		return tHi, tLo
+	}
+	return tLo, tHi
+}
+
 // Balance implements Protocol.
 func (p DLBKC) Balance(a *core.Assignment, i, j int) { balance(p, a, i, j) }
+
+// BalanceScratch implements Protocol.
+func (p DLBKC) BalanceScratch(s *pairwise.Scratch, a *core.Assignment, i, j int) int {
+	return balanceScratch(p, s, a, i, j)
+}

@@ -1,7 +1,7 @@
 package protocol
 
 import (
-	"sort"
+	"slices"
 
 	"hetlb/internal/core"
 	"hetlb/internal/pairwise"
@@ -37,8 +37,13 @@ type PlacedSplitter interface {
 // at most the largest job on the heavier side, the same class as the
 // rebuild kernels.
 func transferSameCost(cost func(job int) core.Cost, onHeavy, onLight []int) (heavy, light []int) {
-	heavy = append([]int(nil), onHeavy...)
-	light = append([]int(nil), onLight...)
+	return transferSameCostInPlace(cost, append([]int(nil), onHeavy...), append([]int(nil), onLight...))
+}
+
+// transferSameCostInPlace is transferSameCost on caller-owned slices: it
+// mutates (and may grow) its arguments and returns them, possibly with their
+// roles swapped. The scratch balancing path feeds it scratch-backed copies.
+func transferSameCostInPlace(cost func(job int) core.Cost, heavy, light []int) ([]int, []int) {
 	var lh, ll core.Cost
 	for _, j := range heavy {
 		lh += cost(j)
@@ -79,9 +84,31 @@ func transferSameCost(cost func(job int) core.Cost, onHeavy, onLight []int) (hea
 		lh -= cost(j)
 		ll += cost(j)
 	}
-	sort.Ints(heavy)
-	sort.Ints(light)
+	slices.Sort(heavy)
+	slices.Sort(light)
 	return heavy, light
+}
+
+// splitPlacedScratch is the scratch form of the same-cost placed split: it
+// copies the sides into the To buffers, transfers in place, and leaves the
+// (possibly grown) buffers on the scratch.
+func splitPlacedScratch(s *pairwise.Scratch, cost func(job int) core.Cost, onI, onJ []int) (toI, toJ []int) {
+	s.To1 = append(s.To1[:0], onI...)
+	s.To2 = append(s.To2[:0], onJ...)
+	var lI, lJ core.Cost
+	for _, job := range s.To1 {
+		lI += cost(job)
+	}
+	for _, job := range s.To2 {
+		lJ += cost(job)
+	}
+	if lI >= lJ {
+		toI, toJ = transferSameCostInPlace(cost, s.To1, s.To2)
+	} else {
+		toJ, toI = transferSameCostInPlace(cost, s.To2, s.To1)
+	}
+	s.To1, s.To2 = toI, toJ
+	return toI, toJ
 }
 
 // SameCostMinMove is the movement-minimizing variant of SameCost.
@@ -99,11 +126,28 @@ func (p SameCostMinMove) Split(i, j int, jobs []int) ([]int, []int) {
 	return pairwise.SplitSameCost(p.Model, i, j, jobs)
 }
 
+// SplitScratch implements Protocol (placement unknown: fall back to the
+// rebuild kernel).
+func (p SameCostMinMove) SplitScratch(s *pairwise.Scratch, i, j int, jobs []int) ([]int, []int) {
+	s.To1, s.To2 = pairwise.AppendSplitSameCost(p.Model, i, j, jobs, s.To1[:0], s.To2[:0])
+	return s.To1, s.To2
+}
+
 // Balance implements Protocol.
 func (p SameCostMinMove) Balance(a *core.Assignment, i, j int) {
 	onI, onJ := placedSides(a, i, j)
 	toI, toJ := p.SplitPlaced(i, j, onI, onJ)
 	pairwise.Apply(a, i, j, toI, toJ)
+}
+
+// BalanceScratch implements Protocol. The pair's sides come from the
+// assignment's job index instead of an O(n) scan.
+func (p SameCostMinMove) BalanceScratch(s *pairwise.Scratch, a *core.Assignment, i, j int) int {
+	s.Side1 = a.AppendJobs(s.Side1[:0], i)
+	s.Side2 = a.AppendJobs(s.Side2[:0], j)
+	cost := func(job int) core.Cost { return p.Model.Cost(i, job) }
+	toI, toJ := splitPlacedScratch(s, cost, s.Side1, s.Side2)
+	return pairwise.ApplyCount(a, i, j, toI, toJ)
 }
 
 // SplitPlaced implements PlacedSplitter.
@@ -139,11 +183,31 @@ func (p DLB2CMinMove) Split(i, j int, jobs []int) ([]int, []int) {
 	return DLB2C{Model: p.Model}.Split(i, j, jobs)
 }
 
+// SplitScratch implements Protocol.
+func (p DLB2CMinMove) SplitScratch(s *pairwise.Scratch, i, j int, jobs []int) ([]int, []int) {
+	return DLB2C{Model: p.Model}.SplitScratch(s, i, j, jobs)
+}
+
 // Balance implements Protocol.
 func (p DLB2CMinMove) Balance(a *core.Assignment, i, j int) {
 	onI, onJ := placedSides(a, i, j)
 	toI, toJ := p.SplitPlaced(i, j, onI, onJ)
 	pairwise.Apply(a, i, j, toI, toJ)
+}
+
+// BalanceScratch implements Protocol.
+func (p DLB2CMinMove) BalanceScratch(s *pairwise.Scratch, a *core.Assignment, i, j int) int {
+	if p.Model.ClusterOf(i) != p.Model.ClusterOf(j) {
+		s.Union = pairwise.AppendUnion(s.Union[:0], a, i, j)
+		toI, toJ := pairwise.SplitCLB2CScratch(s, p.Model, i, j, s.Union)
+		return pairwise.ApplyCount(a, i, j, toI, toJ)
+	}
+	s.Side1 = a.AppendJobs(s.Side1[:0], i)
+	s.Side2 = a.AppendJobs(s.Side2[:0], j)
+	cluster := p.Model.ClusterOf(i)
+	cost := func(job int) core.Cost { return p.Model.ClusterCost(cluster, job) }
+	toI, toJ := splitPlacedScratch(s, cost, s.Side1, s.Side2)
+	return pairwise.ApplyCount(a, i, j, toI, toJ)
 }
 
 // SplitPlaced implements PlacedSplitter.

@@ -27,6 +27,12 @@ import (
 // Protocol is a decentralized balancing rule. Split must be a deterministic
 // function of (i, j, jobs) so that stability is well defined and so that the
 // sequential and concurrent engines behave identically.
+//
+// Every rule exists in an allocating and a scratch form. The scratch forms
+// are what the engines run hundreds of thousands of times per replication:
+// they reuse caller-owned buffers (see pairwise.Scratch) and must produce
+// bit-identical results to their allocating counterparts — the determinism
+// goldens in internal/experiments pin exactly that.
 type Protocol interface {
 	// Name identifies the protocol in traces and benchmark output.
 	Name() string
@@ -34,16 +40,40 @@ type Protocol interface {
 	// returns the two sides. jobs is given in increasing index order and
 	// must not be mutated.
 	Split(i, j int, jobs []int) (toI, toJ []int)
+	// SplitScratch is Split against caller-owned scratch: the returned
+	// slices alias s and stay valid only until s is next used. jobs may
+	// alias s.Union (implementations write the other buffers only); the
+	// caller owns the result and may reorder it in place.
+	SplitScratch(s *pairwise.Scratch, i, j int, jobs []int) (toI, toJ []int)
 	// Balance performs one pairwise balancing step between machines i and
 	// j of the assignment.
 	Balance(a *core.Assignment, i, j int)
+	// BalanceScratch is Balance reusing caller-owned scratch — the
+	// allocation-free step path of the sequential engine. It reads the
+	// pair's jobs through the assignment's per-machine index and returns
+	// the number of jobs that changed machine.
+	BalanceScratch(s *pairwise.Scratch, a *core.Assignment, i, j int) int
 }
 
 // balance pools the pair's jobs, splits them with p and applies the result.
+// It scans the job→machine map directly (no index), which is what the
+// stability check's short-lived clones want.
 func balance(p Protocol, a *core.Assignment, i, j int) {
 	jobs := pairwise.Union(a, i, j)
 	toI, toJ := p.Split(i, j, jobs)
 	pairwise.Apply(a, i, j, toI, toJ)
+}
+
+// balanceScratch pools the pair's jobs through the assignment's job index
+// into s.Union, splits them with p's scratch kernel and applies the result,
+// returning the migration count. It is generic so that protocol values whose
+// fields are interfaces (SameCost, OJTB, DLB2C) are not re-boxed into the
+// Protocol interface on every step — that boxing was the last per-step heap
+// allocation.
+func balanceScratch[P Protocol](p P, s *pairwise.Scratch, a *core.Assignment, i, j int) int {
+	s.Union = pairwise.AppendUnion(s.Union[:0], a, i, j)
+	toI, toJ := p.SplitScratch(s, i, j, s.Union)
+	return pairwise.ApplyCount(a, i, j, toI, toJ)
 }
 
 // OJTB is Algorithm 3. It assumes (but does not verify) that all jobs have
@@ -64,8 +94,19 @@ func (p OJTB) Split(i, j int, jobs []int) ([]int, []int) {
 	return pairwise.SplitBasicGreedy(p.Model, i, j, jobs)
 }
 
+// SplitScratch implements Protocol.
+func (p OJTB) SplitScratch(s *pairwise.Scratch, i, j int, jobs []int) ([]int, []int) {
+	s.To1, s.To2 = pairwise.AppendSplitBasicGreedy(p.Model, i, j, jobs, s.To1[:0], s.To2[:0])
+	return s.To1, s.To2
+}
+
 // Balance implements Protocol.
 func (p OJTB) Balance(a *core.Assignment, i, j int) { balance(p, a, i, j) }
+
+// BalanceScratch implements Protocol.
+func (p OJTB) BalanceScratch(s *pairwise.Scratch, a *core.Assignment, i, j int) int {
+	return balanceScratch(p, s, a, i, j)
+}
 
 // MJTB is Algorithm 4: the typed generalization of OJTB. Each pairwise step
 // rebalances every job type independently with BasicGreedy, so each type's
@@ -100,8 +141,33 @@ func (p MJTB) Split(i, j int, jobs []int) ([]int, []int) {
 	return toI, toJ
 }
 
+// SplitScratch implements Protocol. The per-type greedy loads start from
+// zero no matter what the output buffers hold, so every type appends into
+// the same To1/To2 pair, exactly mirroring Split's per-type concatenation.
+func (p MJTB) SplitScratch(s *pairwise.Scratch, i, j int, jobs []int) ([]int, []int) {
+	byType := s.Buckets(p.Model.NumTypes())
+	for _, job := range jobs {
+		t := p.Model.TypeOf(job)
+		byType[t] = append(byType[t], job)
+	}
+	toI, toJ := s.To1[:0], s.To2[:0]
+	for t := 0; t < p.Model.NumTypes(); t++ {
+		if len(byType[t]) == 0 {
+			continue
+		}
+		toI, toJ = pairwise.AppendSplitBasicGreedy(p.Model, i, j, byType[t], toI, toJ)
+	}
+	s.To1, s.To2 = toI, toJ
+	return toI, toJ
+}
+
 // Balance implements Protocol.
 func (p MJTB) Balance(a *core.Assignment, i, j int) { balance(p, a, i, j) }
+
+// BalanceScratch implements Protocol.
+func (p MJTB) BalanceScratch(s *pairwise.Scratch, a *core.Assignment, i, j int) int {
+	return balanceScratch(p, s, a, i, j)
+}
 
 // DLB2C is Algorithm 7 for a two-cluster model: same-cluster pairs use
 // Greedy Load Balancing (Algorithm 6), cross-cluster pairs use CLB2C on two
@@ -122,8 +188,21 @@ func (p DLB2C) Split(i, j int, jobs []int) ([]int, []int) {
 	return pairwise.SplitCLB2C(p.Model, i, j, jobs)
 }
 
+// SplitScratch implements Protocol.
+func (p DLB2C) SplitScratch(s *pairwise.Scratch, i, j int, jobs []int) ([]int, []int) {
+	if p.Model.ClusterOf(i) == p.Model.ClusterOf(j) {
+		return pairwise.SplitGreedyLoadBalancingScratch(s, p.Model, i, j, jobs)
+	}
+	return pairwise.SplitCLB2CScratch(s, p.Model, i, j, jobs)
+}
+
 // Balance implements Protocol.
 func (p DLB2C) Balance(a *core.Assignment, i, j int) { balance(p, a, i, j) }
+
+// BalanceScratch implements Protocol.
+func (p DLB2C) BalanceScratch(s *pairwise.Scratch, a *core.Assignment, i, j int) int {
+	return balanceScratch(p, s, a, i, j)
+}
 
 // SameCost is the single-cluster protocol used for the homogeneous
 // experiments of Section VII.A: every pair is balanced with the same-cost
@@ -143,8 +222,19 @@ func (p SameCost) Split(i, j int, jobs []int) ([]int, []int) {
 	return pairwise.SplitSameCost(p.Model, i, j, jobs)
 }
 
+// SplitScratch implements Protocol.
+func (p SameCost) SplitScratch(s *pairwise.Scratch, i, j int, jobs []int) ([]int, []int) {
+	s.To1, s.To2 = pairwise.AppendSplitSameCost(p.Model, i, j, jobs, s.To1[:0], s.To2[:0])
+	return s.To1, s.To2
+}
+
 // Balance implements Protocol.
 func (p SameCost) Balance(a *core.Assignment, i, j int) { balance(p, a, i, j) }
+
+// BalanceScratch implements Protocol.
+func (p SameCost) BalanceScratch(s *pairwise.Scratch, a *core.Assignment, i, j int) int {
+	return balanceScratch(p, s, a, i, j)
+}
 
 // Stable reports whether the assignment is a fixed point of the protocol:
 // no pairwise balancing step changes the placement of any job. Stability is

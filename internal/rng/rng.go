@@ -141,11 +141,19 @@ func (r *RNG) Bool() bool {
 // Perm returns a random permutation of [0, n).
 func (r *RNG) Perm(n int) []int {
 	p := make([]int, n)
+	r.PermInto(p)
+	return p
+}
+
+// PermInto fills p with a random permutation of [0, len(p)) — the
+// allocation-free form of Perm. It performs exactly the same generator draws
+// as Perm of the same length, so the two are interchangeable without
+// perturbing downstream streams.
+func (r *RNG) PermInto(p []int) {
 	for i := range p {
 		p[i] = i
 	}
 	r.ShuffleInts(p)
-	return p
 }
 
 // ShuffleInts shuffles s in place (Fisher–Yates).

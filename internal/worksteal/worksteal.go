@@ -124,6 +124,12 @@ type Simulator struct {
 	left    int // jobs not yet completed
 	stats   Stats
 	moved   []bool
+	// orders[i] is machine i's reusable victim-order buffer. A machine has
+	// at most one steal episode chain in flight at a time (a new episode
+	// starts only from its own start/complete, after any previous chain
+	// ended), so reusing the buffer per machine is safe and keeps episodes
+	// allocation-free.
+	orders [][]int
 	// idleSince[i] is the virtual time machine i last ran out of local
 	// work, or -1 while it is running/has work; used for the idle metric.
 	idleSince []int64
@@ -147,7 +153,11 @@ func New(m core.CostModel, initial *core.Assignment, cfg Config) (*Simulator, er
 		ms:        make([]machine, m.NumMachines()),
 		left:      m.NumJobs(),
 		moved:     make([]bool, m.NumJobs()),
+		orders:    make([][]int, m.NumMachines()),
 		idleSince: make([]int64, m.NumMachines()),
+	}
+	for i := range s.orders {
+		s.orders[i] = make([]int, m.NumMachines())
 	}
 	for i := range s.idleSince {
 		s.idleSince[i] = -1
@@ -211,7 +221,8 @@ func (s *Simulator) start(i int) {
 		// Nothing stealable exists now or ever again: retire.
 		return
 	}
-	s.episode(i, s.gen.Perm(s.model.NumMachines()))
+	s.gen.PermInto(s.orders[i])
+	s.episode(i, s.orders[i])
 }
 
 // markIdle notes that machine i ran out of local work at the current time
@@ -255,7 +266,10 @@ func (s *Simulator) complete(i, j int) {
 		s.sim.At(s.sim.Now(), des.PhaseStart, func() { s.start(i) })
 	} else if s.pending > 0 {
 		s.markIdle(i)
-		order := s.gen.Perm(s.model.NumMachines())
+		// Draw the victim order now (the draw point is part of the
+		// deterministic event order) into the machine's own buffer.
+		s.gen.PermInto(s.orders[i])
+		order := s.orders[i]
 		s.sim.At(s.sim.Now(), des.PhaseTransfer, func() { s.episode(i, order) })
 	}
 	// If s.pending == 0 the machine retires; pending never grows.
