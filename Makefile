@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-smoke
+.PHONY: check vet build test race bench bench-smoke chaos
 
 check: vet build test race
 
@@ -31,3 +31,11 @@ bench:
 # compile or panic without paying for real measurement. CI runs this.
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x -benchmem ./...
+
+# The chaos property suite under the race detector: 100+ seeded random
+# fault plans (loss, duplication, crashes) must all drain without deadlock
+# and conserve every job. The -timeout is the watchdog — a wedged handshake
+# shows up as a hang, not a silent pass.
+chaos:
+	$(GO) test -race -run 'Chaos|Fault|Crash|Lossy' -timeout 5m \
+		./internal/netsim/... ./internal/faults/... ./internal/experiments/...

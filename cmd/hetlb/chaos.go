@@ -1,0 +1,101 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"time"
+
+	"hetlb/internal/experiments"
+	"hetlb/internal/harness"
+	"hetlb/internal/plot"
+)
+
+// cmdChaos runs the graceful-degradation sweep: DLB2C over the
+// message-passing runtime while the fault plan drops and duplicates
+// messages and crashes machines, reporting convergence time and final Cmax
+// per (loss rate, crash count) cell. Deterministic for a fixed -seed at any
+// -parallel.
+func cmdChaos(args []string) error {
+	fs := flag.NewFlagSet("chaos", flag.ExitOnError)
+	def := experiments.PaperChaos()
+	m1 := fs.Int("m1", def.M1, "machines in cluster 1")
+	m2 := fs.Int("m2", def.M2, "machines in cluster 2")
+	jobs := fs.Int("jobs", def.Jobs, "number of jobs")
+	loss := fs.String("loss", "0,0.05,0.15,0.3", "comma-separated message loss rates in [0,1)")
+	crashes := fs.String("crashes", "0,2,4", "comma-separated crash counts")
+	runs := fs.Int("runs", def.Runs, "replications per cell")
+	horizon := fs.Int64("horizon", def.Horizon, "virtual-time budget per run")
+	seed := fs.Uint64("seed", def.Seed, "base random seed")
+	parallel := fs.Int("parallel", 0, "replication worker pool size (0 = GOMAXPROCS)")
+	timeout := fs.Duration("timeout", 0, "abort the run after this wall time (0 = no limit)")
+	var obs obsFlags
+	obs.register(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := def
+	cfg.M1, cfg.M2, cfg.Jobs = *m1, *m2, *jobs
+	cfg.Runs, cfg.Horizon, cfg.Seed = *runs, *horizon, *seed
+	var err error
+	if cfg.LossRates, err = parseFloats(*loss); err != nil {
+		return fmt.Errorf("-loss: %w", err)
+	}
+	if cfg.CrashCounts, err = parseInts(*crashes); err != nil {
+		return fmt.Errorf("-crashes: %w", err)
+	}
+
+	reg, tr, err := obs.setup()
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	start := time.Now()
+	results, runErr := experiments.ChaosWith(harness.Options{
+		Parallelism: *parallel,
+		Timeout:     *timeout,
+		Context:     ctx,
+		Metrics:     reg,
+		Trace:       tr,
+	}, cfg)
+	if runErr == nil {
+		fmt.Printf("%s", experiments.ChaosTable(results))
+		fmt.Printf("%s", plot.ASCII("mean virtual time to 1.1×cent vs loss rate (horizon = never)",
+			experiments.ChaosSeries(results, cfg.Horizon), 64, 12))
+		fmt.Printf("chaos sweep complete in %v\n", time.Since(start).Round(time.Millisecond))
+	}
+	if err := obs.flush(reg, tr); err != nil {
+		return err
+	}
+	return runErr
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -8,6 +8,8 @@
 //	           solve it exactly (small instances) and with the baselines
 //	figures    regenerate the paper's evaluation (tables + figures) through
 //	           the parallel replication harness
+//	chaos      sweep message loss and machine churn against convergence of
+//	           the message-passing runtime (fault-injection study)
 //
 // Run `hetlb <subcommand> -h` for flags.
 package main
@@ -37,6 +39,8 @@ func main() {
 		err = cmdSolve(args)
 	case "figures":
 		err = cmdFigures(args)
+	case "chaos":
+		err = cmdChaos(args)
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -61,6 +65,8 @@ subcommands:
   solve      exactly solve a small cost matrix read from stdin
   figures    regenerate the paper's evaluation (Tables I/II, Figures 1-5,
              extensions) through the parallel replication harness
+  chaos      sweep message loss and machine crashes against convergence time
+             and final Cmax of the crash-tolerant message-passing runtime
 
 sim, worksteal and figures accept observability flags: --metrics-out
 (Prometheus text, or JSON with --metrics-json), --trace-out (Chrome
@@ -75,6 +81,7 @@ examples:
   hetlb worksteal -trap 1000
   hetlb figures --parallel 8 --metrics-out=-
   hetlb figures -paper -exp fig3 --parallel 8 --timeout 10m
+  hetlb chaos -loss 0,0.1,0.3 -crashes 0,4 --parallel 8
   echo '1,2,3
 4,5,6' | hetlb solve
 `)

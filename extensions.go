@@ -3,6 +3,7 @@ package hetlb
 import (
 	"hetlb/internal/core"
 	"hetlb/internal/dynamic"
+	"hetlb/internal/faults"
 	"hetlb/internal/lp"
 	"hetlb/internal/netsim"
 	"hetlb/internal/protocol"
@@ -112,6 +113,27 @@ func protocolFor(model CostModel) protocol.Protocol {
 	}
 }
 
+// FaultConfig is a deterministic fault-injection plan for the
+// message-passing runtime: per-link message drop probability, duplication,
+// bounded latency jitter, and a machine crash/recovery schedule. The same
+// options seed always yields the same fault schedule.
+type FaultConfig = faults.Config
+
+// Crash is one scheduled machine failure of a FaultConfig.
+type Crash = faults.Crash
+
+// LostJob is one entry of a run's lost-jobs ledger: the job was on the
+// machine when it crashed under a plan that loses jobs.
+type LostJob = netsim.LostJob
+
+// RandomCrashes generates a valid random crash schedule (a pure function
+// of its arguments): count crashes at uniform times in [1, horizon] on
+// uniform machines, each down for about meanDown time units and losing its
+// jobs with probability loseProb. Overlapping candidates are discarded.
+func RandomCrashes(seed uint64, machines int, horizon int64, count int, meanDown int64, loseProb float64) []Crash {
+	return faults.RandomCrashes(seed, machines, horizon, count, meanDown, loseProb)
+}
+
 // MessagePassingOptions parameterizes DLB2CMessagePassing.
 type MessagePassingOptions struct {
 	// Seed makes the run reproducible.
@@ -122,24 +144,39 @@ type MessagePassingOptions struct {
 	Period int64
 	// Horizon is the virtual-time budget.
 	Horizon int64
-	// Metrics, when non-nil, receives the netsim_* instruments (per-kind
-	// message counts, latency and handshake histograms).
+	// Faults, when non-nil, injects the given faults; the handshake then
+	// rides session ids, timeout leases and retransmission so no loss,
+	// duplicate or crash can wedge a machine or duplicate a job. Nil runs
+	// the perfect network.
+	Faults *FaultConfig
+	// Metrics, when non-nil, receives the netsim_* instruments (sent/
+	// delivered message counts by kind, fault and retransmission counters,
+	// latency/handshake/retry histograms).
 	Metrics *MetricsRegistry
-	// Trace, when non-nil, receives message send/receive and session
-	// start/end events on the virtual clock.
+	// Trace, when non-nil, receives message send/receive/drop, session
+	// start/end and crash/recovery events on the virtual clock.
 	Trace *EventTrace
 }
 
 // MessagePassingResult reports a DLB2CMessagePassing run.
 type MessagePassingResult struct {
-	// Assignment is the final placement.
+	// Assignment is the final placement. Jobs lost to crashes stay
+	// unassigned.
 	Assignment *Assignment
 	// Makespan is its Cmax.
 	Makespan Cost
-	// Sessions, Rejections and Messages count protocol activity: each
-	// completed balancing handshake costs three messages, each rejected
-	// request two.
+	// Sessions, Rejections and Messages count protocol activity: on a
+	// fault-free network each completed balancing handshake costs three
+	// delivered messages and each rejected request two, and Messages ==
+	// Sent. Messages counts deliveries.
 	Sessions, Rejections, Messages int
+	// Sent counts transmissions (retransmissions included); Dropped,
+	// Timeouts and Retransmissions summarize degradation under faults.
+	Sent, Dropped, Timeouts, Retransmissions int
+	// Crashes and Recoveries count machine churn; Lost is the ledger of
+	// jobs destroyed by crashes.
+	Crashes, Recoveries int
+	Lost                []LostJob
 }
 
 // DLB2CMessagePassing runs DLB2C with no shared state at all: machines are
@@ -153,6 +190,7 @@ func DLB2CMessagePassing(model Clustered, initial *Assignment, opt MessagePassin
 		Latency: opt.Latency,
 		Period:  opt.Period,
 		Horizon: opt.Horizon,
+		Faults:  opt.Faults,
 		Tracer:  opt.Trace,
 	}
 	if opt.Metrics != nil {
@@ -163,15 +201,25 @@ func DLB2CMessagePassing(model Clustered, initial *Assignment, opt MessagePassin
 		return MessagePassingResult{}, err
 	}
 	st := sim.Run()
+	if err := sim.ValidateConservation(); err != nil {
+		return MessagePassingResult{}, err
+	}
 	a, err := sim.Placement()
 	if err != nil {
 		return MessagePassingResult{}, err
 	}
 	return MessagePassingResult{
-		Assignment: a,
-		Makespan:   a.Makespan(),
-		Sessions:   st.Sessions,
-		Rejections: st.Rejections,
-		Messages:   st.Messages,
+		Assignment:      a,
+		Makespan:        a.Makespan(),
+		Sessions:        st.Sessions,
+		Rejections:      st.Rejections,
+		Messages:        st.Delivered,
+		Sent:            st.Sent,
+		Dropped:         st.Dropped,
+		Timeouts:        st.Timeouts,
+		Retransmissions: st.Retransmissions,
+		Crashes:         st.Crashes,
+		Recoveries:      st.Recoveries,
+		Lost:            st.Lost,
 	}, nil
 }

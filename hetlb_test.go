@@ -217,6 +217,46 @@ func TestPublicMessagePassing(t *testing.T) {
 	if res.Makespan > initial.Makespan() {
 		t.Fatal("message-passing balancing made things worse")
 	}
+	if res.Sent != res.Messages || res.Dropped != 0 || res.Retransmissions != 0 {
+		t.Fatalf("perfect network reports degradation: %+v", res)
+	}
+}
+
+func TestPublicMessagePassingWithFaults(t *testing.T) {
+	p0 := make([]hetlb.Cost, 48)
+	p1 := make([]hetlb.Cost, 48)
+	for j := range p0 {
+		p0[j] = hetlb.Cost(1 + (j*17)%100)
+		p1[j] = hetlb.Cost(1 + (j*41)%100)
+	}
+	tc := mustTwoCluster(t, 4, 2, p0, p1)
+	initial := hetlb.RoundRobin(tc)
+	res, err := hetlb.DLB2CMessagePassing(tc, initial, hetlb.MessagePassingOptions{
+		Seed: 2, Latency: 2, Period: 10, Horizon: 3000,
+		Faults: &hetlb.FaultConfig{
+			DropProb: 0.2, DupProb: 0.1, JitterMax: 3,
+			Crashes: hetlb.RandomCrashes(7, tc.NumMachines(), 3000, 2, 200, 1),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every job is either placed or in the lost ledger, never both.
+	placed := 0
+	for j := 0; j < tc.NumJobs(); j++ {
+		if res.Assignment.MachineOf(j) != -1 {
+			placed++
+		}
+	}
+	if placed+len(res.Lost) != tc.NumJobs() {
+		t.Fatalf("%d placed + %d lost != %d jobs", placed, len(res.Lost), tc.NumJobs())
+	}
+	if res.Dropped == 0 || res.Retransmissions == 0 || res.Crashes != 2 {
+		t.Fatalf("fault machinery not exercised: %+v", res)
+	}
+	if res.Sent <= res.Messages {
+		t.Fatalf("Sent %d should exceed deliveries %d under 20%% loss", res.Sent, res.Messages)
+	}
 }
 
 func TestPublicRunDynamic(t *testing.T) {

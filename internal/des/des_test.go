@@ -132,3 +132,55 @@ func TestSameInstantSchedulingRunsBeforeLaterEvents(t *testing.T) {
 		t.Fatalf("order: %v", got)
 	}
 }
+
+// Cross-phase ordering at one timestamp must hold even when the events are
+// scheduled from inside handlers at that same timestamp: a PhaseComplete
+// handler scheduling PhaseTransfer and PhaseStart work for "now" sees it run
+// in phase order, interleaved with events that were already queued.
+func TestSameTimestampCrossPhaseOrdering(t *testing.T) {
+	s := New()
+	var got []string
+	s.At(4, PhaseStart, func() { got = append(got, "start-pre") })
+	s.At(4, PhaseComplete, func() {
+		got = append(got, "complete")
+		s.At(4, PhaseStart, func() { got = append(got, "start-post") })
+		s.At(4, PhaseTransfer, func() { got = append(got, "transfer-post") })
+	})
+	s.At(4, PhaseTransfer, func() { got = append(got, "transfer-pre") })
+	s.Run(100)
+	want := []string{"complete", "transfer-pre", "transfer-post", "start-pre", "start-post"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+// After(0, ...) is legal: it schedules at the current instant and still
+// respects phase ordering and insertion order within the phase.
+func TestAfterZeroDelay(t *testing.T) {
+	s := New()
+	var got []string
+	s.At(3, PhaseTransfer, func() {
+		got = append(got, "transfer")
+		s.After(0, PhaseStart, func() { got = append(got, "start-b") })
+		s.After(0, PhaseStart, func() { got = append(got, "start-c") })
+	})
+	s.At(3, PhaseStart, func() { got = append(got, "start-a") })
+	s.Run(100)
+	want := []string{"transfer", "start-a", "start-b", "start-c"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if s.Now() != 3 {
+		t.Fatalf("clock = %d, want 3", s.Now())
+	}
+}

@@ -21,6 +21,7 @@
 package distrun
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"slices"
@@ -74,6 +75,10 @@ type Config struct {
 	// see hundreds of quiet sessions while a pair it never probes is
 	// still unbalanced.
 	QuiesceStreak int64
+	// Context, when non-nil, allows a graceful shutdown: cancellation stops
+	// every machine loop after its current session, Run returns the partial
+	// result, and no goroutine outlives the call. Nil means Background.
+	Context context.Context
 	// Metrics, when non-nil, receives session/lock instrumentation (build
 	// with NewMetrics for the same machine count).
 	Metrics *Metrics
@@ -118,6 +123,11 @@ func Run(p protocol.Protocol, initial *core.Assignment, cfg Config) (Result, err
 		ms[i].jobs = append(ms[i].jobs, j) // increasing j: already sorted
 	}
 
+	ctx := cfg.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
 	exchanges := make([]int64, m)
 	var steps atomic.Int64
 	var done atomic.Bool
@@ -146,7 +156,7 @@ func Run(p protocol.Protocol, initial *core.Assignment, cfg Config) (Result, err
 			// pair's locks, but scratch reuse must not cross goroutines.
 			var scratch pairwise.Scratch
 			for {
-				if done.Load() {
+				if done.Load() || ctx.Err() != nil {
 					return
 				}
 				// Claim a step from the global budget.

@@ -1,7 +1,11 @@
 package distrun
 
 import (
+	"context"
+	"fmt"
+	"runtime"
 	"testing"
+	"time"
 
 	"hetlb/internal/core"
 	"hetlb/internal/exact"
@@ -249,5 +253,45 @@ func TestObsMovesMatchPlacementDrift(t *testing.T) {
 	}
 	if met.Moves.Value() < int64(away) {
 		t.Fatalf("moves counter %d < %d jobs that left machine 0", met.Moves.Value(), away)
+	}
+}
+
+// Cancelling the run's context must stop every machine goroutine: Run
+// returns a valid partial result and no goroutine outlives the call.
+func TestShutdownNoGoroutineLeak(t *testing.T) {
+	gen := rng.New(7)
+	tc := workload.UniformTwoCluster(gen, 8, 4, 96, 1, 100)
+	initial := core.RoundRobin(tc)
+
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		// A budget far beyond what the cancellation window allows: without
+		// the context check the run would take visibly long.
+		res, err := Run(protocol.DLB2C{Model: tc}, initial, Config{Seed: 8, MaxSteps: 1 << 40, Context: ctx})
+		if err == nil && !res.Assignment.Complete() {
+			err = fmt.Errorf("jobs lost in partial result")
+		}
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run did not return after cancellation")
+	}
+	// The machine goroutines exit after their current session; poll briefly
+	// for the count to settle back to the pre-run level.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Fatalf("goroutines leaked: %d before, %d after shutdown", before, n)
 	}
 }

@@ -45,7 +45,7 @@ type Config struct {
 
 // StepNames returns the canonical step order ("all" runs them all).
 func StepNames() []string {
-	return []string{"tableI", "tableII", "fig1", "fig2a", "fig2b", "fig3", "fig4", "fig5", "extk", "extdyn", "residual"}
+	return []string{"tableI", "tableII", "fig1", "fig2a", "fig2b", "fig3", "fig4", "fig5", "extk", "extdyn", "residual", "chaos"}
 }
 
 // Run executes the named step ("all" for the whole evaluation) under cfg.
@@ -71,6 +71,7 @@ func Run(cfg Config, which string) error {
 		"extk":     r.extKClusters,
 		"extdyn":   r.extDynamic,
 		"residual": r.residual,
+		"chaos":    r.chaos,
 	}
 	if which != "all" {
 		f, ok := steps[which]
@@ -361,4 +362,21 @@ func (r runner) residual() error {
 		ys = append(ys, h.Density(k))
 	}
 	return r.writeCSV("residual.csv", []plot.Series{plot.NewSeries("measured residual density", xs, ys)})
+}
+
+func (r runner) chaos() error {
+	r.printf("== Robustness: DLB2C under message loss and machine churn ==\n")
+	cfg := experiments.PaperChaos()
+	if r.cfg.Reduced {
+		cfg = cfg.Reduced()
+	}
+	cfg.Seed = r.cfg.Seed + 70
+	results, err := experiments.ChaosWith(r.cfg.Harness, cfg)
+	if err != nil {
+		return err
+	}
+	r.printf("%s", experiments.ChaosTable(results))
+	series := experiments.ChaosSeries(results, cfg.Horizon)
+	r.printf("%s", plot.ASCII("mean virtual time to 1.1×cent vs loss rate (horizon = never)", series, 64, 12))
+	return r.writeCSV("chaos.csv", series)
 }

@@ -33,7 +33,7 @@ func TestRunReducedEndToEnd(t *testing.T) {
 	for _, csv := range []string{
 		"tableI.csv", "tableII.csv", "figure1.csv", "figure2a.csv",
 		"figure2b.csv", "figure3.csv", "figure4.csv", "figure5.csv",
-		"ext_kclusters.csv", "ext_dynamic.csv", "residual.csv",
+		"ext_kclusters.csv", "ext_dynamic.csv", "residual.csv", "chaos.csv",
 	} {
 		st, err := os.Stat(filepath.Join(dir, csv))
 		if err != nil {

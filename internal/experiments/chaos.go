@@ -1,0 +1,256 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hetlb/internal/central"
+	"hetlb/internal/faults"
+	"hetlb/internal/harness"
+	"hetlb/internal/netsim"
+	"hetlb/internal/plot"
+	"hetlb/internal/protocol"
+	"hetlb/internal/rng"
+)
+
+// ChaosConfig parameterizes the graceful-degradation sweep: the two-cluster
+// workload balanced by DLB2C over the message-passing runtime while the
+// network loses and duplicates messages and machines crash. Each (loss rate,
+// crash count) cell runs Runs independent replications.
+type ChaosConfig struct {
+	// System: M1+M2 machines, Jobs jobs with costs U[1, CostHi] per cluster.
+	M1, M2, Jobs int
+	CostHi       int
+	// LossRates are the per-message drop probabilities swept (each in
+	// [0, 1)); CrashCounts the number of scheduled crashes swept.
+	LossRates   []float64
+	CrashCounts []int
+	// DupProb and JitterMax apply to every cell with a lossy network
+	// (LossRate > 0); zero-loss cells keep a perfect network so the first
+	// column is a clean reference.
+	DupProb   float64
+	JitterMax int64
+	// Crash shape: each crash lasts about MeanDown time units and loses the
+	// machine's jobs with probability LoseProb (otherwise they are re-hosted
+	// on recovery).
+	MeanDown int64
+	LoseProb float64
+	// Network and run shape.
+	Latency, Period, Horizon int64
+	// Threshold defines convergence: the first sampled virtual time whose
+	// Cmax is within Threshold × the centralized CLB2C makespan of the same
+	// instance (e.g. 1.1 = within 10%).
+	Threshold float64
+	// Runs is the number of replications per cell; Seed keys everything.
+	Runs int
+	Seed uint64
+}
+
+// PaperChaos returns the default degradation sweep on the paper's small
+// heterogeneous system.
+func PaperChaos() ChaosConfig {
+	return ChaosConfig{
+		M1: 8, M2: 4, Jobs: 96, CostHi: 100,
+		LossRates:   []float64{0, 0.05, 0.15, 0.3},
+		CrashCounts: []int{0, 2, 4},
+		DupProb:     0.05, JitterMax: 3,
+		MeanDown: 150, LoseProb: 0.5,
+		Latency: 2, Period: 10, Horizon: 2000,
+		Threshold: 1.1,
+		Runs:      20, Seed: 11,
+	}
+}
+
+// Reduced scales the sweep down for tests.
+func (c ChaosConfig) Reduced() ChaosConfig {
+	r := c
+	r.LossRates = []float64{0, 0.2}
+	r.CrashCounts = []int{0, 2}
+	r.Runs = 4
+	r.Horizon = 800
+	return r
+}
+
+// ChaosResult aggregates one (loss rate, crash count) cell.
+type ChaosResult struct {
+	LossRate float64
+	Crashes  int
+	// ConvergedFrac is the fraction of replications whose sampled Cmax
+	// reached Threshold × central before the horizon; MeanConvergence is
+	// their mean virtual time to get there.
+	ConvergedFrac   float64
+	MeanConvergence float64
+	// MeanRatio is the mean final Cmax / central CLB2C Cmax (jobs lost to
+	// crashes excluded from Cmax, so it can dip below 1 under heavy loss).
+	MeanRatio float64
+	// Degradation accounting, averaged per replication.
+	MeanRetransmissions, MeanTimeouts, MeanJobsLost float64
+}
+
+// chaosRun is one replication's raw outcome.
+type chaosRun struct {
+	ConvergedAt int64 // -1 when the threshold was never reached
+	Ratio       float64
+	Retrans     int
+	Timeouts    int
+	JobsLost    int
+}
+
+// Chaos runs the degradation sweep sequentially.
+func Chaos(cfg ChaosConfig) ([]ChaosResult, error) {
+	return ChaosWith(harness.Options{}, cfg)
+}
+
+// ChaosWith is Chaos with explicit harness options. Cell (loss, crashes) is
+// keyed by rng.DeriveSeed(cfg.Seed, cell index), so adding or removing cells
+// does not disturb the others and results are bit-identical for any worker
+// count.
+func ChaosWith(opt harness.Options, cfg ChaosConfig) ([]ChaosResult, error) {
+	if cfg.Runs <= 0 {
+		return nil, fmt.Errorf("experiments: chaos Runs must be positive")
+	}
+	if cfg.Threshold < 1 {
+		return nil, fmt.Errorf("experiments: chaos Threshold must be >= 1")
+	}
+	// One shared instrument set: the netsim_* counters and histograms
+	// aggregate over every replication of the sweep (counter adds commute,
+	// so the totals are worker-count independent).
+	var met *netsim.Metrics
+	if opt.Metrics != nil {
+		met = netsim.NewMetrics(opt.Metrics)
+	}
+	out := make([]ChaosResult, 0, len(cfg.LossRates)*len(cfg.CrashCounts))
+	cell := 0
+	for _, loss := range cfg.LossRates {
+		for _, crashes := range cfg.CrashCounts {
+			loss, crashes := loss, crashes
+			cellSeed := rng.DeriveSeed(cfg.Seed, uint64(cell))
+			cell++
+			rs, err := harness.Map(opt, cellSeed, cfg.Runs, func(rep *harness.Rep) (chaosRun, error) {
+				return chaosReplication(rep, cfg, loss, crashes, met)
+			})
+			if err != nil {
+				return nil, err
+			}
+			agg := ChaosResult{LossRate: loss, Crashes: crashes}
+			converged := 0
+			for _, r := range rs {
+				if r.ConvergedAt >= 0 {
+					converged++
+					agg.MeanConvergence += float64(r.ConvergedAt)
+				}
+				agg.MeanRatio += r.Ratio
+				agg.MeanRetransmissions += float64(r.Retrans)
+				agg.MeanTimeouts += float64(r.Timeouts)
+				agg.MeanJobsLost += float64(r.JobsLost)
+			}
+			if converged > 0 {
+				agg.MeanConvergence /= float64(converged)
+			}
+			agg.ConvergedFrac = float64(converged) / float64(cfg.Runs)
+			agg.MeanRatio /= float64(cfg.Runs)
+			agg.MeanRetransmissions /= float64(cfg.Runs)
+			agg.MeanTimeouts /= float64(cfg.Runs)
+			agg.MeanJobsLost /= float64(cfg.Runs)
+			out = append(out, agg)
+		}
+	}
+	return out, nil
+}
+
+// chaosReplication simulates one instance of a cell.
+func chaosReplication(rep *harness.Rep, cfg ChaosConfig, loss float64, crashes int, met *netsim.Metrics) (chaosRun, error) {
+	gen := rep.RNG
+	tc := coreTwoCluster(gen, SimConfig{M1: cfg.M1, M2: cfg.M2, Jobs: cfg.Jobs, CostLo: 1, CostHi: int64(cfg.CostHi)})
+	cent := central.RunCLB2C(tc).Makespan()
+	initial := randomInitial(gen, tc)
+
+	fc := faults.Config{DropProb: loss}
+	if loss > 0 {
+		fc.DupProb, fc.JitterMax = cfg.DupProb, cfg.JitterMax
+	}
+	if crashes > 0 {
+		fc.Crashes = faults.RandomCrashes(gen.Uint64(), tc.NumMachines(), cfg.Horizon, crashes, cfg.MeanDown, cfg.LoseProb)
+	}
+	var fp *faults.Config
+	if !fc.Zero() {
+		fp = &fc
+	}
+	sim, err := netsim.New(tc, protocol.DLB2C{Model: tc}, initial, netsim.Config{
+		Seed:    gen.Uint64(),
+		Latency: cfg.Latency,
+		Period:  cfg.Period,
+		Horizon: cfg.Horizon,
+		Faults:  fp,
+		Metrics: met,
+	})
+	if err != nil {
+		return chaosRun{}, err
+	}
+	st := sim.Run()
+	if err := sim.ValidateConservation(); err != nil {
+		return chaosRun{}, err
+	}
+	goal := int64(float64(cent) * cfg.Threshold)
+	conv := int64(-1)
+	for k, c := range st.Makespans {
+		if int64(c) <= goal {
+			conv = st.Times[k]
+			break
+		}
+	}
+	return chaosRun{
+		ConvergedAt: conv,
+		Ratio:       float64(st.FinalMakespan) / float64(cent),
+		Retrans:     st.Retransmissions,
+		Timeouts:    st.Timeouts,
+		JobsLost:    st.JobsLost,
+	}, nil
+}
+
+// ChaosTable renders the sweep as a text table.
+func ChaosTable(results []ChaosResult) string {
+	rows := make([][]string, 0, len(results))
+	for _, r := range results {
+		conv := "never"
+		if r.ConvergedFrac > 0 {
+			conv = fmt.Sprintf("%.0f", r.MeanConvergence)
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%.0f%%", r.LossRate*100),
+			fmt.Sprint(r.Crashes),
+			fmt.Sprintf("%.2f", r.ConvergedFrac),
+			conv,
+			fmt.Sprintf("%.3f", r.MeanRatio),
+			fmt.Sprintf("%.1f", r.MeanRetransmissions),
+			fmt.Sprintf("%.1f", r.MeanJobsLost),
+		})
+	}
+	return plot.Table([]string{"loss", "crashes", "converged", "mean conv time", "Cmax/central", "retransmissions", "jobs lost"}, rows)
+}
+
+// ChaosSeries renders, per crash count, convergence time against loss rate
+// (cells that never converged are plotted at the horizon).
+func ChaosSeries(results []ChaosResult, horizon int64) []plot.Series {
+	byCrash := map[int][]ChaosResult{}
+	var order []int
+	for _, r := range results {
+		if _, ok := byCrash[r.Crashes]; !ok {
+			order = append(order, r.Crashes)
+		}
+		byCrash[r.Crashes] = append(byCrash[r.Crashes], r)
+	}
+	var out []plot.Series
+	for _, c := range order {
+		var xs, ys []float64
+		for _, r := range byCrash[c] {
+			xs = append(xs, r.LossRate)
+			y := float64(horizon)
+			if r.ConvergedFrac > 0 {
+				y = r.MeanConvergence
+			}
+			ys = append(ys, y)
+		}
+		out = append(out, plot.NewSeries(fmt.Sprintf("%d crashes", c), xs, ys))
+	}
+	return out
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"hetlb/internal/harness"
+)
+
+// The chaos sweep must be bit-identical across worker counts, and its
+// faulty cells must actually exercise the degraded machinery.
+func TestChaosDeterministicAcrossParallelism(t *testing.T) {
+	cfg := PaperChaos().Reduced()
+	ref := assertInvariant(t, "Chaos", func(opt harness.Options) ([]ChaosResult, error) {
+		return ChaosWith(opt, cfg)
+	})
+	if len(ref) != len(cfg.LossRates)*len(cfg.CrashCounts) {
+		t.Fatalf("got %d cells, want %d", len(ref), len(cfg.LossRates)*len(cfg.CrashCounts))
+	}
+	var sawRetrans, sawLost bool
+	for _, r := range ref {
+		if r.LossRate == 0 && r.Crashes == 0 {
+			if r.MeanRetransmissions != 0 || r.MeanTimeouts != 0 || r.MeanJobsLost != 0 {
+				t.Fatalf("fault-free cell reports degradation: %+v", r)
+			}
+			if r.ConvergedFrac == 0 {
+				t.Fatal("fault-free cell never converged")
+			}
+		}
+		if r.MeanRetransmissions > 0 {
+			sawRetrans = true
+		}
+		if r.MeanJobsLost > 0 {
+			sawLost = true
+		}
+	}
+	if !sawRetrans {
+		t.Error("no cell saw retransmissions — sweep not exercising loss")
+	}
+	if !sawLost {
+		t.Error("no cell lost jobs — sweep not exercising crashes")
+	}
+	tab := ChaosTable(ref)
+	if !strings.Contains(tab, "loss") || !strings.Contains(tab, "Cmax/central") {
+		t.Errorf("table missing headers:\n%s", tab)
+	}
+	if s := ChaosSeries(ref, cfg.Horizon); len(s) != len(cfg.CrashCounts) {
+		t.Errorf("ChaosSeries returned %d series, want %d", len(s), len(cfg.CrashCounts))
+	}
+}
+
+func TestChaosRejectsBadConfig(t *testing.T) {
+	cfg := PaperChaos()
+	cfg.Runs = 0
+	if _, err := Chaos(cfg); err == nil {
+		t.Error("Runs=0 accepted")
+	}
+	cfg = PaperChaos()
+	cfg.Threshold = 0.5
+	if _, err := Chaos(cfg); err == nil {
+		t.Error("Threshold<1 accepted")
+	}
+}

@@ -1,0 +1,202 @@
+// Package faults is the deterministic fault-injection plan for the
+// message-passing runtime (internal/netsim): per-link message drop,
+// duplication and latency jitter, plus a machine crash/recovery schedule
+// with optional job loss.
+//
+// Determinism is the whole design. Every per-message decision is a pure
+// function of (plan seed, sender, receiver, per-link message index) through
+// rng.Substream, never of a shared stream consumed in event order — so the
+// same seed yields the same fault schedule no matter how events interleave,
+// and a simulation replayed under the same plan is bit-identical. The crash
+// schedule is an explicit list (or is generated up front by RandomCrashes,
+// itself a pure function of its seed), so churn is equally replayable.
+package faults
+
+import (
+	"fmt"
+	"sort"
+
+	"hetlb/internal/rng"
+)
+
+// Config describes the faults to inject. The zero value injects nothing.
+type Config struct {
+	// DropProb is the probability that a message transmission is lost
+	// (each retransmission is an independent trial). Must be in [0, 1).
+	DropProb float64
+	// DupProb is the probability that a transmission is delivered twice.
+	// Must be in [0, 1].
+	DupProb float64
+	// JitterMax adds a uniform extra delay in [0, JitterMax] virtual time
+	// units to every delivered copy (bounded jitter; may reorder messages).
+	JitterMax int64
+	// Crashes is the machine crash/recovery schedule.
+	Crashes []Crash
+}
+
+// Crash is one scheduled machine failure.
+type Crash struct {
+	// Machine is the machine that fails.
+	Machine int
+	// At is the virtual time of the crash (≥ 1).
+	At int64
+	// RecoverAt is the virtual time the machine comes back (must be > At),
+	// or 0 for a machine that never recovers.
+	RecoverAt int64
+	// LoseJobs controls the fate of the jobs the machine holds when it
+	// crashes: true records them as permanently lost; false freezes them
+	// with the machine and re-hosts them there on recovery.
+	LoseJobs bool
+}
+
+// Zero reports whether the configuration injects no faults at all.
+func (c Config) Zero() bool {
+	return c.DropProb == 0 && c.DupProb == 0 && c.JitterMax == 0 && len(c.Crashes) == 0
+}
+
+// Validate checks the configuration against a machine count. Crash
+// intervals on the same machine must not overlap (a machine cannot crash
+// while it is already down), and a machine that never recovers must be the
+// last crash scheduled for it.
+func (c Config) Validate(machines int) error {
+	if c.DropProb < 0 || c.DropProb >= 1 {
+		return fmt.Errorf("faults: DropProb %v outside [0, 1)", c.DropProb)
+	}
+	if c.DupProb < 0 || c.DupProb > 1 {
+		return fmt.Errorf("faults: DupProb %v outside [0, 1]", c.DupProb)
+	}
+	if c.JitterMax < 0 {
+		return fmt.Errorf("faults: negative JitterMax %d", c.JitterMax)
+	}
+	lastUp := make(map[int]int64) // machine -> recovery time of its last crash (-1 = never)
+	for _, cr := range sortedCrashes(c.Crashes) {
+		if cr.Machine < 0 || cr.Machine >= machines {
+			return fmt.Errorf("faults: crash machine %d outside [0, %d)", cr.Machine, machines)
+		}
+		if cr.At < 1 {
+			return fmt.Errorf("faults: crash at time %d (must be >= 1)", cr.At)
+		}
+		if cr.RecoverAt != 0 && cr.RecoverAt <= cr.At {
+			return fmt.Errorf("faults: machine %d recovery at %d not after crash at %d",
+				cr.Machine, cr.RecoverAt, cr.At)
+		}
+		if up, ok := lastUp[cr.Machine]; ok {
+			if up < 0 {
+				return fmt.Errorf("faults: machine %d crashes at %d after a crash it never recovers from", cr.Machine, cr.At)
+			}
+			if cr.At <= up {
+				return fmt.Errorf("faults: machine %d crashes at %d while still down until %d", cr.Machine, cr.At, up)
+			}
+		}
+		if cr.RecoverAt == 0 {
+			lastUp[cr.Machine] = -1
+		} else {
+			lastUp[cr.Machine] = cr.RecoverAt
+		}
+	}
+	return nil
+}
+
+// sortedCrashes returns the schedule ordered by (At, Machine, RecoverAt) —
+// the deterministic order the runtime schedules them in.
+func sortedCrashes(cs []Crash) []Crash {
+	out := append([]Crash(nil), cs...)
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].At != out[b].At {
+			return out[a].At < out[b].At
+		}
+		if out[a].Machine != out[b].Machine {
+			return out[a].Machine < out[b].Machine
+		}
+		return out[a].RecoverAt < out[b].RecoverAt
+	})
+	return out
+}
+
+// Outcome is the fate of one message transmission.
+type Outcome struct {
+	// Copies is how many copies will be delivered: 0 (dropped), 1, or 2
+	// (duplicated).
+	Copies int
+	// Jitter is the extra delay of each copy, valid for indices < Copies.
+	Jitter [2]int64
+}
+
+// Plan is the runtime fault oracle for one simulated run. It is not safe
+// for concurrent use (the discrete-event simulation is single-threaded).
+type Plan struct {
+	seed uint64
+	cfg  Config
+	seq  map[uint64]uint64 // link (from, to) -> transmissions so far
+}
+
+// NewPlan builds a plan from a seed and a validated configuration.
+func NewPlan(seed uint64, cfg Config) *Plan {
+	return &Plan{seed: seed, cfg: cfg, seq: make(map[uint64]uint64)}
+}
+
+// Config returns the plan's configuration.
+func (p *Plan) Config() Config { return p.cfg }
+
+// Crashes returns the crash schedule in deterministic execution order.
+func (p *Plan) Crashes() []Crash { return sortedCrashes(p.cfg.Crashes) }
+
+// Message decides the fate of the next transmission on the link from → to.
+// The decision for the k-th transmission on a link depends only on
+// (seed, from, to, k): links are independent substreams, so the schedule is
+// identical no matter in which order the simulation touches them.
+func (p *Plan) Message(from, to int) Outcome {
+	key := uint64(from)<<32 | uint64(uint32(to))
+	k := p.seq[key]
+	p.seq[key] = k + 1
+	g := rng.Substream(p.seed, uint64(from), uint64(to), k)
+	out := Outcome{Copies: 1}
+	if g.Float64() < p.cfg.DropProb {
+		out.Copies = 0
+	}
+	if g.Float64() < p.cfg.DupProb {
+		out.Copies++ // a duplicate of a dropped message still arrives once
+	}
+	if p.cfg.JitterMax > 0 {
+		out.Jitter[0] = g.Int64n(p.cfg.JitterMax + 1)
+		out.Jitter[1] = g.Int64n(p.cfg.JitterMax + 1)
+	}
+	return out
+}
+
+// RandomCrashes generates a valid random crash schedule: count crashes at
+// uniform times in [1, horizon], each on a uniform machine, down for
+// 1 + U[0, 2·meanDown) time units, losing its jobs with probability
+// loseProb. Candidates that would overlap an earlier crash of the same
+// machine are discarded, so the result may hold fewer than count entries.
+// The schedule is a pure function of the arguments.
+func RandomCrashes(seed uint64, machines int, horizon int64, count int, meanDown int64, loseProb float64) []Crash {
+	if machines < 1 || horizon < 1 || count < 1 {
+		return nil
+	}
+	if meanDown < 1 {
+		meanDown = 1
+	}
+	var out []Crash
+	lastUp := make(map[int]int64)
+	for i := 0; i < count; i++ {
+		g := rng.Substream(seed, 0xC4A5, uint64(i))
+		cr := Crash{
+			Machine:  g.Intn(machines),
+			At:       1 + g.Int64n(horizon),
+			LoseJobs: g.Float64() < loseProb,
+		}
+		cr.RecoverAt = cr.At + 1 + g.Int64n(2*meanDown)
+		out = append(out, cr)
+	}
+	out = sortedCrashes(out)
+	kept := out[:0]
+	for _, cr := range out {
+		if up, ok := lastUp[cr.Machine]; ok && cr.At <= up {
+			continue
+		}
+		lastUp[cr.Machine] = cr.RecoverAt
+		kept = append(kept, cr)
+	}
+	return kept
+}

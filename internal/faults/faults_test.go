@@ -1,0 +1,146 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestZero(t *testing.T) {
+	if !(Config{}).Zero() {
+		t.Fatal("zero value not Zero()")
+	}
+	for _, c := range []Config{
+		{DropProb: 0.1},
+		{DupProb: 0.1},
+		{JitterMax: 1},
+		{Crashes: []Crash{{Machine: 0, At: 1, RecoverAt: 2}}},
+	} {
+		if c.Zero() {
+			t.Fatalf("%+v reported Zero()", c)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	ok := Config{
+		DropProb: 0.3, DupProb: 0.1, JitterMax: 5,
+		Crashes: []Crash{
+			{Machine: 0, At: 10, RecoverAt: 20},
+			{Machine: 0, At: 21, RecoverAt: 30},
+			{Machine: 1, At: 15, LoseJobs: true}, // never recovers
+		},
+	}
+	if err := ok.Validate(2); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []Config{
+		{DropProb: 1},
+		{DropProb: -0.1},
+		{DupProb: 1.5},
+		{JitterMax: -1},
+		{Crashes: []Crash{{Machine: 2, At: 1, RecoverAt: 2}}},
+		{Crashes: []Crash{{Machine: 0, At: 0, RecoverAt: 2}}},
+		{Crashes: []Crash{{Machine: 0, At: 5, RecoverAt: 5}}},
+		// overlapping downtimes on the same machine
+		{Crashes: []Crash{{Machine: 0, At: 10, RecoverAt: 20}, {Machine: 0, At: 15, RecoverAt: 25}}},
+		// crash after a crash that never recovers
+		{Crashes: []Crash{{Machine: 0, At: 10}, {Machine: 0, At: 15, RecoverAt: 25}}},
+	}
+	for i, c := range bad {
+		if err := c.Validate(2); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, c)
+		}
+	}
+}
+
+// The fate of the k-th message on a link must not depend on the order in
+// which the simulation touches other links.
+func TestMessageOrderIndependent(t *testing.T) {
+	cfg := Config{DropProb: 0.3, DupProb: 0.2, JitterMax: 7}
+	a := NewPlan(42, cfg)
+	b := NewPlan(42, cfg)
+
+	// Plan a: link (0,1) fully first, then (1,0), then (2,0).
+	var seqA [][]Outcome
+	for _, link := range [][2]int{{0, 1}, {1, 0}, {2, 0}} {
+		var outs []Outcome
+		for k := 0; k < 50; k++ {
+			outs = append(outs, a.Message(link[0], link[1]))
+		}
+		seqA = append(seqA, outs)
+	}
+	// Plan b: the same links interleaved round-robin.
+	seqB := make([][]Outcome, 3)
+	for k := 0; k < 50; k++ {
+		for li, link := range [][2]int{{0, 1}, {1, 0}, {2, 0}} {
+			seqB[li] = append(seqB[li], b.Message(link[0], link[1]))
+		}
+	}
+	if !reflect.DeepEqual(seqA, seqB) {
+		t.Fatal("per-link outcomes depend on interleaving")
+	}
+}
+
+func TestMessageRates(t *testing.T) {
+	cfg := Config{DropProb: 0.25, DupProb: 0.25, JitterMax: 9}
+	p := NewPlan(7, cfg)
+	const n = 20000
+	var dropped, dup int
+	for k := 0; k < n; k++ {
+		out := p.Message(0, 1)
+		switch out.Copies {
+		case 0:
+			dropped++
+		case 2:
+			dup++
+		}
+		for c := 0; c < out.Copies && c < 2; c++ {
+			if out.Jitter[c] < 0 || out.Jitter[c] > cfg.JitterMax {
+				t.Fatalf("jitter %d outside [0, %d]", out.Jitter[c], cfg.JitterMax)
+			}
+		}
+	}
+	// Drops exclude the duplicated-drop overlap: P(drop & !dup) = 0.1875.
+	if f := float64(dropped) / n; f < 0.15 || f > 0.23 {
+		t.Errorf("drop fraction %v far from 0.1875", f)
+	}
+	if f := float64(dup) / n; f < 0.15 || f > 0.23 {
+		t.Errorf("dup fraction %v far from 0.1875", f)
+	}
+}
+
+func TestZeroConfigPlanIsTransparent(t *testing.T) {
+	p := NewPlan(1, Config{})
+	for k := 0; k < 100; k++ {
+		out := p.Message(3, 4)
+		if out.Copies != 1 || out.Jitter[0] != 0 {
+			t.Fatalf("zero config produced %+v", out)
+		}
+	}
+}
+
+func TestRandomCrashes(t *testing.T) {
+	a := RandomCrashes(99, 8, 1000, 20, 50, 0.5)
+	b := RandomCrashes(99, 8, 1000, 20, 50, 0.5)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("RandomCrashes not deterministic")
+	}
+	if len(a) == 0 {
+		t.Fatal("no crashes generated")
+	}
+	cfg := Config{Crashes: a}
+	if err := cfg.Validate(8); err != nil {
+		t.Fatalf("generated schedule invalid: %v", err)
+	}
+	for _, cr := range a {
+		if cr.At < 1 || cr.At > 1000 {
+			t.Errorf("crash time %d outside [1, 1000]", cr.At)
+		}
+		if cr.RecoverAt <= cr.At {
+			t.Errorf("recovery %d not after crash %d", cr.RecoverAt, cr.At)
+		}
+	}
+	if c := RandomCrashes(99, 8, 1000, 20, 50, 0.25); reflect.DeepEqual(a, c) {
+		t.Error("loseProb change did not alter schedule")
+	}
+}

@@ -44,6 +44,15 @@ const (
 	// EvReplicationEnd: replication A finished; Value = wall time in
 	// nanoseconds (negative when the replication failed).
 	EvReplicationEnd
+	// EvMessageDropped: the fault plan dropped a message from A to B;
+	// Value = message kind.
+	EvMessageDropped
+	// EvMachineCrash: machine A crashed (B = -1); Value = jobs it held at
+	// the instant of the crash (lost or frozen, per the fault plan).
+	EvMachineCrash
+	// EvMachineRecover: machine A recovered (B = -1); Value = jobs
+	// re-hosted on it.
+	EvMachineRecover
 )
 
 // String returns the stable wire name of the event type (used by the JSONL
@@ -72,6 +81,12 @@ func (t EventType) String() string {
 		return "replication-start"
 	case EvReplicationEnd:
 		return "replication-end"
+	case EvMessageDropped:
+		return "message-dropped"
+	case EvMachineCrash:
+		return "machine-crash"
+	case EvMachineRecover:
+		return "machine-recover"
 	}
 	return "unknown"
 }
