@@ -2,12 +2,21 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-smoke chaos
+.PHONY: check vet lint build test race bench bench-smoke chaos
 
-check: vet build test race
+check: lint build test race
 
 vet:
 	$(GO) vet ./...
+
+# Tier-1 static analysis: gofmt, go vet, and hetlbvet — the repo's own
+# analyzer suite that mechanically enforces the determinism, RNG-discipline,
+# noalloc, and stats-safety invariants (see DESIGN.md §11). Suppressions are
+# //hetlb: comments with a reason; unused ones fail the build.
+lint: vet
+	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
+	$(GO) run ./cmd/hetlbvet ./...
 
 build:
 	$(GO) build ./...
@@ -19,10 +28,12 @@ test:
 # harness are the packages with real cross-goroutine traffic; keep them
 # under the race detector. The experiments package rides along because its
 # determinism tests drive every figure's scaled-down driver through the
-# harness at Parallelism 4 and GOMAXPROCS.
+# harness at Parallelism 4 and GOMAXPROCS. The analysis suite rides along
+# too: its loader caches packages behind a plain map, so racing the tests
+# documents that each test process loads sequentially.
 race:
 	$(GO) test -race ./internal/distrun/... ./internal/obs/... ./internal/gossip/... \
-		./internal/harness/... ./internal/experiments/...
+		./internal/harness/... ./internal/experiments/... ./internal/analysis/...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -35,7 +46,11 @@ bench-smoke:
 # The chaos property suite under the race detector: 100+ seeded random
 # fault plans (loss, duplication, crashes) must all drain without deadlock
 # and conserve every job. The -timeout is the watchdog — a wedged handshake
-# shows up as a hang, not a silent pass.
+# shows up as a hang, not a silent pass. The suite runs twice: at the
+# host's native GOMAXPROCS and pinned to 2, because scheduler interleavings
+# (and therefore the bugs the detector can observe) differ between the two.
 chaos:
 	$(GO) test -race -run 'Chaos|Fault|Crash|Lossy' -timeout 5m \
+		./internal/netsim/... ./internal/faults/... ./internal/experiments/...
+	GOMAXPROCS=2 $(GO) test -race -count=1 -run 'Chaos|Fault|Crash|Lossy' -timeout 5m \
 		./internal/netsim/... ./internal/faults/... ./internal/experiments/...

@@ -34,7 +34,7 @@ func main() {
 	for _, budget := range []int{100, 1000, 10000} {
 		run := initial.Clone()
 		res, err := hetlb.DLB2C(model, run, hetlb.RunOptions{
-			Seed:            uint64(budget),
+			Seed:            hetlb.DeriveSeed(42, uint64(budget)),
 			MaxExchanges:    budget,
 			DetectStability: true,
 		})

@@ -1,0 +1,113 @@
+// Package analysis is a minimal, dependency-free re-implementation of the
+// golang.org/x/tools/go/analysis vocabulary (Analyzer, Pass, Diagnostic),
+// sized for this repository's needs.
+//
+// The repo builds with the standard library only, so the real x/tools module
+// is not available; the subset here keeps the same shape — an Analyzer is a
+// named Run function over a type-checked package, a Pass is the per-package
+// unit of work, diagnostics carry a token.Pos and a message — which means the
+// analyzers under internal/analysis/... would port to the upstream framework
+// by changing only import paths.
+//
+// On top of the x/tools subset this package adds the repo's annotation layer
+// (annotation.go): machine-checked //hetlb: comments that mark allocation-free
+// functions and carry per-line, reason-bearing suppressions for the
+// determinism analyzers. See DESIGN.md §11 for the policy.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -analyzers filters.
+	Name string
+	// Doc is the one-paragraph description shown by `hetlbvet -help`.
+	Doc string
+	// Run executes the check on one package and reports findings through
+	// pass.Report. The returned value is unused by this driver (kept for
+	// x/tools signature compatibility).
+	Run func(pass *Pass) (interface{}, error)
+	// Suppressible marks analyzers whose diagnostics may be silenced by a
+	// //hetlb:nondeterministic-ok (or alloc-ok) annotation on the offending
+	// line. Analyzers enforcing hard invariants can opt out.
+	Suppressible bool
+}
+
+// Pass is the unit of work: one analyzer applied to one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Report records one finding.
+func (p *Pass) Report(d Diagnostic) {
+	if d.Analyzer == "" {
+		d.Analyzer = p.Analyzer.Name
+	}
+	*p.diags = append(*p.diags, d)
+}
+
+// Reportf is the fmt-style convenience form of Report.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string // filled in by Pass.Report / the annotation checker
+}
+
+// Package bundles the inputs shared by every analyzer run on one package.
+type Package struct {
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+}
+
+// Run applies the analyzers to pkg, applies the //hetlb: annotation layer
+// (unknown-annotation findings, suppression filtering) and returns the
+// surviving diagnostics sorted by position. reportUnused additionally flags
+// suppression comments that silenced nothing — the whole-suite driver wants
+// that hygiene check, while single-analyzer test runs opt out.
+func Run(pkg *Package, analyzers []*Analyzer, reportUnused bool) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Pkg,
+			TypesInfo: pkg.TypesInfo,
+			diags:     &diags,
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, err
+		}
+	}
+	ann, annDiags := ParseAnnotations(pkg.Fset, pkg.Files)
+	suppressible := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		suppressible[a.Name] = a.Suppressible
+	}
+	kept := ann.Apply(pkg.Fset, diags, suppressible)
+	kept = append(kept, annDiags...)
+	if reportUnused {
+		kept = append(kept, ann.Unused()...)
+	}
+	sort.SliceStable(kept, func(i, k int) bool { return kept[i].Pos < kept[k].Pos })
+	return kept, nil
+}

@@ -1,0 +1,146 @@
+// Package analysistest runs an analyzer over GOPATH-style golden packages
+// under a testdata directory and checks its diagnostics against `// want`
+// comments, mirroring golang.org/x/tools/go/analysis/analysistest.
+//
+// Expectation syntax (on the line the diagnostic is reported):
+//
+//	m[k] = v // want `map iteration`
+//	bad()   // want "first" "second"
+//
+// Each quoted string is a regular expression matched (unanchored) against a
+// diagnostic message on that line; every diagnostic must be wanted and every
+// want must be matched. Suppression comments are applied before matching, so
+// a violation carrying a valid //hetlb: suppression and no want comment is
+// itself a test that suppression works.
+package analysistest
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"hetlb/internal/analysis"
+	"hetlb/internal/analysis/load"
+)
+
+// Run checks one analyzer against the golden packages (paths under
+// testdata/src). Unused-suppression findings are off: single-analyzer runs
+// cannot tell whether a suppression aimed at another analyzer is stale.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	RunSuite(t, testdata, []*analysis.Analyzer{a}, false, pkgPaths...)
+}
+
+// RunSuite checks a set of analyzers together, optionally including the
+// unused-suppression hygiene findings (the whole-suite driver behaviour).
+func RunSuite(t *testing.T, testdata string, analyzers []*analysis.Analyzer, reportUnused bool, pkgPaths ...string) {
+	t.Helper()
+	src := filepath.Join(testdata, "src")
+	for _, path := range pkgPaths {
+		loader := load.NewTestLoader(src)
+		pkg, err := loader.Load(path)
+		if err != nil {
+			t.Errorf("loading %s: %v", path, err)
+			continue
+		}
+		diags, err := analysis.Run(pkg, analyzers, reportUnused)
+		if err != nil {
+			t.Errorf("running on %s: %v", path, err)
+			continue
+		}
+		exps, err := expectations(filepath.Join(src, filepath.FromSlash(path)))
+		if err != nil {
+			t.Errorf("parsing expectations for %s: %v", path, err)
+			continue
+		}
+		match(t, pkg, path, diags, exps)
+	}
+}
+
+// expectation is one `// want` regexp anchored to file:line.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// wantToken extracts the quoted expectation strings after a `// want`.
+var wantToken = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+// expectations scans the package directory's Go files for want comments.
+func expectations(dir string) ([]*expectation, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []*expectation
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		for i, lineText := range strings.Split(string(data), "\n") {
+			_, rest, ok := strings.Cut(lineText, "// want ")
+			if !ok {
+				continue
+			}
+			for _, tok := range wantToken.FindAllString(rest, -1) {
+				var pat string
+				if tok[0] == '`' {
+					pat = tok[1 : len(tok)-1]
+				} else if unq, err := strconv.Unquote(tok); err == nil {
+					pat = unq
+				} else {
+					continue
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, &expectation{
+					file: filepath.Join(dir, e.Name()),
+					line: i + 1,
+					re:   re,
+					raw:  pat,
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// match pairs diagnostics with expectations and reports both directions of
+// mismatch.
+func match(t *testing.T, pkg *analysis.Package, path string, diags []analysis.Diagnostic, exps []*expectation) {
+	t.Helper()
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		found := false
+		for _, e := range exps {
+			if e.matched || e.line != pos.Line || filepath.Base(e.file) != filepath.Base(pos.Filename) {
+				continue
+			}
+			if e.re.MatchString(d.Message) {
+				e.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic [%s]: %s", pos, d.Analyzer, d.Message)
+		}
+	}
+	for _, e := range exps {
+		if !e.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.raw)
+		}
+	}
+}

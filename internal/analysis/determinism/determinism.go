@@ -1,0 +1,186 @@
+// Package determinism implements the hetlbvet check that keeps wall-clock
+// time, the global math/rand generator, and unordered map iteration out of
+// the packages whose output must be bit-reproducible.
+//
+// Every reproduced number in this repository — the Markov equilibrium of the
+// one-cluster case, the two-cluster figure curves, the chaos degradation
+// table — is pinned by golden tests that assume runs are a pure function of
+// the seed. One time.Now() in a driver, one `for k := range m` feeding a CSV
+// row, and the goldens break only sometimes, which is the worst way to break.
+package determinism
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"hetlb/internal/analysis"
+)
+
+// Analyzer is the determinism check.
+var Analyzer = &analysis.Analyzer{
+	Name:         "determinism",
+	Doc:          "forbid wall-clock reads, global math/rand and unordered map iteration in determinism-scoped packages",
+	Run:          run,
+	Suppressible: true,
+}
+
+// wallClock lists the time package functions that read the wall clock. The
+// constructors (time.Date, time.Unix) and arithmetic are fine: they are pure.
+var wallClock = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !analysis.IsDeterminismScoped(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		checkImports(pass, file)
+		checkWallClock(pass, file)
+		checkMapRange(pass, file)
+	}
+	return nil, nil
+}
+
+// checkImports flags imports of math/rand (v1 and v2): determinism-scoped
+// packages must draw randomness from hetlb/internal/rng, whose streams are
+// seed-pure and splittable. One finding per import spec covers every use.
+func checkImports(pass *analysis.Pass, file *ast.File) {
+	for _, imp := range file.Imports {
+		path := imp.Path.Value
+		if path == `"math/rand"` || path == `"math/rand/v2"` {
+			pass.Reportf(imp.Pos(), "import of %s in determinism-scoped package %s: use hetlb/internal/rng (seed-pure, splittable) instead", path, pass.Pkg.Name())
+		}
+	}
+}
+
+// checkWallClock flags references (not just calls, so aliasing is caught) to
+// time.Now/Since/Until.
+func checkWallClock(pass *analysis.Pass, file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		f, ok := pass.TypesInfo.Uses[id].(*types.Func)
+		if !ok || f.Pkg() == nil || f.Pkg().Path() != "time" || !wallClock[f.Name()] {
+			return true
+		}
+		pass.Reportf(id.Pos(), "wall-clock read time.%s in determinism-scoped package %s: results must be a pure function of the seed (use virtual time, or annotate //hetlb:nondeterministic-ok if it only feeds metrics)", f.Name(), pass.Pkg.Name())
+		return true
+	})
+}
+
+// checkMapRange flags `for ... := range m` over maps. Go randomizes map
+// iteration order per run, so any map-ordered loop that can reach results
+// (CSV rows, error messages, job placement) is a latent golden-test flake.
+//
+// One idiom is allowed silently: collecting just the keys into a slice that
+// the same function later sorts —
+//
+//	keys := keys[:0]
+//	for k := range m {
+//		keys = append(keys, k)
+//	}
+//	sort.Slice(keys, ...)
+//
+// because the map order is erased by the sort. Everything else needs a
+// //hetlb:nondeterministic-ok with a reason, or a refactor onto the idiom.
+func checkMapRange(pass *analysis.Pass, file *ast.File) {
+	// Walk function by function so the sorted-collection exemption can see
+	// the statements that follow the loop.
+	var walk func(n ast.Node, fnBody *ast.BlockStmt)
+	walk = func(n ast.Node, fnBody *ast.BlockStmt) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncDecl:
+				if m.Body != nil && m.Body != fnBody {
+					walk(m.Body, m.Body)
+					return false
+				}
+			case *ast.FuncLit:
+				if m.Body != fnBody {
+					walk(m.Body, m.Body)
+					return false
+				}
+			case *ast.RangeStmt:
+				t := pass.TypesInfo.TypeOf(m.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				if sortedKeyCollection(pass, m, fnBody) {
+					return true
+				}
+				pass.Report(analysis.Diagnostic{
+					Pos: m.For,
+					Message: fmt.Sprintf("map iteration order can reach results in determinism-scoped package %s: iterate sorted keys, or annotate //hetlb:nondeterministic-ok with why order is immaterial",
+						pass.Pkg.Name()),
+				})
+			}
+			return true
+		})
+	}
+	for _, decl := range file.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+			walk(fd.Body, fd.Body)
+		}
+	}
+}
+
+// sortedKeyCollection reports whether rs is the blessed collect-then-sort
+// idiom: the loop body only appends the key to a slice, and the enclosing
+// function sorts that slice (sort.* or slices.*) after the loop.
+func sortedKeyCollection(pass *analysis.Pass, rs *ast.RangeStmt, fnBody *ast.BlockStmt) bool {
+	key, ok := rs.Key.(*ast.Ident)
+	if !ok || key.Name == "_" || rs.Value != nil {
+		return false
+	}
+	if len(rs.Body.List) != 1 {
+		return false
+	}
+	as, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	dst, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	if fn, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || fn.Name != "append" || pass.TypesInfo.Uses[fn] != types.Universe.Lookup("append") {
+		return false
+	}
+	if a0, ok := call.Args[0].(*ast.Ident); !ok || pass.TypesInfo.Uses[a0] != pass.TypesInfo.Uses[dst] || pass.TypesInfo.Uses[a0] == nil {
+		return false
+	}
+	if a1, ok := call.Args[1].(*ast.Ident); !ok || pass.TypesInfo.Uses[a1] != pass.TypesInfo.ObjectOf(key) {
+		return false
+	}
+	// The slice must be sorted after the loop, in the same function.
+	dstObj := pass.TypesInfo.Uses[dst]
+	sorted := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() || sorted {
+			return !sorted
+		}
+		f := analysis.Callee(pass.TypesInfo, call)
+		if f == nil || f.Pkg() == nil || (f.Pkg().Path() != "sort" && f.Pkg().Path() != "slices") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == dstObj {
+				sorted = true
+				return false
+			}
+		}
+		return true
+	})
+	return sorted
+}

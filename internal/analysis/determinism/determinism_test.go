@@ -1,0 +1,14 @@
+package determinism_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"hetlb/internal/analysis/analysistest"
+	"hetlb/internal/analysis/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	testdata := filepath.Join("..", "testdata")
+	analysistest.Run(t, testdata, determinism.Analyzer, "gossip", "notscoped")
+}

@@ -1,0 +1,350 @@
+// Package load type-checks packages for the hetlbvet analyzers using only
+// the standard library.
+//
+// The repository builds with zero module dependencies, so the usual loader
+// (golang.org/x/tools/go/packages) is not available. This loader covers the
+// two situations hetlbvet actually has: packages inside this module (resolved
+// relative to the go.mod root) and GOPATH-style source trees (the
+// analysistest testdata layout, searched first so tests can stub module
+// packages). Standard-library imports are type-checked from GOROOT source via
+// go/importer's "source" compiler, sharing the loader's FileSet so positions
+// stay coherent.
+package load
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"hetlb/internal/analysis"
+)
+
+// Loader loads and type-checks packages. It caches by import path, so a
+// package shared by several roots is type-checked once and all importers see
+// the same *types.Package identity.
+type Loader struct {
+	Fset *token.FileSet
+
+	// ModulePath/ModuleDir map import paths with the module prefix onto the
+	// module directory tree. Empty when loading pure GOPATH-style roots.
+	ModulePath string
+	ModuleDir  string
+
+	// SrcRoots are GOPATH-style src directories (root/<importPath>/*.go),
+	// searched before the module mapping and before GOROOT.
+	SrcRoots []string
+
+	cache    map[string]*entry
+	stdlib   types.Importer
+	buildCtx build.Context
+}
+
+type entry struct {
+	pkg     *analysis.Package
+	err     error
+	loading bool
+}
+
+// NewLoader returns a loader rooted at the enclosing module of dir (found by
+// walking up to go.mod). dir may be "" for the current directory.
+func NewLoader(dir string) (*Loader, error) {
+	if dir == "" {
+		dir = "."
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	modDir, modPath, err := findModule(abs)
+	if err != nil {
+		return nil, err
+	}
+	l := newBare()
+	l.ModulePath = modPath
+	l.ModuleDir = modDir
+	return l, nil
+}
+
+// NewTestLoader returns a loader over GOPATH-style source roots only (the
+// analysistest layout): import path P resolves to <root>/P for the first
+// root containing it.
+func NewTestLoader(srcRoots ...string) *Loader {
+	l := newBare()
+	l.SrcRoots = srcRoots
+	return l
+}
+
+func newBare() *Loader {
+	fset := token.NewFileSet()
+	l := &Loader{
+		Fset:     fset,
+		cache:    make(map[string]*entry),
+		stdlib:   importer.ForCompiler(fset, "source", nil),
+		buildCtx: build.Default,
+	}
+	return l
+}
+
+// findModule walks up from dir to the nearest go.mod and returns its
+// directory and module path.
+func findModule(dir string) (modDir, modPath string, err error) {
+	for d := dir; ; {
+		data, rerr := os.ReadFile(filepath.Join(d, "go.mod"))
+		if rerr == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("load: %s/go.mod has no module line", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("load: no go.mod found above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// resolveDir maps an import path to a source directory, or "" if the path is
+// not in any root of this loader (then GOROOT is tried by the importer).
+func (l *Loader) resolveDir(path string) string {
+	for _, root := range l.SrcRoots {
+		dir := filepath.Join(root, filepath.FromSlash(path))
+		if hasGoFiles(dir) {
+			return dir
+		}
+	}
+	if l.ModulePath != "" {
+		if path == l.ModulePath {
+			return l.ModuleDir
+		}
+		if rest, ok := strings.CutPrefix(path, l.ModulePath+"/"); ok {
+			dir := filepath.Join(l.ModuleDir, filepath.FromSlash(rest))
+			if hasGoFiles(dir) {
+				return dir
+			}
+		}
+	}
+	return ""
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			return true
+		}
+	}
+	return false
+}
+
+// Load type-checks the package at importPath (resolved through the loader's
+// roots) and returns it. Results are cached; import cycles are reported
+// rather than deadlocking.
+func (l *Loader) Load(importPath string) (*analysis.Package, error) {
+	if e, ok := l.cache[importPath]; ok {
+		if e.loading {
+			return nil, fmt.Errorf("load: import cycle through %q", importPath)
+		}
+		return e.pkg, e.err
+	}
+	dir := l.resolveDir(importPath)
+	if dir == "" {
+		return nil, fmt.Errorf("load: cannot resolve %q in any source root", importPath)
+	}
+	e := &entry{loading: true}
+	l.cache[importPath] = e
+	e.pkg, e.err = l.loadDir(importPath, dir)
+	e.loading = false
+	return e.pkg, e.err
+}
+
+// loadDir parses and type-checks the non-test files of dir as importPath.
+func (l *Loader) loadDir(importPath, dir string) (*analysis.Package, error) {
+	names, err := l.sourceFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("load: no buildable Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer: (*loaderImporter)(l),
+		Sizes:    types.SizesFor(l.buildCtx.Compiler, l.buildCtx.GOARCH),
+	}
+	pkg, err := conf.Check(importPath, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("load: type-checking %s: %w", importPath, err)
+	}
+	return &analysis.Package{Fset: l.Fset, Files: files, Pkg: pkg, TypesInfo: info}, nil
+}
+
+// sourceFiles lists the buildable non-test Go files of dir in sorted order,
+// honouring build constraints through go/build's MatchFile.
+func (l *Loader) sourceFiles(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, "_") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		match, err := l.buildCtx.MatchFile(dir, name)
+		if err != nil {
+			return nil, err
+		}
+		if match {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// loaderImporter adapts the loader to types.Importer: loader roots first,
+// then GOROOT source for the standard library.
+type loaderImporter Loader
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	l := (*Loader)(li)
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if l.resolveDir(path) != "" {
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Pkg, nil
+	}
+	if hasGoFiles(filepath.Join(l.buildCtx.GOROOT, "src", filepath.FromSlash(path))) {
+		return l.stdlib.Import(path)
+	}
+	return nil, fmt.Errorf("load: unresolved import %q (not in source roots, module, or GOROOT)", path)
+}
+
+// ExpandPatterns turns command-line package patterns into import paths. It
+// understands "./..." and dir/... (recursive walks skipping testdata, .git
+// and dependency-free dirs) plus plain directory or import paths.
+func (l *Loader) ExpandPatterns(patterns []string) ([]string, error) {
+	var out []string
+	seen := make(map[string]bool)
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "all" || pat == "./...":
+			paths, err := l.walkModule(l.ModuleDir)
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range paths {
+				add(p)
+			}
+		case strings.HasSuffix(pat, "/..."):
+			root := strings.TrimSuffix(pat, "/...")
+			dir, err := filepath.Abs(root)
+			if err != nil {
+				return nil, err
+			}
+			paths, err := l.walkModule(dir)
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range paths {
+				add(p)
+			}
+		default:
+			p, err := l.dirToImportPath(pat)
+			if err != nil {
+				return nil, err
+			}
+			add(p)
+		}
+	}
+	return out, nil
+}
+
+// walkModule lists the import paths of all buildable packages under dir.
+func (l *Loader) walkModule(dir string) ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != dir && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(path) {
+			p, err := l.dirToImportPath(path)
+			if err != nil {
+				return err
+			}
+			out = append(out, p)
+		}
+		return nil
+	})
+	sort.Strings(out)
+	return out, err
+}
+
+// dirToImportPath maps a directory (or an already-valid import path) to the
+// module-relative import path.
+func (l *Loader) dirToImportPath(arg string) (string, error) {
+	if l.resolveDir(arg) != "" {
+		return arg, nil // already an import path
+	}
+	abs, err := filepath.Abs(arg)
+	if err != nil {
+		return "", err
+	}
+	if abs == l.ModuleDir {
+		return l.ModulePath, nil
+	}
+	rel, err := filepath.Rel(l.ModuleDir, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("load: %s is outside module %s", arg, l.ModulePath)
+	}
+	return l.ModulePath + "/" + filepath.ToSlash(rel), nil
+}

@@ -1,0 +1,38 @@
+package noalloc_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hetlb/internal/analysis"
+	"hetlb/internal/analysis/analysistest"
+	"hetlb/internal/analysis/load"
+	"hetlb/internal/analysis/noalloc"
+)
+
+func TestNoalloc(t *testing.T) {
+	testdata := filepath.Join("..", "testdata")
+	analysistest.Run(t, testdata, noalloc.Analyzer, "noallocpkg")
+}
+
+// TestMisplacedNoalloc asserts directly (the diagnostic lands on the
+// annotation's own line, where a want comment cannot coexist) that a
+// //hetlb:noalloc outside a function doc comment is reported.
+func TestMisplacedNoalloc(t *testing.T) {
+	loader := load.NewTestLoader(filepath.Join("..", "testdata", "src"))
+	pkg, err := loader.Load("misplaced")
+	if err != nil {
+		t.Fatalf("loading misplaced: %v", err)
+	}
+	diags, err := analysis.Run(pkg, []*analysis.Analyzer{noalloc.Analyzer}, false)
+	if err != nil {
+		t.Fatalf("running noalloc: %v", err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want exactly 1: %+v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, "misplaced //hetlb:noalloc") {
+		t.Errorf("diagnostic %q does not report the misplaced annotation", diags[0].Message)
+	}
+}

@@ -1,0 +1,234 @@
+// Package rngdiscipline implements the hetlbvet check that protects the
+// keyed-substream seeding discipline introduced with the replication harness.
+//
+// The harness guarantees bit-identical results for any worker count because
+// the i-th replication's stream is a pure function of (base seed, i) through
+// rng.DeriveSeed — never of how many draws other replications made first.
+// Two regressions defeat that silently:
+//
+//  1. seeding from a loop index directly (rng.New(seed+uint64(i)), or
+//     Config{Seed: seed + uint64(i)}): adjacent integer seeds are correlated
+//     under xoshiro-style generators and, worse, re-introduce an implicit
+//     "replication order" into the stream definition;
+//  2. capturing one *rng.RNG in a spawned goroutine: the draw order then
+//     depends on the scheduler, so results stop being a function of the seed.
+//
+// Both shapes are mechanical to detect, so they are detected mechanically.
+package rngdiscipline
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"hetlb/internal/analysis"
+)
+
+// Analyzer is the RNG-discipline check.
+var Analyzer = &analysis.Analyzer{
+	Name:         "rngdiscipline",
+	Doc:          "seeds crossing replications or goroutines must come from rng.DeriveSeed/Substream; a *rng.RNG must not be captured by a spawned goroutine",
+	Run:          run,
+	Suppressible: true,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, file := range pass.Files {
+		checkLoopSeeds(pass, file)
+		checkGoroutineCapture(pass, file)
+	}
+	return nil, nil
+}
+
+// checkLoopSeeds walks each function keeping a stack of enclosing loop
+// variables, and flags seed expressions that reference one without going
+// through rng.DeriveSeed/Substream: rng.New(...) arguments, and values
+// assigned to fields or variables named ...Seed.
+func checkLoopSeeds(pass *analysis.Pass, file *ast.File) {
+	var loopVars []types.Object
+
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			mark := len(loopVars)
+			if init, ok := n.Init.(*ast.AssignStmt); ok && init.Tok == token.DEFINE {
+				for _, lhs := range init.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						if obj := pass.TypesInfo.Defs[id]; obj != nil {
+							loopVars = append(loopVars, obj)
+						}
+					}
+				}
+			}
+			walkChildren(n, visit)
+			loopVars = loopVars[:mark]
+			return false
+		case *ast.RangeStmt:
+			mark := len(loopVars)
+			if n.Tok == token.DEFINE {
+				for _, e := range []ast.Expr{n.Key, n.Value} {
+					if id, ok := e.(*ast.Ident); ok {
+						if obj := pass.TypesInfo.Defs[id]; obj != nil {
+							loopVars = append(loopVars, obj)
+						}
+					}
+				}
+			}
+			walkChildren(n, visit)
+			loopVars = loopVars[:mark]
+			return false
+		case *ast.CallExpr:
+			if f := analysis.Callee(pass.TypesInfo, n); analysis.IsPkgFunc(f, "rng", "New") && len(n.Args) == 1 {
+				if id := rawLoopVarUse(pass.TypesInfo, n.Args[0], loopVars); id != nil {
+					pass.Reportf(n.Pos(), "rng.New seeded from loop variable %s: use rng.Substream(seed, key...) or rng.DeriveSeed so the stream is a pure function of its key, not of loop order", id.Name)
+				}
+			}
+		case *ast.KeyValueExpr:
+			if key, ok := n.Key.(*ast.Ident); ok && isSeedName(key.Name) {
+				if id := rawLoopVarUse(pass.TypesInfo, n.Value, loopVars); id != nil {
+					pass.Reportf(n.Value.Pos(), "%s derived from loop variable %s without rng.DeriveSeed: raw index seeds break the keyed-substream discipline", key.Name, id.Name)
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				if name, ok := seedLHS(lhs); ok {
+					if id := rawLoopVarUse(pass.TypesInfo, n.Rhs[i], loopVars); id != nil {
+						pass.Reportf(n.Rhs[i].Pos(), "%s derived from loop variable %s without rng.DeriveSeed: raw index seeds break the keyed-substream discipline", name, id.Name)
+					}
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(file, visit)
+}
+
+// walkChildren applies visit to the children of n (used after handling n
+// itself so loop-variable scopes nest correctly).
+func walkChildren(n ast.Node, visit func(ast.Node) bool) {
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true // skip n itself
+		}
+		if c == nil {
+			return false
+		}
+		return visit(c)
+	})
+}
+
+// seedLHS reports whether lhs targets something named like a seed
+// ("seed", "Seed", "baseSeed", "cfg.Seed").
+func seedLHS(lhs ast.Expr) (string, bool) {
+	switch lhs := lhs.(type) {
+	case *ast.Ident:
+		return lhs.Name, isSeedName(lhs.Name)
+	case *ast.SelectorExpr:
+		return lhs.Sel.Name, isSeedName(lhs.Sel.Name)
+	}
+	return "", false
+}
+
+func isSeedName(name string) bool {
+	return name == "seed" || name == "Seed" ||
+		(len(name) > 4 && (name[len(name)-4:] == "Seed" || name[len(name)-4:] == "seed"))
+}
+
+// rawLoopVarUse returns a loop-variable identifier referenced by expr outside
+// any rng.DeriveSeed/Substream call, or nil. Loop variables that only appear
+// as DeriveSeed/Substream keys are the blessed pattern.
+func rawLoopVarUse(info *types.Info, expr ast.Expr, loopVars []types.Object) *ast.Ident {
+	if len(loopVars) == 0 {
+		return nil
+	}
+	var found *ast.Ident
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			// The facade package re-exports DeriveSeed; both spellings bless.
+			if f := analysis.Callee(info, call); analysis.IsPkgFunc(f, "rng", "DeriveSeed", "Substream") ||
+				analysis.IsPkgFunc(f, "hetlb", "DeriveSeed") {
+				return false // keys may (should) reference the loop variable
+			}
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		for _, lv := range loopVars {
+			if obj == lv {
+				found = id
+				return false
+			}
+		}
+		return true
+	}
+	ast.Inspect(expr, visit)
+	return found
+}
+
+// checkGoroutineCapture flags goroutines whose function literal captures a
+// variable of type rng.RNG or *rng.RNG from the enclosing scope. A generator
+// shared across goroutines makes draw order depend on the scheduler; each
+// goroutine must own a generator derived with rng.Substream (keyed) or
+// handed over explicitly as an argument.
+func checkGoroutineCapture(pass *analysis.Pass, file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		goStmt, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := ast.Unparen(goStmt.Call.Fun).(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		// Objects defined inside the literal (params and locals) are its own.
+		own := make(map[types.Object]bool)
+		ast.Inspect(lit, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok {
+				if obj := pass.TypesInfo.Defs[id]; obj != nil {
+					own[obj] = true
+				}
+			}
+			return true
+		})
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			id, ok := m.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[id]
+			if obj == nil || own[obj] || !isRNGVar(obj) {
+				return true
+			}
+			// Package-level generators would be shared too; only objects
+			// declared somewhere (skip nil-scope builtins).
+			pass.Reportf(id.Pos(), "goroutine captures %s (*rng.RNG) from the enclosing scope: draw order would depend on scheduling; pass a generator derived with rng.Substream into the goroutine instead", id.Name)
+			return true
+		})
+		return true
+	})
+}
+
+// isRNGVar reports whether obj is a variable of type rng.RNG or *rng.RNG.
+func isRNGVar(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	named := analysis.NamedType(v.Type())
+	if named == nil || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Name() == "rng" && named.Obj().Name() == "RNG"
+}

@@ -1,0 +1,14 @@
+package rngdiscipline_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"hetlb/internal/analysis/analysistest"
+	"hetlb/internal/analysis/rngdiscipline"
+)
+
+func TestRNGDiscipline(t *testing.T) {
+	testdata := filepath.Join("..", "testdata")
+	analysistest.Run(t, testdata, rngdiscipline.Analyzer, "rngdisc")
+}

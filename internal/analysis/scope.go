@@ -1,0 +1,38 @@
+package analysis
+
+import "strings"
+
+// determinismScoped lists the packages (by final path element) whose results
+// feed the paper's reproduced numbers and therefore must be bit-deterministic:
+// the simulation core and runtimes, the drivers, the fault layer — plus the
+// reduction/emission packages (stats, plot, evaluation), because the order in
+// which CSV rows and summaries are emitted is part of the golden output.
+//
+// Matching by final element (rather than the full "hetlb/internal/..." path)
+// lets analysistest packages opt into the scope by directory name.
+var determinismScoped = map[string]bool{
+	"core":        true,
+	"pairwise":    true,
+	"gossip":      true,
+	"netsim":      true,
+	"des":         true,
+	"distrun":     true,
+	"worksteal":   true,
+	"harness":     true,
+	"experiments": true,
+	"workload":    true,
+	"faults":      true,
+	"stats":       true,
+	"plot":        true,
+	"evaluation":  true,
+}
+
+// IsDeterminismScoped reports whether the package at pkgPath is subject to
+// the determinism and statssafety analyzers.
+func IsDeterminismScoped(pkgPath string) bool {
+	base := pkgPath
+	if i := strings.LastIndexByte(pkgPath, '/'); i >= 0 {
+		base = pkgPath[i+1:]
+	}
+	return determinismScoped[base]
+}

@@ -1,0 +1,14 @@
+package statssafety_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"hetlb/internal/analysis/analysistest"
+	"hetlb/internal/analysis/statssafety"
+)
+
+func TestStatsSafety(t *testing.T) {
+	testdata := filepath.Join("..", "testdata")
+	analysistest.Run(t, testdata, statssafety.Analyzer, "netsim")
+}

@@ -1,0 +1,54 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hetlb/internal/analysis"
+	"hetlb/internal/analysis/analysistest"
+	"hetlb/internal/analysis/load"
+	"hetlb/internal/analysis/suite"
+)
+
+// TestSuppressionMechanism runs the full suite — the driver configuration,
+// unused-suppression reporting included — over the workload golden package:
+// a reasoned //hetlb:nondeterministic-ok silences exactly one diagnostic
+// (its twin on the next line still fires), an unknown annotation is itself
+// reported, and a suppression that silences nothing is flagged as stale.
+func TestSuppressionMechanism(t *testing.T) {
+	testdata := filepath.Join(".", "testdata")
+	analysistest.RunSuite(t, testdata, suite.All(), true, "workload")
+}
+
+// TestMissingReason asserts directly (any text appended to the comment would
+// become its reason) that a reason-free suppression is rejected and does not
+// suppress the violation on its governed line.
+func TestMissingReason(t *testing.T) {
+	loader := load.NewTestLoader(filepath.Join("testdata", "src"))
+	pkg, err := loader.Load("des")
+	if err != nil {
+		t.Fatalf("loading des: %v", err)
+	}
+	diags, err := analysis.Run(pkg, suite.All(), true)
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	var gotReason, gotClock bool
+	for _, d := range diags {
+		switch {
+		case strings.Contains(d.Message, "requires a reason"):
+			gotReason = true
+		case strings.Contains(d.Message, "wall-clock read time.Now"):
+			gotClock = true
+		default:
+			t.Errorf("unexpected diagnostic: %s", d.Message)
+		}
+	}
+	if !gotReason {
+		t.Error("missing 'requires a reason' diagnostic for bare suppression")
+	}
+	if !gotClock {
+		t.Error("bare suppression must not suppress: wall-clock diagnostic missing")
+	}
+}

@@ -1,0 +1,14 @@
+// Package des (a determinism-scoped directory name) carries a suppression
+// with no reason. A reason-free suppression is rejected — and therefore does
+// not suppress — so the violation on its governed line still fires. Any text
+// appended to the comment would become its reason, so this package is
+// asserted directly by TestMissingReason rather than through want comments.
+package des
+
+import "time"
+
+// MissingReason returns a wall-clock read under a bare suppression.
+func MissingReason() int64 {
+	//hetlb:nondeterministic-ok
+	return time.Now().UnixNano()
+}

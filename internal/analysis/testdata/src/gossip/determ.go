@@ -1,0 +1,68 @@
+// Package gossip exercises the determinism analyzer: its directory name puts
+// it in the determinism scope, so wall-clock reads, math/rand and unordered
+// map iteration must all be flagged — and the collect-then-sort idiom plus a
+// reasoned suppression must not.
+package gossip
+
+import (
+	"math/rand" // want `import of "math/rand" in determinism-scoped package`
+	"sort"
+	"time"
+)
+
+// Step is a stand-in simulation step with determinism violations.
+func Step(loads map[int]int64) int64 {
+	start := time.Now() // want `wall-clock read time\.Now`
+	var total int64
+	for _, v := range loads { // want `map iteration order can reach results`
+		total += v
+	}
+	total += rand.Int63() % 2
+	_ = time.Since(start) // want `wall-clock read time\.Since`
+	return total
+}
+
+// Aliased references are reads too, not just direct calls.
+func Aliased() time.Time {
+	now := time.Now // want `wall-clock read time\.Now`
+	return now()
+}
+
+// SortedKeys uses the blessed idiom: collect only the keys, sort them in the
+// same function. No diagnostic.
+func SortedKeys(loads map[int]int64) []int {
+	var keys []int
+	for k := range loads {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// UnsortedKeys collects keys but never sorts them, so map order leaks.
+func UnsortedKeys(loads map[int]int64) []int {
+	var keys []int
+	for k := range loads { // want `map iteration order can reach results`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Suppressed shows a reasoned escape hatch: the range only sums, which is
+// order-insensitive, and the suppression silences exactly this line.
+func Suppressed(loads map[int]int64) int64 {
+	var total int64
+	for _, v := range loads { //hetlb:nondeterministic-ok summation is order-insensitive up to float-free integer addition
+		total += v
+	}
+	return total
+}
+
+// SliceRange iterates a slice: ordered, no diagnostic.
+func SliceRange(xs []int64) int64 {
+	var total int64
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}

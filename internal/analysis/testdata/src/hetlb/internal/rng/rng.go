@@ -1,0 +1,22 @@
+// Package rng is a minimal stand-in for hetlb/internal/rng: the analyzers
+// match by package name and function name, so the goldens only need the
+// signatures, not the generator.
+package rng
+
+// RNG mirrors the real generator type.
+type RNG struct{ s uint64 }
+
+// New mirrors rng.New.
+func New(seed uint64) *RNG { return &RNG{s: seed} }
+
+// DeriveSeed mirrors rng.DeriveSeed.
+func DeriveSeed(seed uint64, keys ...uint64) uint64 { return seed + uint64(len(keys)) }
+
+// Substream mirrors rng.Substream.
+func Substream(seed uint64, keys ...uint64) *RNG { return New(DeriveSeed(seed, keys...)) }
+
+// Uint64 mirrors rng.Uint64.
+func (r *RNG) Uint64() uint64 { r.s++; return r.s }
+
+// Intn mirrors rng.Intn.
+func (r *RNG) Intn(n int) int { return int(r.Uint64() % uint64(n)) }

@@ -1,0 +1,8 @@
+// Package misplaced carries a //hetlb:noalloc that is not a function doc
+// comment. The diagnostic lands on the annotation's own line, where a
+// `// want` comment cannot coexist, so this package is asserted directly by
+// TestMisplacedNoalloc rather than through want comments.
+package misplaced
+
+//hetlb:noalloc
+var NotAFunction = 0

@@ -1,0 +1,68 @@
+// Package noallocpkg exercises the noalloc analyzer: //hetlb:noalloc
+// functions must not allocate, appends must target caller-owned or scratch
+// memory, and the alloc-ok escape hatch must silence exactly its line.
+package noallocpkg
+
+// Scratch mimics the pairwise scratch-buffer carrier: anything rooted at a
+// value whose type name contains "Scratch" is warm memory.
+type Scratch struct {
+	Union []int
+	To1   []int
+}
+
+// sink is an interface-typed parameter to provoke boxing.
+func sink(v interface{}) int {
+	if v == nil {
+		return 0
+	}
+	return 1
+}
+
+// Allocates trips every rule.
+//
+//hetlb:noalloc
+func Allocates(n int, s *Scratch) int {
+	buf := make([]int, 0, n) // want `make in //hetlb:noalloc function Allocates allocates`
+	var out []int
+	out = append(out, n)         // want `append grows a non-scratch slice in //hetlb:noalloc function Allocates`
+	m := map[int]int{n: n}       // want `map literal in //hetlb:noalloc function Allocates allocates`
+	f := func() int { return n } // want `closure literal in //hetlb:noalloc function Allocates allocates`
+	total := sink(n)             // want `interface boxing in //hetlb:noalloc function Allocates`
+	total += sink(42)            // constant argument: boxed into static data, no diagnostic
+	if n < 0 {
+		panic("noallocpkg: negative n") // constant to builtin panic: no diagnostic
+	}
+	return len(buf) + len(out) + len(m) + f() + total
+}
+
+// Clean appends only into parameters and scratch buffers, and passes nothing
+// by interface. No diagnostics.
+//
+//hetlb:noalloc
+func Clean(dst []int, s *Scratch, jobs []int) []int {
+	union := s.Union[:0]
+	for _, j := range jobs {
+		union = append(union, j)
+		dst = append(dst, j)
+	}
+	s.To1 = append(s.To1[:0], union...)
+	var iface interface{}
+	_ = sink(iface) // interface-typed argument: no boxing
+	return dst
+}
+
+// Amortized grows a scratch buffer through an explicit, reasoned alloc-ok:
+// the make line is suppressed, the rest still checked.
+//
+//hetlb:noalloc
+func Amortized(s *Scratch, n int) []int {
+	if cap(s.Union) < n {
+		s.Union = make([]int, 0, n) //hetlb:alloc-ok amortized warm-up growth; reaches high-water capacity then never reallocates
+	}
+	return s.Union[:0]
+}
+
+// Unannotated may allocate freely.
+func Unannotated(n int) []int {
+	return make([]int, n)
+}

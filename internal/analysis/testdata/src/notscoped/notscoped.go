@@ -1,0 +1,17 @@
+// Package notscoped is outside the determinism scope: the same shapes that
+// are findings in package gossip are silent here.
+package notscoped
+
+import "time"
+
+// Clock may read the wall clock freely.
+func Clock() time.Time { return time.Now() }
+
+// MapRange may iterate maps freely.
+func MapRange(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,101 @@
+// Package rngdisc exercises the rngdiscipline analyzer: raw loop-index seeds
+// and goroutine-captured generators are flagged; keyed substreams and
+// explicit generator hand-over are not. The check is repo-wide, so the
+// package name needs no special scope.
+package rngdisc
+
+import (
+	"sync"
+
+	"hetlb/internal/rng"
+)
+
+// Config mimics an experiment config with a seed field.
+type Config struct {
+	Seed uint64
+	Reps int
+}
+
+// RawLoopSeeds shows the three raw-index shapes the analyzer rejects.
+func RawLoopSeeds(seed uint64, n int) uint64 {
+	var total uint64
+	for i := 0; i < n; i++ {
+		gen := rng.New(seed + uint64(i)) // want `rng\.New seeded from loop variable i`
+		total += gen.Uint64()
+	}
+	for i := 0; i < n; i++ {
+		cfg := Config{Seed: seed + uint64(i)} // want `Seed derived from loop variable i without rng\.DeriveSeed`
+		total += cfg.Seed
+	}
+	var cfg Config
+	for rep := 0; rep < n; rep++ {
+		cfg.Seed = uint64(rep) * 17 // want `Seed derived from loop variable rep without rng\.DeriveSeed`
+		total += cfg.Seed
+	}
+	return total
+}
+
+// RangeIndexSeed catches range-loop variables too.
+func RangeIndexSeed(seeds []uint64) uint64 {
+	var total uint64
+	for i := range seeds {
+		gen := rng.New(uint64(i)) // want `rng\.New seeded from loop variable i`
+		total += gen.Uint64()
+	}
+	return total
+}
+
+// KeyedSubstreams is the blessed pattern: loop indices enter only as
+// DeriveSeed/Substream keys. No diagnostics.
+func KeyedSubstreams(seed uint64, n int) uint64 {
+	var total uint64
+	for i := 0; i < n; i++ {
+		gen := rng.Substream(seed, uint64(i))
+		total += gen.Uint64()
+	}
+	for i := 0; i < n; i++ {
+		cfg := Config{Seed: rng.DeriveSeed(seed, uint64(i))}
+		gen := rng.New(rng.DeriveSeed(cfg.Seed, uint64(i)))
+		total += gen.Uint64()
+	}
+	return total
+}
+
+// LoopLocalSeed does not involve the loop variable; fine.
+func LoopLocalSeed(seed uint64, n int) uint64 {
+	var total uint64
+	for i := 0; i < n; i++ {
+		gen := rng.New(seed)
+		total += gen.Uint64()
+	}
+	return total
+}
+
+// CapturedGenerator shares one generator across goroutines: draw order then
+// depends on scheduling.
+func CapturedGenerator(seed uint64, n int) {
+	gen := rng.New(seed)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = gen.Uint64() // want `goroutine captures gen \(\*rng\.RNG\) from the enclosing scope`
+		}()
+	}
+	wg.Wait()
+}
+
+// HandedOverGenerator passes a per-goroutine substream as an argument: each
+// goroutine owns its stream. No diagnostic.
+func HandedOverGenerator(seed uint64, n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(g *rng.RNG) {
+			defer wg.Done()
+			_ = g.Uint64()
+		}(rng.Substream(seed, uint64(i)))
+	}
+	wg.Wait()
+}

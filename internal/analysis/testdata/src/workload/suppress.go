@@ -1,0 +1,35 @@
+// Package workload exercises the suppression mechanism itself, run under the
+// full analyzer suite with unused-suppression reporting on (the driver
+// configuration). The `// want` directives for annotation-layer findings are
+// embedded in the annotation comments themselves: the expectation scanner
+// reads raw source lines, so a want inside a comment still anchors to the
+// right line.
+package workload
+
+import "time"
+
+// ExactlyOne holds two identical violations; the suppression on the first
+// silences exactly that one, the second still fires.
+func ExactlyOne() int64 {
+	a := time.Now().UnixNano() //hetlb:nondeterministic-ok proves suppression: identical violation below still fires
+	b := time.Now().UnixNano() // want `wall-clock read time\.Now`
+	return a + b
+}
+
+// BadAnnotations carries the malformed shapes: an unknown verb and a
+// suppression with no reason. Both are findings of the annotation layer.
+func BadAnnotations(m map[int]int) int {
+	total := 0
+	//hetlb:frobnicate some reason // want `unknown //hetlb: annotation "frobnicate"`
+	for _, v := range m { // want `map iteration order can reach results`
+		total += v
+	}
+	return total
+}
+
+// UnusedSuppression governs a line with no finding: flagged as stale.
+func UnusedSuppression() int {
+	//hetlb:nondeterministic-ok nothing is wrong here // want `unused suppression //hetlb:nondeterministic-ok`
+	x := 1
+	return x
+}

@@ -170,6 +170,8 @@ func (e *Engine) Moves() int { return e.moves }
 // Step performs one pairwise balancing and reports whether the pair's loads
 // changed (a cheap proxy for "the schedule changed" used to pace stability
 // checks; a full check is Stable()).
+//
+//hetlb:noalloc
 func (e *Engine) Step() bool {
 	m := e.a.Model().NumMachines()
 	i, j := e.selection.Pair(e.gen, m)

@@ -186,9 +186,9 @@ func Map[T any](opt Options, seed uint64, n int, fn func(rep *Rep) (T, error)) (
 			if opt.Trace != nil {
 				opt.Trace.Emit(obs.Event{Time: int64(i), Type: obs.EvReplicationStart, A: int32(i), B: -1})
 			}
-			start := time.Now()
+			start := time.Now() //hetlb:nondeterministic-ok wall clock only feeds the replication-wall histogram, never results
 			v, err := fn(&Rep{Index: i, RNG: gens[i], Ctx: ctx})
-			wall := time.Since(start).Nanoseconds()
+			wall := time.Since(start).Nanoseconds() //hetlb:nondeterministic-ok wall clock only feeds the replication-wall histogram, never results
 			if err != nil {
 				if ins != nil {
 					ins.failed.Inc()

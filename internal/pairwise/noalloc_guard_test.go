@@ -1,0 +1,110 @@
+package pairwise
+
+import (
+	"testing"
+
+	"hetlb/internal/core"
+	"hetlb/internal/rng"
+	"hetlb/internal/workload"
+)
+
+// The //hetlb:noalloc annotations on the kernels are enforced statically by
+// hetlbvet's noalloc analyzer, whose rules are necessarily approximate (it
+// does not re-run escape analysis). These guards are the dynamic half of the
+// contract: after a warm-up that brings every buffer to its high-water
+// capacity, each annotated kernel must report exactly zero allocations per
+// run. A regression here means a hidden make/box the analyzer missed; a
+// regression there means a shape these runs don't exercise.
+
+func assertNoAllocs(t *testing.T, name string, f func()) {
+	t.Helper()
+	f() // warm-up: reach high-water buffer capacities before measuring
+	if allocs := testing.AllocsPerRun(100, f); allocs != 0 {
+		t.Errorf("%s: %.2f allocs/run, want 0", name, allocs)
+	}
+}
+
+func guardInstance(seed uint64) (*core.Dense, *core.Assignment, []int) {
+	gen := rng.New(seed)
+	d := workload.UniformDense(gen, 4, 64, 1, 100)
+	a := core.RoundRobin(d)
+	union := AppendUnion(nil, a, 0, 1)
+	return d, a, union
+}
+
+func TestAppendUnionNoalloc(t *testing.T) {
+	_, a, dst := guardInstance(11)
+	assertNoAllocs(t, "AppendUnion", func() {
+		dst = AppendUnion(dst[:0], a, 0, 1)
+	})
+}
+
+func TestApplyCountNoalloc(t *testing.T) {
+	d, a, union := guardInstance(12)
+	to1, to2 := SplitBasicGreedy(d, 0, 1, union)
+	// Swap the two sides and back so every run performs real Moves; the
+	// per-machine job index reaches its high-water capacity on the first
+	// swap and is reused thereafter.
+	assertNoAllocs(t, "ApplyCount", func() {
+		ApplyCount(a, 0, 1, to2, to1)
+		ApplyCount(a, 0, 1, to1, to2)
+	})
+}
+
+func TestAppendSplitBasicGreedyNoalloc(t *testing.T) {
+	d, _, union := guardInstance(13)
+	var to1, to2 []int
+	assertNoAllocs(t, "AppendSplitBasicGreedy", func() {
+		to1, to2 = AppendSplitBasicGreedy(d, 0, 1, union, to1[:0], to2[:0])
+	})
+}
+
+func TestAppendSplitSameCostNoalloc(t *testing.T) {
+	d, _, union := guardInstance(14)
+	var to1, to2 []int
+	assertNoAllocs(t, "AppendSplitSameCost", func() {
+		to1, to2 = AppendSplitSameCost(d, 0, 1, union, to1[:0], to2[:0])
+	})
+}
+
+func TestSplitGreedyLoadBalancingScratchNoalloc(t *testing.T) {
+	gen := rng.New(15)
+	tc := workload.UniformTwoCluster(gen, 2, 2, 64, 1, 100)
+	jobs := make([]int, tc.NumJobs())
+	for j := range jobs {
+		jobs[j] = j
+	}
+	var s Scratch
+	// Machines 0 and 1 share cluster 0.
+	assertNoAllocs(t, "SplitGreedyLoadBalancingScratch", func() {
+		SplitGreedyLoadBalancingScratch(&s, tc, 0, 1, jobs)
+	})
+}
+
+func TestSplitCLB2CScratchNoalloc(t *testing.T) {
+	gen := rng.New(16)
+	tc := workload.UniformTwoCluster(gen, 2, 2, 64, 1, 100)
+	jobs := make([]int, tc.NumJobs())
+	for j := range jobs {
+		jobs[j] = j
+	}
+	var s Scratch
+	// Machine 0 is in cluster 0, machine 2 in cluster 1.
+	assertNoAllocs(t, "SplitCLB2CScratch", func() {
+		SplitCLB2CScratch(&s, tc, 0, 2, jobs)
+	})
+}
+
+func TestScratchBucketsNoalloc(t *testing.T) {
+	var s Scratch
+	const k = 8
+	for i, b := 0, s.Buckets(k); i < len(b); i++ {
+		b[i] = append(b[i], i) // grow individual buckets so reuse is visible
+	}
+	assertNoAllocs(t, "Scratch.Buckets", func() {
+		buckets := s.Buckets(k)
+		if len(buckets) != k {
+			t.Fatalf("Buckets(%d) returned %d buckets", k, len(buckets))
+		}
+	})
+}

@@ -49,6 +49,8 @@ func Union(a *core.Assignment, m1, m2 int) []int {
 // assignment's per-machine job index, so it is O(u log u) for a union of
 // size u — independent of the total job count — and allocation-free once
 // dst has the capacity.
+//
+//hetlb:noalloc
 func AppendUnion(dst []int, a *core.Assignment, m1, m2 int) []int {
 	start := len(dst)
 	dst = a.AppendJobs(dst, m1)
@@ -68,6 +70,8 @@ func Apply(a *core.Assignment, m1, m2 int, to1, to2 []int) {
 // ApplyCount is Apply returning the number of jobs whose machine changed —
 // the per-step migration count the engines report. to1 and to2 are disjoint,
 // so the count equals the number of Move operations performed.
+//
+//hetlb:noalloc
 func ApplyCount(a *core.Assignment, m1, m2 int, to1, to2 []int) int {
 	moved := 0
 	for _, j := range to1 {
@@ -99,6 +103,8 @@ func SplitBasicGreedy(m core.CostModel, m1, m2 int, jobs []int) (to1, to2 []int)
 // buffers (reused capacity, no allocation in steady state). The greedy loads
 // start at zero regardless of existing buffer content, so MJTB can
 // accumulate the per-type splits of one pair into a single pair of buffers.
+//
+//hetlb:noalloc
 func AppendSplitBasicGreedy(m core.CostModel, m1, m2 int, jobs, to1, to2 []int) ([]int, []int) {
 	if m1 > m2 {
 		to2, to1 = AppendSplitBasicGreedy(m, m2, m1, jobs, to2, to1)
@@ -197,6 +203,8 @@ func SplitGreedyLoadBalancing(c core.Clustered, m1, m2 int, jobs []int) (to1, to
 // SplitGreedyLoadBalancingScratch is SplitGreedyLoadBalancing against
 // caller-owned scratch: the returned slices alias s.To1/s.To2 and the ratio
 // order is built in s.Sorted. No allocation in steady state.
+//
+//hetlb:noalloc
 func SplitGreedyLoadBalancingScratch(s *Scratch, c core.Clustered, m1, m2 int, jobs []int) (to1, to2 []int) {
 	if c.ClusterOf(m1) != c.ClusterOf(m2) {
 		panic("pairwise: GreedyLoadBalancing requires machines of the same cluster")
@@ -246,6 +254,8 @@ func SplitSameCost(m core.CostModel, m1, m2 int, jobs []int) (to1, to2 []int) {
 
 // AppendSplitSameCost is SplitSameCost appending into caller-owned buffers;
 // like AppendSplitBasicGreedy, the loads start at zero for this call.
+//
+//hetlb:noalloc
 func AppendSplitSameCost(m core.CostModel, m1, m2 int, jobs, to1, to2 []int) ([]int, []int) {
 	if m1 > m2 {
 		to2, to1 = AppendSplitSameCost(m, m2, m1, jobs, to2, to1)
@@ -313,6 +323,8 @@ func SplitCLB2C(c core.Clustered, mA, mB int, jobs []int) (toA, toB []int) {
 
 // SplitCLB2CScratch is SplitCLB2C against caller-owned scratch: the returned
 // slices alias s.To1/s.To2 and the ratio order is built in s.Sorted.
+//
+//hetlb:noalloc
 func SplitCLB2CScratch(s *Scratch, c core.Clustered, mA, mB int, jobs []int) (toA, toB []int) {
 	if c.ClusterOf(mA) == c.ClusterOf(mB) {
 		panic("pairwise: CLB2C on a pair requires machines of different clusters")

@@ -34,9 +34,11 @@ type Scratch struct {
 // returned slice shares its backing array with the scratch, so growth of an
 // individual bucket (buckets[t] = append(buckets[t], ...)) is retained for
 // the next call.
+//
+//hetlb:noalloc
 func (s *Scratch) Buckets(k int) [][]int {
 	if cap(s.buckets) < k {
-		next := make([][]int, k)
+		next := make([][]int, k) //hetlb:alloc-ok amortized warm-up growth: the bucket table reaches its high-water k and never reallocates
 		copy(next, s.buckets[:cap(s.buckets)])
 		s.buckets = next
 	}
