@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check vet lint build test race bench bench-smoke chaos
+.PHONY: check vet lint build test race bench bench-smoke overhead-guard chaos
 
 check: lint build test race
 
@@ -42,6 +42,18 @@ bench:
 # compile or panic without paying for real measurement. CI runs this.
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x -benchmem ./...
+
+# Observability must be free when it is off: the tracing-disabled step path
+# may not drift more than TOLERANCE above BENCH_3.json's recorded 'after'
+# column, and may never allocate. BENCH_6.json records what tracing costs
+# when it is on. The default 2% assumes the baseline's machine class; on
+# other hardware run `make overhead-guard TOLERANCE=0.25` or re-record.
+TOLERANCE ?= 0.02
+overhead-guard:
+	$(GO) test -run='^$$' -bench='^BenchmarkEngineStep$$' -benchmem -benchtime=300ms \
+		./internal/gossip/ | tee /tmp/benchguard-step.txt
+	$(GO) run ./cmd/benchguard -baseline BENCH_3.json -tolerance $(TOLERANCE) \
+		-in /tmp/benchguard-step.txt
 
 # The chaos property suite under the race detector: 100+ seeded random
 # fault plans (loss, duplication, crashes) must all drain without deadlock

@@ -1,0 +1,192 @@
+// Command benchguard gates benchmark regressions against a recorded
+// baseline. It reads `go test -bench` output on stdin (or -in), matches the
+// sub-benchmarks of one benchmark (-bench) against the "after" column of a
+// BENCH_*.json baseline, and exits non-zero when any measured ns/op exceeds
+// the baseline by more than -tolerance, or when a sub-benchmark allocates
+// where the baseline records zero allocations.
+//
+// CI runs it as the overhead-guard step of the bench-smoke job: the
+// observability instrumentation must be free when disabled, so the
+// tracing-disabled BenchmarkEngineStep may not regress more than 2% against
+// the BENCH_3.json numbers. Absolute ns/op only transfers between machines
+// of the same class — the tolerance is calibrated for the recorded runner
+// (see the baseline's "cpu" field); on different hardware pass a wider
+// -tolerance or re-record the baseline.
+//
+// The allocation gate has no tolerance: allocs/op is hardware-independent,
+// and the step path is contractually allocation-free (//hetlb:noalloc).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// baseline mirrors the BENCH_*.json layout: a results map of sub-benchmark
+// name to measurement columns. The columns are kept raw because entries
+// carry scalar fields (speedup, overhead ratios) next to the column objects;
+// only the requested column is decoded.
+type baseline struct {
+	Benchmark string                                `json:"benchmark"`
+	CPU       string                                `json:"cpu"`
+	Results   map[string]map[string]json.RawMessage `json:"results"`
+}
+
+type column struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BPerOp      float64 `json:"b_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// measurement is one parsed `go test -bench` result line.
+type measurement struct {
+	nsPerOp     float64
+	allocsPerOp int64
+	hasAllocs   bool
+}
+
+// benchLine matches `BenchmarkName/sub-8  123  456 ns/op  0 B/op  0 allocs/op`
+// (the -benchmem columns are optional).
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+[0-9.]+ B/op\s+(\d+) allocs/op)?`)
+
+func main() {
+	baselinePath := flag.String("baseline", "", "BENCH_*.json baseline to gate against (required)")
+	benchName := flag.String("bench", "BenchmarkEngineStep", "benchmark whose sub-benchmarks are gated")
+	colName := flag.String("column", "after", "baseline column to compare against")
+	tolerance := flag.Float64("tolerance", 0.02, "allowed fractional ns/op regression (0.02 = +2%)")
+	inPath := flag.String("in", "-", "bench output to check (\"-\" = stdin)")
+	flag.Parse()
+	if *baselinePath == "" {
+		fmt.Fprintln(os.Stderr, "benchguard: -baseline is required")
+		os.Exit(2)
+	}
+
+	base, err := readBaseline(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+	var in io.Reader = os.Stdin
+	if *inPath != "-" {
+		f, err := os.Open(*inPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchguard:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		in = f
+	}
+	got, err := parseBench(in, *benchName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+
+	failures, checked := gate(base, got, *colName, *tolerance)
+	for _, c := range checked {
+		fmt.Println(c)
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "benchguard: FAIL:", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchguard: %d sub-benchmarks of %s within +%.1f%% of %s[%s]\n",
+		len(checked), *benchName, *tolerance*100, *baselinePath, *colName)
+}
+
+func readBaseline(path string) (*baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if len(b.Results) == 0 {
+		return nil, fmt.Errorf("%s: no results", path)
+	}
+	return &b, nil
+}
+
+// parseBench extracts the sub-benchmarks of bench (lines named
+// "<bench>/<sub>-<procs>") from go test -bench output.
+func parseBench(r io.Reader, bench string) (map[string]measurement, error) {
+	out := make(map[string]measurement)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name, ok := strings.CutPrefix(m[1], bench+"/")
+		if !ok {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		meas := measurement{nsPerOp: ns}
+		if m[3] != "" {
+			meas.allocsPerOp, _ = strconv.ParseInt(m[3], 10, 64)
+			meas.hasAllocs = true
+		}
+		out[name] = meas
+	}
+	return out, sc.Err()
+}
+
+// gate compares the measurements against the baseline column. Every baseline
+// entry must be measured (a renamed or deleted benchmark must not silently
+// pass the guard); measured sub-benchmarks absent from the baseline are
+// ignored.
+func gate(base *baseline, got map[string]measurement, col string, tol float64) (failures, checked []string) {
+	names := make([]string, 0, len(base.Results))
+	for name := range base.Results {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		raw, ok := base.Results[name][col]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: baseline has no %q column", name, col))
+			continue
+		}
+		var want column
+		if err := json.Unmarshal(raw, &want); err != nil {
+			failures = append(failures, fmt.Sprintf("%s: baseline column %q: %v", name, col, err))
+			continue
+		}
+		meas, ok := got[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: in baseline but not measured", name))
+			continue
+		}
+		limit := want.NsPerOp * (1 + tol)
+		status := "ok"
+		if meas.nsPerOp > limit {
+			failures = append(failures, fmt.Sprintf("%s: %.1f ns/op exceeds %.1f (baseline %.1f +%.1f%%)",
+				name, meas.nsPerOp, limit, want.NsPerOp, tol*100))
+			status = "FAIL"
+		}
+		if meas.hasAllocs && meas.allocsPerOp > want.AllocsPerOp {
+			failures = append(failures, fmt.Sprintf("%s: %d allocs/op, baseline %d (no tolerance on allocations)",
+				name, meas.allocsPerOp, want.AllocsPerOp))
+			status = "FAIL"
+		}
+		checked = append(checked, fmt.Sprintf("%-20s %10.1f ns/op  (limit %10.1f)  %s", name, meas.nsPerOp, limit, status))
+	}
+	return failures, checked
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const benchOut = `goos: linux
+goarch: amd64
+pkg: hetlb/internal/gossip
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkEngineStep/SameCost/paper-8         2500000       450.0 ns/op        0 B/op        0 allocs/op
+BenchmarkEngineStep/OJTB/paper-8             2000000       600.0 ns/op        0 B/op        0 allocs/op
+BenchmarkEngineStepObserved/SameCost/paper-8 1000000      1450.0 ns/op        0 B/op        0 allocs/op
+PASS
+`
+
+func testBaseline() *baseline {
+	// Mirrors BENCH_3.json, including the scalar speedup field that must not
+	// break decoding.
+	blob := `{
+	  "benchmark": "BenchmarkEngineStep",
+	  "results": {
+	    "SameCost/paper": {"after": {"ns_per_op": 450.1, "allocs_per_op": 0}, "speedup": 14.4},
+	    "OJTB/paper":     {"after": {"ns_per_op": 573.8, "allocs_per_op": 0}, "speedup": 10.8}
+	  }
+	}`
+	var b baseline
+	if err := json.Unmarshal([]byte(blob), &b); err != nil {
+		panic(err)
+	}
+	return &b
+}
+
+func TestParseBenchStripsProcsAndFiltersVariants(t *testing.T) {
+	got, err := parseBench(strings.NewReader(benchOut), "BenchmarkEngineStep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d sub-benchmarks, want 2 (Observed variant must be excluded): %v", len(got), got)
+	}
+	if m := got["SameCost/paper"]; m.nsPerOp != 450 || !m.hasAllocs || m.allocsPerOp != 0 {
+		t.Fatalf("SameCost/paper = %+v", m)
+	}
+}
+
+func TestGatePassesWithinTolerance(t *testing.T) {
+	got, _ := parseBench(strings.NewReader(benchOut), "BenchmarkEngineStep")
+	// OJTB measured 600.0 vs baseline 573.8: +4.6%, outside 2% but inside 5%.
+	if failures, _ := gate(testBaseline(), got, "after", 0.05); len(failures) != 0 {
+		t.Fatalf("unexpected failures at 5%% tolerance: %v", failures)
+	}
+	failures, checked := gate(testBaseline(), got, "after", 0.02)
+	if len(checked) != 2 {
+		t.Fatalf("checked %d entries, want 2", len(checked))
+	}
+	if len(failures) != 1 || !strings.Contains(failures[0], "OJTB/paper") {
+		t.Fatalf("want exactly the OJTB ns/op regression at 2%% tolerance, got %v", failures)
+	}
+}
+
+func TestGateFailsOnAllocationsAndMissing(t *testing.T) {
+	allocOut := "BenchmarkEngineStep/SameCost/paper-8  100  451.0 ns/op  16 B/op  1 allocs/op\n"
+	got, _ := parseBench(strings.NewReader(allocOut), "BenchmarkEngineStep")
+	failures, _ := gate(testBaseline(), got, "after", 0.02)
+	// One failure for the allocation (no tolerance), one for the baseline
+	// entry (OJTB/paper) that was never measured.
+	if len(failures) != 2 {
+		t.Fatalf("want 2 failures (alloc + missing), got %v", failures)
+	}
+	if !strings.Contains(failures[1], "allocs/op") || !strings.Contains(failures[0], "not measured") {
+		t.Fatalf("unexpected failure set: %v", failures)
+	}
+}

@@ -49,9 +49,12 @@ func cmdChaos(args []string) error {
 		return fmt.Errorf("-crashes: %w", err)
 	}
 
-	reg, tr, err := obs.setup()
+	sinks, err := obs.setup()
 	if err != nil {
 		return err
+	}
+	if obs.timelineOut != "" {
+		fmt.Fprintln(os.Stderr, "chaos: a sweep has no single convergence trajectory; the timeline output will be empty (use `hetlb sim --timeline-out` for one run)")
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -61,8 +64,9 @@ func cmdChaos(args []string) error {
 		Parallelism: *parallel,
 		Timeout:     *timeout,
 		Context:     ctx,
-		Metrics:     reg,
-		Trace:       tr,
+		Metrics:     sinks.Metrics,
+		Trace:       sinks.Trace,
+		Spans:       sinks.Spans,
 	}, cfg)
 	if runErr == nil {
 		fmt.Printf("%s", experiments.ChaosTable(results))
@@ -70,7 +74,7 @@ func cmdChaos(args []string) error {
 			experiments.ChaosSeries(results, cfg.Horizon), 64, 12))
 		fmt.Printf("chaos sweep complete in %v\n", time.Since(start).Round(time.Millisecond))
 	}
-	if err := obs.flush(reg, tr); err != nil {
+	if err := obs.flush(sinks); err != nil {
 		return err
 	}
 	return runErr

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hetlb/internal/explain"
+	"hetlb/internal/obs/span"
+	"hetlb/internal/obs/timeline"
+)
+
+// cmdExplain reads the observability exports of a finished run — the span
+// trace (--span-out of sim/chaos/figures) and optionally the convergence
+// timeline (--timeline-out) — and prints a post-run diagnosis: convergence
+// point and stalls, session outcome and latency quantiles, per-session fault
+// attribution, hottest machine pairs.
+func cmdExplain(args []string) error {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	spansPath := fs.String("spans", "", "span trace JSONL to analyze (required; \"-\" = stdin)")
+	tlPath := fs.String("timeline", "", "convergence timeline (CSV or JSON) to analyze (optional)")
+	topK := fs.Int("top", 5, "entries per ranked list (hottest pairs, most degraded sessions)")
+	stall := fs.Int("stall", 8, "minimum consecutive non-improving timeline samples that count as a stall")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *spansPath == "" {
+		return fmt.Errorf("explain: -spans is required (produce one with sim/chaos/figures --span-out)")
+	}
+
+	var spans []span.Span
+	var hdr explain.Header
+	err := withIn(*spansPath, func(f *os.File) error {
+		var err error
+		spans, hdr, err = explain.ReadSpans(f)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	var pts []timeline.Point
+	if *tlPath != "" {
+		err := withIn(*tlPath, func(f *os.File) error {
+			var err error
+			pts, err = explain.ReadTimeline(f)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+	}
+	report := explain.Analyze(spans, hdr, pts, explain.Options{TopK: *topK, StallPoints: *stall})
+	return report.WriteText(os.Stdout)
+}
+
+// withIn runs fn on the named file ("-" = stdin), opening and closing it as
+// needed — the input counterpart of withOut.
+func withIn(path string, fn func(*os.File) error) error {
+	if path == "-" {
+		return fn(os.Stdin)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return fn(f)
+}

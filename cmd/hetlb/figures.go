@@ -33,9 +33,12 @@ func cmdFigures(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	reg, tr, err := obs.setup()
+	sinks, err := obs.setup()
 	if err != nil {
 		return err
+	}
+	if obs.timelineOut != "" {
+		fmt.Fprintln(os.Stderr, "figures: a sweep has no single convergence trajectory; the timeline output will be empty (use `hetlb sim --timeline-out` for one run)")
 	}
 
 	// Ctrl-C cancels the harness cleanly: completed replications keep their
@@ -52,8 +55,9 @@ func cmdFigures(args []string) error {
 			Parallelism: *parallel,
 			Timeout:     *timeout,
 			Context:     ctx,
-			Metrics:     reg,
-			Trace:       tr,
+			Metrics:     sinks.Metrics,
+			Trace:       sinks.Trace,
+			Spans:       sinks.Spans,
 		},
 	}
 	if *progress {
@@ -69,7 +73,7 @@ func cmdFigures(args []string) error {
 	if runErr == nil {
 		fmt.Printf("evaluation complete in %v\n", time.Since(start).Round(time.Millisecond))
 	}
-	if err := obs.flush(reg, tr); err != nil {
+	if err := obs.flush(sinks); err != nil {
 		return err
 	}
 	return runErr

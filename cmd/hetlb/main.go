@@ -10,6 +10,8 @@
 //	           the parallel replication harness
 //	chaos      sweep message loss and machine churn against convergence of
 //	           the message-passing runtime (fault-injection study)
+//	explain    diagnose a finished run from its span trace and convergence
+//	           timeline (stalls, fault attribution, session latencies)
 //
 // Run `hetlb <subcommand> -h` for flags.
 package main
@@ -41,6 +43,8 @@ func main() {
 		err = cmdFigures(args)
 	case "chaos":
 		err = cmdChaos(args)
+	case "explain":
+		err = cmdExplain(args)
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -67,21 +71,29 @@ subcommands:
              extensions) through the parallel replication harness
   chaos      sweep message loss and machine crashes against convergence time
              and final Cmax of the crash-tolerant message-passing runtime
+  explain    diagnose a finished run from its span trace and timeline:
+             convergence stalls, per-session fault attribution, hottest
+             pairs, p50/p99 session latencies
 
-sim, worksteal and figures accept observability flags: --metrics-out
+sim, worksteal, chaos and figures accept observability flags: --metrics-out
 (Prometheus text, or JSON with --metrics-json), --trace-out (Chrome
-trace_event JSON, or --trace-format=jsonl) and --pprof <addr>. figures
-additionally accepts --parallel (worker pool size; the results are
-identical for every value) and --timeout.
+trace_event JSON, or --trace-format=jsonl), --span-out (causal span trace
+JSONL), --timeline-out (convergence timeline, CSV or --timeline-format=json),
+--pprof <addr>, and --debug-addr <addr> (live /metrics, /timeline.json,
+/trace.jsonl, /spans.jsonl and /debug/pprof/ for the run's duration).
+figures and chaos additionally accept --parallel (worker pool size; the
+results — and the span trace — are identical for every value) and --timeout.
 
 examples:
   hetlb sim -proto dlb2c -m1 64 -m2 32 -jobs 768 -steps 480
   hetlb sim -proto dlb2c --metrics-out=- --trace-out=trace.json
+  hetlb sim -proto dlb2c --span-out=spans.jsonl --timeline-out=timeline.csv
+  hetlb explain -spans spans.jsonl -timeline timeline.csv
   hetlb markov -m 6 -pmax 4
   hetlb worksteal -trap 1000
   hetlb figures --parallel 8 --metrics-out=-
   hetlb figures -paper -exp fig3 --parallel 8 --timeout 10m
-  hetlb chaos -loss 0,0.1,0.3 -crashes 0,4 --parallel 8
+  hetlb chaos -loss 0,0.1,0.3 -crashes 0,4 --parallel 8 --span-out=spans.jsonl
   echo '1,2,3
 4,5,6' | hetlb solve
 `)

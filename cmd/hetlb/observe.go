@@ -12,14 +12,21 @@ import (
 )
 
 // obsFlags is the shared observability flag set: any subcommand that calls
-// register gains --metrics-out / --trace-out / --pprof.
+// register gains --metrics-out / --trace-out / --span-out / --timeline-out /
+// --pprof / --debug-addr.
 type obsFlags struct {
-	metricsOut  string
-	metricsJSON bool
-	traceOut    string
-	traceFormat string
-	traceCap    int
-	pprofAddr   string
+	metricsOut     string
+	metricsJSON    bool
+	traceOut       string
+	traceFormat    string
+	traceCap       int
+	spanOut        string
+	spanCap        int
+	timelineOut    string
+	timelineFormat string
+	timelineCap    int
+	pprofAddr      string
+	debugAddr      string
 }
 
 func (o *obsFlags) register(fs *flag.FlagSet) {
@@ -28,66 +35,163 @@ func (o *obsFlags) register(fs *flag.FlagSet) {
 	fs.StringVar(&o.traceOut, "trace-out", "", "write the event trace to this file after the run (\"-\" = stdout)")
 	fs.StringVar(&o.traceFormat, "trace-format", "chrome", "trace format: chrome (trace_event JSON) or jsonl")
 	fs.IntVar(&o.traceCap, "trace-cap", 1<<20, "event trace ring capacity (oldest events overwritten beyond it)")
+	fs.StringVar(&o.spanOut, "span-out", "", "write the causal span trace (JSONL) to this file after the run (\"-\" = stdout)")
+	fs.IntVar(&o.spanCap, "span-cap", 1<<18, "span trace ring capacity (oldest spans overwritten beyond it)")
+	fs.StringVar(&o.timelineOut, "timeline-out", "", "write the convergence timeline to this file after the run (\"-\" = stdout)")
+	fs.StringVar(&o.timelineFormat, "timeline-format", "csv", "timeline format: csv or json")
+	fs.IntVar(&o.timelineCap, "timeline-cap", 1<<12, "timeline point budget (resolution halves beyond it)")
 	fs.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the run's duration")
+	fs.StringVar(&o.debugAddr, "debug-addr", "", "serve the live debug endpoints (/metrics, /timeline.json, /trace.jsonl, /spans.jsonl, /debug/pprof/) on this address for the run's duration")
 }
 
-// setup builds the registry and tracer the flags ask for (nil when the
-// corresponding output is disabled) and starts the pprof server if requested.
-func (o *obsFlags) setup() (*hetlb.MetricsRegistry, *hetlb.EventTrace, error) {
+// obsSinks bundles the observability collectors a subcommand hands to the
+// library. A nil field means the corresponding output was not requested.
+type obsSinks struct {
+	Metrics  *hetlb.MetricsRegistry
+	Trace    *hetlb.EventTrace
+	Spans    *hetlb.SpanTrace
+	Timeline *hetlb.Timeline
+}
+
+// setup builds the collectors the flags ask for (nil when the corresponding
+// output is disabled) and starts the pprof and debug servers if requested.
+// --debug-addr forces every collector on, so the live endpoints always have
+// something to serve.
+func (o *obsFlags) setup() (*obsSinks, error) {
 	switch o.traceFormat {
 	case "chrome", "jsonl":
 	default:
-		return nil, nil, fmt.Errorf("unknown trace format %q (want chrome or jsonl)", o.traceFormat)
+		return nil, fmt.Errorf("unknown trace format %q (want chrome or jsonl)", o.traceFormat)
 	}
-	var reg *hetlb.MetricsRegistry
-	var tr *hetlb.EventTrace
-	if o.metricsOut != "" {
-		reg = hetlb.NewMetricsRegistry()
+	switch o.timelineFormat {
+	case "csv", "json":
+	default:
+		return nil, fmt.Errorf("unknown timeline format %q (want csv or json)", o.timelineFormat)
 	}
-	if o.traceOut != "" {
+	s := &obsSinks{}
+	debug := o.debugAddr != ""
+	if o.metricsOut != "" || debug {
+		s.Metrics = hetlb.NewMetricsRegistry()
+	}
+	if o.traceOut != "" || debug {
 		if o.traceCap <= 0 {
-			return nil, nil, fmt.Errorf("trace capacity must be positive")
+			return nil, fmt.Errorf("trace capacity must be positive")
 		}
-		tr = hetlb.NewEventTrace(o.traceCap)
+		s.Trace = hetlb.NewEventTrace(o.traceCap)
+	}
+	if o.spanOut != "" || debug {
+		if o.spanCap <= 0 {
+			return nil, fmt.Errorf("span capacity must be positive")
+		}
+		s.Spans = hetlb.NewSpanTrace(o.spanCap)
+	}
+	if o.timelineOut != "" || debug {
+		if o.timelineCap < 2 {
+			return nil, fmt.Errorf("timeline capacity must be at least 2")
+		}
+		s.Timeline = hetlb.NewTimeline(o.timelineCap)
 	}
 	if o.pprofAddr != "" {
 		// Bind synchronously so an unusable address fails the command
 		// instead of silently running without profiling.
 		ln, err := net.Listen("tcp", o.pprofAddr)
 		if err != nil {
-			return nil, nil, fmt.Errorf("pprof server: %w", err)
+			return nil, fmt.Errorf("pprof server: %w", err)
 		}
 		go http.Serve(ln, nil)
 		fmt.Fprintf(os.Stderr, "pprof: serving on http://%s/debug/pprof/\n", ln.Addr())
 	}
-	return reg, tr, nil
+	if debug {
+		ln, err := net.Listen("tcp", o.debugAddr)
+		if err != nil {
+			return nil, fmt.Errorf("debug server: %w", err)
+		}
+		go http.Serve(ln, debugMux(s))
+		fmt.Fprintf(os.Stderr, "debug: serving on http://%s/ (metrics, timeline, traces, pprof)\n", ln.Addr())
+	}
+	return s, nil
 }
 
-// flush writes the collected metrics and trace to their destinations.
-func (o *obsFlags) flush(reg *hetlb.MetricsRegistry, tr *hetlb.EventTrace) error {
-	if reg != nil {
+// debugMux serves live snapshots of the run's collectors. Every collector is
+// mutex-guarded and snapshots under the lock, so scraping mid-run is safe and
+// never perturbs what is being measured beyond the lock hold.
+func debugMux(s *obsSinks) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		s.Metrics.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		s.Metrics.WriteJSON(w)
+	})
+	mux.HandleFunc("/timeline.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		s.Timeline.WriteJSON(w)
+	})
+	mux.HandleFunc("/timeline.csv", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/csv")
+		s.Timeline.WriteCSV(w)
+	})
+	mux.HandleFunc("/trace.jsonl", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/jsonl")
+		s.Trace.WriteJSONL(w)
+	})
+	mux.HandleFunc("/spans.jsonl", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/jsonl")
+		s.Spans.WriteJSONL(w)
+	})
+	// net/http/pprof registers on the default mux; delegate its subtree.
+	mux.Handle("/debug/pprof/", http.DefaultServeMux)
+	return mux
+}
+
+// flush writes the collected outputs to their destinations. Collectors that
+// exist only for the debug server (no -out path) are skipped.
+func (o *obsFlags) flush(s *obsSinks) error {
+	if s.Metrics != nil && o.metricsOut != "" {
 		err := withOut(o.metricsOut, func(f *os.File) error {
 			if o.metricsJSON {
-				return reg.WriteJSON(f)
+				return s.Metrics.WriteJSON(f)
 			}
-			return reg.WritePrometheus(f)
+			return s.Metrics.WritePrometheus(f)
 		})
 		if err != nil {
 			return fmt.Errorf("writing metrics: %w", err)
 		}
 	}
-	if tr != nil {
-		if n := tr.Dropped(); n > 0 {
+	if s.Trace != nil && o.traceOut != "" {
+		if n := s.Trace.Dropped(); n > 0 {
 			fmt.Fprintf(os.Stderr, "trace: ring overflowed, oldest %d events dropped (raise -trace-cap)\n", n)
 		}
 		err := withOut(o.traceOut, func(f *os.File) error {
 			if o.traceFormat == "jsonl" {
-				return tr.WriteJSONL(f)
+				return s.Trace.WriteJSONL(f)
 			}
-			return tr.WriteChromeTrace(f)
+			return s.Trace.WriteChromeTrace(f)
 		})
 		if err != nil {
 			return fmt.Errorf("writing trace: %w", err)
+		}
+	}
+	if s.Spans != nil && o.spanOut != "" {
+		if n := s.Spans.Dropped(); n > 0 {
+			fmt.Fprintf(os.Stderr, "spans: ring overflowed, oldest %d spans dropped (raise -span-cap)\n", n)
+		}
+		err := withOut(o.spanOut, func(f *os.File) error { return s.Spans.WriteJSONL(f) })
+		if err != nil {
+			return fmt.Errorf("writing spans: %w", err)
+		}
+	}
+	if s.Timeline != nil && o.timelineOut != "" {
+		err := withOut(o.timelineOut, func(f *os.File) error {
+			if o.timelineFormat == "json" {
+				return s.Timeline.WriteJSON(f)
+			}
+			return s.Timeline.WriteCSV(f)
+		})
+		if err != nil {
+			return fmt.Errorf("writing timeline: %w", err)
 		}
 	}
 	return nil

@@ -32,7 +32,7 @@ func cmdSim(args []string) error {
 		return err
 	}
 	gen := rng.New(*seed)
-	reg, tr, err := ob.setup()
+	sinks, err := ob.setup()
 	if err != nil {
 		return err
 	}
@@ -42,8 +42,10 @@ func cmdSim(args []string) error {
 		Concurrent:      *concurrent,
 		DetectStability: *stable,
 		QuiesceStreak:   64,
-		Metrics:         reg,
-		Trace:           tr,
+		Metrics:         sinks.Metrics,
+		Trace:           sinks.Trace,
+		Spans:           sinks.Spans,
+		Timeline:        sinks.Timeline,
 	}
 
 	switch *proto {
@@ -101,7 +103,7 @@ func cmdSim(args []string) error {
 	default:
 		return fmt.Errorf("unknown protocol %q", *proto)
 	}
-	return ob.flush(reg, tr)
+	return ob.flush(sinks)
 }
 
 func budget(steps, machines int) int {

@@ -27,7 +27,7 @@ func cmdWorksteal(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	reg, tr, err := ob.setup()
+	sinks, err := ob.setup()
 	if err != nil {
 		return err
 	}
@@ -49,8 +49,10 @@ func cmdWorksteal(args []string) error {
 	st, err := hetlb.WorkStealingRun(model, initial, hetlb.WorkStealingOptions{
 		Seed:         *seed,
 		StealLatency: *latency,
-		Metrics:      reg,
-		Trace:        tr,
+		Metrics:      sinks.Metrics,
+		Trace:        sinks.Trace,
+		Spans:        sinks.Spans,
+		Timeline:     sinks.Timeline,
 	})
 	if err != nil {
 		return err
@@ -70,5 +72,5 @@ func cmdWorksteal(args []string) error {
 		fmt.Printf("instance lower bound: %d → ratio ≤ %.2f of LB\n",
 			lb, float64(st.Makespan)/float64(lb))
 	}
-	return ob.flush(reg, tr)
+	return ob.flush(sinks)
 }

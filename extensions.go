@@ -156,6 +156,17 @@ type MessagePassingOptions struct {
 	// Trace, when non-nil, receives message send/receive/drop, session
 	// start/end and crash/recovery events on the virtual clock.
 	Trace *EventTrace
+	// Spans, when non-nil, collects the causal span trace: one session
+	// span per balancing handshake (each side closes its half, Lamport
+	// clocks order the closes) and fault point records — drops,
+	// retransmissions, timeouts, crashes — parented to the session that
+	// suffered them. This is the input of `hetlb explain`'s fault
+	// attribution.
+	Spans *SpanTrace
+	// Timeline, when non-nil, records the convergence trajectory on the
+	// virtual clock: Cmax, imbalance, cumulative jobs moved and messages
+	// sent, one point per makespan sample.
+	Timeline *Timeline
 }
 
 // MessagePassingResult reports a DLB2CMessagePassing run.
@@ -186,12 +197,14 @@ type MessagePassingResult struct {
 // delay stretches convergence; for plain simulations prefer DLB2C.
 func DLB2CMessagePassing(model Clustered, initial *Assignment, opt MessagePassingOptions) (MessagePassingResult, error) {
 	cfg := netsim.Config{
-		Seed:    opt.Seed,
-		Latency: opt.Latency,
-		Period:  opt.Period,
-		Horizon: opt.Horizon,
-		Faults:  opt.Faults,
-		Tracer:  opt.Trace,
+		Seed:     opt.Seed,
+		Latency:  opt.Latency,
+		Period:   opt.Period,
+		Horizon:  opt.Horizon,
+		Faults:   opt.Faults,
+		Tracer:   opt.Trace,
+		Spans:    opt.Spans,
+		Timeline: opt.Timeline,
 	}
 	if opt.Metrics != nil {
 		cfg.Metrics = netsim.NewMetrics(opt.Metrics)

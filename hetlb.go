@@ -142,6 +142,14 @@ type RunOptions struct {
 	// Trace, when non-nil, receives one pair-selected event per exchange
 	// (and makespan samples on sequential runs).
 	Trace *EventTrace
+	// Spans, when non-nil, collects the run's causal span trace: one
+	// KindRun span plus one step span per effective exchange (sequential)
+	// or one session span per balancing session (concurrent).
+	Spans *SpanTrace
+	// Timeline, when non-nil, records the convergence trajectory: one
+	// point per step (sequential: Cmax, imbalance, cumulative moves) or per
+	// session (concurrent: cumulative moves only).
+	Timeline *Timeline
 }
 
 // Result is the outcome of a decentralized balancing run.
@@ -173,6 +181,8 @@ func runProtocol(p protocol.Protocol, initial *Assignment, opt RunOptions) (Resu
 			MaxSteps:      int64(opt.MaxExchanges),
 			QuiesceStreak: opt.QuiesceStreak,
 			Tracer:        opt.Trace,
+			Spans:         opt.Spans,
+			Timeline:      opt.Timeline,
 		}
 		if opt.Metrics != nil {
 			cfg.Metrics = distrun.NewMetrics(opt.Metrics, initial.Model().NumMachines())
@@ -188,7 +198,7 @@ func runProtocol(p protocol.Protocol, initial *Assignment, opt RunOptions) (Resu
 			Converged:  res.Converged,
 		}, nil
 	}
-	cfg := gossip.Config{Seed: opt.Seed, Tracer: opt.Trace}
+	cfg := gossip.Config{Seed: opt.Seed, Tracer: opt.Trace, Spans: opt.Spans, Timeline: opt.Timeline}
 	if opt.Metrics != nil {
 		cfg.Metrics = gossip.NewMetrics(opt.Metrics)
 	}
@@ -253,6 +263,12 @@ type WorkStealingOptions struct {
 	Metrics *MetricsRegistry
 	// Trace, when non-nil, receives one event per probe and per steal.
 	Trace *EventTrace
+	// Spans, when non-nil, collects one KindRun span plus one session span
+	// per successful steal (Start = when the thief went idle).
+	Spans *SpanTrace
+	// Timeline, when non-nil, records one point per steal: remaining jobs
+	// as the imbalance proxy, cumulative jobs stolen, cumulative probes.
+	Timeline *Timeline
 }
 
 // WorkStealingRun is WorkStealing with the full option set.
@@ -261,6 +277,8 @@ func WorkStealingRun(model CostModel, initial *Assignment, opt WorkStealingOptio
 		Seed:         opt.Seed,
 		StealLatency: opt.StealLatency,
 		Tracer:       opt.Trace,
+		Spans:        opt.Spans,
+		Timeline:     opt.Timeline,
 	}
 	if opt.StealOne {
 		cfg.Policy = worksteal.StealOne

@@ -38,6 +38,7 @@ func run(pass *analysis.Pass) (interface{}, error) {
 		checkImports(pass, file)
 		checkWallClock(pass, file)
 		checkMapRange(pass, file)
+		checkSpanTimestamps(pass, file)
 	}
 	return nil, nil
 }
@@ -69,6 +70,59 @@ func checkWallClock(pass *analysis.Pass, file *ast.File) {
 		pass.Reportf(id.Pos(), "wall-clock read time.%s in determinism-scoped package %s: results must be a pure function of the seed (use virtual time, or annotate //hetlb:nondeterministic-ok if it only feeds metrics)", f.Name(), pass.Pkg.Name())
 		return true
 	})
+}
+
+// spanRecordCalls are the span/timeline record entry points whose arguments
+// become part of the exported trace.
+var spanRecordCalls = map[string]bool{"Append": true, "Record": true}
+
+// checkSpanTimestamps flags time.Time / time.Duration values flowing into
+// span or timeline record calls. Span Start/End/Clock and timeline Time are
+// logical time only: traces are asserted bit-identical across harness worker
+// counts, and one `int64(time.Since(t0))` smuggled into a span — perhaps
+// under a //hetlb:nondeterministic-ok granted for a wall-clock metric — makes
+// the trace differ on every run. The generic wall-clock check catches direct
+// time.Now() references; this one catches the laundered variable.
+func checkSpanTimestamps(pass *analysis.Pass, file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		f := analysis.Callee(pass.TypesInfo, call)
+		if f == nil || f.Pkg() == nil || !spanRecordCalls[f.Name()] {
+			return true
+		}
+		if name := f.Pkg().Name(); name != "span" && name != "timeline" {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(e ast.Node) bool {
+				expr, ok := e.(ast.Expr)
+				if !ok {
+					return true
+				}
+				if t := pass.TypesInfo.TypeOf(expr); wallTimeType(t) {
+					pass.Reportf(expr.Pos(), "wall-clock value (%s) flows into %s.%s in determinism-scoped package %s: span and timeline fields are logical time only (traces must be bit-identical across runs and worker counts)",
+						t, f.Pkg().Name(), f.Name(), pass.Pkg.Name())
+					return false
+				}
+				return true
+			})
+		}
+		return true
+	})
+}
+
+// wallTimeType reports whether t is time.Time or time.Duration.
+func wallTimeType(t types.Type) bool {
+	named := analysis.NamedType(t)
+	if named == nil {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "time" &&
+		(obj.Name() == "Time" || obj.Name() == "Duration")
 }
 
 // checkMapRange flags `for ... := range m` over maps. Go randomizes map

@@ -8,6 +8,10 @@ import "strings"
 // reduction/emission packages (stats, plot, evaluation), because the order in
 // which CSV rows and summaries are emitted is part of the golden output.
 //
+// The span and timeline recorders are scoped too: span traces are asserted
+// bit-identical across harness worker counts, so the recorders themselves may
+// not touch wall clock, global math/rand, or map order — logical time only.
+//
 // Matching by final element (rather than the full "hetlb/internal/..." path)
 // lets analysistest packages opt into the scope by directory name.
 var determinismScoped = map[string]bool{
@@ -25,6 +29,8 @@ var determinismScoped = map[string]bool{
 	"stats":       true,
 	"plot":        true,
 	"evaluation":  true,
+	"span":        true,
+	"timeline":    true,
 }
 
 // IsDeterminismScoped reports whether the package at pkgPath is subject to

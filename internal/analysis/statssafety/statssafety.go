@@ -8,13 +8,19 @@
 // identical (the zero-fault transparency and determinism golden tests assume
 // exactly that). A branch like `if metrics.Moves.Value() > k { rebalance() }`
 // breaks the property in the nastiest way: the run is still deterministic
-// until someone changes which metrics are registered. So, in determinism-
-// scoped packages:
+// until someone changes which metrics are registered. The span and timeline
+// recorders (hetlb/internal/obs/span, .../timeline) are part of the same
+// one-way layer: span traces are asserted bit-identical across worker counts,
+// which only holds if nothing the recorders report feeds back into the
+// simulation. So, in determinism-scoped packages:
 //
-//   - an obs read accessor (Value, Count, Sum, Total, BucketCount, Len) must
-//     not appear in an if/for/switch condition;
-//   - an obs record call (Inc, Add, Set, SetMax, Observe, Emit) must not
-//     appear inside a branch whose condition reads the obs layer.
+//   - an obs-layer read accessor (Value, Count, Sum, Total, BucketCount,
+//     Len, and the span/timeline reads Spans, Points, Dropped, Root, Seen,
+//     Stride) must not appear in an if/for/switch condition;
+//   - an obs-layer record call (Inc, Add, Set, SetMax, Observe, Emit, and
+//     the span/timeline records Append, Record, NextID, SetRoot, Merge,
+//     Reset, ClaimNamespaces) must not appear inside a branch whose
+//     condition reads the obs layer.
 //
 // Reporting-only branches (progress printing keyed on a counter) are real and
 // allowed — via //hetlb:nondeterministic-ok with a reason saying why the
@@ -39,12 +45,23 @@ var Analyzer = &analysis.Analyzer{
 var readAccessors = map[string]bool{
 	"Value": true, "Count": true, "Sum": true, "Total": true,
 	"BucketCount": true, "Len": true,
+	// span.Recorder / timeline.Recorder reads.
+	"Spans": true, "Points": true, "Dropped": true, "Root": true,
+	"Seen": true, "Stride": true,
 }
 
 var recordCalls = map[string]bool{
 	"Inc": true, "Add": true, "Set": true, "SetMax": true,
 	"Observe": true, "Emit": true,
+	// span.Recorder / timeline.Recorder records. NextID and ClaimNamespaces
+	// are records too: they advance allocator state, so gating them on an
+	// obs read would shift every later span ID.
+	"Append": true, "Record": true, "NextID": true, "SetRoot": true,
+	"Merge": true, "Reset": true, "ClaimNamespaces": true,
 }
+
+// obsPackages names the packages that form the one-way observability layer.
+var obsPackages = map[string]bool{"obs": true, "span": true, "timeline": true}
 
 func run(pass *analysis.Pass) (interface{}, error) {
 	if !analysis.IsDeterminismScoped(pass.Pkg.Path()) {
@@ -142,10 +159,10 @@ func flagObsReads(pass *analysis.Pass, cond ast.Expr) bool {
 }
 
 // obsMethod returns the *types.Func when call invokes a method defined on a
-// type of the obs package, else nil.
+// type of an observability-layer package (obs, span, timeline), else nil.
 func obsMethod(info *types.Info, call *ast.CallExpr) *types.Func {
 	f := analysis.Callee(info, call)
-	if f == nil || f.Pkg() == nil || f.Pkg().Name() != "obs" {
+	if f == nil || f.Pkg() == nil || !obsPackages[f.Pkg().Name()] {
 		return nil
 	}
 	sig, ok := f.Type().(*types.Signature)

@@ -1,0 +1,74 @@
+// Package span is a minimal stand-in for hetlb/internal/obs/span with the
+// Recorder reads and records the statssafety analyzer knows about.
+package span
+
+// ID identifies a span.
+type ID uint64
+
+// Kind classifies a span.
+type Kind uint8
+
+// Tag refines a span record's role.
+type Tag uint8
+
+// Flags is a bitset of span outcomes.
+type Flags uint32
+
+// Span mirrors span.Span.
+type Span struct {
+	ID, Parent ID
+	Kind       Kind
+	Tag        Tag
+	Flags      Flags
+	A, B       int32
+	Start, End int64
+	Clock      uint64
+	Value      int64
+}
+
+// Recorder mirrors span.Recorder.
+type Recorder struct {
+	spans   []Span
+	seq     uint64
+	root    ID
+	dropped uint64
+}
+
+// NextID records (advances allocator state).
+func (r *Recorder) NextID() ID { r.seq++; return ID(r.seq) }
+
+// SetRoot records.
+func (r *Recorder) SetRoot(id ID) { r.root = id }
+
+// Root reads.
+func (r *Recorder) Root() ID { return r.root }
+
+// Append records.
+func (r *Recorder) Append(s Span) ID {
+	if s.ID == 0 {
+		s.ID = r.NextID()
+	}
+	r.spans = append(r.spans, s)
+	return s.ID
+}
+
+// Len reads.
+func (r *Recorder) Len() int { return len(r.spans) }
+
+// Total reads.
+func (r *Recorder) Total() uint64 { return uint64(len(r.spans)) + r.dropped }
+
+// Dropped reads.
+func (r *Recorder) Dropped() uint64 { return r.dropped }
+
+// Spans reads.
+func (r *Recorder) Spans() []Span { return r.spans }
+
+// Merge records.
+func (r *Recorder) Merge(src *Recorder) { r.spans = append(r.spans, src.Spans()...) }
+
+// Reset records.
+func (r *Recorder) Reset() { r.spans = r.spans[:0] }
+
+// ClaimNamespaces records (reserves allocator blocks).
+func (r *Recorder) ClaimNamespaces(n int) uint64 { r.seq += uint64(n); return r.seq }

@@ -1,0 +1,33 @@
+// Package timeline is a minimal stand-in for hetlb/internal/obs/timeline
+// with the Recorder reads and records the statssafety analyzer knows about.
+package timeline
+
+// Point mirrors timeline.Point.
+type Point struct {
+	Time, Cmax, Imbalance, Moves, Messages int64
+}
+
+// Recorder mirrors timeline.Recorder.
+type Recorder struct {
+	pts    []Point
+	seen   int64
+	stride int64
+}
+
+// Record records.
+func (r *Recorder) Record(p Point) { r.pts = append(r.pts, p); r.seen++ }
+
+// Len reads.
+func (r *Recorder) Len() int { return len(r.pts) }
+
+// Seen reads.
+func (r *Recorder) Seen() int64 { return r.seen }
+
+// Stride reads.
+func (r *Recorder) Stride() int64 { return r.stride }
+
+// Points reads.
+func (r *Recorder) Points() []Point { return r.pts }
+
+// Reset records.
+func (r *Recorder) Reset() { r.pts = r.pts[:0]; r.seen = 0 }

@@ -1,0 +1,70 @@
+// The span and timeline recorders are obs-layer too: their reads must not
+// steer simulation control flow, and their records must not sit under
+// branches keyed on obs-layer reads — otherwise the span trace stops being
+// parallelism-invariant and stripping observability changes results.
+package netsim
+
+import (
+	"hetlb/internal/obs/span"
+	"hetlb/internal/obs/timeline"
+)
+
+// Runtime is a stand-in simulation runtime carrying observability sinks.
+type Runtime struct {
+	Spans    *span.Recorder
+	Timeline *timeline.Recorder
+	step     int64
+}
+
+// SteeredSpans branches simulation on span/timeline reads: each read in a
+// condition is a finding, and so is every record under such a branch.
+func (r *Runtime) SteeredSpans(load int64) int64 {
+	if r.Spans.Len() > 100 { // want `simulation control flow keyed on obs read Recorder\.Len`
+		load /= 2
+	}
+	for r.Timeline.Seen() < 10 { // want `simulation control flow keyed on obs read Recorder\.Seen`
+		load++
+	}
+	switch r.Spans.Dropped() { // want `simulation control flow keyed on obs read Recorder\.Dropped`
+	case 0:
+		load = 0
+	}
+	if r.Timeline.Stride() > 1 { // want `simulation control flow keyed on obs read Recorder\.Stride`
+		r.Spans.Append(span.Span{}) // want `obs record Recorder\.Append inside a branch keyed on an obs read`
+	}
+	return load
+}
+
+// GatedAllocation gates span-ID allocation on a ring read: allocator state
+// would shift with ring occupancy, so every later span ID changes. Both the
+// read and the NextID record are findings.
+func (r *Runtime) GatedAllocation() span.ID {
+	if r.Spans.Dropped() == 0 { // want `simulation control flow keyed on obs read Recorder\.Dropped`
+		return r.Spans.NextID() // want `obs record Recorder\.NextID inside a branch keyed on an obs read`
+	}
+	return 0
+}
+
+// CleanSpans records unconditionally or under simulation-state branches:
+// observation flows one way. No diagnostics.
+func (r *Runtime) CleanSpans(moved int) {
+	r.step++
+	id := r.Spans.NextID()
+	if moved > 0 {
+		r.Spans.Append(span.Span{ID: id, Value: int64(moved)})
+	}
+	r.Timeline.Record(timeline.Point{Time: r.step})
+}
+
+// Export reads outside conditions, feeding a report: no diagnostics.
+func (r *Runtime) Export() (int, []timeline.Point) {
+	return r.Spans.Len(), r.Timeline.Points()
+}
+
+// ReportingSpans shows the reasoned escape hatch for a reporting-only branch.
+func (r *Runtime) ReportingSpans() bool {
+	if r.Spans.Dropped() > 0 { //hetlb:nondeterministic-ok reporting-only branch: overflow warning never reaches simulation state
+		return true
+	}
+	return false
+}

@@ -31,6 +31,8 @@ import (
 
 	"hetlb/internal/core"
 	"hetlb/internal/obs"
+	"hetlb/internal/obs/span"
+	"hetlb/internal/obs/timeline"
 	"hetlb/internal/pairwise"
 	"hetlb/internal/protocol"
 	"hetlb/internal/rng"
@@ -85,6 +87,18 @@ type Config struct {
 	// Tracer, when non-nil, receives one EvPairSelected event per session
 	// (Time = session sequence number, Value = jobs moved).
 	Tracer *obs.Tracer
+	// Spans, when non-nil, receives one KindSession span per pairwise
+	// session (A = initiator, B = peer, Start = End = session sequence
+	// number, Value = jobs moved, FlagCommitted when the partition changed),
+	// parented to a KindRun span closed at the end of the run. Sessions
+	// complete concurrently, so the append ORDER is scheduling-dependent
+	// (the spans themselves are not) — this runtime is inherently
+	// nondeterministic, unlike gossip/netsim.
+	Spans *span.Recorder
+	// Timeline, when non-nil, receives one point per session: Time = session
+	// sequence number and cumulative Moves. Cmax/Imbalance are recorded as 0
+	// — computing them would require locking every machine mid-run.
+	Timeline *timeline.Recorder
 }
 
 // Result summarizes a run.
@@ -131,10 +145,40 @@ func Run(p protocol.Protocol, initial *core.Assignment, cfg Config) (Result, err
 	exchanges := make([]int64, m)
 	var steps atomic.Int64
 	var done atomic.Bool
+	var movesTotal atomic.Int64
 	tracker := newQuiesceTracker(m)
 
+	var runSpan span.ID
+	if cfg.Spans != nil {
+		runSpan = cfg.Spans.NextID()
+	}
+	closeRun := func(res Result) Result {
+		if cfg.Spans != nil {
+			var fl span.Flags
+			if res.Converged {
+				fl = span.FlagCommitted
+			}
+			cfg.Spans.Append(span.Span{
+				ID:     runSpan,
+				Parent: cfg.Spans.Root(),
+				Kind:   span.KindRun,
+				Flags:  fl,
+				A:      -1,
+				B:      -1,
+				Start:  0,
+				End:    res.Steps,
+				Value:  int64(res.Assignment.Makespan()),
+			})
+		}
+		return res
+	}
+
 	if m == 1 {
-		return finish(p, model, ms, steps.Load(), exchanges)
+		res, err := finish(p, model, ms, steps.Load(), exchanges)
+		if err != nil {
+			return res, err
+		}
+		return closeRun(res), nil
 	}
 
 	// Derive per-machine generators deterministically from the seed before
@@ -182,6 +226,26 @@ func Run(p protocol.Protocol, initial *core.Assignment, cfg Config) (Result, err
 				if cfg.Tracer != nil {
 					cfg.Tracer.Emit(obs.Event{Time: s - 1, Type: obs.EvPairSelected, A: int32(i), B: int32(peer), Value: int64(moved)})
 				}
+				total := movesTotal.Add(int64(moved))
+				if cfg.Spans != nil {
+					var fl span.Flags
+					if changed {
+						fl = span.FlagCommitted
+					}
+					cfg.Spans.Append(span.Span{
+						Parent: runSpan,
+						Kind:   span.KindSession,
+						Flags:  fl,
+						A:      int32(i),
+						B:      int32(peer),
+						Start:  s - 1,
+						End:    s - 1,
+						Value:  int64(moved),
+					})
+				}
+				if cfg.Timeline != nil {
+					cfg.Timeline.Record(timeline.Point{Time: s - 1, Moves: total})
+				}
 				if cfg.QuiesceStreak > 0 && tracker.record(i, changed, cfg.QuiesceStreak) {
 					done.Store(true)
 					return
@@ -195,7 +259,11 @@ func Run(p protocol.Protocol, initial *core.Assignment, cfg Config) (Result, err
 		}(i)
 	}
 	wg.Wait()
-	return finish(p, model, ms, steps.Load(), exchanges)
+	res, err := finish(p, model, ms, steps.Load(), exchanges)
+	if err != nil {
+		return res, err
+	}
+	return closeRun(res), nil
 }
 
 // quiesceTracker implements the all-machines-quiet stopping rule. It is a

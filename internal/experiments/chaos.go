@@ -7,6 +7,7 @@ import (
 	"hetlb/internal/faults"
 	"hetlb/internal/harness"
 	"hetlb/internal/netsim"
+	"hetlb/internal/obs/span"
 	"hetlb/internal/plot"
 	"hetlb/internal/protocol"
 	"hetlb/internal/rng"
@@ -124,10 +125,28 @@ func ChaosWith(opt harness.Options, cfg ChaosConfig) ([]ChaosResult, error) {
 		for _, crashes := range cfg.CrashCounts {
 			loss, crashes := loss, crashes
 			cellSeed := rng.DeriveSeed(cfg.Seed, uint64(cell))
+			// One KindSweep span per cell: the cell's replication spans hang
+			// under it (A = cell index, Start/End = cell index, Value encodes
+			// the crash count; the loss rate is recoverable from the config).
+			var sweep span.ID
+			if opt.Spans != nil {
+				sweep = opt.Spans.Append(span.Span{
+					Kind:  span.KindSweep,
+					A:     int32(cell),
+					B:     -1,
+					Start: int64(cell),
+					End:   int64(cell),
+					Value: int64(crashes),
+				})
+				opt.Spans.SetRoot(sweep)
+			}
 			cell++
 			rs, err := harness.Map(opt, cellSeed, cfg.Runs, func(rep *harness.Rep) (chaosRun, error) {
 				return chaosReplication(rep, cfg, loss, crashes, met)
 			})
+			if opt.Spans != nil {
+				opt.Spans.SetRoot(0)
+			}
 			if err != nil {
 				return nil, err
 			}
@@ -182,6 +201,7 @@ func chaosReplication(rep *harness.Rep, cfg ChaosConfig, loss float64, crashes i
 		Horizon: cfg.Horizon,
 		Faults:  fp,
 		Metrics: met,
+		Spans:   rep.Spans,
 	})
 	if err != nil {
 		return chaosRun{}, err

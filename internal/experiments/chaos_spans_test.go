@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"hetlb/internal/harness"
+	"hetlb/internal/obs/span"
+)
+
+// chaosSpanTrace runs the reduced chaos sweep with span collection at the
+// given worker count and returns the serialized trace.
+func chaosSpanTrace(t *testing.T, parallelism int) []byte {
+	t.Helper()
+	rec := span.NewRecorder(1 << 18)
+	if _, err := ChaosWith(harness.Options{Parallelism: parallelism, Spans: rec}, PaperChaos().Reduced()); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// The span trace of a sweep must be bit-identical for every worker count:
+// per-replication namespaces plus index-ordered merging remove scheduling
+// from the trace entirely. This is the acceptance bar for the causal span
+// layer — if it holds, explain reports are reproducible artifacts.
+func TestChaosSpanTraceParallelismInvariant(t *testing.T) {
+	seq := chaosSpanTrace(t, 1)
+	par := chaosSpanTrace(t, 4)
+	if !bytes.Equal(seq, par) {
+		t.Fatalf("span trace differs between -parallel 1 (%d bytes) and 4 (%d bytes)", len(seq), len(par))
+	}
+	if len(seq) == 0 {
+		t.Fatal("empty span trace")
+	}
+}
+
+// A faulted chaos sweep must attribute at least one fault record to a
+// specific session span: that parent link is what hetlb explain aggregates.
+func TestChaosSpansAttributeFaultsToSessions(t *testing.T) {
+	rec := span.NewRecorder(1 << 18)
+	if _, err := ChaosWith(harness.Options{Spans: rec}, PaperChaos().Reduced()); err != nil {
+		t.Fatal(err)
+	}
+	spans := rec.Spans()
+	session := make(map[span.ID]bool)
+	for _, s := range spans {
+		if s.Kind == span.KindSession {
+			session[s.ID] = true
+		}
+	}
+	var attributed, crashed int
+	for _, s := range spans {
+		if s.Kind == span.KindFault && session[s.Parent] {
+			attributed++
+		}
+		if s.Kind == span.KindSession && s.Flags&span.FlagCrashed != 0 {
+			crashed++
+		}
+	}
+	if attributed == 0 {
+		t.Error("no fault record is parented to a session span")
+	}
+	if crashed == 0 {
+		t.Error("no session span carries FlagCrashed despite scheduled crashes")
+	}
+}

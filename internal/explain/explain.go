@@ -1,0 +1,382 @@
+// Package explain turns the observability exports — a causal span trace and
+// a convergence timeline — into a post-run diagnosis: when the run converged
+// and where it stalled, which machine pairs carried the balancing traffic,
+// which sessions the injected faults actually degraded, and how long
+// sessions took end to end (p50/p99).
+//
+// The analysis is a pure function of its inputs. Every aggregation iterates
+// in sorted order with explicit tie-breaking, so the same trace always
+// produces the same report — explain output can be diffed and golden-tested
+// like any other artifact of the deterministic pipeline.
+package explain
+
+import (
+	"sort"
+
+	"hetlb/internal/obs/span"
+	"hetlb/internal/obs/timeline"
+)
+
+// Options tunes the analysis. The zero value is usable.
+type Options struct {
+	// TopK bounds the ranked lists (hottest pairs, most degraded
+	// sessions); 0 means 5.
+	TopK int
+	// StallPoints is the minimum number of consecutive timeline points
+	// without a makespan improvement that counts as a stall; 0 means 8.
+	StallPoints int
+}
+
+// Session is one merged balancing session: all span records sharing an ID
+// (the initiator's and the target's close, when both sides recorded one)
+// folded into a single interval.
+type Session struct {
+	ID                span.ID
+	Initiator, Target int32
+	// Flags is the union over the session's records; a session that one
+	// side committed and a crash aborted carries both bits.
+	Flags span.Flags
+	// Start and End span the earliest open and the latest close seen.
+	Start, End int64
+	// Moved is the jobs the session migrated (0 for aborted sessions).
+	Moved int64
+	// Fault counts attributed to this session, by tag.
+	Drops, Retransmits, Timeouts, Crashes int
+}
+
+// FaultTotal is the number of fault points attributed to the session.
+func (s *Session) FaultTotal() int { return s.Drops + s.Retransmits + s.Timeouts + s.Crashes }
+
+// Pair aggregates balancing activity between two machines, from session
+// spans (A = initiator, B = target) and sequential step spans (A, B = the
+// balanced pair).
+type Pair struct {
+	A, B    int32
+	Count   int   // sessions/steps between the pair
+	Moved   int64 // jobs migrated between the pair
+	Faulted int   // sessions of the pair that suffered at least one fault
+	Commits int   // sessions/steps that moved ownership
+}
+
+// Stall is a flat stretch of the timeline: the makespan did not improve for
+// Points consecutive samples between two improvements.
+type Stall struct {
+	From, To int64 // logical time of the bracketing improvements
+	Points   int   // samples inside the stretch
+	Cmax     int64 // the makespan the run was stuck at
+}
+
+// Timeline summarizes the convergence trajectory.
+type Timeline struct {
+	Points                           int
+	InitialCmax, FinalCmax, BestCmax int64
+	// ConvergedAt is the logical time of the first sample at BestCmax.
+	ConvergedAt int64
+	// FinalMoves and FinalMessages are the cumulative totals at the last
+	// sample.
+	FinalMoves, FinalMessages int64
+	// Stalls lists the flat stretches longer than Options.StallPoints,
+	// longest first.
+	Stalls []Stall
+}
+
+// Quantiles summarizes the merged session durations (End − Start, in the
+// runtime's logical time unit).
+type Quantiles struct {
+	Count              int
+	P50, P90, P99, Max float64
+}
+
+// Report is the full analysis.
+type Report struct {
+	// Header is the span export's ring accounting.
+	Header Header
+	// Record counts by kind.
+	Runs, Replications, Sweeps, SessionCount, Steps, FaultPoints int
+	// Session outcomes (per merged session).
+	Committed, Aborted, Rejected, CrashedSessions int
+	// Global fault counts by tag (session-level and machine-level both).
+	Drops, Retransmits, Timeouts, MachineCrashes, Recoveries int
+	// Orphans counts fault points whose parent session fell out of the
+	// ring (attribution lost to truncation).
+	Orphans int
+	// Durations are the merged session latency quantiles.
+	Durations Quantiles
+	// Degraded ranks the sessions by attributed fault count, worst first.
+	Degraded []Session
+	// HotPairs ranks machine pairs by jobs moved, busiest first.
+	HotPairs []Pair
+	// Timeline is nil when no timeline was provided.
+	Timeline *Timeline
+}
+
+// Analyze builds the report from a parsed span trace and an optional
+// timeline (pts may be nil).
+func Analyze(spans []span.Span, hdr Header, pts []timeline.Point, opt Options) *Report {
+	topK := opt.TopK
+	if topK <= 0 {
+		topK = 5
+	}
+	r := &Report{Header: hdr}
+
+	// Pass 1: merge session records by ID and count kinds.
+	sessions := make(map[span.ID]*Session)
+	var order []span.ID // first-seen order, for deterministic iteration
+	for _, s := range spans {
+		switch s.Kind {
+		case span.KindRun:
+			r.Runs++
+		case span.KindReplication:
+			r.Replications++
+		case span.KindSweep:
+			r.Sweeps++
+		case span.KindStep:
+			r.Steps++
+		case span.KindFault:
+			r.FaultPoints++
+		case span.KindSession:
+			m, ok := sessions[s.ID]
+			if !ok {
+				m = &Session{ID: s.ID, Initiator: s.A, Target: s.B, Start: s.Start, End: s.End}
+				sessions[s.ID] = m
+				order = append(order, s.ID)
+			}
+			m.Flags |= s.Flags
+			if s.Start < m.Start {
+				m.Start = s.Start
+			}
+			if s.End > m.End {
+				m.End = s.End
+			}
+			// The initiator's close carries the authoritative move count;
+			// fall back to any positive value for single-record sessions.
+			if s.Tag == span.TagInitiator || m.Moved == 0 {
+				if s.Value > m.Moved {
+					m.Moved = s.Value
+				}
+			}
+		}
+	}
+	r.SessionCount = len(sessions)
+
+	// Pass 2: attribute fault points to their parent session.
+	for _, s := range spans {
+		if s.Kind != span.KindFault {
+			continue
+		}
+		m := sessions[s.Parent]
+		switch s.Tag {
+		case span.TagDrop:
+			r.Drops++
+			if m != nil {
+				m.Drops++
+			} else if s.Parent != 0 {
+				r.Orphans++
+			}
+		case span.TagRetransmit:
+			r.Retransmits++
+			if m != nil {
+				m.Retransmits++
+			} else if s.Parent != 0 {
+				r.Orphans++
+			}
+		case span.TagTimeout:
+			r.Timeouts++
+			if m != nil {
+				m.Timeouts++
+			} else if s.Parent != 0 {
+				r.Orphans++
+			}
+		case span.TagCrash:
+			if m != nil {
+				m.Crashes++
+			} else {
+				r.MachineCrashes++
+			}
+		case span.TagRecover:
+			r.Recoveries++
+		}
+	}
+
+	// Outcomes, durations and degraded ranking over the merged sessions.
+	durations := make([]int64, 0, len(sessions))
+	var degraded []Session
+	for _, id := range order {
+		m := sessions[id]
+		if m.Flags&span.FlagCommitted != 0 {
+			r.Committed++
+		}
+		if m.Flags&span.FlagAborted != 0 {
+			r.Aborted++
+		}
+		if m.Flags&span.FlagRejected != 0 {
+			r.Rejected++
+		}
+		if m.Flags&span.FlagCrashed != 0 {
+			r.CrashedSessions++
+		}
+		durations = append(durations, m.End-m.Start)
+		if m.FaultTotal() > 0 {
+			degraded = append(degraded, *m)
+		}
+	}
+	sort.Slice(degraded, func(i, j int) bool {
+		if degraded[i].FaultTotal() != degraded[j].FaultTotal() {
+			return degraded[i].FaultTotal() > degraded[j].FaultTotal()
+		}
+		return degraded[i].ID < degraded[j].ID
+	})
+	if len(degraded) > topK {
+		degraded = degraded[:topK]
+	}
+	r.Degraded = degraded
+
+	sort.Slice(durations, func(i, j int) bool { return durations[i] < durations[j] })
+	r.Durations = Quantiles{
+		Count: len(durations),
+		P50:   quantile(durations, 0.50),
+		P90:   quantile(durations, 0.90),
+		P99:   quantile(durations, 0.99),
+		Max:   quantile(durations, 1),
+	}
+
+	// Hottest pairs over sessions and sequential steps.
+	type pairKey struct{ a, b int32 }
+	pairs := make(map[pairKey]*Pair)
+	var pairOrder []pairKey
+	touch := func(a, b int32) *Pair {
+		k := pairKey{a, b}
+		p, ok := pairs[k]
+		if !ok {
+			p = &Pair{A: a, B: b}
+			pairs[k] = p
+			pairOrder = append(pairOrder, k)
+		}
+		return p
+	}
+	for _, id := range order {
+		m := sessions[id]
+		p := touch(m.Initiator, m.Target)
+		p.Count++
+		p.Moved += m.Moved
+		if m.FaultTotal() > 0 {
+			p.Faulted++
+		}
+		if m.Flags&span.FlagCommitted != 0 {
+			p.Commits++
+		}
+	}
+	for _, s := range spans {
+		if s.Kind != span.KindStep {
+			continue
+		}
+		p := touch(s.A, s.B)
+		p.Count++
+		p.Moved += s.Value
+		if s.Flags&span.FlagCommitted != 0 {
+			p.Commits++
+		}
+	}
+	hot := make([]Pair, 0, len(pairOrder))
+	for _, k := range pairOrder {
+		hot = append(hot, *pairs[k])
+	}
+	sort.Slice(hot, func(i, j int) bool {
+		if hot[i].Moved != hot[j].Moved {
+			return hot[i].Moved > hot[j].Moved
+		}
+		if hot[i].Count != hot[j].Count {
+			return hot[i].Count > hot[j].Count
+		}
+		if hot[i].A != hot[j].A {
+			return hot[i].A < hot[j].A
+		}
+		return hot[i].B < hot[j].B
+	})
+	if len(hot) > topK {
+		hot = hot[:topK]
+	}
+	r.HotPairs = hot
+
+	if pts != nil {
+		r.Timeline = analyzeTimeline(pts, opt, topK)
+	}
+	return r
+}
+
+// analyzeTimeline summarizes the trajectory and finds the stalls.
+func analyzeTimeline(pts []timeline.Point, opt Options, topK int) *Timeline {
+	stallMin := opt.StallPoints
+	if stallMin <= 0 {
+		stallMin = 8
+	}
+	t := &Timeline{Points: len(pts), ConvergedAt: -1}
+	if len(pts) == 0 {
+		return t
+	}
+	t.InitialCmax = pts[0].Cmax
+	t.FinalCmax = pts[len(pts)-1].Cmax
+	t.FinalMoves = pts[len(pts)-1].Moves
+	t.FinalMessages = pts[len(pts)-1].Messages
+	best := pts[0].Cmax
+	for _, p := range pts {
+		if p.Cmax < best {
+			best = p.Cmax
+		}
+	}
+	t.BestCmax = best
+	// Walk the improvements: a stall is the stretch between two strict
+	// improvements of the running minimum. The tail after the last
+	// improvement is convergence, not a stall, and is reported via
+	// ConvergedAt instead.
+	runMin := pts[0].Cmax
+	lastImprove := 0
+	for i, p := range pts {
+		if p.Cmax == best && t.ConvergedAt < 0 {
+			t.ConvergedAt = p.Time
+		}
+		if p.Cmax < runMin {
+			if gap := i - lastImprove - 1; gap >= stallMin {
+				t.Stalls = append(t.Stalls, Stall{
+					From:   pts[lastImprove].Time,
+					To:     p.Time,
+					Points: gap,
+					Cmax:   runMin,
+				})
+			}
+			runMin = p.Cmax
+			lastImprove = i
+		}
+	}
+	sort.Slice(t.Stalls, func(i, j int) bool {
+		if t.Stalls[i].Points != t.Stalls[j].Points {
+			return t.Stalls[i].Points > t.Stalls[j].Points
+		}
+		return t.Stalls[i].From < t.Stalls[j].From
+	})
+	if len(t.Stalls) > topK {
+		t.Stalls = t.Stalls[:topK]
+	}
+	return t
+}
+
+// quantile interpolates linearly between the order statistics of a sorted
+// sample; q is clamped to [0, 1]. An empty sample yields 0.
+func quantile(sorted []int64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	if lo == len(sorted)-1 {
+		return float64(sorted[lo])
+	}
+	frac := pos - float64(lo)
+	return float64(sorted[lo])*(1-frac) + float64(sorted[lo+1])*frac
+}

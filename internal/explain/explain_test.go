@@ -1,0 +1,220 @@
+package explain
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hetlb/internal/core"
+	"hetlb/internal/faults"
+	"hetlb/internal/netsim"
+	"hetlb/internal/obs/span"
+	"hetlb/internal/obs/timeline"
+	"hetlb/internal/protocol"
+	"hetlb/internal/rng"
+	"hetlb/internal/workload"
+)
+
+func TestSpanRoundTrip(t *testing.T) {
+	rec := span.NewRecorder(16)
+	want := []span.Span{
+		{Kind: span.KindRun, A: -1, B: -1, Start: 0, End: 100, Value: 42},
+		{Kind: span.KindSession, Tag: span.TagInitiator, Flags: span.FlagCommitted, A: 3, B: 7, Start: 10, End: 25, Clock: 9, Value: 2},
+		{Kind: span.KindFault, Tag: span.TagDrop, Parent: 2, A: 3, B: 7, Start: 12, End: 12, Clock: 4, Value: 1},
+	}
+	for _, s := range want {
+		rec.Append(s)
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, hdr, err := ReadSpans(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.Retained != 3 || hdr.Dropped != 0 {
+		t.Fatalf("header = %+v, want retained 3 dropped 0", hdr)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d spans, want %d", len(got), len(want))
+	}
+	for i, g := range got {
+		w := want[i]
+		w.ID = g.ID // Append assigned fresh IDs
+		if g != w {
+			t.Errorf("span %d = %+v, want %+v", i, g, w)
+		}
+	}
+}
+
+func TestReadSpansRejectsWrongMeta(t *testing.T) {
+	_, _, err := ReadSpans(strings.NewReader("{\"meta\":\"hetlb-events\",\"version\":1}\n"))
+	if err == nil {
+		t.Fatal("expected an error for an event trace fed as a span trace")
+	}
+}
+
+func TestTimelineRoundTripBothFormats(t *testing.T) {
+	rec := timeline.NewRecorder(8)
+	for i := 0; i < 5; i++ {
+		rec.Record(timeline.Point{Time: int64(i * 10), Cmax: int64(100 - i), Imbalance: int64(5 - i), Moves: int64(i), Messages: int64(3 * i)})
+	}
+	want := rec.Points()
+
+	var csv, js bytes.Buffer
+	if err := rec.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	for name, buf := range map[string]*bytes.Buffer{"csv": &csv, "json": &js} {
+		got, err := ReadTimeline(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: got %d points, want %d", name, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("%s: point %d = %+v, want %+v", name, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	s := []int64{10, 20, 30, 40}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 10}, {1, 40}, {0.5, 25}, {1.0 / 3, 20},
+	}
+	for _, c := range cases {
+		if got := quantile(s, c.q); got != c.want {
+			t.Errorf("quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := quantile(nil, 0.5); got != 0 {
+		t.Errorf("quantile(empty) = %v, want 0", got)
+	}
+}
+
+func TestStallDetection(t *testing.T) {
+	// Improvement at t=0, then 10 flat samples, improvement, then flat tail.
+	var pts []timeline.Point
+	cmax := int64(100)
+	for i := 0; i < 20; i++ {
+		if i == 11 {
+			cmax = 50
+		}
+		pts = append(pts, timeline.Point{Time: int64(i), Cmax: cmax})
+	}
+	tl := analyzeTimeline(pts, Options{StallPoints: 8}, 5)
+	if len(tl.Stalls) != 1 {
+		t.Fatalf("got %d stalls, want 1 (%+v)", len(tl.Stalls), tl.Stalls)
+	}
+	s := tl.Stalls[0]
+	if s.Cmax != 100 || s.Points != 10 || s.From != 0 || s.To != 11 {
+		t.Errorf("stall = %+v, want stuck at 100 for 10 points over t=0..11", s)
+	}
+	if tl.ConvergedAt != 11 {
+		t.Errorf("ConvergedAt = %d, want 11", tl.ConvergedAt)
+	}
+	if tl.BestCmax != 50 || tl.InitialCmax != 100 || tl.FinalCmax != 50 {
+		t.Errorf("summary = %+v", tl)
+	}
+}
+
+// faultedRun produces the spans and timeline of one faulted message-passing
+// run, exactly as `hetlb sim`/`chaos` would export them.
+func faultedRun(t *testing.T) ([]span.Span, Header, []timeline.Point) {
+	t.Helper()
+	gen := rng.New(7)
+	tc := workload.UniformTwoCluster(gen, 6, 3, 72, 1, 100)
+	initial := core.NewAssignment(tc)
+	for j := 0; j < tc.NumJobs(); j++ {
+		initial.Assign(j, gen.Intn(tc.NumMachines()))
+	}
+	fc := &faults.Config{
+		DropProb: 0.25, DupProb: 0.05, JitterMax: 3,
+		Crashes: faults.RandomCrashes(gen.Uint64(), tc.NumMachines(), 1500, 2, 200, 0.5),
+	}
+	rec := span.NewRecorder(1 << 16)
+	tl := timeline.NewRecorder(1 << 10)
+	sim, err := netsim.New(tc, protocol.DLB2C{Model: tc}, initial, netsim.Config{
+		Seed: gen.Uint64(), Latency: 2, Period: 10, Horizon: 1500,
+		Faults: fc, Spans: rec, Timeline: tl,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+
+	var sb bytes.Buffer
+	if err := rec.WriteJSONL(&sb); err != nil {
+		t.Fatal(err)
+	}
+	spans, hdr, err := ReadSpans(&sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tb bytes.Buffer
+	if err := tl.WriteCSV(&tb); err != nil {
+		t.Fatal(err)
+	}
+	pts, err := ReadTimeline(&tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spans, hdr, pts
+}
+
+// The acceptance bar: on a faulted run, explain must attribute at least one
+// degradation (drop, retransmission, timeout or crash) to a specific
+// session, and the rendered report must name it.
+func TestExplainAttributesFaultsToSessions(t *testing.T) {
+	spans, hdr, pts := faultedRun(t)
+	r := Analyze(spans, hdr, pts, Options{})
+	if r.SessionCount == 0 {
+		t.Fatal("no sessions in the trace")
+	}
+	if len(r.Degraded) == 0 {
+		t.Fatal("no degradation attributed to any session")
+	}
+	worst := r.Degraded[0]
+	if worst.FaultTotal() == 0 {
+		t.Fatal("degraded session with zero faults")
+	}
+	if r.Timeline == nil || r.Timeline.Points == 0 {
+		t.Fatal("timeline missing from the report")
+	}
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"most degraded sessions", "convergence", "hottest machine pairs", "latency: p50"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// The report must be a pure function of the trace.
+func TestExplainDeterministic(t *testing.T) {
+	spans, hdr, pts := faultedRun(t)
+	var a, b bytes.Buffer
+	if err := Analyze(spans, hdr, pts, Options{}).WriteText(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := Analyze(spans, hdr, pts, Options{}).WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("two analyses of the same trace differ")
+	}
+}

@@ -1,0 +1,184 @@
+package explain
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"hetlb/internal/obs/span"
+	"hetlb/internal/obs/timeline"
+)
+
+// Header is the accounting line of a spans JSONL export: how much the ring
+// saw and how much survived. Dropped > 0 means the report describes a
+// truncated trace and says so.
+type Header struct {
+	Total    uint64
+	Dropped  uint64
+	Retained int
+}
+
+// spanLine mirrors one span.Recorder JSONL record.
+type spanLine struct {
+	ID     uint64 `json:"id"`
+	Parent uint64 `json:"parent"`
+	Kind   string `json:"kind"`
+	Tag    string `json:"tag"`
+	Flags  uint8  `json:"flags"`
+	A      int32  `json:"a"`
+	B      int32  `json:"b"`
+	Start  int64  `json:"start"`
+	End    int64  `json:"end"`
+	Clock  uint64 `json:"clock"`
+	V      int64  `json:"v"`
+}
+
+// headerLine mirrors the self-describing first line of both JSONL exports.
+type headerLine struct {
+	Meta     string `json:"meta"`
+	Version  int    `json:"version"`
+	Total    uint64 `json:"total"`
+	Dropped  uint64 `json:"dropped"`
+	Retained int    `json:"retained"`
+}
+
+// kindOf inverts span.Kind.String (the wire names are pinned by tests).
+func kindOf(s string) (span.Kind, error) {
+	for k := span.KindRun; k <= span.KindFault; k++ {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown span kind %q", s)
+}
+
+// tagOf inverts span.Tag.String.
+func tagOf(s string) (span.Tag, error) {
+	for t := span.TagNone; t <= span.TagRecover; t++ {
+		if t.String() == s {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown span tag %q", s)
+}
+
+// ReadSpans parses a span.Recorder JSONL export: the header line followed by
+// one record per line.
+func ReadSpans(r io.Reader) ([]span.Span, Header, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	if !sc.Scan() {
+		return nil, Header{}, fmt.Errorf("explain: empty span trace")
+	}
+	var h headerLine
+	if err := json.Unmarshal(sc.Bytes(), &h); err != nil {
+		return nil, Header{}, fmt.Errorf("explain: span trace header: %w", err)
+	}
+	if h.Meta != "hetlb-spans" {
+		return nil, Header{}, fmt.Errorf("explain: not a span trace (meta %q, want \"hetlb-spans\")", h.Meta)
+	}
+	hdr := Header{Total: h.Total, Dropped: h.Dropped, Retained: h.Retained}
+	var out []span.Span
+	line := 1
+	for sc.Scan() {
+		line++
+		if len(strings.TrimSpace(string(sc.Bytes()))) == 0 {
+			continue
+		}
+		var l spanLine
+		if err := json.Unmarshal(sc.Bytes(), &l); err != nil {
+			return nil, hdr, fmt.Errorf("explain: span trace line %d: %w", line, err)
+		}
+		k, err := kindOf(l.Kind)
+		if err != nil {
+			return nil, hdr, fmt.Errorf("explain: span trace line %d: %w", line, err)
+		}
+		t, err := tagOf(l.Tag)
+		if err != nil {
+			return nil, hdr, fmt.Errorf("explain: span trace line %d: %w", line, err)
+		}
+		out = append(out, span.Span{
+			ID:     span.ID(l.ID),
+			Parent: span.ID(l.Parent),
+			Kind:   k,
+			Tag:    t,
+			Flags:  span.Flags(l.Flags),
+			A:      l.A,
+			B:      l.B,
+			Start:  l.Start,
+			End:    l.End,
+			Clock:  l.Clock,
+			Value:  l.V,
+		})
+	}
+	return out, hdr, sc.Err()
+}
+
+// timelineJSON mirrors timeline.Recorder.WriteJSON.
+type timelineJSON struct {
+	Meta   string `json:"meta"`
+	Points []struct {
+		Time      int64 `json:"time"`
+		Cmax      int64 `json:"cmax"`
+		Imbalance int64 `json:"imbalance"`
+		Moves     int64 `json:"moves"`
+		Messages  int64 `json:"messages"`
+	} `json:"points"`
+}
+
+// ReadTimeline parses a timeline export in either format, sniffing JSON
+// (WriteJSON) against CSV (WriteCSV) from the first byte.
+func ReadTimeline(r io.Reader) ([]timeline.Point, error) {
+	br := bufio.NewReader(r)
+	first, err := br.Peek(1)
+	if err != nil {
+		return nil, fmt.Errorf("explain: empty timeline")
+	}
+	if first[0] == '{' {
+		var tj timelineJSON
+		if err := json.NewDecoder(br).Decode(&tj); err != nil {
+			return nil, fmt.Errorf("explain: timeline JSON: %w", err)
+		}
+		if tj.Meta != "hetlb-timeline" {
+			return nil, fmt.Errorf("explain: not a timeline (meta %q, want \"hetlb-timeline\")", tj.Meta)
+		}
+		out := make([]timeline.Point, len(tj.Points))
+		for i, p := range tj.Points {
+			out[i] = timeline.Point{Time: p.Time, Cmax: p.Cmax, Imbalance: p.Imbalance, Moves: p.Moves, Messages: p.Messages}
+		}
+		return out, nil
+	}
+	sc := bufio.NewScanner(br)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("explain: empty timeline")
+	}
+	if got := strings.TrimSpace(sc.Text()); got != "time,cmax,imbalance,moves,messages" {
+		return nil, fmt.Errorf("explain: not a timeline CSV (header %q)", got)
+	}
+	var out []timeline.Point
+	line := 1
+	for sc.Scan() {
+		line++
+		row := strings.TrimSpace(sc.Text())
+		if row == "" {
+			continue
+		}
+		cols := strings.Split(row, ",")
+		if len(cols) != 5 {
+			return nil, fmt.Errorf("explain: timeline CSV line %d: %d columns, want 5", line, len(cols))
+		}
+		var vals [5]int64
+		for i, c := range cols {
+			v, err := strconv.ParseInt(strings.TrimSpace(c), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("explain: timeline CSV line %d: %w", line, err)
+			}
+			vals[i] = v
+		}
+		out = append(out, timeline.Point{Time: vals[0], Cmax: vals[1], Imbalance: vals[2], Moves: vals[3], Messages: vals[4]})
+	}
+	return out, sc.Err()
+}

@@ -1,0 +1,115 @@
+package explain
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"hetlb/internal/obs/span"
+)
+
+// WriteText renders the report as a sectioned plain-text diagnosis. The
+// output is deterministic for a given trace: every list is sorted with
+// explicit tie-breaking in Analyze.
+func (r *Report) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+
+	fmt.Fprintf(bw, "span trace: %d records retained", r.Header.Retained)
+	if r.Header.Dropped > 0 {
+		fmt.Fprintf(bw, " (%d dropped — the ring overflowed; raise -span-cap, attribution below is partial)", r.Header.Dropped)
+	}
+	fmt.Fprintln(bw)
+	fmt.Fprintf(bw, "  runs %d, replications %d, sweep cells %d, sessions %d, steps %d, fault points %d\n",
+		r.Runs, r.Replications, r.Sweeps, r.SessionCount, r.Steps, r.FaultPoints)
+
+	if r.Timeline != nil {
+		t := r.Timeline
+		fmt.Fprintf(bw, "\nconvergence (%d samples)\n", t.Points)
+		if t.Points > 0 {
+			fmt.Fprintf(bw, "  Cmax %d -> %d (best %d)", t.InitialCmax, t.FinalCmax, t.BestCmax)
+			if t.ConvergedAt >= 0 {
+				fmt.Fprintf(bw, ", best first reached at t=%d", t.ConvergedAt)
+			}
+			fmt.Fprintln(bw)
+			fmt.Fprintf(bw, "  cumulative: %d moves, %d messages\n", t.FinalMoves, t.FinalMessages)
+			if len(t.Stalls) == 0 {
+				fmt.Fprintf(bw, "  no stalls: the makespan never sat still long enough to flag\n")
+			}
+			for _, s := range t.Stalls {
+				fmt.Fprintf(bw, "  stall: stuck at Cmax %d for %d samples (t=%d..%d)\n", s.Cmax, s.Points, s.From, s.To)
+			}
+		}
+	}
+
+	if r.SessionCount > 0 {
+		fmt.Fprintf(bw, "\nsessions (%d merged)\n", r.SessionCount)
+		fmt.Fprintf(bw, "  outcomes: %d committed, %d aborted, %d rejected, %d crashed\n",
+			r.Committed, r.Aborted, r.Rejected, r.CrashedSessions)
+		d := r.Durations
+		fmt.Fprintf(bw, "  latency: p50 %.1f, p90 %.1f, p99 %.1f, max %.0f (logical time units)\n",
+			d.P50, d.P90, d.P99, d.Max)
+	}
+
+	if r.Drops+r.Retransmits+r.Timeouts+r.MachineCrashes+r.Recoveries > 0 {
+		fmt.Fprintf(bw, "\nfaults\n")
+		fmt.Fprintf(bw, "  %d drops, %d retransmissions, %d timeouts, %d machine crashes, %d recoveries\n",
+			r.Drops, r.Retransmits, r.Timeouts, r.MachineCrashes, r.Recoveries)
+		if r.Orphans > 0 {
+			fmt.Fprintf(bw, "  %d fault points lost their session to ring truncation\n", r.Orphans)
+		}
+		if len(r.Degraded) == 0 {
+			fmt.Fprintf(bw, "  no session had a fault attributed to it\n")
+		} else {
+			fmt.Fprintf(bw, "  most degraded sessions (faults attributed to the session that suffered them):\n")
+			for _, s := range r.Degraded {
+				fmt.Fprintf(bw, "    session %d (machine %d -> %d): %d faults (%d drops, %d retransmits, %d timeouts, %d crashes), outcome %s, t=%d..%d\n",
+					uint64(s.ID), s.Initiator, s.Target, s.FaultTotal(),
+					s.Drops, s.Retransmits, s.Timeouts, s.Crashes,
+					flagsText(s.Flags), s.Start, s.End)
+			}
+		}
+	}
+
+	if len(r.HotPairs) > 0 {
+		fmt.Fprintf(bw, "\nhottest machine pairs (by jobs moved)\n")
+		for _, p := range r.HotPairs {
+			fmt.Fprintf(bw, "  %d <-> %d: %d jobs over %d sessions/steps (%d committed", p.A, p.B, p.Moved, p.Count, p.Commits)
+			if p.Faulted > 0 {
+				fmt.Fprintf(bw, ", %d faulted", p.Faulted)
+			}
+			fmt.Fprintf(bw, ")\n")
+		}
+	}
+
+	return bw.Flush()
+}
+
+// flagsText names a session's outcome bits.
+func flagsText(f span.Flags) string {
+	if f == 0 {
+		return "open"
+	}
+	s := ""
+	add := func(name string) {
+		if s != "" {
+			s += "+"
+		}
+		s += name
+	}
+	if f&span.FlagCommitted != 0 {
+		add("committed")
+	}
+	if f&span.FlagAborted != 0 {
+		add("aborted")
+	}
+	if f&span.FlagRejected != 0 {
+		add("rejected")
+	}
+	if f&span.FlagCrashed != 0 {
+		add("crashed")
+	}
+	if f&span.FlagFailed != 0 {
+		add("failed")
+	}
+	return s
+}

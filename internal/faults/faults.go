@@ -97,6 +97,44 @@ func (c Config) Validate(machines int) error {
 	return nil
 }
 
+// DownAt reports whether the schedule has the machine down at time t: some
+// crash happened at or before t and its recovery (if any) is after t. It is
+// a pure function of the schedule — the planned counterpart of the
+// runtime's dynamic crash state, usable to cross-check the two after a run
+// or to annotate a report with scheduled churn.
+func (c Config) DownAt(machine int, t int64) bool {
+	for _, cr := range c.Crashes {
+		if cr.Machine != machine {
+			continue
+		}
+		if t >= cr.At && (cr.RecoverAt == 0 || t < cr.RecoverAt) {
+			return true
+		}
+	}
+	return false
+}
+
+// TotalDowntime returns the scheduled machine-downtime (summed over
+// machines) overlapping [0, horizon]. Crashes that never recover count to
+// the horizon. Assumes a validated schedule (per-machine intervals do not
+// overlap).
+func (c Config) TotalDowntime(horizon int64) int64 {
+	var total int64
+	for _, cr := range c.Crashes {
+		if cr.At > horizon {
+			continue
+		}
+		end := cr.RecoverAt
+		if end == 0 || end > horizon {
+			end = horizon
+		}
+		if end > cr.At {
+			total += end - cr.At
+		}
+	}
+	return total
+}
+
 // sortedCrashes returns the schedule ordered by (At, Machine, RecoverAt) —
 // the deterministic order the runtime schedules them in.
 func sortedCrashes(cs []Crash) []Crash {

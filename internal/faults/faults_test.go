@@ -144,3 +144,43 @@ func TestRandomCrashes(t *testing.T) {
 		t.Error("loseProb change did not alter schedule")
 	}
 }
+
+func TestDownAt(t *testing.T) {
+	c := Config{Crashes: []Crash{
+		{Machine: 1, At: 10, RecoverAt: 20},
+		{Machine: 1, At: 30, RecoverAt: 0}, // never recovers
+		{Machine: 2, At: 5, RecoverAt: 6},
+	}}
+	cases := []struct {
+		machine int
+		t       int64
+		want    bool
+	}{
+		{1, 9, false}, {1, 10, true}, {1, 19, true}, {1, 20, false},
+		{1, 29, false}, {1, 30, true}, {1, 1 << 60, true},
+		{2, 5, true}, {2, 6, false},
+		{0, 10, false}, // never scheduled
+	}
+	for _, cse := range cases {
+		if got := c.DownAt(cse.machine, cse.t); got != cse.want {
+			t.Errorf("DownAt(%d, %d) = %v, want %v", cse.machine, cse.t, got, cse.want)
+		}
+	}
+}
+
+func TestTotalDowntime(t *testing.T) {
+	c := Config{Crashes: []Crash{
+		{Machine: 1, At: 10, RecoverAt: 20},   // 10 units
+		{Machine: 2, At: 90, RecoverAt: 0},    // permanent: counts to the horizon
+		{Machine: 3, At: 200, RecoverAt: 300}, // beyond the horizon: ignored
+	}}
+	if got := c.TotalDowntime(100); got != 10+10 {
+		t.Errorf("TotalDowntime(100) = %d, want 20", got)
+	}
+	if got := c.TotalDowntime(15); got != 5 {
+		t.Errorf("TotalDowntime(15) = %d, want 5", got)
+	}
+	if got := (Config{}).TotalDowntime(100); got != 0 {
+		t.Errorf("empty schedule TotalDowntime = %d, want 0", got)
+	}
+}

@@ -14,6 +14,8 @@ package gossip
 import (
 	"hetlb/internal/core"
 	"hetlb/internal/obs"
+	"hetlb/internal/obs/span"
+	"hetlb/internal/obs/timeline"
 	"hetlb/internal/pairwise"
 	"hetlb/internal/protocol"
 	"hetlb/internal/rng"
@@ -99,6 +101,14 @@ type Engine struct {
 	observers []Observer
 	metrics   *Metrics
 	tracer    *obs.Tracer
+	spans     *span.Recorder
+	timeline  *timeline.Recorder
+	// runSpan is the engine's root span, allocated eagerly in New (its close
+	// record is appended by Run). All step spans parent to it.
+	runSpan span.ID
+	// sumLoad is the total load across machines, maintained incrementally (a
+	// step changes only the pair) so timeline imbalance needs no O(m) scan.
+	sumLoad int64
 
 	exchanges []int // per-machine count of balancing participations
 	steps     int
@@ -129,6 +139,15 @@ type Config struct {
 	// step index, Value = jobs migrated) and a makespan sample whenever the
 	// schedule changed.
 	Tracer *obs.Tracer
+	// Spans, when non-nil, receives one KindStep span per balancing step
+	// (A/B the pair, Start = End = step index, Value = jobs moved), all
+	// parented to a KindRun span that Run closes. Times are logical (step
+	// indices), never wall clock.
+	Spans *span.Recorder
+	// Timeline, when non-nil, receives one convergence point per step:
+	// Time = step index, Cmax, Imbalance = Cmax − mean load, cumulative
+	// Moves; Messages is 0 (the sequential engine sends none).
+	Timeline *timeline.Recorder
 }
 
 // New builds an engine around a protocol and an initial assignment. The
@@ -138,15 +157,24 @@ func New(p protocol.Protocol, a *core.Assignment, cfg Config) *Engine {
 	if sel == nil {
 		sel = UniformInitiator{}
 	}
-	return &Engine{
+	e := &Engine{
 		proto:     p,
 		a:         a,
 		gen:       rng.New(cfg.Seed),
 		selection: sel,
 		metrics:   cfg.Metrics,
 		tracer:    cfg.Tracer,
+		spans:     cfg.Spans,
+		timeline:  cfg.Timeline,
 		exchanges: make([]int, a.Model().NumMachines()),
 	}
+	for i := 0; i < a.Model().NumMachines(); i++ {
+		e.sumLoad += int64(a.Load(i))
+	}
+	if e.spans != nil {
+		e.runSpan = e.spans.NextID()
+	}
+	return e
 }
 
 // Observe registers an observer.
@@ -182,6 +210,7 @@ func (e *Engine) Step() bool {
 	e.exchanges[j]++
 	n1, n2 := e.a.Load(i), e.a.Load(j)
 	changed := n1 != l1 || n2 != l2
+	e.sumLoad += int64(n1) + int64(n2) - int64(l1) - int64(l2)
 	if changed {
 		e.noChange = 0
 	} else {
@@ -221,6 +250,31 @@ func (e *Engine) Step() bool {
 			e.tracer.Emit(obs.Event{Time: int64(step), Type: obs.EvMakespanSample, A: -1, B: -1, Value: int64(e.Makespan())})
 		}
 	}
+	if e.spans != nil {
+		var fl span.Flags
+		if changed {
+			fl = span.FlagCommitted
+		}
+		e.spans.Append(span.Span{
+			Parent: e.runSpan,
+			Kind:   span.KindStep,
+			Flags:  fl,
+			A:      int32(i),
+			B:      int32(j),
+			Start:  int64(step),
+			End:    int64(step),
+			Value:  int64(moved),
+		})
+	}
+	if e.timeline != nil {
+		cmax := int64(e.Makespan())
+		e.timeline.Record(timeline.Point{
+			Time:      int64(step),
+			Cmax:      cmax,
+			Imbalance: cmax - e.sumLoad/int64(m),
+			Moves:     int64(e.moves),
+		})
+	}
 	for _, o := range e.observers {
 		o.OnStep(e, step, i, j)
 	}
@@ -240,6 +294,11 @@ func (e *Engine) Makespan() core.Cost {
 	return e.cachedMax
 }
 
+// TotalLoad returns the sum of all machine loads, maintained incrementally
+// by Step. It is the numerator of the mean load that the timeline's
+// imbalance column subtracts from Cmax.
+func (e *Engine) TotalLoad() int64 { return e.sumLoad }
+
 // Result summarizes a Run.
 type Result struct {
 	// Steps is the number of pairwise balancing operations executed.
@@ -257,6 +316,7 @@ type Result struct {
 // (Proposition 8); maxSteps bounds those.
 func (e *Engine) Run(maxSteps int, detectStability bool) Result {
 	m := e.a.Model().NumMachines()
+	startStep := e.steps
 	// A full sweep's worth of quiet steps before paying for a full check.
 	window := 2 * m
 	if window < 8 {
@@ -267,6 +327,7 @@ func (e *Engine) Run(maxSteps int, detectStability bool) Result {
 		if detectStability && e.noChange >= window {
 			e.noChange = 0
 			if protocol.Stable(e.proto, e.a) {
+				e.closeRunSpan(startStep, true)
 				return Result{Steps: e.steps, Converged: true, FinalMakespan: e.Makespan()}
 			}
 		}
@@ -275,5 +336,31 @@ func (e *Engine) Run(maxSteps int, detectStability bool) Result {
 	if detectStability {
 		converged = protocol.Stable(e.proto, e.a)
 	}
+	e.closeRunSpan(startStep, converged)
 	return Result{Steps: e.steps, Converged: converged, FinalMakespan: e.Makespan()}
+}
+
+// closeRunSpan appends the run span's close record (Start/End in step
+// indices, Value = final Cmax, FlagCommitted when the run converged). Each
+// Run call on the same engine appends another record for the same ID;
+// consumers see the latest extent.
+func (e *Engine) closeRunSpan(startStep int, converged bool) {
+	if e.spans == nil {
+		return
+	}
+	var fl span.Flags
+	if converged {
+		fl = span.FlagCommitted
+	}
+	e.spans.Append(span.Span{
+		ID:     e.runSpan,
+		Parent: e.spans.Root(),
+		Kind:   span.KindRun,
+		Flags:  fl,
+		A:      -1,
+		B:      -1,
+		Start:  int64(startStep),
+		End:    int64(e.steps),
+		Value:  int64(e.Makespan()),
+	})
 }

@@ -5,6 +5,8 @@ import (
 	"testing"
 
 	"hetlb/internal/core"
+	"hetlb/internal/obs/span"
+	"hetlb/internal/obs/timeline"
 	"hetlb/internal/protocol"
 	"hetlb/internal/rng"
 	"hetlb/internal/workload"
@@ -34,6 +36,43 @@ func BenchmarkEngineStep(b *testing.B) {
 				// Settle into the steady state the figures run in: loads
 				// near-balanced, scratch and index capacities at their
 				// high-water marks.
+				for s := 0; s < 4*m; s++ {
+					e.Step()
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					e.Step()
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkEngineStepObserved is BenchmarkEngineStep with the full
+// observability wiring enabled — a span recorder receiving one KindStep span
+// per step and a timeline recorder sampling every step. The delta against
+// BenchmarkEngineStep is the per-step cost of tracing when it is switched on
+// (BENCH_6.json records both columns); the disabled path is guarded
+// separately by the >2% benchguard gate against BENCH_3.json.
+func BenchmarkEngineStepObserved(b *testing.B) {
+	for _, sc := range []struct {
+		name string
+		mult int
+	}{
+		{"paper", 1},
+		{"10x", 10},
+	} {
+		m := 96 * sc.mult
+		n := 768 * sc.mult
+		for _, pc := range stepBenchProtocols(m, n) {
+			b.Run(fmt.Sprintf("%s/%s", pc.name, sc.name), func(b *testing.B) {
+				a := core.RoundRobin(pc.model)
+				e := New(pc.proto, a, Config{
+					Seed:     7,
+					Spans:    span.NewRecorder(1 << 12),
+					Timeline: timeline.NewRecorder(1 << 10),
+				})
 				for s := 0; s < 4*m; s++ {
 					e.Step()
 				}

@@ -32,8 +32,14 @@ import (
 	"time"
 
 	"hetlb/internal/obs"
+	"hetlb/internal/obs/span"
 	"hetlb/internal/rng"
 )
+
+// defaultRepSpanCap bounds each replication's private span ring when
+// Options.SpanCap is unset: large enough for a full chaos replication,
+// small enough that pre-allocating one per in-flight replication is cheap.
+const defaultRepSpanCap = 1 << 14
 
 // Options configures a replication run. The zero value is valid: run on
 // GOMAXPROCS workers with no deadline and no instrumentation.
@@ -63,6 +69,17 @@ type Options struct {
 	// but arrive in completion order, which under parallelism is not index
 	// order.
 	OnProgress func(completed, total int)
+	// Spans, when non-nil, collects the causal span trace of the whole run.
+	// Each replication records into a private sub-recorder namespaced by its
+	// index (so span IDs never collide) whose root is the replication's
+	// KindReplication span; after the pool drains the sub-recorders are
+	// merged into Spans in index order — the merged trace is bit-identical
+	// for every Parallelism, like the results.
+	Spans *span.Recorder
+	// SpanCap bounds each replication's private span ring; 0 defaults to
+	// 16384. A replication that overflows its ring keeps the newest spans
+	// and the merged trace accounts the loss in Dropped.
+	SpanCap int
 }
 
 // Rep is one replication's execution context, handed to the replication
@@ -78,6 +95,10 @@ type Rep struct {
 	// Ctx is the run's context; long replications should poll it and bail
 	// out early on cancellation.
 	Ctx context.Context
+	// Spans is the replication's private span recorder (nil when the run
+	// does not collect spans). Its Root() is the replication's span, so
+	// runtimes parent their run spans to it automatically.
+	Spans *span.Recorder
 }
 
 // metrics bundles the harness instruments; nil disables them with one
@@ -166,6 +187,24 @@ func Map[T any](opt Options, seed uint64, n int, fn func(rep *Rep) (T, error)) (
 		gens[i] = rng.Substream(seed, uint64(i))
 	}
 
+	// Per-replication span recorders, created lazily as indices are claimed
+	// and merged in index order after the pool drains: namespaced IDs and
+	// ordered merging make the combined trace independent of Parallelism.
+	var srecs []*span.Recorder
+	var nsBase uint64
+	var parentRoot span.ID
+	spanCap := opt.SpanCap
+	if spanCap <= 0 {
+		spanCap = defaultRepSpanCap
+	}
+	if opt.Spans != nil {
+		srecs = make([]*span.Recorder, n)
+		// One namespace block per Map call: successive runs merging into
+		// the same trace (e.g. sweep cells) never collide.
+		nsBase = opt.Spans.ClaimNamespaces(n)
+		parentRoot = opt.Spans.Root()
+	}
+
 	var (
 		next      atomic.Int64 // next replication index to claim
 		mu        sync.Mutex   // guards completed, firstErr and OnProgress
@@ -186,9 +225,33 @@ func Map[T any](opt Options, seed uint64, n int, fn func(rep *Rep) (T, error)) (
 			if opt.Trace != nil {
 				opt.Trace.Emit(obs.Event{Time: int64(i), Type: obs.EvReplicationStart, A: int32(i), B: -1})
 			}
+			var rec *span.Recorder
+			var repSpan span.ID
+			if srecs != nil {
+				rec = span.NewSub(spanCap, nsBase+uint64(i))
+				repSpan = rec.NextID()
+				rec.SetRoot(repSpan)
+				srecs[i] = rec
+			}
 			start := time.Now() //hetlb:nondeterministic-ok wall clock only feeds the replication-wall histogram, never results
-			v, err := fn(&Rep{Index: i, RNG: gens[i], Ctx: ctx})
+			v, err := fn(&Rep{Index: i, RNG: gens[i], Ctx: ctx, Spans: rec})
 			wall := time.Since(start).Nanoseconds() //hetlb:nondeterministic-ok wall clock only feeds the replication-wall histogram, never results
+			if rec != nil {
+				var fl span.Flags
+				if err != nil {
+					fl = span.FlagFailed
+				}
+				rec.Append(span.Span{
+					ID:     repSpan,
+					Parent: parentRoot,
+					Kind:   span.KindReplication,
+					Flags:  fl,
+					A:      int32(i),
+					B:      -1,
+					Start:  int64(i),
+					End:    int64(i),
+				})
+			}
 			if err != nil {
 				if ins != nil {
 					ins.failed.Inc()
@@ -226,6 +289,14 @@ func Map[T any](opt Options, seed uint64, n int, fn func(rep *Rep) (T, error)) (
 		go body()
 	}
 	wg.Wait()
+
+	if opt.Spans != nil {
+		for _, rec := range srecs {
+			if rec != nil {
+				opt.Spans.Merge(rec)
+			}
+		}
+	}
 
 	if firstErr != nil {
 		return out, firstErr

@@ -58,12 +58,15 @@ package netsim
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"hetlb/internal/core"
 	"hetlb/internal/des"
 	"hetlb/internal/faults"
 	"hetlb/internal/obs"
+	"hetlb/internal/obs/span"
+	"hetlb/internal/obs/timeline"
 	"hetlb/internal/protocol"
 	"hetlb/internal/rng"
 )
@@ -184,6 +187,19 @@ type Config struct {
 	// EvSessionEnd per completed handshake, and EvMessageDropped/
 	// EvMachineCrash/EvMachineRecover under faults.
 	Tracer *obs.Tracer
+	// Spans, when non-nil, receives the causal span trace: one KindRun span
+	// per Run, one KindSession span per handshake (each side appends a close
+	// record for the same ID, distinguished by Tag; Clock carries the
+	// closer's Lamport time), and KindFault point records — drops,
+	// retransmissions, timeouts, crashes, recoveries — parented to the
+	// session they degraded (or to the run span for machine-level events).
+	// All times are virtual; the trace is a pure function of Config.
+	Spans *span.Recorder
+	// Timeline, when non-nil, receives one convergence point per sampling
+	// period: Time = virtual time, Cmax, Imbalance = Cmax − mean load over
+	// all machines, cumulative Moves (jobs that changed machines in
+	// committed sessions) and Messages (transmissions).
+	Timeline *timeline.Recorder
 }
 
 // LostJob is one entry of the lost-jobs ledger: job was on machine Machine
@@ -216,6 +232,9 @@ type Stats struct {
 	// JobsLost is the lost-ledger size; JobsReclaimed counts outbox jobs
 	// taken back after a target died before applying a commit.
 	JobsLost, JobsReclaimed int
+	// JobsMoved counts jobs that switched machines in committed sessions
+	// (each migration counts once, the paper's "amount of tasks exchanged").
+	JobsMoved int
 	// Lost is the ledger of jobs destroyed by crashes, in (time, job) order.
 	Lost []LostJob
 	// FinalMakespan is Cmax of the final placement (frozen jobs on crashed
@@ -232,6 +251,9 @@ type Stats struct {
 type doneRec struct {
 	seq uint64
 	toT []int
+	// span is the session's span ID, kept so a COMMIT retransmitted from
+	// the outbox attributes its faults to the original session.
+	span span.ID
 }
 
 type machineState struct {
@@ -240,6 +262,10 @@ type machineState struct {
 	// epoch bumps on every crash and every recovery: in-flight messages and
 	// pending attempt chains of an old incarnation check it and die.
 	epoch uint32
+	// clock is the machine's Lamport clock: bumped on every send, merged
+	// (max + 1) on every delivery. Session close records carry it, so the
+	// span trace totally orders each machine's view of causality.
+	clock uint64
 	// retained freezes the machine's jobs across a crash when the plan
 	// re-hosts instead of losing them.
 	retained []int
@@ -249,11 +275,13 @@ type machineState struct {
 	initPeer    int
 	initStart   int64
 	initRetries int
+	initSpan    span.ID
 
 	// target-side session (0 = none)
 	tgtSeq   uint64
 	tgtPeer  int
 	tgtStart int64
+	tgtSpan  span.ID
 	escrow   []int
 
 	// "stable storage": survives crashes so session ids are never reused
@@ -301,6 +329,9 @@ type Simulator struct {
 	rtoCap        int64
 	maxReqRetries int
 	deadRes       map[resKey]resKind
+	spans         *span.Recorder
+	tl            *timeline.Recorder
+	runSpan       span.ID
 	stats         Stats
 }
 
@@ -340,6 +371,11 @@ func New(model core.CostModel, proto protocol.Protocol, initial *core.Assignment
 		sim:     des.New(),
 		ms:      make([]machineState, model.NumMachines()),
 		deadRes: make(map[resKey]resKind),
+		spans:   cfg.Spans,
+		tl:      cfg.Timeline,
+	}
+	if s.spans != nil {
+		s.runSpan = s.spans.NextID()
 	}
 	if cfg.Faults != nil {
 		s.plan = faults.NewPlan(rng.DeriveSeed(cfg.Seed, faultsStream), *cfg.Faults)
@@ -377,7 +413,14 @@ func New(model core.CostModel, proto protocol.Protocol, initial *core.Assignment
 // post transmits a message: the fault plan decides drop/duplication/jitter,
 // and each surviving copy delivers fn after its network hop — unless the
 // sender has since crashed (its epoch moved) or the receiver is down.
-func (s *Simulator) post(kind, from, to int, fn func()) {
+//
+// Every message carries the session span it belongs to (sp, 0 when spans are
+// off) and the sender's Lamport clock: the clock is bumped at the send,
+// merged (max + 1) at each delivery, and a dropped transmission is recorded
+// as a KindFault span attributed to the session that suffered it.
+func (s *Simulator) post(kind, from, to int, sp span.ID, fn func()) {
+	s.ms[from].clock++
+	mclk := s.ms[from].clock
 	s.stats.Sent++
 	met := s.cfg.Metrics
 	if met != nil {
@@ -398,6 +441,7 @@ func (s *Simulator) post(kind, from, to int, fn func()) {
 		if tr := s.cfg.Tracer; tr != nil {
 			tr.Emit(obs.Event{Time: s.sim.Now(), Type: obs.EvMessageDropped, A: int32(from), B: int32(to), Value: int64(kind)})
 		}
+		s.faultSpan(sp, span.TagDrop, from, to, mclk, int64(kind))
 		return
 	}
 	if out.Copies > 1 {
@@ -417,6 +461,11 @@ func (s *Simulator) post(kind, from, to int, fn func()) {
 				}
 				return
 			}
+			rm := &s.ms[to]
+			if mclk > rm.clock {
+				rm.clock = mclk
+			}
+			rm.clock++
 			s.stats.Delivered++
 			if met != nil {
 				met.Delivered.At(kind).Inc()
@@ -428,6 +477,49 @@ func (s *Simulator) post(kind, from, to int, fn func()) {
 			fn()
 		})
 	}
+}
+
+// faultSpan appends a KindFault point record attributing a network incident
+// (drop, retransmission, timeout, crash, recovery) to the span it degraded —
+// a session span, or the run span for machine-level events.
+func (s *Simulator) faultSpan(parent span.ID, tag span.Tag, a, b int, clk uint64, value int64) {
+	if s.spans == nil {
+		return
+	}
+	now := s.sim.Now()
+	s.spans.Append(span.Span{
+		Parent: parent,
+		Kind:   span.KindFault,
+		Tag:    tag,
+		A:      int32(a),
+		B:      int32(b),
+		Start:  now,
+		End:    now,
+		Clock:  clk,
+		Value:  value,
+	})
+}
+
+// closeSession appends one side's close record for a session span: both
+// participants close the same ID with their own role Tag and Lamport clock,
+// and consumers merge the two records by ID.
+func (s *Simulator) closeSession(id span.ID, tag span.Tag, fl span.Flags, initiator, target int, start int64, clk uint64, value int64) {
+	if s.spans == nil || id == 0 {
+		return
+	}
+	s.spans.Append(span.Span{
+		ID:     id,
+		Parent: s.runSpan,
+		Kind:   span.KindSession,
+		Tag:    tag,
+		Flags:  fl,
+		A:      int32(initiator),
+		B:      int32(target),
+		Start:  start,
+		End:    s.sim.Now(),
+		Clock:  clk,
+		Value:  value,
+	})
 }
 
 func (s *Simulator) dupSuppressed() {
@@ -458,7 +550,7 @@ func (s *Simulator) Run() Stats {
 	// Makespan sampling once per period.
 	var sampler func()
 	sampler = func() {
-		cmax := s.makespan()
+		cmax, sum := s.loadStats()
 		s.stats.Times = append(s.stats.Times, s.sim.Now())
 		s.stats.Makespans = append(s.stats.Makespans, cmax)
 		if s.cfg.Metrics != nil {
@@ -466,6 +558,15 @@ func (s *Simulator) Run() Stats {
 		}
 		if s.cfg.Tracer != nil {
 			s.cfg.Tracer.Emit(obs.Event{Time: s.sim.Now(), Type: obs.EvMakespanSample, A: -1, B: -1, Value: int64(cmax)})
+		}
+		if s.tl != nil {
+			s.tl.Record(timeline.Point{
+				Time:      s.sim.Now(),
+				Cmax:      int64(cmax),
+				Imbalance: int64(cmax) - sum/int64(len(s.ms)),
+				Moves:     int64(s.stats.JobsMoved),
+				Messages:  int64(s.stats.Sent),
+			})
 		}
 		if s.sim.Now()+s.cfg.Period <= s.cfg.Horizon {
 			s.sim.After(s.cfg.Period, des.PhaseComplete, sampler)
@@ -489,6 +590,18 @@ func (s *Simulator) Run() Stats {
 		s.sweepOutbox(i)
 	}
 	s.stats.FinalMakespan = s.makespan()
+	if s.spans != nil {
+		s.spans.Append(span.Span{
+			ID:     s.runSpan,
+			Parent: s.spans.Root(),
+			Kind:   span.KindRun,
+			A:      -1,
+			B:      -1,
+			Start:  0,
+			End:    s.sim.Now(),
+			Value:  int64(s.stats.FinalMakespan),
+		})
+	}
 	return s.stats
 }
 
@@ -528,11 +641,16 @@ func (s *Simulator) attempt(i int, epoch uint32) {
 	m.initPeer = peer
 	m.initStart = s.sim.Now()
 	m.initRetries = 0
+	var sid span.ID
+	if s.spans != nil {
+		sid = s.spans.NextID()
+	}
+	m.initSpan = sid
 	if s.cfg.Tracer != nil {
 		s.cfg.Tracer.Emit(obs.Event{Time: m.initStart, Type: obs.EvSessionStart, A: int32(i), B: int32(peer)})
 	}
 	start := m.initStart
-	s.post(MsgRequest, i, peer, func() { s.onRequest(i, peer, seq, start) })
+	s.post(MsgRequest, i, peer, sid, func() { s.onRequest(i, peer, seq, start, sid) })
 	if s.plan != nil {
 		// A perfect network resolves every session within one RTO, so the
 		// leases would only burn events; arm them only under a fault plan.
@@ -570,12 +688,15 @@ func (s *Simulator) initiatorLease(i int, seq uint64, retry int) {
 	if met != nil {
 		met.Timeouts.Inc()
 	}
+	s.faultSpan(m.initSpan, span.TagTimeout, i, m.initPeer, m.clock, int64(retry))
 	key := resKey{i, seq}
 	if s.deadRes[key] == resAbortInitiator {
 		// The target died holding the pool; its fate was settled at the
 		// crash (lost or frozen with the target).
 		delete(s.deadRes, key)
+		s.closeSession(m.initSpan, span.TagInitiator, span.FlagAborted|span.FlagCrashed, i, m.initPeer, m.initStart, m.clock, 0)
 		m.initSeq = 0
+		m.initSpan = 0
 		s.stats.Aborts++
 		if met != nil {
 			met.Aborts.Inc()
@@ -583,7 +704,9 @@ func (s *Simulator) initiatorLease(i int, seq uint64, retry int) {
 		return
 	}
 	if retry >= s.maxReqRetries {
+		s.closeSession(m.initSpan, span.TagInitiator, span.FlagAborted, i, m.initPeer, m.initStart, m.clock, 0)
 		m.initSeq = 0
+		m.initSpan = 0
 		s.stats.Aborts++
 		if met != nil {
 			met.Aborts.Inc()
@@ -596,7 +719,9 @@ func (s *Simulator) initiatorLease(i int, seq uint64, retry int) {
 	}
 	m.initRetries++
 	peer, start := m.initPeer, m.initStart
-	s.post(MsgRequest, i, peer, func() { s.onRequest(i, peer, seq, start) })
+	sid := m.initSpan
+	s.faultSpan(sid, span.TagRetransmit, i, peer, m.clock, MsgRequest)
+	s.post(MsgRequest, i, peer, sid, func() { s.onRequest(i, peer, seq, start, sid) })
 	s.armInitiatorLease(i, seq, retry+1)
 }
 
@@ -621,6 +746,7 @@ func (s *Simulator) targetLease(t, peer int, seq uint64, retry int) {
 	if met != nil {
 		met.Timeouts.Inc()
 	}
+	s.faultSpan(m.tgtSpan, span.TagTimeout, peer, t, m.clock, int64(retry))
 	if _, ok := s.deadRes[resKey{peer, seq}]; ok {
 		s.resolveTarget(t, resRestoreEscrow)
 		return
@@ -630,7 +756,9 @@ func (s *Simulator) targetLease(t, peer int, seq uint64, retry int) {
 		met.Retransmissions.Inc()
 	}
 	offered := m.escrow
-	s.post(MsgOffer, t, peer, func() { s.onOffer(peer, t, seq, offered) })
+	sid := m.tgtSpan
+	s.faultSpan(sid, span.TagRetransmit, t, peer, m.clock, MsgOffer)
+	s.post(MsgOffer, t, peer, sid, func() { s.onOffer(peer, t, seq, offered, sid) })
 	s.armTargetLease(t, peer, seq, retry+1)
 }
 
@@ -642,8 +770,10 @@ func (s *Simulator) resolveTarget(t int, def resKind) {
 	m := &s.ms[t]
 	key := resKey{m.tgtPeer, m.tgtSeq}
 	kind := def
+	fromCrash := false
 	if r, ok := s.deadRes[key]; ok {
 		kind = r
+		fromCrash = true
 		delete(s.deadRes, key)
 	}
 	if kind != resDropEscrow {
@@ -652,8 +782,19 @@ func (s *Simulator) resolveTarget(t int, def resKind) {
 		// is not necessarily empty.
 		m.jobs = mergeSorted(m.jobs, m.escrow)
 	}
+	fl := span.FlagAborted
+	if kind == resDropEscrow {
+		// The initiator committed before dying: the session succeeded, the
+		// target just learned it through the crash resolution.
+		fl = span.FlagCommitted
+	}
+	if fromCrash {
+		fl |= span.FlagCrashed
+	}
+	s.closeSession(m.tgtSpan, span.TagTarget, fl, m.tgtPeer, t, m.tgtStart, m.clock, 0)
 	m.escrow = nil
 	m.tgtSeq = 0
+	m.tgtSpan = 0
 	s.stats.Aborts++
 	if s.cfg.Metrics != nil {
 		s.cfg.Metrics.Aborts.Inc()
@@ -663,7 +804,7 @@ func (s *Simulator) resolveTarget(t int, def resKind) {
 // onRequest is the target's handler. On acceptance the target escrows its
 // whole job list and offers it (single ownership: from the OFFER's
 // processing to the COMMIT's, the pooled jobs live at the initiator side).
-func (s *Simulator) onRequest(initiator, target int, seq uint64, start int64) {
+func (s *Simulator) onRequest(initiator, target int, seq uint64, start int64, sid span.ID) {
 	m := &s.ms[target]
 	if m.tgtSeq == seq && m.tgtPeer == initiator {
 		// Duplicate REQUEST for the session we already accepted: the OFFER
@@ -674,7 +815,9 @@ func (s *Simulator) onRequest(initiator, target int, seq uint64, start int64) {
 			s.cfg.Metrics.Retransmissions.Inc()
 		}
 		offered := m.escrow
-		s.post(MsgOffer, target, initiator, func() { s.onOffer(initiator, target, seq, offered) })
+		osid := m.tgtSpan
+		s.faultSpan(osid, span.TagRetransmit, target, initiator, m.clock, MsgOffer)
+		s.post(MsgOffer, target, initiator, osid, func() { s.onOffer(initiator, target, seq, offered, osid) })
 		return
 	}
 	if seq <= m.lastSeq[initiator] {
@@ -686,7 +829,7 @@ func (s *Simulator) onRequest(initiator, target int, seq uint64, start int64) {
 		if s.cfg.Metrics != nil {
 			s.cfg.Metrics.Rejections.Inc()
 		}
-		s.post(MsgReject, target, initiator, func() { s.onReject(initiator, target, seq) })
+		s.post(MsgReject, target, initiator, sid, func() { s.onReject(initiator, target, seq) })
 		return
 	}
 	if m.lastSeq == nil {
@@ -696,10 +839,11 @@ func (s *Simulator) onRequest(initiator, target int, seq uint64, start int64) {
 	m.tgtSeq = seq
 	m.tgtPeer = initiator
 	m.tgtStart = start
+	m.tgtSpan = sid
 	m.escrow = m.jobs
 	m.jobs = nil
 	offered := m.escrow
-	s.post(MsgOffer, target, initiator, func() { s.onOffer(initiator, target, seq, offered) })
+	s.post(MsgOffer, target, initiator, sid, func() { s.onOffer(initiator, target, seq, offered, sid) })
 	if s.plan != nil {
 		s.armTargetLease(target, initiator, seq, 0)
 	}
@@ -712,14 +856,16 @@ func (s *Simulator) onReject(initiator, target int, seq uint64) {
 		s.dupSuppressed()
 		return
 	}
+	s.closeSession(m.initSpan, span.TagInitiator, span.FlagRejected, initiator, target, m.initStart, m.clock, 0)
 	m.initSeq = 0
+	m.initSpan = 0
 }
 
 // onOffer runs the kernel at the initiator and commits. This is the
 // session's single ownership-transfer point: the initiator takes the whole
 // pool, keeps its half, and records the target's half in the done outbox
 // before the COMMIT goes on the (lossy) wire.
-func (s *Simulator) onOffer(initiator, target int, seq uint64, targetJobs []int) {
+func (s *Simulator) onOffer(initiator, target int, seq uint64, targetJobs []int, sid span.ID) {
 	m := &s.ms[initiator]
 	if m.initSeq == seq && m.initPeer == target {
 		// A reclaim pending against a previous session with this target
@@ -729,18 +875,25 @@ func (s *Simulator) onOffer(initiator, target int, seq uint64, targetJobs []int)
 		toI, toT := s.proto.Split(initiator, target, union)
 		toI = sortedCopy(toI)
 		toT = sortedCopy(toT)
+		// Jobs that switched machines: arrived at the initiator (absent from
+		// its pre-split list) or at the target (absent from the offer).
+		moved := len(toI) - intersectCount(toI, m.jobs) + len(toT) - intersectCount(toT, targetJobs)
+		s.stats.JobsMoved += moved
 		m.jobs = toI
 		if m.done == nil {
 			m.done = make(map[int]doneRec)
 		}
-		m.done[target] = doneRec{seq: seq, toT: toT}
+		csid := m.initSpan
+		m.done[target] = doneRec{seq: seq, toT: toT, span: csid}
+		s.closeSession(csid, span.TagInitiator, span.FlagCommitted, initiator, target, m.initStart, m.clock, int64(moved))
 		m.initSeq = 0
+		m.initSpan = 0
 		s.stats.Sessions++
 		if met := s.cfg.Metrics; met != nil {
 			met.Sessions.Inc()
 			met.SessionRetries.Observe(int64(m.initRetries))
 		}
-		s.post(MsgCommit, initiator, target, func() { s.onCommit(initiator, target, seq, toT) })
+		s.post(MsgCommit, initiator, target, csid, func() { s.onCommit(initiator, target, seq, toT) })
 		return
 	}
 	if d, ok := m.done[target]; ok && d.seq == seq {
@@ -750,13 +903,14 @@ func (s *Simulator) onOffer(initiator, target int, seq uint64, targetJobs []int)
 		if s.cfg.Metrics != nil {
 			s.cfg.Metrics.Retransmissions.Inc()
 		}
-		s.post(MsgCommit, initiator, target, func() { s.onCommit(initiator, target, seq, d.toT) })
+		s.faultSpan(d.span, span.TagRetransmit, initiator, target, m.clock, MsgCommit)
+		s.post(MsgCommit, initiator, target, d.span, func() { s.onCommit(initiator, target, seq, d.toT) })
 		return
 	}
 	// A session this machine no longer knows (it gave up, or crashed and
 	// lost the volatile state): tell the target to resolve.
 	s.dupSuppressed()
-	s.post(MsgAbort, initiator, target, func() { s.onAbort(initiator, target, seq) })
+	s.post(MsgAbort, initiator, target, sid, func() { s.onAbort(initiator, target, seq) })
 }
 
 // onCommit installs the target's new job list and unlocks it. Session ids
@@ -772,7 +926,9 @@ func (s *Simulator) onCommit(initiator, target int, seq uint64, jobs []int) {
 	// committed split.
 	m.jobs = mergeSorted(m.jobs, jobs)
 	m.escrow = nil
+	s.closeSession(m.tgtSpan, span.TagTarget, span.FlagCommitted, initiator, target, m.tgtStart, m.clock, int64(len(jobs)))
 	m.tgtSeq = 0
+	m.tgtSpan = 0
 	if s.cfg.Metrics != nil {
 		s.cfg.Metrics.Handshake.Observe(s.sim.Now() - m.tgtStart)
 	}
@@ -844,7 +1000,10 @@ func (s *Simulator) crash(cr faults.Crash) {
 		} else if t := m.initPeer; s.ms[t].tgtSeq == m.initSeq && s.ms[t].tgtPeer == x {
 			s.deadRes[key] = resRestoreEscrow
 		}
+		s.faultSpan(m.initSpan, span.TagCrash, x, m.initPeer, m.clock, 0)
+		s.closeSession(m.initSpan, span.TagInitiator, span.FlagAborted|span.FlagCrashed, x, m.initPeer, m.initStart, m.clock, 0)
 		m.initSeq = 0
+		m.initSpan = 0
 	}
 	// x was holding an escrow as target: decide where the pool lives.
 	if m.tgtSeq != 0 {
@@ -869,8 +1028,11 @@ func (s *Simulator) crash(cr faults.Crash) {
 			// Initiator already gave up: the pool dies with x.
 			phys = append(phys, m.escrow...)
 		}
+		s.faultSpan(m.tgtSpan, span.TagCrash, x, m.tgtPeer, m.clock, 0)
+		s.closeSession(m.tgtSpan, span.TagTarget, span.FlagAborted|span.FlagCrashed, m.tgtPeer, x, m.tgtStart, m.clock, 0)
 		m.escrow = nil
 		m.tgtSeq = 0
+		m.tgtSpan = 0
 	}
 	// Open target sessions elsewhere whose initiator is x.
 	for t := range s.ms {
@@ -920,6 +1082,7 @@ func (s *Simulator) crash(cr faults.Crash) {
 	if tr := s.cfg.Tracer; tr != nil {
 		tr.Emit(obs.Event{Time: now, Type: obs.EvMachineCrash, A: int32(x), B: -1, Value: int64(len(phys))})
 	}
+	s.faultSpan(s.runSpan, span.TagCrash, x, -1, m.clock, int64(len(phys)))
 	if cr.LoseJobs {
 		for _, j := range phys {
 			s.stats.Lost = append(s.stats.Lost, LostJob{Job: j, Machine: x, Time: now})
@@ -951,6 +1114,7 @@ func (s *Simulator) recover(x int) {
 	if tr := s.cfg.Tracer; tr != nil {
 		tr.Emit(obs.Event{Time: s.sim.Now(), Type: obs.EvMachineRecover, A: int32(x), B: -1, Value: int64(len(m.jobs))})
 	}
+	s.faultSpan(s.runSpan, span.TagRecover, x, -1, m.clock, int64(len(m.jobs)))
 	if len(s.ms) > 1 {
 		s.scheduleAttempt(x)
 	}
@@ -1015,6 +1179,18 @@ func (s *Simulator) ValidateConservation() error {
 	for k, r := range s.deadRes { //hetlb:nondeterministic-ok error path: the map must be empty, so which entry names the failure is immaterial
 		return fmt.Errorf("netsim: unconsumed crash resolution %d for session (%d, %d)", r, k.init, k.seq)
 	}
+	if s.plan != nil {
+		// Run drains every scheduled recovery, so the machines still down
+		// must be exactly the schedule's permanent crashes — the dynamic
+		// crash state cross-checked against the pure fault plan.
+		cfg := s.plan.Config()
+		for i := range s.ms {
+			if wantDown := cfg.DownAt(i, math.MaxInt64); s.ms[i].up == wantDown {
+				return fmt.Errorf("netsim: machine %d ended up=%v but the fault plan schedules down=%v forever",
+					i, s.ms[i].up, wantDown)
+			}
+		}
+	}
 	return nil
 }
 
@@ -1024,7 +1200,15 @@ func (s *Simulator) ValidateConservation() error {
 // target; it can never double-count (single ownership), and the final
 // value is taken after the queue drains with no handshake in flight.
 func (s *Simulator) makespan() core.Cost {
+	max, _ := s.loadStats()
+	return max
+}
+
+// loadStats scans the owned job lists once and returns both Cmax and the
+// total load, so the timeline's imbalance column shares the makespan scan.
+func (s *Simulator) loadStats() (core.Cost, int64) {
 	var max core.Cost
+	var sum int64
 	for i := range s.ms {
 		var l core.Cost
 		for _, j := range s.ms[i].jobs {
@@ -1033,11 +1217,12 @@ func (s *Simulator) makespan() core.Cost {
 		for _, j := range s.ms[i].retained {
 			l += s.model.Cost(i, j)
 		}
+		sum += int64(l)
 		if l > max {
 			max = l
 		}
 	}
-	return max
+	return max, sum
 }
 
 // Placement reconstructs a core.Assignment from the current job lists
@@ -1085,4 +1270,22 @@ func sortedCopy(s []int) []int {
 	c := append([]int(nil), s...)
 	sort.Ints(c)
 	return c
+}
+
+// intersectCount returns |a ∩ b| for two sorted ascending slices.
+func intersectCount(a, b []int) int {
+	n, x, y := 0, 0, 0
+	for x < len(a) && y < len(b) {
+		switch {
+		case a[x] < b[y]:
+			x++
+		case a[x] > b[y]:
+			y++
+		default:
+			n++
+			x++
+			y++
+		}
+	}
+	return n
 }

@@ -5,22 +5,37 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 )
 
+// escapeHelp escapes a HELP string per the Prometheus text format:
+// backslashes as \\ and line feeds as \n (a raw newline would terminate the
+// comment mid-help and corrupt the exposition).
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
 // WritePrometheus renders every registered metric in the Prometheus text
-// exposition format (version 0.0.4): HELP/TYPE headers, counter/gauge
-// samples, cumulative histogram buckets with `le` labels plus _sum and
-// _count series.
+// exposition format (version 0.0.4): HELP/TYPE headers (help strings
+// escaped), counter/gauge samples, cumulative histogram buckets with `le`
+// labels plus _sum and _count series. Metrics appear in registration order,
+// which is deterministic for a fixed wiring.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	for _, e := range r.snapshotEntries() {
 		if e.help != "" {
-			fmt.Fprintf(bw, "# HELP %s %s\n", e.name, e.help)
+			fmt.Fprintf(bw, "# HELP %s %s\n", e.name, escapeHelp(e.help))
 		}
 		fmt.Fprintf(bw, "# TYPE %s %s\n", e.name, e.kind)
 		switch e.kind {
 		case kindCounter:
 			fmt.Fprintf(bw, "%s %d\n", e.name, e.c.Value())
+		case kindCounterFunc:
+			fmt.Fprintf(bw, "%s %d\n", e.name, e.fn())
 		case kindGauge:
 			fmt.Fprintf(bw, "%s %d\n", e.name, e.g.Value())
 		case kindCounterVec:
@@ -65,6 +80,8 @@ func (r *Registry) Snapshot() map[string]SnapshotValue {
 		switch e.kind {
 		case kindCounter:
 			sv.Value = e.c.Value()
+		case kindCounterFunc:
+			sv.Value = e.fn()
 		case kindGauge:
 			sv.Value = e.g.Value()
 		case kindCounterVec:

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The Prometheus exposition is consumed byte-for-byte by scrapers and by the
+// debug server; pin the whole rendering — help escaping, registration-order
+// metric listing, label ordering, the histogram's cumulative buckets with
+// +Inf and _sum/_count — against a golden string.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("alpha_total", "first metric; help with a \\ backslash\nand a newline")
+	g := r.Gauge("beta_depth", "second metric")
+	cv := r.CounterVec("gamma_by_kind", "third metric", "kind", []string{"request", "offer"})
+	h := r.Histogram("delta_latency", "fourth metric", []int64{1, 2, 4})
+	r.CounterFunc("epsilon_sampled_total", "fifth metric, sampled at exposition", func() int64 { return 77 })
+
+	c.Add(3)
+	g.Set(-5)
+	cv.At(0).Add(2)
+	cv.At(1).Inc()
+	h.Observe(1) // bucket le=1
+	h.Observe(2) // bucket le=2
+	h.Observe(3) // bucket le=4
+	h.Observe(9) // +Inf overflow
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP alpha_total first metric; help with a \\ backslash\nand a newline
+# TYPE alpha_total counter
+alpha_total 3
+# HELP beta_depth second metric
+# TYPE beta_depth gauge
+beta_depth -5
+# HELP gamma_by_kind third metric
+# TYPE gamma_by_kind counter
+gamma_by_kind{kind="request"} 2
+gamma_by_kind{kind="offer"} 1
+# HELP delta_latency fourth metric
+# TYPE delta_latency histogram
+delta_latency_bucket{le="1"} 1
+delta_latency_bucket{le="2"} 2
+delta_latency_bucket{le="4"} 3
+delta_latency_bucket{le="+Inf"} 4
+delta_latency_sum 15
+delta_latency_count 4
+# HELP epsilon_sampled_total fifth metric, sampled at exposition
+# TYPE epsilon_sampled_total counter
+epsilon_sampled_total 77
+`
+	if buf.String() != want {
+		t.Errorf("WritePrometheus output differs from golden.\n--- got ---\n%s--- want ---\n%s", buf.String(), want)
+	}
+
+	// A second render is identical: exposition must not mutate state.
+	var again bytes.Buffer
+	if err := r.WritePrometheus(&again); err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != buf.String() {
+		t.Error("second WritePrometheus render differs from the first")
+	}
+}

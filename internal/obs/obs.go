@@ -104,6 +104,45 @@ func (h *Histogram) Bounds() []int64 { return h.bounds }
 // i == len(Bounds()) addresses the overflow (+Inf) bucket.
 func (h *Histogram) BucketCount(i int) int64 { return h.counts[i].Load() }
 
+// Quantile estimates the q-quantile (q in [0, 1], clamped) of the observed
+// distribution by linear interpolation within the bucket holding the target
+// rank, taking each bucket's lower bound as the previous bound (0 for the
+// first). Estimates falling in the +Inf overflow bucket are clamped to the
+// last finite bound — the histogram cannot know how far beyond it the tail
+// reaches. Returns 0 when nothing was observed.
+//
+// The estimate reads each bucket once without locking the histogram;
+// concurrent Observe calls can skew a live estimate by at most the
+// in-flight observations, and a quiesced histogram (the explain pipeline's
+// case) is exact up to bucket resolution.
+func (h *Histogram) Quantile(q float64) float64 {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum int64
+	var lower int64
+	for i, b := range h.bounds {
+		c := h.counts[i].Load()
+		cum += c
+		// Empty buckets are skipped, so q = 0 lands on the first non-empty
+		// bucket's lower bound (the observed minimum, up to resolution).
+		if c > 0 && float64(cum) >= rank {
+			frac := (rank - float64(cum-c)) / float64(c)
+			return float64(lower) + frac*float64(b-lower)
+		}
+		lower = b
+	}
+	return float64(h.bounds[len(h.bounds)-1])
+}
+
 // Pow2Bounds returns the bounds 1, 2, 4, ..., 2^maxExp — the default bucket
 // layout for nonnegative integer quantities of unknown magnitude (job
 // counts, virtual-time durations, nanoseconds).
@@ -173,11 +212,12 @@ const (
 	kindGauge
 	kindHistogram
 	kindCounterVec
+	kindCounterFunc
 )
 
 func (k metricKind) String() string {
 	switch k {
-	case kindCounter, kindCounterVec:
+	case kindCounter, kindCounterVec, kindCounterFunc:
 		return "counter"
 	case kindGauge:
 		return "gauge"
@@ -195,6 +235,7 @@ type entry struct {
 	g          *Gauge
 	h          *Histogram
 	cv         *CounterVec
+	fn         func() int64 // kindCounterFunc: sampled at exposition
 }
 
 // Registry holds named metrics and renders them. Registration takes a lock;
@@ -282,6 +323,26 @@ func (r *Registry) Histogram(name, help string, bounds []int64) *Histogram {
 	e := &entry{name: name, help: help, kind: kindHistogram, h: h}
 	r.add(e)
 	return e.h
+}
+
+// CounterFunc registers a pull-style counter: fn is sampled at exposition
+// time instead of being recorded into. Use it to surface monotone state
+// another component already tracks — the canonical example is a tracer
+// ring's emitted/dropped accounting (InstrumentTracer). Re-registering the
+// name replaces the sampler, so a registry outliving its tracer can be
+// re-pointed at a fresh one. fn must be safe to call from any goroutine and
+// should be monotone non-decreasing for the exposition to stay truthful.
+func (r *Registry) CounterFunc(name, help string, fn func() int64) {
+	if fn == nil {
+		panic("obs: CounterFunc needs a sampler")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e := r.lookup(name, kindCounterFunc); e != nil {
+		e.fn = fn
+		return
+	}
+	r.add(&entry{name: name, help: help, kind: kindCounterFunc, fn: fn})
 }
 
 // CounterVec returns the counter vector registered under name, creating it

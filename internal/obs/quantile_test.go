@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func almost(got, want float64) bool { return math.Abs(got-want) < 1e-9 }
+
+func TestQuantileEmpty(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_empty", "", []int64{1, 2, 4})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", got)
+	}
+}
+
+// One bucket holding everything: quantiles interpolate linearly across it.
+func TestQuantileSingleBucketInterpolation(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_single", "", []int64{10, 20})
+	for i := 0; i < 10; i++ {
+		h.Observe(15) // all land in (10, 20]
+	}
+	cases := map[float64]float64{0.0: 10, 0.5: 15, 1.0: 20}
+	for q, want := range cases {
+		if got := h.Quantile(q); !almost(got, want) {
+			t.Errorf("Quantile(%v) = %v, want %v", q, got, want)
+		}
+	}
+}
+
+// Uniform mass across two buckets: the median sits at the boundary, the
+// quartiles at the buckets' midpoints.
+func TestQuantileTwoBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_two", "", []int64{10, 20})
+	for i := 0; i < 4; i++ {
+		h.Observe(5)  // (0, 10]
+		h.Observe(15) // (10, 20]
+	}
+	cases := map[float64]float64{0.25: 5, 0.5: 10, 0.75: 15, 1.0: 20}
+	for q, want := range cases {
+		if got := h.Quantile(q); !almost(got, want) {
+			t.Errorf("Quantile(%v) = %v, want %v", q, got, want)
+		}
+	}
+}
+
+// The first bucket's implicit lower bound is 0.
+func TestQuantileFirstBucketLowerBoundZero(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_first", "", []int64{8})
+	h.Observe(3)
+	h.Observe(5)
+	if got := h.Quantile(0.5); !almost(got, 4) {
+		t.Fatalf("Quantile(0.5) = %v, want 4 (midpoint of (0, 8])", got)
+	}
+}
+
+// Mass in the +Inf overflow bucket clamps to the last finite bound.
+func TestQuantileOverflowClamped(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_inf", "", []int64{1, 2, 4})
+	h.Observe(100)
+	h.Observe(200)
+	for _, q := range []float64{0.5, 0.99, 1.0} {
+		if got := h.Quantile(q); !almost(got, 4) {
+			t.Errorf("Quantile(%v) = %v, want 4 (clamped to last finite bound)", q, got)
+		}
+	}
+	// Mixed: p50 still inside the finite buckets, p99 in the overflow.
+	h2 := r.Histogram("q_mixed", "", []int64{1, 2, 4})
+	for i := 0; i < 98; i++ {
+		h2.Observe(1)
+	}
+	h2.Observe(100)
+	h2.Observe(100)
+	if got := h2.Quantile(0.5); got > 1 {
+		t.Errorf("p50 = %v, want <= 1", got)
+	}
+	if got := h2.Quantile(0.999); !almost(got, 4) {
+		t.Errorf("p99.9 = %v, want 4 (clamped)", got)
+	}
+}
+
+// Out-of-range q values clamp instead of misbehaving.
+func TestQuantileClampsQ(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_clamp", "", []int64{10})
+	h.Observe(5)
+	if got := h.Quantile(-3); !almost(got, 0) {
+		t.Errorf("Quantile(-3) = %v, want 0", got)
+	}
+	if got := h.Quantile(7); !almost(got, 10) {
+		t.Errorf("Quantile(7) = %v, want 10", got)
+	}
+}

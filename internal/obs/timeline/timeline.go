@@ -1,0 +1,154 @@
+// Package timeline records a run's convergence trajectory — Cmax, imbalance,
+// cumulative moves and messages against logical time — in a fixed budget of
+// memory, using deterministic power-of-two downsampling.
+//
+// The recorder keeps every stride-th offered point (stride starts at 1, so
+// short runs are recorded exactly). When the buffer fills, the stride doubles
+// and the buffer is compacted in place, keeping the points whose offer
+// sequence is a multiple of the new stride. Which points survive is a pure
+// function of the Record call sequence — never of timing or scheduling — so
+// timelines are bit-identical across runs and harness worker counts, and the
+// retained points stay evenly spaced over the whole run instead of crowding
+// its start or end.
+//
+// Record is allocation-free after construction (a mutex, an index test and at
+// worst an in-place compaction), so the recorder can sit on the
+// //hetlb:noalloc step paths.
+package timeline
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Point is one sample of the convergence state, in the emitting runtime's
+// logical time unit. Moves and Messages are cumulative since the start of
+// the run; per-interval rates are recoverable by differencing neighbors.
+// Runtimes that cannot cheaply compute a field record 0 (worksteal has no
+// Cmax mid-run, gossip sends no messages); the consumer columns are fixed so
+// exports stay schema-stable.
+type Point struct {
+	// Time is the sample's logical time (step index or virtual time).
+	Time int64
+	// Cmax is the makespan at Time.
+	Cmax int64
+	// Imbalance is Cmax minus the mean machine load at Time (>= 0; 0 means
+	// perfectly flat).
+	Imbalance int64
+	// Moves counts job migrations applied so far.
+	Moves int64
+	// Messages counts protocol messages sent so far.
+	Messages int64
+}
+
+// Recorder is a bounded, self-downsampling timeline.
+type Recorder struct {
+	mu     sync.Mutex
+	pts    []Point // retained points, in offer order
+	cap    int
+	stride int64 // current keep-every-stride-th period (power of two)
+	seen   int64 // points ever offered
+}
+
+// NewRecorder returns a recorder retaining at most capacity points
+// (capacity >= 2; an odd capacity wastes its last slot after the first
+// compaction).
+func NewRecorder(capacity int) *Recorder {
+	if capacity < 2 {
+		panic("timeline: recorder capacity must be >= 2")
+	}
+	return &Recorder{pts: make([]Point, 0, capacity), cap: capacity, stride: 1}
+}
+
+// Record offers one sample. Whether it is retained depends only on how many
+// samples were offered before it.
+func (r *Recorder) Record(p Point) {
+	r.mu.Lock()
+	if r.seen%r.stride == 0 {
+		if len(r.pts) == r.cap {
+			// Full: keep every other retained point (offer sequences that
+			// are multiples of the doubled stride) and double the stride.
+			half := (len(r.pts) + 1) / 2
+			for i := 1; i < half; i++ {
+				r.pts[i] = r.pts[2*i]
+			}
+			r.pts = r.pts[:half]
+			r.stride *= 2
+		}
+		if r.seen%r.stride == 0 {
+			r.pts = append(r.pts, p)
+		}
+	}
+	r.seen++
+	r.mu.Unlock()
+}
+
+// Len returns the number of retained points.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.pts)
+}
+
+// Seen returns the number of points ever offered.
+func (r *Recorder) Seen() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seen
+}
+
+// Stride returns the current downsampling period: one retained point per
+// Stride offered.
+func (r *Recorder) Stride() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stride
+}
+
+// Points returns a copy of the retained points in offer order.
+func (r *Recorder) Points() []Point {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Point(nil), r.pts...)
+}
+
+// Reset empties the recorder and restores stride 1.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	r.pts = r.pts[:0]
+	r.stride = 1
+	r.seen = 0
+	r.mu.Unlock()
+}
+
+// WriteCSV writes a header row and one row per retained point:
+//
+//	time,cmax,imbalance,moves,messages
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("time,cmax,imbalance,moves,messages\n")
+	for _, p := range r.Points() {
+		fmt.Fprintf(bw, "%d,%d,%d,%d,%d\n", p.Time, p.Cmax, p.Imbalance, p.Moves, p.Messages)
+	}
+	return bw.Flush()
+}
+
+// WriteJSON writes one self-describing object: the downsampling state
+// (stride, points seen, points retained) and the retained points.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	pts := r.Points()
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "{\"meta\":\"hetlb-timeline\",\"version\":1,\"stride\":%d,\"seen\":%d,\"retained\":%d,\"points\":[",
+		r.Stride(), r.Seen(), len(pts))
+	for i, p := range pts {
+		if i > 0 {
+			bw.WriteString(",")
+		}
+		fmt.Fprintf(bw, "\n{\"time\":%d,\"cmax\":%d,\"imbalance\":%d,\"moves\":%d,\"messages\":%d}",
+			p.Time, p.Cmax, p.Imbalance, p.Moves, p.Messages)
+	}
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}

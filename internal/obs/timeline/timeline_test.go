@@ -1,0 +1,116 @@
+package timeline
+
+import (
+	"strings"
+	"testing"
+)
+
+// offer records n points whose fields encode the offer sequence, so retained
+// points are checkable.
+func offer(r *Recorder, n int) {
+	for i := 0; i < n; i++ {
+		r.Record(Point{Time: int64(i), Cmax: 1000 - int64(i), Imbalance: int64(i % 7), Moves: int64(2 * i), Messages: int64(3 * i)})
+	}
+}
+
+func TestShortRunRecordedExactly(t *testing.T) {
+	r := NewRecorder(8)
+	offer(r, 5)
+	if r.Stride() != 1 || r.Len() != 5 || r.Seen() != 5 {
+		t.Fatalf("stride/len/seen = %d/%d/%d, want 1/5/5", r.Stride(), r.Len(), r.Seen())
+	}
+	for i, p := range r.Points() {
+		if p.Time != int64(i) {
+			t.Fatalf("point %d has time %d", i, p.Time)
+		}
+	}
+}
+
+func TestDownsamplingKeepsStrideMultiples(t *testing.T) {
+	r := NewRecorder(8)
+	offer(r, 100)
+	if r.Seen() != 100 {
+		t.Fatalf("seen = %d, want 100", r.Seen())
+	}
+	stride := r.Stride()
+	if stride&(stride-1) != 0 || stride < 100/8 {
+		t.Fatalf("stride = %d, want a power of two >= 12", stride)
+	}
+	pts := r.Points()
+	if len(pts) > 8 {
+		t.Fatalf("retained %d points, capacity 8", len(pts))
+	}
+	for i, p := range pts {
+		if p.Time != int64(i)*stride {
+			t.Fatalf("point %d at time %d, want %d (stride %d)", i, p.Time, int64(i)*stride, stride)
+		}
+	}
+}
+
+// The retained set must be a pure function of the number of offers: a run
+// recorded in one go and the same run recorded after a reset agree.
+func TestDeterministicAcrossRuns(t *testing.T) {
+	a := NewRecorder(16)
+	b := NewRecorder(16)
+	offer(a, 1000)
+	offer(b, 1000)
+	pa, pb := a.Points(), b.Points()
+	if len(pa) != len(pb) {
+		t.Fatalf("lens differ: %d vs %d", len(pa), len(pb))
+	}
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatalf("point %d differs: %+v vs %+v", i, pa[i], pb[i])
+		}
+	}
+	b.Reset()
+	if b.Len() != 0 || b.Stride() != 1 || b.Seen() != 0 {
+		t.Fatalf("reset recorder not empty")
+	}
+	offer(b, 1000)
+	pb = b.Points()
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatalf("after reset, point %d differs: %+v vs %+v", i, pa[i], pb[i])
+		}
+	}
+}
+
+func TestRecordDoesNotAllocate(t *testing.T) {
+	r := NewRecorder(32)
+	var i int64
+	if n := testing.AllocsPerRun(5000, func() {
+		r.Record(Point{Time: i, Cmax: i})
+		i++
+	}); n != 0 {
+		t.Errorf("Record allocates %.2f per call, want 0", n)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	r := NewRecorder(4)
+	r.Record(Point{Time: 0, Cmax: 10, Imbalance: 2, Moves: 0, Messages: 0})
+	r.Record(Point{Time: 5, Cmax: 8, Imbalance: 1, Moves: 3, Messages: 6})
+	var sb strings.Builder
+	if err := r.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "time,cmax,imbalance,moves,messages\n0,10,2,0,0\n5,8,1,3,6\n"
+	if sb.String() != want {
+		t.Fatalf("csv = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	r := NewRecorder(4)
+	r.Record(Point{Time: 0, Cmax: 10, Imbalance: 2})
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "{\"meta\":\"hetlb-timeline\",\"version\":1,\"stride\":1,\"seen\":1,\"retained\":1,\"points\":[\n" +
+		"{\"time\":0,\"cmax\":10,\"imbalance\":2,\"moves\":0,\"messages\":0}\n]}\n"
+	if sb.String() != want {
+		t.Fatalf("json = %q, want %q", sb.String(), want)
+	}
+}

@@ -177,12 +177,31 @@ func (t *Tracer) Reset() {
 	t.total = 0
 }
 
-// WriteJSONL writes the retained events as one JSON object per line:
+// InstrumentTracer exposes the tracer's ring accounting on a registry as
+// pull-style counters, so a scrape (or the debug server) can see a trace
+// overflowing while the run is still going:
 //
+//	trace_ring_events_total   events ever emitted
+//	trace_ring_dropped_total  events overwritten before export
+func InstrumentTracer(r *Registry, t *Tracer) {
+	r.CounterFunc("trace_ring_events_total", "events ever emitted into the trace ring", func() int64 { return int64(t.Total()) })
+	r.CounterFunc("trace_ring_dropped_total", "trace ring events overwritten before export", func() int64 { return int64(t.Dropped()) })
+}
+
+// WriteJSONL writes a self-describing header line followed by the retained
+// events, one JSON object per line:
+//
+//	{"meta":"hetlb-events","version":1,"total":2,"dropped":0,"retained":2}
 //	{"t":12,"type":"pair-selected","a":3,"b":7,"v":2}
+//
+// The header carries the ring accounting, so a truncated trace declares how
+// many events it lost.
 func (t *Tracer) WriteJSONL(w io.Writer) error {
+	events := t.Events()
 	bw := bufio.NewWriter(w)
-	for _, e := range t.Events() {
+	fmt.Fprintf(bw, "{\"meta\":\"hetlb-events\",\"version\":1,\"total\":%d,\"dropped\":%d,\"retained\":%d}\n",
+		t.Total(), t.Dropped(), len(events))
+	for _, e := range events {
 		fmt.Fprintf(bw, "{\"t\":%d,\"type\":%q,\"a\":%d,\"b\":%d,\"v\":%d}\n",
 			e.Time, e.Type.String(), e.A, e.B, e.Value)
 	}

@@ -78,8 +78,21 @@ func TestWriteJSONL(t *testing.T) {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
-	if len(lines) != 2 {
-		t.Fatalf("got %d lines, want 2", len(lines))
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want header + 2 events", len(lines))
+	}
+	var hdr struct {
+		Meta     string `json:"meta"`
+		Version  int    `json:"version"`
+		Total    uint64 `json:"total"`
+		Dropped  uint64 `json:"dropped"`
+		Retained int    `json:"retained"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &hdr); err != nil {
+		t.Fatalf("header invalid JSON: %v", err)
+	}
+	if hdr.Meta != "hetlb-events" || hdr.Version != 1 || hdr.Total != 2 || hdr.Dropped != 0 || hdr.Retained != 2 {
+		t.Fatalf("header = %+v", hdr)
 	}
 	var rec struct {
 		T    int64  `json:"t"`
@@ -88,11 +101,49 @@ func TestWriteJSONL(t *testing.T) {
 		B    int32  `json:"b"`
 		V    int64  `json:"v"`
 	}
-	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
-		t.Fatalf("line 0 invalid JSON: %v", err)
+	if err := json.Unmarshal([]byte(lines[1]), &rec); err != nil {
+		t.Fatalf("line 1 invalid JSON: %v", err)
 	}
 	if rec.T != 5 || rec.Type != "steal-success" || rec.A != 1 || rec.B != 2 || rec.V != 3 {
-		t.Fatalf("line 0 = %+v", rec)
+		t.Fatalf("line 1 = %+v", rec)
+	}
+}
+
+// A truncated trace must say so in its header.
+func TestWriteJSONLHeaderReportsDrops(t *testing.T) {
+	tr := NewTracer(2)
+	for i := 0; i < 5; i++ {
+		tr.Emit(Event{Time: int64(i), Type: EvPairSelected})
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"meta":"hetlb-events","version":1,"total":5,"dropped":3,"retained":2}`
+	if first := strings.SplitN(buf.String(), "\n", 2)[0]; first != want {
+		t.Fatalf("header = %s, want %s", first, want)
+	}
+}
+
+func TestInstrumentTracer(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTracer(2)
+	InstrumentTracer(reg, tr)
+	for i := 0; i < 3; i++ {
+		tr.Emit(Event{Time: int64(i)})
+	}
+	snap := reg.Snapshot()
+	if got := snap["trace_ring_events_total"]; got.Type != "counter" || got.Value != 3 {
+		t.Fatalf("trace_ring_events_total = %+v, want counter 3", got)
+	}
+	if got := snap["trace_ring_dropped_total"]; got.Value != 1 {
+		t.Fatalf("trace_ring_dropped_total = %+v, want 1", got)
+	}
+	// Re-instrumenting with a fresh tracer re-points the samplers.
+	tr2 := NewTracer(2)
+	InstrumentTracer(reg, tr2)
+	if got := reg.Snapshot()["trace_ring_events_total"]; got.Value != 0 {
+		t.Fatalf("after re-instrumenting, trace_ring_events_total = %d, want 0", got.Value)
 	}
 }
 

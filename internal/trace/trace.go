@@ -15,6 +15,7 @@ import (
 	"hetlb/internal/core"
 	"hetlb/internal/gossip"
 	"hetlb/internal/obs"
+	"hetlb/internal/obs/timeline"
 )
 
 // MakespanSeries records Cmax every SampleEvery steps (and at step 0).
@@ -103,6 +104,44 @@ func (t *ThresholdWatcher) ExchangesPerMachine(machines int) (float64, bool) {
 		return 0, false
 	}
 	return float64(t.FirstStep+1) / float64(machines), true
+}
+
+// TimelineSampler feeds a timeline.Recorder from a gossip engine that was
+// built without gossip.Config.Timeline — the observer-based counterpart of
+// that field, for engines whose configuration the caller does not control.
+// Every SampleEvery steps (and at step 0) it records one convergence point:
+// current Cmax, the imbalance Cmax − ⌊ΣC/m⌋ against the ideal uniform load,
+// and the cumulative move count. Both queries hit the engine's incremental
+// caches, so sampling is O(1) per point.
+type TimelineSampler struct {
+	// SampleEvery thins the sampling; 0 or 1 records every step. The
+	// timeline ring's own power-of-two downsampling bounds retention, so
+	// thinning here only trades resolution for recording cost.
+	SampleEvery int
+	// Timeline receives the points; a nil recorder disables the observer.
+	Timeline *timeline.Recorder
+}
+
+// OnStep implements gossip.Observer.
+func (t *TimelineSampler) OnStep(e *gossip.Engine, step, i, j int) {
+	if t.Timeline == nil {
+		return
+	}
+	every := t.SampleEvery
+	if every < 1 {
+		every = 1
+	}
+	if step%every != 0 {
+		return
+	}
+	cmax := int64(e.Makespan())
+	m := int64(e.Assignment().Model().NumMachines())
+	t.Timeline.Record(timeline.Point{
+		Time:      int64(step),
+		Cmax:      cmax,
+		Imbalance: cmax - e.TotalLoad()/m,
+		Moves:     int64(e.Moves()),
+	})
 }
 
 // StepLog records every balanced pair; it is mainly a debugging aid and is

@@ -26,6 +26,8 @@ import (
 	"hetlb/internal/core"
 	"hetlb/internal/des"
 	"hetlb/internal/obs"
+	"hetlb/internal/obs/span"
+	"hetlb/internal/obs/timeline"
 	"hetlb/internal/rng"
 )
 
@@ -89,6 +91,16 @@ type Config struct {
 	// EvStealSuccess per steal (Time = virtual time, A = thief,
 	// B = victim, Value = jobs taken).
 	Tracer *obs.Tracer
+	// Spans, when non-nil, receives one KindSession span per successful
+	// steal (A = thief, B = victim, Start = when the thief went idle, End =
+	// the steal's commit time, Value = jobs taken), parented to a KindRun
+	// span closed at the end of Run. Times are virtual.
+	Spans *span.Recorder
+	// Timeline, when non-nil, receives one point per successful steal:
+	// Time = virtual time, Imbalance = jobs not yet completed (the
+	// scheduler's distance from done; there is no running Cmax), cumulative
+	// Moves = jobs stolen and Messages = victim probes.
+	Timeline *timeline.Recorder
 }
 
 // Stats is the outcome of a simulation.
@@ -133,6 +145,8 @@ type Simulator struct {
 	// idleSince[i] is the virtual time machine i last ran out of local
 	// work, or -1 while it is running/has work; used for the idle metric.
 	idleSince []int64
+	runSpan   span.ID
+	stolen    int64 // cumulative jobs transferred by steals (timeline Moves)
 }
 
 // New builds a simulator from a complete initial assignment. The assignment
@@ -173,6 +187,9 @@ func New(m core.CostModel, initial *core.Assignment, cfg Config) (*Simulator, er
 		s.ms[i].pending = append(s.ms[i].pending, j)
 	}
 	s.pending = m.NumJobs()
+	if cfg.Spans != nil {
+		s.runSpan = cfg.Spans.NextID()
+	}
 	return s, nil
 }
 
@@ -196,6 +213,18 @@ func (s *Simulator) Run() Stats {
 	}
 	if s.left != 0 {
 		panic("worksteal: simulation drained with jobs uncompleted")
+	}
+	if sp := s.cfg.Spans; sp != nil {
+		sp.Append(span.Span{
+			ID:     s.runSpan,
+			Parent: sp.Root(),
+			Kind:   span.KindRun,
+			A:      -1,
+			B:      -1,
+			Start:  0,
+			End:    s.stats.Makespan,
+			Value:  s.stats.Makespan,
+		})
 	}
 	return s.stats
 }
@@ -351,6 +380,32 @@ func (s *Simulator) steal(i, victim int) {
 	}
 	if s.cfg.Tracer != nil {
 		s.cfg.Tracer.Emit(obs.Event{Time: s.sim.Now(), Type: obs.EvStealSuccess, A: int32(i), B: int32(victim), Value: int64(take)})
+	}
+	if sp := s.cfg.Spans; sp != nil {
+		since := s.idleSince[i]
+		if since < 0 {
+			since = s.sim.Now()
+		}
+		sp.Append(span.Span{
+			Parent: s.runSpan,
+			Kind:   span.KindSession,
+			Tag:    span.TagInitiator,
+			Flags:  span.FlagCommitted,
+			A:      int32(i),
+			B:      int32(victim),
+			Start:  since,
+			End:    s.sim.Now(),
+			Value:  int64(take),
+		})
+	}
+	s.stolen += int64(take)
+	if tl := s.cfg.Timeline; tl != nil {
+		tl.Record(timeline.Point{
+			Time:      s.sim.Now(),
+			Imbalance: int64(s.left),
+			Moves:     s.stolen,
+			Messages:  int64(s.stats.Probes),
+		})
 	}
 	s.start(i)
 }

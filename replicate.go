@@ -36,6 +36,16 @@ type ReplicationOptions struct {
 	// with (completed, total). Calls are serialized but arrive in
 	// completion order.
 	OnProgress func(completed, total int)
+	// Spans, when non-nil, collects the causal span trace of the whole
+	// run: one KindReplication span per replication, with each
+	// replication's runtime spans recorded into a private namespaced
+	// sub-recorder (exposed as Replication.Spans) and merged in index
+	// order after the pool drains — the merged trace is bit-identical for
+	// every Parallelism, like the results.
+	Spans *SpanTrace
+	// SpanCap bounds each replication's private span ring; 0 defaults to
+	// 16384.
+	SpanCap int
 }
 
 // Replication is one replication's execution context: its index, its
@@ -61,6 +71,8 @@ func Replicate[T any](opt ReplicationOptions, seed uint64, n int, fn func(rep *R
 		Metrics:     opt.Metrics,
 		Trace:       opt.Trace,
 		OnProgress:  opt.OnProgress,
+		Spans:       opt.Spans,
+		SpanCap:     opt.SpanCap,
 	}, seed, n, fn)
 }
 
