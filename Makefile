@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check vet lint build test race bench bench-smoke overhead-guard chaos
+.PHONY: check vet lint build test race bench bench-smoke overhead-guard bench-scale chaos
 
 check: lint build test race
 
@@ -33,6 +33,7 @@ test:
 # documents that each test process loads sequentially.
 race:
 	$(GO) test -race ./internal/distrun/... ./internal/obs/... ./internal/gossip/... \
+		./internal/shardgossip/... \
 		./internal/harness/... ./internal/experiments/... ./internal/analysis/...
 
 bench:
@@ -40,8 +41,10 @@ bench:
 
 # One iteration of every benchmark: catches benchmarks that no longer
 # compile or panic without paying for real measurement. CI runs this.
+# -short lets the 100k/10M scale benchmark opt out; its CI-sized twin
+# (BenchmarkShardedStepScale) still runs and covers the same code path.
 bench-smoke:
-	$(GO) test -run='^$$' -bench=. -benchtime=1x -benchmem ./...
+	$(GO) test -run='^$$' -short -bench=. -benchtime=1x -benchmem ./...
 
 # Observability must be free when it is off: the tracing-disabled step path
 # may not drift more than TOLERANCE above BENCH_3.json's recorded 'after'
@@ -54,6 +57,21 @@ overhead-guard:
 		./internal/gossip/ | tee /tmp/benchguard-step.txt
 	$(GO) run ./cmd/benchguard -baseline BENCH_3.json -tolerance $(TOLERANCE) \
 		-in /tmp/benchguard-step.txt
+
+# The sharded engine's CI-sized scale guard: BenchmarkShardedStepScale
+# (m=2048, n=16384 — same code path as the 100k/10M headline run) may not
+# drift more than SCALE_TOLERANCE above BENCH_7.json's 'guard' column. The
+# tolerance is wide because epoch cost depends on how balanced the schedule
+# currently is, which makes this benchmark noisier than the per-step guards.
+# The full 100k/10M curve is re-recorded with:
+#   go test -run='^$' -bench='BenchmarkShardedStep$' -benchmem -benchtime=3x \
+#       -timeout 50m ./internal/shardgossip/
+SCALE_TOLERANCE ?= 0.50
+bench-scale:
+	$(GO) test -run='^$$' -bench='BenchmarkShardedStepScale' -benchmem -benchtime=300ms \
+		./internal/shardgossip/ | tee /tmp/benchguard-scale.txt
+	$(GO) run ./cmd/benchguard -baseline BENCH_7.json -bench BenchmarkShardedStepScale \
+		-column guard -tolerance $(SCALE_TOLERANCE) -in /tmp/benchguard-scale.txt
 
 # The chaos property suite under the race detector: 100+ seeded random
 # fault plans (loss, duplication, crashes) must all drain without deadlock

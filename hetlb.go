@@ -10,6 +10,7 @@ import (
 	"hetlb/internal/gossip"
 	"hetlb/internal/protocol"
 	"hetlb/internal/rng"
+	"hetlb/internal/shardgossip"
 	"hetlb/internal/worksteal"
 )
 
@@ -133,6 +134,14 @@ type RunOptions struct {
 	// Concurrent runs one goroutine per machine (the operational model of
 	// the paper) instead of the sequential reproducible engine.
 	Concurrent bool
+	// Shards >= 1 runs the sharded epoch engine: machines are partitioned
+	// into that many shards stepped by parallel workers on a per-epoch
+	// random perfect matching. Results are bit-identical for any shard
+	// count >= 1. The zero default keeps the sequential engine, whose
+	// uniform-initiator schedule differs from the sharded engine's
+	// matching schedule. Incompatible with Concurrent and with Trace
+	// (the sharded engine records spans and timelines, not events).
+	Shards int
 	// QuiesceStreak (concurrent only) stops early once every machine saw
 	// this many consecutive unchanged sessions; 0 disables.
 	QuiesceStreak int64
@@ -174,6 +183,35 @@ func runProtocol(p protocol.Protocol, initial *Assignment, opt RunOptions) (Resu
 	}
 	if !initial.Complete() {
 		return Result{}, fmt.Errorf("hetlb: initial assignment must place every job")
+	}
+	if opt.Shards >= 1 {
+		if opt.Concurrent {
+			return Result{}, fmt.Errorf("hetlb: RunOptions.Shards and Concurrent are mutually exclusive")
+		}
+		if opt.Trace != nil {
+			return Result{}, fmt.Errorf("hetlb: RunOptions.Trace is not supported with Shards (use Spans or Timeline)")
+		}
+		cfg := shardgossip.Config{
+			Seed:     opt.Seed,
+			Shards:   opt.Shards,
+			Spans:    opt.Spans,
+			Timeline: opt.Timeline,
+		}
+		if opt.Metrics != nil {
+			cfg.Metrics = shardgossip.NewMetrics(opt.Metrics)
+		}
+		e, err := shardgossip.New(p, initial, cfg)
+		if err != nil {
+			return Result{}, err
+		}
+		defer e.Close()
+		r := e.Run(opt.MaxExchanges, opt.DetectStability)
+		return Result{
+			Assignment: r.Assignment,
+			Makespan:   r.FinalMakespan,
+			Exchanges:  r.Steps,
+			Converged:  r.Converged,
+		}, nil
 	}
 	if opt.Concurrent {
 		cfg := distrun.Config{

@@ -58,6 +58,43 @@ func TestPublicDLB2CConcurrent(t *testing.T) {
 	}
 }
 
+func TestPublicShardedRun(t *testing.T) {
+	p0 := make([]hetlb.Cost, 96)
+	p1 := make([]hetlb.Cost, 96)
+	for j := range p0 {
+		p0[j] = hetlb.Cost(1 + (j*37)%100)
+		p1[j] = hetlb.Cost(1 + (j*61)%100)
+	}
+	tc := mustTwoCluster(t, 6, 6, p0, p1)
+	run := func(shards int) hetlb.Result {
+		res, err := hetlb.DLB2C(tc, hetlb.RoundRobin(tc), hetlb.RunOptions{
+			Seed: 5, MaxExchanges: 600, Shards: shards,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	// The sharded engine must deliver the same result at any shard count,
+	// including an explicit Shards: 1.
+	r1, r2, r4 := run(1), run(2), run(4)
+	if r2.Makespan != r4.Makespan || !r2.Assignment.Equal(r4.Assignment) || r2.Exchanges != r4.Exchanges {
+		t.Fatal("sharded results differ across shard counts")
+	}
+	if r1.Makespan != r2.Makespan || !r1.Assignment.Equal(r2.Assignment) || r1.Exchanges != r2.Exchanges {
+		t.Fatal("Shards: 1 differs from Shards: 2")
+	}
+	if r2.Makespan > hetlb.RoundRobin(tc).Makespan() {
+		t.Fatal("sharded balancing made the round-robin schedule worse")
+	}
+	// Shards and Concurrent are mutually exclusive.
+	if _, err := hetlb.DLB2C(tc, hetlb.RoundRobin(tc), hetlb.RunOptions{
+		MaxExchanges: 10, Shards: 2, Concurrent: true,
+	}); err == nil {
+		t.Fatal("Shards+Concurrent accepted")
+	}
+}
+
 func TestPublicOJTBOptimal(t *testing.T) {
 	// One job type: OJTB converges to OPT.
 	ty, err := hetlb.NewTyped([][]hetlb.Cost{{3}, {5}, {4}}, make([]int, 10))

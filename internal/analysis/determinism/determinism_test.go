@@ -10,5 +10,5 @@ import (
 
 func TestDeterminism(t *testing.T) {
 	testdata := filepath.Join("..", "testdata")
-	analysistest.Run(t, testdata, determinism.Analyzer, "gossip", "notscoped")
+	analysistest.Run(t, testdata, determinism.Analyzer, "gossip", "shardgossip", "notscoped")
 }

@@ -79,9 +79,18 @@ func checkLoopSeeds(pass *analysis.Pass, file *ast.File) {
 			loopVars = loopVars[:mark]
 			return false
 		case *ast.CallExpr:
-			if f := analysis.Callee(pass.TypesInfo, n); analysis.IsPkgFunc(f, "rng", "New") && len(n.Args) == 1 {
+			f := analysis.Callee(pass.TypesInfo, n)
+			if analysis.IsPkgFunc(f, "rng", "New") && len(n.Args) == 1 {
 				if id := rawLoopVarUse(pass.TypesInfo, n.Args[0], loopVars); id != nil {
 					pass.Reportf(n.Pos(), "rng.New seeded from loop variable %s: use rng.Substream(seed, key...) or rng.DeriveSeed so the stream is a pure function of its key, not of loop order", id.Name)
+				}
+			}
+			// RNG.Reseed re-keys a generator in place (the sharded engine's
+			// per-epoch schedule draw); a raw loop-index seed there is the
+			// same regression as in rng.New.
+			if analysis.IsPkgFunc(f, "rng", "Reseed") && len(n.Args) == 1 {
+				if id := rawLoopVarUse(pass.TypesInfo, n.Args[0], loopVars); id != nil {
+					pass.Reportf(n.Pos(), "RNG.Reseed seeded from loop variable %s: re-key with rng.DeriveSeed(seed, key...) so the stream is a pure function of its key, not of loop order", id.Name)
 				}
 			}
 		case *ast.KeyValueExpr:

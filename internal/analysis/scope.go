@@ -21,6 +21,7 @@ var determinismScoped = map[string]bool{
 	"netsim":      true,
 	"des":         true,
 	"distrun":     true,
+	"shardgossip": true,
 	"worksteal":   true,
 	"harness":     true,
 	"experiments": true,

@@ -10,5 +10,5 @@ import (
 
 func TestStatsSafety(t *testing.T) {
 	testdata := filepath.Join("..", "testdata")
-	analysistest.Run(t, testdata, statssafety.Analyzer, "netsim")
+	analysistest.Run(t, testdata, statssafety.Analyzer, "netsim", "hetlb/internal/shardgossip")
 }

@@ -15,6 +15,16 @@ func DeriveSeed(seed uint64, keys ...uint64) uint64 { return seed + uint64(len(k
 // Substream mirrors rng.Substream.
 func Substream(seed uint64, keys ...uint64) *RNG { return New(DeriveSeed(seed, keys...)) }
 
+// Reseed mirrors rng.Reseed.
+func (r *RNG) Reseed(seed uint64) { r.s = seed }
+
+// PermInto mirrors rng.PermInto.
+func (r *RNG) PermInto(p []int) {
+	for i := range p {
+		p[i] = i
+	}
+}
+
 // Uint64 mirrors rng.Uint64.
 func (r *RNG) Uint64() uint64 { r.s++; return r.s }
 

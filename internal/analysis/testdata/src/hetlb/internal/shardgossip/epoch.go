@@ -1,0 +1,40 @@
+// Package shardgossip exercises the statssafety analyzer on the sharded
+// epoch engine's shapes: the barrier is the one place per epoch that touches
+// the instruments, so an obs read steering the epoch loop — "keep stepping
+// until the moves counter looks settled" — is exactly the feedback loop the
+// analyzer exists to forbid.
+package shardgossip
+
+import "hetlb/internal/obs"
+
+// Metrics bundles stub instruments shaped like the engine's.
+type Metrics struct {
+	Epochs     obs.Counter
+	Makespan   obs.Gauge
+	EpochMoves obs.Histogram
+}
+
+// SteeredRun keeps stepping while an instrument looks busy: the simulation's
+// stopping condition then depends on what was observed, not on state.
+func (m *Metrics) SteeredRun(step func() int) int {
+	epochs := 0
+	for m.EpochMoves.Sum() > 0 { // want `simulation control flow keyed on obs read Histogram\.Sum`
+		step()
+		epochs++
+	}
+	if m.Epochs.Value() < 10 { // want `simulation control flow keyed on obs read Counter\.Value`
+		m.Epochs.Inc() // want `obs record Counter\.Inc inside a branch keyed on an obs read`
+	}
+	return epochs
+}
+
+// CleanBarrier is the real engine's shape: records keyed on simulation
+// state only, reads feeding a report. No diagnostics.
+func (m *Metrics) CleanBarrier(moves int, cmax int64) int64 {
+	m.Epochs.Inc()
+	if moves > 0 {
+		m.EpochMoves.Observe(int64(moves))
+	}
+	m.Makespan.Set(cmax)
+	return m.Epochs.Value() + m.EpochMoves.Sum() // summary for the run report
+}

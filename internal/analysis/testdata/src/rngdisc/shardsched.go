@@ -1,0 +1,38 @@
+package rngdisc
+
+import "hetlb/internal/rng"
+
+// EpochReseedRaw is the sharded-engine regression the Reseed extension
+// catches: re-keying the schedule generator from the raw epoch counter.
+func EpochReseedRaw(seed uint64, epochs int) int {
+	gen := rng.New(seed)
+	perm := make([]int, 8)
+	total := 0
+	for epoch := 0; epoch < epochs; epoch++ {
+		gen.Reseed(seed + uint64(epoch)) // want `RNG\.Reseed seeded from loop variable epoch`
+		gen.PermInto(perm)
+		total += perm[0]
+	}
+	return total
+}
+
+// EpochReseedKeyed is the blessed pattern from internal/shardgossip: the
+// epoch enters only as a DeriveSeed key, so the schedule of epoch e is a
+// pure function of (seed, e). No diagnostic.
+func EpochReseedKeyed(seed uint64, epochs int) int {
+	gen := rng.New(seed)
+	perm := make([]int, 8)
+	total := 0
+	for epoch := 0; epoch < epochs; epoch++ {
+		gen.Reseed(rng.DeriveSeed(seed, uint64(epoch)))
+		gen.PermInto(perm)
+		total += perm[0]
+	}
+	return total
+}
+
+// ReseedOutsideLoop re-keys from a plain parameter; nothing loop-derived, no
+// diagnostic.
+func ReseedOutsideLoop(gen *rng.RNG, seed uint64) {
+	gen.Reseed(seed)
+}

@@ -1,0 +1,63 @@
+// Package shardgossip exercises the determinism analyzer on the shapes of
+// the sharded epoch engine: the directory name is determinism-scoped (the
+// engine's results are asserted bit-identical across shard counts), so
+// wall-clock reads in the epoch barrier and map-ordered shard reductions
+// must be flagged, while the slice-ordered reduction the real engine uses
+// must pass.
+package shardgossip
+
+import (
+	"sort"
+	"time"
+)
+
+// shard is a stand-in per-shard accumulator.
+type shard struct {
+	moves   int
+	changed int
+}
+
+// BarrierTimed stamps the epoch with wall clock — the classic way a "how
+// long did the epoch take" convenience breaks replayability.
+func BarrierTimed(shards []shard) int64 {
+	start := time.Now() // want `wall-clock read time\.Now`
+	total := 0
+	for i := range shards {
+		total += shards[i].moves
+	}
+	return int64(total) + time.Since(start).Nanoseconds() // want `wall-clock read time\.Since`
+}
+
+// BarrierMapReduce reduces per-shard accumulators held in a map: the
+// reduction order (and any tie-broken result derived from it) then depends
+// on map iteration.
+func BarrierMapReduce(shards map[int]*shard) int {
+	best := 0
+	for _, sh := range shards { // want `map iteration order can reach results`
+		if sh.changed > best {
+			best = sh.changed
+		}
+	}
+	return best
+}
+
+// BarrierOrderedReduce is the real engine's shape: shards live in a slice
+// and the barrier reduces them in shard-index order. No diagnostic.
+func BarrierOrderedReduce(shards []shard) (moves, changed int) {
+	for i := range shards {
+		moves += shards[i].moves
+		changed += shards[i].changed
+	}
+	return moves, changed
+}
+
+// OwnershipSortedKeys shows the blessed collect-then-sort idiom for a
+// map-keyed ownership table. No diagnostic.
+func OwnershipSortedKeys(owners map[int][]int32) []int {
+	var keys []int
+	for k := range owners {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}

@@ -67,21 +67,36 @@ func (a *Assignment) Clone() *Assignment {
 	return b
 }
 
-// ensureIndex builds the per-machine job index if it is not live. Buffers
-// from a previously discarded index are reused.
+// ensureIndex builds the per-machine job index if it is not live. The build
+// is a counting pass followed by per-machine subslices of one exactly-sized
+// backing array: at 10M jobs over 100k machines this is two linear passes and
+// three allocations, where machine-by-machine appends would pay millions of
+// grow-and-copy steps on 100k separately reallocated lists. Full-slice
+// expressions pin each machine's capacity, so a list that later outgrows its
+// block (jobs migrating in) reallocates privately instead of overwriting its
+// neighbour's region.
 func (a *Assignment) ensureIndex() {
 	if a.indexed {
 		return
 	}
+	m := a.model.NumMachines()
 	if a.jobsOn == nil {
-		a.jobsOn = make([][]int, a.model.NumMachines())
-	} else {
-		for i := range a.jobsOn {
-			a.jobsOn[i] = a.jobsOn[i][:0]
-		}
+		a.jobsOn = make([][]int, m)
 	}
 	if a.posOf == nil {
 		a.posOf = make([]int, a.model.NumJobs())
+	}
+	counts := make([]int, m)
+	for _, i := range a.machineOf {
+		if i != -1 {
+			counts[i]++
+		}
+	}
+	backing := make([]int, 0, a.assigned)
+	start := 0
+	for i, c := range counts {
+		a.jobsOn[i] = backing[start : start : start+c]
+		start += c
 	}
 	for j, i := range a.machineOf {
 		if i != -1 {

@@ -73,8 +73,36 @@ func MaxCost(m CostModel, job int) Cost {
 	return best
 }
 
+// Checker is implemented by cost models that can verify their own invariants
+// faster than a dense scan by exploiting their structure: Identical and
+// TwoCluster read O(n) stored costs, Related reads O(m+n), Typed reads
+// O(m·k+n) — never the m·n product the dense matrix view suggests. CheckModel
+// dispatches to it when present.
+type Checker interface {
+	// Check verifies the model's invariants (non-negative costs plus any
+	// structure the model promises) and returns a descriptive error on the
+	// first violation.
+	Check() error
+}
+
+// checkCellBudget bounds how many Cost lookups CheckModel spends on a model
+// that exposes no structure (no Checker implementation). Below the budget the
+// full matrix is scanned; above it a deterministic per-row sample is checked
+// instead, so validating a pathological 100k×10M dense view costs millions of
+// lookups, not 10¹².
+const checkCellBudget = 1 << 22
+
 // CheckModel verifies basic sanity of a cost model: positive dimensions and
 // non-negative costs. Algorithms in this repository assume these invariants.
+//
+// Models implementing Checker are verified through their own structure-aware
+// fast path. For anything else the dense matrix is scanned in full only while
+// m·n stays within checkCellBudget; larger models get a deterministic sample
+// (every row, evenly strided columns, stride offset by the row index so
+// neighbouring rows probe different columns). A sampled pass can miss an
+// isolated negative cell — the structured models all implement Checker, so
+// the sampling fallback only applies to models whose cost function is opaque
+// and whose full scan is the very cost this check must avoid.
 func CheckModel(m CostModel) error {
 	if m.NumMachines() <= 0 {
 		return fmt.Errorf("core: model has %d machines, need at least 1", m.NumMachines())
@@ -82,10 +110,42 @@ func CheckModel(m CostModel) error {
 	if m.NumJobs() < 0 {
 		return fmt.Errorf("core: model has negative job count %d", m.NumJobs())
 	}
-	for i := 0; i < m.NumMachines(); i++ {
-		for j := 0; j < m.NumJobs(); j++ {
+	if c, ok := m.(Checker); ok {
+		return c.Check()
+	}
+	return checkDenseView(m)
+}
+
+// checkDenseView validates an opaque model through its Cost method: a full
+// scan within checkCellBudget, a strided per-row sample beyond it.
+func checkDenseView(m CostModel) error {
+	mach, n := m.NumMachines(), m.NumJobs()
+	if n == 0 {
+		return nil
+	}
+	if int64(mach)*int64(n) <= checkCellBudget {
+		for i := 0; i < mach; i++ {
+			for j := 0; j < n; j++ {
+				if m.Cost(i, j) < 0 {
+					return fmt.Errorf("core: negative cost p[%d][%d] = %d", i, j, m.Cost(i, j))
+				}
+			}
+		}
+		return nil
+	}
+	perRow := checkCellBudget / mach
+	if perRow < 1 {
+		perRow = 1
+	}
+	if perRow > n {
+		perRow = n
+	}
+	stride := n / perRow
+	for i := 0; i < mach; i++ {
+		for t := 0; t < perRow; t++ {
+			j := (i + t*stride) % n
 			if m.Cost(i, j) < 0 {
-				return fmt.Errorf("core: negative cost p[%d][%d] = %d", i, j, m.Cost(i, j))
+				return fmt.Errorf("core: negative cost p[%d][%d] = %d (sampled)", i, j, m.Cost(i, j))
 			}
 		}
 	}

@@ -1,6 +1,9 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Dense is a fully general unrelated-machines instance backed by an explicit
 // m×n cost matrix.
@@ -43,6 +46,11 @@ func (d *Dense) NumJobs() int { return len(d.p[0]) }
 // Cost implements CostModel.
 func (d *Dense) Cost(machine, job int) Cost { return d.p[machine][job] }
 
+// Check implements Checker. Dense has no structure to exploit, so it scans
+// the matrix in full up to checkCellBudget cells and falls back to the same
+// deterministic per-row sample CheckModel uses for opaque models beyond it.
+func (d *Dense) Check() error { return checkDenseView(d) }
+
 // Identical is an instance of identical machines: every job has the same
 // processing time on every machine.
 type Identical struct {
@@ -70,6 +78,17 @@ func (id *Identical) Cost(_, job int) Cost { return id.p[job] }
 
 // Size returns the machine-independent size of a job.
 func (id *Identical) Size(job int) Cost { return id.p[job] }
+
+// Check implements Checker in O(n): every cost of the m×n matrix is one of
+// the n stored sizes.
+func (id *Identical) Check() error {
+	for j, c := range id.p {
+		if c < 0 {
+			return fmt.Errorf("core: job %d has negative size %d", j, c)
+		}
+	}
+	return nil
+}
 
 // Related is a uniformly-related instance: machine i processes job j in
 // size[j] / speed[i] time. To stay in integer arithmetic, speeds are
@@ -105,12 +124,34 @@ func (r *Related) Cost(machine, job int) Cost {
 	return (r.p[job] + Cost(s) - 1) / Cost(s)
 }
 
+// Check implements Checker in O(m+n): with positive speeds, ceil(size/speed)
+// is non-negative iff the size is.
+func (r *Related) Check() error {
+	for i, s := range r.speed {
+		if s <= 0 {
+			return fmt.Errorf("core: machine %d has non-positive speed %d", i, s)
+		}
+	}
+	for j, c := range r.p {
+		if c < 0 {
+			return fmt.Errorf("core: job %d has negative size %d", j, c)
+		}
+	}
+	return nil
+}
+
 // Typed is an instance where jobs are grouped into k types (Section V of the
 // paper): two jobs of the same type have identical cost on every machine, so
 // the matrix collapses to m×k.
 type Typed struct {
 	typeOf []int    // typeOf[job] in [0, k)
 	p      [][]Cost // p[machine][type]
+
+	// Lazily built type→jobs buckets serving JobsOfType. All buckets are
+	// carved out of one shared backing array; the Once makes the build safe
+	// under the concurrent engines, which share one model across workers.
+	bucketOnce sync.Once
+	byType     [][]int
 }
 
 // NewTyped builds a typed instance. p[i][t] is the cost of any type-t job on
@@ -148,16 +189,56 @@ func (t *Typed) NumTypes() int { return len(t.p[0]) }
 // TypeOf returns the type of a job.
 func (t *Typed) TypeOf(job int) int { return t.typeOf[job] }
 
-// JobsOfType returns the indices of all jobs with the given type, in
-// increasing order.
-func (t *Typed) JobsOfType(typ int) []int {
-	var jobs []int
-	for j, tt := range t.typeOf {
-		if tt == typ {
-			jobs = append(jobs, j)
+// Check implements Checker in O(m·k+n): the matrix has only m·k distinct
+// entries, and the type map is range-checked per job.
+func (t *Typed) Check() error {
+	k := t.NumTypes()
+	for i, row := range t.p {
+		for typ, c := range row {
+			if c < 0 {
+				return fmt.Errorf("core: negative cost p[%d][type %d] = %d", i, typ, c)
+			}
 		}
 	}
-	return jobs
+	for j, tt := range t.typeOf {
+		if tt < 0 || tt >= k {
+			return fmt.Errorf("core: job %d has type %d outside [0, %d)", j, tt, k)
+		}
+	}
+	return nil
+}
+
+// JobsOfType returns the indices of all jobs with the given type, in
+// increasing order. The buckets are built once, lazily, on the first call —
+// a counting pass plus one shared backing array — so each call serves a
+// subslice in O(1) instead of scanning and reallocating O(n) per query.
+// The returned slice is shared; callers must not mutate it.
+func (t *Typed) JobsOfType(typ int) []int {
+	t.bucketOnce.Do(t.buildBuckets)
+	return t.byType[typ]
+}
+
+// buildBuckets fills byType: counts per type, then per-type subslices of a
+// single n-sized backing array, appended in increasing job order.
+func (t *Typed) buildBuckets() {
+	k := t.NumTypes()
+	counts := make([]int, k)
+	for _, tt := range t.typeOf {
+		counts[tt]++
+	}
+	backing := make([]int, 0, len(t.typeOf))
+	t.byType = make([][]int, k)
+	start := 0
+	for typ, c := range counts {
+		// Full-slice expressions pin each bucket's capacity so an (illegal)
+		// append through a returned bucket cannot silently overwrite its
+		// neighbour.
+		t.byType[typ] = backing[start : start : start+c]
+		start += c
+	}
+	for j, tt := range t.typeOf {
+		t.byType[tt] = append(t.byType[tt], j)
+	}
 }
 
 // TwoCluster is the Section VI instance: machines are partitioned into two
@@ -211,6 +292,19 @@ func (tc *TwoCluster) ClusterSize(cluster int) int {
 // ClusterCost returns the cost of a job on any machine of the given cluster.
 func (tc *TwoCluster) ClusterCost(cluster, job int) Cost { return tc.p[cluster][job] }
 
+// Check implements Checker in O(n): the m×n matrix has only the 2×n stored
+// entries.
+func (tc *TwoCluster) Check() error {
+	for cluster, row := range tc.p {
+		for j, c := range row {
+			if c < 0 {
+				return fmt.Errorf("core: negative cost p[cluster %d][%d] = %d", cluster, j, c)
+			}
+		}
+	}
+	return nil
+}
+
 // Clustered is implemented by cost models that expose a partition of the
 // machines into two clusters of identical machines. DLB2C and CLB2C require
 // this structure.
@@ -227,4 +321,10 @@ var (
 	_ CostModel = (*Related)(nil)
 	_ CostModel = (*Typed)(nil)
 	_ Clustered = (*TwoCluster)(nil)
+
+	_ Checker = (*Dense)(nil)
+	_ Checker = (*Identical)(nil)
+	_ Checker = (*Related)(nil)
+	_ Checker = (*Typed)(nil)
+	_ Checker = (*TwoCluster)(nil)
 )

@@ -1,0 +1,75 @@
+package core
+
+import "fmt"
+
+// Partition assigns machines to shards for the sharded gossip engine. It
+// cuts [0, m) into NumShards contiguous, near-equal blocks: the first
+// m mod S shards get one extra machine. Contiguity is what makes ShardOf a
+// constant-time arithmetic lookup with no per-machine table, and it keeps a
+// shard's slice of every per-machine array (loads, job lists, exchange
+// counters) a single cache-friendly range.
+//
+// A Partition describes ownership only; it holds no job or load state and is
+// safe for concurrent use.
+type Partition struct {
+	m      int
+	shards int
+	quot   int // base block size, m / shards
+	rem    int // number of leading shards holding quot+1 machines
+}
+
+// NewPartition returns a partition of m machines into shards blocks. It
+// errors when m < 1, shards < 1, or shards > m (a shard that owns no
+// machines could never make progress and would deadlock an epoch barrier
+// that waits for work from every worker).
+func NewPartition(m, shards int) (*Partition, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("core: partition over %d machines", m)
+	}
+	if shards < 1 {
+		return nil, fmt.Errorf("core: partition into %d shards", shards)
+	}
+	if shards > m {
+		return nil, fmt.Errorf("core: %d shards over %d machines would leave empty shards", shards, m)
+	}
+	return &Partition{m: m, shards: shards, quot: m / shards, rem: m % shards}, nil
+}
+
+// NumMachines returns the number of machines partitioned.
+func (p *Partition) NumMachines() int { return p.m }
+
+// NumShards returns the number of shards.
+func (p *Partition) NumShards() int { return p.shards }
+
+// ShardOf returns the shard owning the given machine. It panics if the
+// machine index is out of range.
+func (p *Partition) ShardOf(machine int) int {
+	if machine < 0 || machine >= p.m {
+		panic(fmt.Sprintf("core: ShardOf(%d) with %d machines", machine, p.m))
+	}
+	wide := p.rem * (p.quot + 1) // machines covered by the quot+1-sized shards
+	if machine < wide {
+		return machine / (p.quot + 1)
+	}
+	return p.rem + (machine-wide)/p.quot
+}
+
+// Bounds returns the half-open machine range [lo, hi) owned by the given
+// shard. It panics if the shard index is out of range.
+func (p *Partition) Bounds(shard int) (lo, hi int) {
+	if shard < 0 || shard >= p.shards {
+		panic(fmt.Sprintf("core: Bounds(%d) with %d shards", shard, p.shards))
+	}
+	if shard < p.rem {
+		lo = shard * (p.quot + 1)
+		return lo, lo + p.quot + 1
+	}
+	lo = p.rem*(p.quot+1) + (shard-p.rem)*p.quot
+	return lo, lo + p.quot
+}
+
+// Size returns the number of machines owned by the given shard.
+func (p *Partition) Size(shard int) int {
+	lo, hi := p.Bounds(shard)
+	return hi - lo
+}

@@ -1,0 +1,82 @@
+package core
+
+import "testing"
+
+// TestPartitionCoversExactly checks, for a grid of (m, shards) shapes, that
+// the blocks tile [0, m) without gaps or overlaps, that ShardOf agrees with
+// Bounds on every machine, and that sizes differ by at most one.
+func TestPartitionCoversExactly(t *testing.T) {
+	for _, m := range []int{1, 2, 3, 7, 8, 64, 100, 1000} {
+		for _, s := range []int{1, 2, 3, 4, 7, 8} {
+			if s > m {
+				continue
+			}
+			p, err := NewPartition(m, s)
+			if err != nil {
+				t.Fatalf("NewPartition(%d, %d): %v", m, s, err)
+			}
+			if p.NumMachines() != m || p.NumShards() != s {
+				t.Fatalf("(%d,%d): got (%d,%d)", m, s, p.NumMachines(), p.NumShards())
+			}
+			next, total := 0, 0
+			minSize, maxSize := m+1, -1
+			for shard := 0; shard < s; shard++ {
+				lo, hi := p.Bounds(shard)
+				if lo != next {
+					t.Fatalf("(%d,%d) shard %d: starts at %d, want %d", m, s, shard, lo, next)
+				}
+				if hi <= lo {
+					t.Fatalf("(%d,%d) shard %d: empty range [%d,%d)", m, s, shard, lo, hi)
+				}
+				if got := p.Size(shard); got != hi-lo {
+					t.Fatalf("(%d,%d) shard %d: Size %d != bounds %d", m, s, shard, got, hi-lo)
+				}
+				for i := lo; i < hi; i++ {
+					if got := p.ShardOf(i); got != shard {
+						t.Fatalf("(%d,%d): ShardOf(%d) = %d, want %d", m, s, i, got, shard)
+					}
+				}
+				if hi-lo < minSize {
+					minSize = hi - lo
+				}
+				if hi-lo > maxSize {
+					maxSize = hi - lo
+				}
+				total += hi - lo
+				next = hi
+			}
+			if next != m || total != m {
+				t.Fatalf("(%d,%d): blocks cover %d machines, want %d", m, s, total, m)
+			}
+			if maxSize-minSize > 1 {
+				t.Fatalf("(%d,%d): block sizes range [%d,%d], want near-equal", m, s, minSize, maxSize)
+			}
+		}
+	}
+}
+
+// TestPartitionRejectsBadShapes checks the constructor's error cases and the
+// panics on out-of-range queries.
+func TestPartitionRejectsBadShapes(t *testing.T) {
+	for _, bad := range []struct{ m, s int }{{0, 1}, {-1, 1}, {4, 0}, {4, -2}, {3, 4}} {
+		if _, err := NewPartition(bad.m, bad.s); err == nil {
+			t.Errorf("NewPartition(%d, %d): want error", bad.m, bad.s)
+		}
+	}
+	p, err := NewPartition(8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: want panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("ShardOf(-1)", func() { p.ShardOf(-1) })
+	mustPanic("ShardOf(8)", func() { p.ShardOf(8) })
+	mustPanic("Bounds(3)", func() { p.Bounds(3) })
+	mustPanic("Bounds(-1)", func() { p.Bounds(-1) })
+}

@@ -324,13 +324,13 @@ func session(p protocol.Protocol, ms []machineState, i, peer int, s *pairwise.Sc
 	defer ms[hi].mu.Unlock()
 	defer ms[lo].mu.Unlock()
 
-	s.Union = mergeSortedInto(s.Union[:0], ms[i].jobs, ms[peer].jobs)
+	s.Union = pairwise.MergeSortedInto(s.Union[:0], ms[i].jobs, ms[peer].jobs)
 	toI, toPeer := p.SplitScratch(s, i, peer, s.Union)
 	// The split sides alias the scratch, which the session owns — sort them
 	// in place to restore the increasing-index invariant of the job lists.
 	slices.Sort(toI)
 	slices.Sort(toPeer)
-	moved := diffCount(ms[i].jobs, toI) + diffCount(ms[peer].jobs, toPeer)
+	moved := pairwise.DiffCount(ms[i].jobs, toI) + pairwise.DiffCount(ms[peer].jobs, toPeer)
 	ms[i].jobs = append(ms[i].jobs[:0], toI...)
 	ms[peer].jobs = append(ms[peer].jobs[:0], toPeer...)
 	return moved
@@ -354,37 +354,4 @@ func finish(p protocol.Protocol, model core.CostModel, ms []machineState, steps 
 		Converged:  protocol.Stable(p, a),
 		Exchanges:  exchanges,
 	}, nil
-}
-
-// mergeSortedInto appends the sorted merge of a and b to dst and returns it.
-func mergeSortedInto(dst, a, b []int) []int {
-	x, y := 0, 0
-	for x < len(a) && y < len(b) {
-		if a[x] < b[y] {
-			dst = append(dst, a[x])
-			x++
-		} else {
-			dst = append(dst, b[y])
-			y++
-		}
-	}
-	dst = append(dst, a[x:]...)
-	return append(dst, b[y:]...)
-}
-
-// diffCount returns how many elements of new are absent from old (both
-// sorted ascending) — i.e. the jobs that arrived on this side.
-func diffCount(old, new []int) int {
-	moved, x := 0, 0
-	for _, v := range new {
-		for x < len(old) && old[x] < v {
-			x++
-		}
-		if x < len(old) && old[x] == v {
-			x++
-		} else {
-			moved++
-		}
-	}
-	return moved
 }

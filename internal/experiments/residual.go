@@ -31,8 +31,10 @@ type residualObserver struct {
 	res *ResidualCheckResult
 }
 
-func (o *residualObserver) OnStep(e *gossip.Engine, step, i, j int) {
-	a := e.Assignment()
+func (o *residualObserver) OnStep(e gossip.Stepper, step, i, j int) {
+	// The observer is only ever attached to the sequential engine, whose
+	// live assignment it needs for per-pair pooled costs.
+	a := e.(*gossip.Engine).Assignment()
 	var pmax core.Cost
 	for job := 0; job < a.Model().NumJobs(); job++ {
 		if m := a.MachineOf(job); m == i || m == j {

@@ -63,8 +63,11 @@ func (s *Sweep) Pair(gen *rng.RNG, m int) (int, int) {
 // Observer receives a notification after every balancing step.
 type Observer interface {
 	// OnStep is called after step number step (0-based) balanced machines
-	// i and j; e exposes the current assignment and exchange counters.
-	OnStep(e *Engine, step, i, j int)
+	// i and j; e exposes the engine's incremental read surface. The sharded
+	// engine notifies once per epoch barrier with i = j = -1 (an epoch
+	// balances many pairs at once, so no single pair describes it); step is
+	// then the index of the epoch's last session.
+	OnStep(e Stepper, step, i, j int)
 }
 
 // Metrics bundles the engine-internal obs instruments. All fields are
@@ -106,6 +109,10 @@ type Engine struct {
 	// runSpan is the engine's root span, allocated eagerly in New (its close
 	// record is appended by Run). All step spans parent to it.
 	runSpan span.ID
+	// self is the engine pre-boxed as a Stepper, so notifying observers on
+	// the //hetlb:noalloc step path passes an existing interface value
+	// instead of boxing *Engine at every call site.
+	self Stepper
 	// sumLoad is the total load across machines, maintained incrementally (a
 	// step changes only the pair) so timeline imbalance needs no O(m) scan.
 	sumLoad int64
@@ -174,6 +181,7 @@ func New(p protocol.Protocol, a *core.Assignment, cfg Config) *Engine {
 	if e.spans != nil {
 		e.runSpan = e.spans.NextID()
 	}
+	e.self = e
 	return e
 }
 
@@ -276,7 +284,7 @@ func (e *Engine) Step() bool {
 		})
 	}
 	for _, o := range e.observers {
-		o.OnStep(e, step, i, j)
+		o.OnStep(e.self, step, i, j)
 	}
 	return changed
 }

@@ -112,7 +112,7 @@ func TestObserverSeesEveryStep(t *testing.T) {
 	a := core.RoundRobin(id)
 	e := New(protocol.SameCost{Model: id}, a, Config{Seed: 9})
 	var steps []int
-	e.Observe(observerFunc(func(_ *Engine, step, i, j int) {
+	e.Observe(observerFunc(func(_ Stepper, step, i, j int) {
 		steps = append(steps, step)
 	}))
 	e.Run(50, false)
@@ -126,9 +126,9 @@ func TestObserverSeesEveryStep(t *testing.T) {
 	}
 }
 
-type observerFunc func(e *Engine, step, i, j int)
+type observerFunc func(e Stepper, step, i, j int)
 
-func (f observerFunc) OnStep(e *Engine, step, i, j int) { f(e, step, i, j) }
+func (f observerFunc) OnStep(e Stepper, step, i, j int) { f(e, step, i, j) }
 
 func TestDefaultSelection(t *testing.T) {
 	id, _ := core.NewIdentical(3, []core.Cost{1, 2, 3})
@@ -217,7 +217,8 @@ func TestMakespanCacheMatchesRecompute(t *testing.T) {
 	if e.Makespan() != a.Makespan() {
 		t.Fatal("initial cached makespan wrong")
 	}
-	e.Observe(observerFunc(func(e *Engine, step, i, j int) {
+	e.Observe(observerFunc(func(o Stepper, step, i, j int) {
+		e := o.(*Engine)
 		if got, want := e.Makespan(), e.Assignment().Makespan(); got != want {
 			t.Fatalf("step %d: cached makespan %d != recomputed %d", step, got, want)
 		}
@@ -299,7 +300,7 @@ func benchMakespanQuery(b *testing.B, query func(*Engine) core.Cost) {
 	a := core.RoundRobin(tc)
 	e := New(protocol.DLB2C{Model: tc}, a, Config{Seed: 51})
 	var sink core.Cost
-	e.Observe(observerFunc(func(e *Engine, _, _, _ int) { sink = query(e) }))
+	e.Observe(observerFunc(func(o Stepper, _, _, _ int) { sink = query(o.(*Engine)) }))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e.Step()

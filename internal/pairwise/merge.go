@@ -1,0 +1,45 @@
+package pairwise
+
+// MergeSortedInto appends the sorted merge of a and b (each sorted
+// ascending) to dst and returns the extended slice. It is the pooling step
+// of a pair session in the concurrent runtimes: each side keeps its job list
+// sorted, so the union of a pair is a linear merge into the session's
+// scratch, not a concatenate-and-sort.
+//
+//hetlb:noalloc
+func MergeSortedInto(dst, a, b []int) []int {
+	x, y := 0, 0
+	for x < len(a) && y < len(b) {
+		if a[x] < b[y] {
+			dst = append(dst, a[x])
+			x++
+		} else {
+			dst = append(dst, b[y])
+			y++
+		}
+	}
+	dst = append(dst, a[x:]...)
+	return append(dst, b[y:]...)
+}
+
+// DiffCount returns how many elements of new are absent from old (both
+// sorted ascending) — i.e. the jobs that arrived on this side of a split.
+// Summed over both sides of a session it is the session's move count: the
+// union is conserved, so every change of the partition shows up as an
+// arrival.
+//
+//hetlb:noalloc
+func DiffCount(old, new []int) int {
+	moved, x := 0, 0
+	for _, v := range new {
+		for x < len(old) && old[x] < v {
+			x++
+		}
+		if x < len(old) && old[x] == v {
+			x++
+		} else {
+			moved++
+		}
+	}
+	return moved
+}

@@ -34,6 +34,17 @@ func splitmix64(state *uint64) uint64 {
 // same seed produce identical streams.
 func New(seed uint64) *RNG {
 	r := &RNG{}
+	r.Reseed(seed)
+	return r
+}
+
+// Reseed re-initializes r in place to the exact state New(seed) would
+// produce, discarding whatever stream position r held. It allocates nothing,
+// which is why the sharded gossip engine re-keys one long-lived coordinator
+// generator per epoch (with a DeriveSeed-keyed seed) instead of constructing
+// a fresh Substream: the epoch schedule stays a pure function of
+// (seed, epoch) while the steady-state step path stays allocation-free.
+func (r *RNG) Reseed(seed uint64) {
 	st := seed
 	for i := range r.s {
 		r.s[i] = splitmix64(&st)
@@ -43,7 +54,6 @@ func New(seed uint64) *RNG {
 	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
 		r.s[0] = 1
 	}
-	return r
 }
 
 // Uint64 returns the next value of the stream (xoshiro256**).

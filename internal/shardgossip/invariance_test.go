@@ -1,0 +1,104 @@
+package shardgossip
+
+import (
+	"hash/fnv"
+	"runtime"
+	"testing"
+
+	"hetlb/internal/core"
+	"hetlb/internal/protocol"
+	"hetlb/internal/rng"
+	"hetlb/internal/workload"
+)
+
+// outcome is everything an invariance test compares: a 64-bit placement
+// hash plus the scalar trajectory counters.
+type outcome struct {
+	sig      uint64
+	makespan core.Cost
+	moves    int
+	steps    int
+}
+
+func sigHash(a *core.Assignment) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(a.Signature()))
+	return h.Sum64()
+}
+
+// runTyped executes a fixed 40-epoch MJTB run on a fixed typed instance
+// (odd m, so every epoch leaves one machine idle) at the given shard count.
+func runTyped(t *testing.T, shards int) outcome {
+	t.Helper()
+	gen := rng.New(200)
+	ty := workload.UniformTyped(gen, 33, 400, 4, 1, 99)
+	e, err := New(protocol.MJTB{Model: ty}, core.RoundRobin(ty), Config{Seed: 9, Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	for epoch := 0; epoch < 40; epoch++ {
+		e.StepEpoch()
+	}
+	return outcome{sigHash(e.Snapshot()), e.Makespan(), e.Moves(), e.Steps()}
+}
+
+// TestShardCountInvariance is the tentpole acceptance test: the same run at
+// S ∈ {1, 2, 4, 8} must produce bit-identical placements and counters.
+func TestShardCountInvariance(t *testing.T) {
+	base := runTyped(t, 1)
+	for _, s := range []int{2, 4, 8} {
+		if got := runTyped(t, s); got != base {
+			t.Fatalf("shards=%d diverged: %+v != %+v", s, got, base)
+		}
+	}
+}
+
+// TestParallelismInvariance re-runs the S=4 engine under GOMAXPROCS ∈ {1, 2,
+// max}: scheduling pressure must not reach the results.
+func TestParallelismInvariance(t *testing.T) {
+	base := runTyped(t, 4)
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	for _, procs := range []int{1, 2, prev} {
+		runtime.GOMAXPROCS(procs)
+		if got := runTyped(t, 4); got != base {
+			t.Fatalf("GOMAXPROCS=%d diverged: %+v != %+v", procs, got, base)
+		}
+	}
+}
+
+// TestPinnedGolden hardcodes the typed run's outcome. A change here means
+// the sharded trajectory itself changed — schedule derivation, kernel
+// behavior, or RNG — which is exactly what the bit-identical acceptance
+// criterion forbids without a deliberate, documented break.
+func TestPinnedGolden(t *testing.T) {
+	want := outcome{sig: 0x07e3d49fe327e355, makespan: 260, moves: 2311, steps: 640}
+	if got := runTyped(t, 4); got != want {
+		t.Fatalf("golden broken:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestPinnedGoldenTwoCluster pins a second trajectory on the other headline
+// model family, DLB2C on a two-cluster instance with even m.
+func TestPinnedGoldenTwoCluster(t *testing.T) {
+	gen := rng.New(201)
+	tc := workload.UniformTwoCluster(gen, 12, 12, 300, 1, 80)
+	run := func(shards int) outcome {
+		e, err := New(protocol.DLB2C{Model: tc}, core.RoundRobin(tc), Config{Seed: 17, Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer e.Close()
+		for epoch := 0; epoch < 30; epoch++ {
+			e.StepEpoch()
+		}
+		return outcome{sigHash(e.Snapshot()), e.Makespan(), e.Moves(), e.Steps()}
+	}
+	want := outcome{sig: 0x1796cf386ce39f20, makespan: 389, moves: 1837, steps: 360}
+	for _, s := range []int{1, 3, 8} {
+		if got := run(s); got != want {
+			t.Fatalf("shards=%d golden broken:\n got %+v\nwant %+v", s, got, want)
+		}
+	}
+}

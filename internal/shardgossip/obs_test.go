@@ -1,0 +1,148 @@
+package shardgossip
+
+import (
+	"testing"
+
+	"hetlb/internal/core"
+	"hetlb/internal/obs"
+	"hetlb/internal/obs/span"
+	"hetlb/internal/obs/timeline"
+	"hetlb/internal/protocol"
+	"hetlb/internal/rng"
+	"hetlb/internal/workload"
+)
+
+// TestEngineMetrics checks the per-epoch instrument contract: counters
+// reconcile with the engine's own counters, and the registry survives being
+// wired into a second engine.
+func TestEngineMetrics(t *testing.T) {
+	gen := rng.New(400)
+	id := workload.UniformIdentical(gen, 10, 80, 1, 30)
+	reg := obs.NewRegistry()
+	met := NewMetrics(reg)
+	e, err := New(protocol.SameCost{Model: id}, core.AllOnMachine(id, 0), Config{Seed: 6, Shards: 3, Metrics: met})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	const epochs = 40
+	for k := 0; k < epochs; k++ {
+		e.StepEpoch()
+	}
+	if got := met.Epochs.Value(); got != epochs {
+		t.Fatalf("shardgossip_epochs_total = %d, want %d", got, epochs)
+	}
+	if got := met.Sessions.Value(); got != int64(e.Steps()) {
+		t.Fatalf("shardgossip_sessions_total = %d, want %d", got, e.Steps())
+	}
+	if got := met.Moves.Value(); got != int64(e.Moves()) {
+		t.Fatalf("shardgossip_moves_total = %d, want %d", got, e.Moves())
+	}
+	if got := met.Makespan.Value(); got != int64(e.Makespan()) {
+		t.Fatalf("shardgossip_makespan = %d, want %d", got, e.Makespan())
+	}
+	if got := met.EpochMoves.Count(); got != epochs {
+		t.Fatalf("shardgossip_epoch_moves count = %d, want %d", got, epochs)
+	}
+	if got := met.EpochMoves.Sum(); got != int64(e.Moves()) {
+		t.Fatalf("shardgossip_epoch_moves sum = %d, want %d", got, e.Moves())
+	}
+	// Three shards over ten machines must see some cross-shard sessions in
+	// 40 random matchings.
+	if met.Cross.Value() == 0 {
+		t.Fatal("no cross-shard sessions counted")
+	}
+	// Re-registration on the same registry must accumulate, not panic.
+	if NewMetrics(reg).Epochs.Value() != epochs {
+		t.Fatal("metrics registry not reusable")
+	}
+}
+
+// TestSpansMergedInShardOrder checks the trace contract of a sharded Run:
+// every session span lands in the main recorder grouped by owner shard
+// (namespaced IDs, non-decreasing shard index), parented to the run span
+// whose close record ends the trace, and the session count reconciles with
+// Steps(). Reading the spans mid-run would race the workers; the contract is
+// that they appear at Run's end.
+func TestSpansMergedInShardOrder(t *testing.T) {
+	gen := rng.New(401)
+	id := workload.UniformIdentical(gen, 12, 96, 1, 25)
+	rec := span.NewRecorder(1 << 15)
+	const shards = 4
+	e, err := New(protocol.SameCost{Model: id}, core.RoundRobin(id), Config{Seed: 8, Shards: shards, Spans: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	const budget = 20 * (12 / 2)
+	res := e.Run(budget, false)
+
+	spans := rec.Spans()
+	if len(spans) == 0 {
+		t.Fatal("no spans recorded")
+	}
+	last := spans[len(spans)-1]
+	if last.Kind != span.KindRun {
+		t.Fatalf("trace does not end with the run close record, got kind %v", last.Kind)
+	}
+	if last.Start != 0 || last.End != int64(res.Steps) {
+		t.Fatalf("run span extent [%d, %d], want [0, %d]", last.Start, last.End, res.Steps)
+	}
+	sessions := 0
+	prevShard := uint64(0)
+	for _, s := range spans[:len(spans)-1] {
+		if s.Kind != span.KindSession {
+			t.Fatalf("unexpected span kind %v in session trace", s.Kind)
+		}
+		if s.Parent != last.ID {
+			t.Fatal("session span not parented to the run span")
+		}
+		// Sub-recorder IDs carry their namespace in the high bits; merging in
+		// shard order means the namespace sequence is non-decreasing.
+		ns := uint64(s.ID) >> 32
+		if ns < prevShard {
+			t.Fatalf("session spans not merged in shard order: namespace %d after %d", ns, prevShard)
+		}
+		prevShard = ns
+		sessions++
+	}
+	if sessions != res.Steps {
+		t.Fatalf("trace holds %d session spans, want %d", sessions, res.Steps)
+	}
+}
+
+// TestTimelinePerEpoch checks the convergence timeline: one point per epoch,
+// Time = the epoch's last session index, monotone Moves, and an imbalance
+// consistent with Cmax and the mean load.
+func TestTimelinePerEpoch(t *testing.T) {
+	gen := rng.New(402)
+	id := workload.UniformIdentical(gen, 8, 64, 1, 20)
+	tl := timeline.NewRecorder(256)
+	e, err := New(protocol.SameCost{Model: id}, core.AllOnMachine(id, 0), Config{Seed: 11, Shards: 2, Timeline: tl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	const epochs = 25
+	for k := 0; k < epochs; k++ {
+		e.StepEpoch()
+	}
+	pts := tl.Points()
+	if len(pts) != epochs {
+		t.Fatalf("timeline holds %d points, want %d", len(pts), epochs)
+	}
+	np := int64(8 / 2)
+	var prevMoves int64
+	for k, p := range pts {
+		if want := int64(k+1)*np - 1; p.Time != want {
+			t.Fatalf("point %d at time %d, want %d", k, p.Time, want)
+		}
+		if p.Moves < prevMoves {
+			t.Fatal("timeline moves decreased")
+		}
+		prevMoves = p.Moves
+		if p.Imbalance != p.Cmax-int64(e.TotalLoad())/8 {
+			t.Fatalf("point %d imbalance %d inconsistent", k, p.Imbalance)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package shardgossip
+
+import (
+	"fmt"
+	"testing"
+
+	"hetlb/internal/core"
+	"hetlb/internal/protocol"
+	"hetlb/internal/rng"
+	"hetlb/internal/workload"
+)
+
+// benchSharded measures one epoch of the sharded engine — schedule draw,
+// ⌊m/2⌋ sessions, barrier — per protocol family and shard count. Results
+// are recorded in BENCH_7.json; sessions/sec is the headline metric (one
+// session is one pairwise exchange, the unit the paper counts).
+func benchSharded(b *testing.B, m, n int) {
+	gen := rng.New(500)
+	ty := workload.UniformTyped(gen, m, n, 5, 1, 100)
+	tc := workload.UniformTwoCluster(gen, m/2, m-m/2, n, 1, 100)
+	cases := []struct {
+		name  string
+		model core.CostModel
+		proto protocol.Protocol
+	}{
+		{"typed", ty, protocol.MJTB{Model: ty}},
+		{"twocluster", tc, protocol.DLB2C{Model: tc}},
+	}
+	for _, c := range cases {
+		for _, shards := range []int{1, 4, 8} {
+			b.Run(fmt.Sprintf("%s/shards=%d", c.name, shards), func(b *testing.B) {
+				e, err := New(c.proto, core.RoundRobin(c.model), Config{Seed: 1, Shards: shards})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer e.Close()
+				// Two warm epochs bring scratches and job buffers to their
+				// high-water capacities; the measured epochs are steady-state.
+				e.StepEpoch()
+				e.StepEpoch()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					e.StepEpoch()
+				}
+				b.StopTimer()
+				sessions := float64(m/2) * float64(b.N)
+				b.ReportMetric(sessions/b.Elapsed().Seconds(), "sessions/sec")
+			})
+		}
+	}
+}
+
+// BenchmarkShardedStep is the headline scale benchmark: m = 100k machines,
+// n = 10M jobs, typed and two-cluster, shards ∈ {1, 4, 8}. One op is one
+// epoch (50 000 sessions). It needs ~1 GB and minutes of wall clock, so it
+// is skipped under -short and run via `make bench-scale`.
+func BenchmarkShardedStep(b *testing.B) {
+	if testing.Short() {
+		b.Skip("100k/10M scale benchmark skipped in short mode")
+	}
+	benchSharded(b, 100_000, 10_000_000)
+}
+
+// BenchmarkShardedStepScale is the CI-sized guard variant (m = 2048,
+// n = 16384) gated by benchguard against BENCH_7.json's "guard" column —
+// same code path and sub-benchmark shape, small enough for every CI run.
+func BenchmarkShardedStepScale(b *testing.B) {
+	benchSharded(b, 2048, 16_384)
+}

@@ -1,0 +1,596 @@
+// Package shardgossip is the sharded, parallel counterpart of the
+// sequential engine in internal/gossip: S workers step one run of a
+// decentralized protocol at 100k-machine / 10M-job scale, and the result is
+// bit-identical at ANY shard count — including S=1, which replays the exact
+// trajectory of gossip.Engine under the same schedule (see
+// MatchingSelection).
+//
+// # Execution model
+//
+// Machines are assigned to S shards by a core.Partition (contiguous blocks).
+// Time advances in epochs. Per epoch the coordinator derives a schedule — a
+// random perfect matching of the machines — and hands every shard the
+// sessions it owns (a session is owned by the lower shard index of its
+// pair). Workers then execute their sessions: intra-shard sessions run
+// lock-free inside the owner goroutine; cross-shard sessions acquire the two
+// shards' mutexes in increasing shard index (a total order, so sessions
+// cannot deadlock). A barrier closes the epoch: the coordinator reduces the
+// shards' accumulators in shard order, refreshes the makespan cache, and
+// notifies metrics, timeline and observers once per epoch.
+//
+// # Determinism argument
+//
+// The schedule is a pure function of (seed, epoch): the coordinator reseeds
+// one generator with rng.DeriveSeed(seed, epoch) and draws one permutation,
+// pairing perm[2t] with perm[2t+1]. No worker holds a generator, and no
+// random draw ever happens on a worker goroutine, so goroutine interleaving
+// cannot reach the schedule. Because the schedule is a matching, the
+// sessions of one epoch touch pairwise-disjoint machine state; any
+// interleaving of them produces the same post-epoch state, so placements,
+// loads, moves and exchange counters are bit-identical for any shard count
+// and any GOMAXPROCS. (The issue's alternative — per-worker
+// rng.Substream(seed, shard, epoch) generators — was rejected: any
+// shard-keyed draw that feeds the schedule would make results depend on S,
+// breaking cross-shard-count identity.) The shard mutexes are redundant
+// under a matching — they are kept because lock-ordered sessions are the
+// discipline any future non-matching schedule must follow, and an
+// uncontended lock costs nanoseconds.
+//
+// Span traces use per-shard sub-recorders (disjoint ID namespaces) merged in
+// shard order, so the trace is deterministic for a fixed S regardless of
+// scheduling; across different S the same session spans appear grouped by
+// their owner shard.
+package shardgossip
+
+import (
+	"fmt"
+	"slices"
+	"sync"
+
+	"hetlb/internal/core"
+	"hetlb/internal/gossip"
+	"hetlb/internal/obs"
+	"hetlb/internal/obs/span"
+	"hetlb/internal/obs/timeline"
+	"hetlb/internal/pairwise"
+	"hetlb/internal/protocol"
+	"hetlb/internal/rng"
+)
+
+// shardSpanCap bounds each shard's private span ring (one KindSession record
+// per owned session; the ring's stride-free drop accounting keeps truncation
+// honest on long runs).
+const shardSpanCap = 1 << 14
+
+// Metrics bundles the engine's obs instruments. All record paths are
+// allocation-free; a nil *Metrics disables instrumentation with one branch
+// per epoch.
+type Metrics struct {
+	// Epochs counts completed epochs; Sessions the pairwise sessions they
+	// executed; Changed those that altered a pair's loads; Moves the job
+	// migrations; Cross the sessions whose pair straddled two shards.
+	Epochs, Sessions, Changed, Moves, Cross *obs.Counter
+	// Makespan tracks Cmax after every epoch barrier.
+	Makespan *obs.Gauge
+	// EpochMoves is the distribution of migrations per epoch.
+	EpochMoves *obs.Histogram
+}
+
+// NewMetrics registers the engine's instruments on a registry (idempotent on
+// the same registry).
+func NewMetrics(r *obs.Registry) *Metrics {
+	return &Metrics{
+		Epochs:     r.Counter("shardgossip_epochs_total", "epochs executed (one schedule barrier each)"),
+		Sessions:   r.Counter("shardgossip_sessions_total", "pairwise balancing sessions executed"),
+		Changed:    r.Counter("shardgossip_changed_sessions_total", "sessions that changed the pair's loads"),
+		Moves:      r.Counter("shardgossip_moves_total", "job migrations across all sessions"),
+		Cross:      r.Counter("shardgossip_cross_sessions_total", "sessions whose pair straddled two shards"),
+		Makespan:   r.Gauge("shardgossip_makespan", "current Cmax of the schedule"),
+		EpochMoves: r.Histogram("shardgossip_epoch_moves", "jobs migrated per epoch", obs.Pow2Bounds(24)),
+	}
+}
+
+// Config parameterizes New.
+type Config struct {
+	// Seed keys the epoch schedules. Two engines with equal seeds execute
+	// identical schedules at any shard count.
+	Seed uint64
+	// Shards is the number of worker shards S (default 1). It must not
+	// exceed the machine count.
+	Shards int
+	// Metrics, when non-nil, receives per-epoch counters (build with
+	// NewMetrics).
+	Metrics *Metrics
+	// Spans, when non-nil, receives one KindSession span per session
+	// (recorded into per-shard sub-recorders, merged in shard order when a
+	// Run finishes) and a KindRun close record per Run. Times are logical
+	// session indices, never wall clock.
+	Spans *span.Recorder
+	// Timeline, when non-nil, receives one convergence point per epoch:
+	// Time = index of the epoch's last session, Cmax, Imbalance =
+	// Cmax − ⌊ΣC/m⌋, cumulative Moves.
+	Timeline *timeline.Recorder
+}
+
+// shardState is the per-shard slice of the engine a worker owns during an
+// epoch: its scratch, its owned-session list, and its epoch accumulators
+// (reduced by the coordinator at the barrier, in shard order).
+type shardState struct {
+	mu      sync.Mutex
+	scratch pairwise.Scratch
+	sess    []int32 // indices into pairI/pairJ of the sessions this shard owns
+	moves   int
+	changed int
+	spans   *span.Recorder // nil when span recording is off
+}
+
+// Engine drives one sharded simulation run. It is not safe for concurrent
+// use; Step/Run must be called from one goroutine (the coordinator).
+type Engine struct {
+	proto protocol.Protocol
+	model core.CostModel
+	part  *core.Partition
+	seed  uint64
+
+	// Per-machine state. During an epoch each entry is written by at most
+	// one worker (the owner of the machine's session — the schedule is a
+	// matching), and the epoch barrier publishes all writes back to the
+	// coordinator.
+	jobs      [][]int // jobs[i] is machine i's job list, sorted ascending
+	load      []core.Cost
+	exchanges []int
+
+	// Epoch schedule, written by the coordinator before workers start.
+	gen   *rng.RNG // reseeded with DeriveSeed(seed, epoch) per epoch
+	perm  []int
+	pairI []int32
+	pairJ []int32
+	cross int // cross-shard sessions this epoch
+
+	shards []shardState
+
+	epoch     int
+	sessions  int // total sessions executed; the Stepper's step count
+	moves     int
+	sumLoad   int64
+	cachedMax core.Cost
+	// noChange counts consecutive sessions in all-quiet epochs; it gates the
+	// expensive full stability check, mirroring gossip.Engine.
+	noChange int
+
+	metrics   *Metrics
+	spans     *span.Recorder
+	runSpan   span.ID
+	timeline  *timeline.Recorder
+	observers []gossip.Observer
+	// self is the engine pre-boxed as a gossip.Stepper so observer
+	// notification does not box *Engine per epoch.
+	self gossip.Stepper
+
+	// Worker pool, live iff NumShards() > 1: worker s (s >= 1) blocks on
+	// start[s]; the coordinator runs shard 0 inline. Signalling is channel
+	// send + WaitGroup, so steady-state epochs allocate nothing.
+	start  []chan struct{}
+	quit   chan struct{}
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// New builds a sharded engine from a complete initial assignment. The
+// assignment is read once (not mutated and not retained): the engine owns
+// per-machine job lists, like the message-passing runtime. Engines with
+// Shards > 1 hold worker goroutines; call Close when done with them.
+func New(p protocol.Protocol, initial *core.Assignment, cfg Config) (*Engine, error) {
+	model := initial.Model()
+	m := model.NumMachines()
+	if m < 2 {
+		return nil, fmt.Errorf("shardgossip: need at least 2 machines to form pairs, got %d", m)
+	}
+	if !initial.Complete() {
+		return nil, fmt.Errorf("shardgossip: initial assignment must place every job")
+	}
+	shards := cfg.Shards
+	if shards <= 0 {
+		shards = 1
+	}
+	part, err := core.NewPartition(m, shards)
+	if err != nil {
+		return nil, err
+	}
+
+	n := model.NumJobs()
+	e := &Engine{
+		proto:     p,
+		model:     model,
+		part:      part,
+		seed:      cfg.Seed,
+		load:      make([]core.Cost, m),
+		exchanges: make([]int, m),
+		gen:       rng.New(cfg.Seed),
+		perm:      make([]int, m),
+		pairI:     make([]int32, m/2),
+		pairJ:     make([]int32, m/2),
+		shards:    make([]shardState, shards),
+		metrics:   cfg.Metrics,
+		spans:     cfg.Spans,
+		timeline:  cfg.Timeline,
+	}
+
+	// Build the job lists with a counting pass over one exactly-sized
+	// backing array — at 10M jobs, per-machine appends onto 100k separately
+	// growing slices would dominate construction.
+	counts := make([]int, m)
+	for j := 0; j < n; j++ {
+		counts[initial.MachineOf(j)]++
+	}
+	backing := make([]int, 0, n)
+	e.jobs = make([][]int, m)
+	start := 0
+	for i, c := range counts {
+		e.jobs[i] = backing[start : start : start+c]
+		start += c
+	}
+	for j := 0; j < n; j++ {
+		i := initial.MachineOf(j)
+		e.jobs[i] = append(e.jobs[i], j) // increasing j: sorted by construction
+	}
+	var max core.Cost
+	for i := 0; i < m; i++ {
+		l := initial.Load(i)
+		e.load[i] = l
+		e.sumLoad += int64(l)
+		if l > max {
+			max = l
+		}
+	}
+	e.cachedMax = max
+
+	if e.spans != nil {
+		e.runSpan = e.spans.NextID()
+		ns := e.spans.ClaimNamespaces(shards)
+		for s := range e.shards {
+			e.shards[s].spans = span.NewSub(shardSpanCap, ns+uint64(s))
+		}
+	}
+	e.self = e
+
+	if shards > 1 {
+		e.start = make([]chan struct{}, shards)
+		e.quit = make(chan struct{})
+		for s := 1; s < shards; s++ {
+			e.start[s] = make(chan struct{}, 1)
+			go e.worker(s)
+		}
+	}
+	return e, nil
+}
+
+// Close stops the worker goroutines. It is idempotent and safe on engines
+// with one shard (which have no workers). The engine must not be stepped
+// after Close.
+func (e *Engine) Close() {
+	if e.quit != nil && !e.closed {
+		e.closed = true
+		close(e.quit)
+	}
+}
+
+// Observe registers an observer, notified once per epoch at the barrier
+// with i = j = -1 (see gossip.Observer).
+func (e *Engine) Observe(o gossip.Observer) { e.observers = append(e.observers, o) }
+
+// Partition returns the machine→shard partition.
+func (e *Engine) Partition() *core.Partition { return e.part }
+
+// Epochs returns the number of epochs executed so far.
+func (e *Engine) Epochs() int { return e.epoch }
+
+// Steps implements gossip.Stepper: the number of pairwise sessions executed.
+func (e *Engine) Steps() int { return e.sessions }
+
+// Moves implements gossip.Stepper.
+func (e *Engine) Moves() int { return e.moves }
+
+// Makespan implements gossip.Stepper, served from the barrier-refreshed
+// cache (exact between epochs, which is the only time the coordinator runs).
+func (e *Engine) Makespan() core.Cost { return e.cachedMax }
+
+// TotalLoad implements gossip.Stepper.
+func (e *Engine) TotalLoad() int64 { return e.sumLoad }
+
+// Machines implements gossip.Stepper.
+func (e *Engine) Machines() int { return e.part.NumMachines() }
+
+// Exchanges implements gossip.Stepper (live slice; copy to snapshot).
+func (e *Engine) Exchanges() []int { return e.exchanges }
+
+var _ gossip.Stepper = (*Engine)(nil)
+
+// worker is the loop of shard s (s >= 1): run the shard's sessions when
+// signalled, report through the epoch WaitGroup, exit on Close.
+func (e *Engine) worker(s int) {
+	for {
+		select {
+		case <-e.quit:
+			return
+		case <-e.start[s]:
+			e.runShard(s)
+			e.wg.Done()
+		}
+	}
+}
+
+// StepEpoch executes one epoch — ⌊m/2⌋ sessions on a (seed, epoch)-keyed
+// random perfect matching (odd m leaves one machine idle per epoch) — and
+// reports whether any session changed its pair's loads.
+func (e *Engine) StepEpoch() bool {
+	e.prepareEpoch()
+	if e.start != nil {
+		e.wg.Add(len(e.shards) - 1)
+		for s := 1; s < len(e.shards); s++ {
+			e.start[s] <- struct{}{}
+		}
+		e.runShard(0)
+		e.wg.Wait()
+	} else {
+		e.runShard(0)
+	}
+	return e.barrier()
+}
+
+// prepareEpoch draws the epoch's matching and distributes session ownership.
+// Session t pairs perm[2t] with perm[2t+1]; the owner is the lower of the
+// two shard indices. Ownership lists reuse their buffers, so warm epochs
+// allocate nothing.
+func (e *Engine) prepareEpoch() {
+	e.gen.Reseed(rng.DeriveSeed(e.seed, uint64(e.epoch)))
+	e.gen.PermInto(e.perm)
+	for s := range e.shards {
+		sh := &e.shards[s]
+		sh.sess = sh.sess[:0]
+		sh.moves = 0
+		sh.changed = 0
+	}
+	e.cross = 0
+	for t := range e.pairI {
+		i, j := e.perm[2*t], e.perm[2*t+1]
+		e.pairI[t] = int32(i)
+		e.pairJ[t] = int32(j)
+		si, sj := e.part.ShardOf(i), e.part.ShardOf(j)
+		owner := si
+		if sj < owner {
+			owner = sj
+		}
+		if si != sj {
+			e.cross++
+		}
+		e.shards[owner].sess = append(e.shards[owner].sess, int32(t))
+	}
+}
+
+// runShard executes shard s's owned sessions in schedule order.
+func (e *Engine) runShard(s int) {
+	sh := &e.shards[s]
+	for _, t := range sh.sess {
+		e.session(s, int(t))
+	}
+}
+
+// session executes pair t of the current epoch on behalf of owner shard s:
+// merge the pair's sorted job lists into the shard's scratch, split with the
+// protocol's kernel, sort the sides back into job order and write them back,
+// updating loads and the shard's epoch accumulators. Cross-shard sessions
+// take both shards' mutexes in increasing shard index. In steady state the
+// only memory touched is the shard's scratch and the pair's job lists.
+//
+//hetlb:noalloc
+func (e *Engine) session(s, t int) {
+	sh := &e.shards[s]
+	i, j := int(e.pairI[t]), int(e.pairJ[t])
+	si, sj := e.part.ShardOf(i), e.part.ShardOf(j)
+	if si != sj {
+		lo, hi := si, sj
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		e.shards[lo].mu.Lock()
+		e.shards[hi].mu.Lock()
+		defer e.shards[lo].mu.Unlock()
+		defer e.shards[hi].mu.Unlock()
+	}
+
+	sc := &sh.scratch
+	sc.Union = pairwise.MergeSortedInto(sc.Union[:0], e.jobs[i], e.jobs[j])
+	l1, l2 := e.load[i], e.load[j]
+	toI, toJ := e.proto.SplitScratch(sc, i, j, sc.Union)
+	// The split sides alias the scratch, which the session owns — sort them
+	// in place to restore the increasing-index invariant of the job lists.
+	slices.Sort(toI)
+	slices.Sort(toJ)
+	moved := pairwise.DiffCount(e.jobs[i], toI) + pairwise.DiffCount(e.jobs[j], toJ)
+	var n1, n2 core.Cost
+	for _, job := range toI {
+		n1 += e.model.Cost(i, job)
+	}
+	for _, job := range toJ {
+		n2 += e.model.Cost(j, job)
+	}
+	e.jobs[i] = append(e.jobs[i][:0], toI...)
+	e.jobs[j] = append(e.jobs[j][:0], toJ...)
+	e.load[i], e.load[j] = n1, n2
+	e.exchanges[i]++
+	e.exchanges[j]++
+	sh.moves += moved
+	changed := n1 != l1 || n2 != l2
+	if changed {
+		sh.changed++
+	}
+	if sh.spans != nil {
+		var fl span.Flags
+		if changed {
+			fl = span.FlagCommitted
+		}
+		sh.spans.Append(span.Span{
+			Parent: e.runSpan,
+			Kind:   span.KindSession,
+			Flags:  fl,
+			A:      int32(i),
+			B:      int32(j),
+			Start:  int64(e.sessions + t),
+			End:    int64(e.sessions + t),
+			Value:  int64(moved),
+		})
+	}
+}
+
+// barrier closes the epoch on the coordinator: reduce the shards' epoch
+// accumulators in shard order, refresh the makespan/total-load caches with
+// one O(m) pass, and notify metrics, timeline and observers.
+func (e *Engine) barrier() bool {
+	np := len(e.pairI)
+	moves, changed := 0, 0
+	for s := range e.shards {
+		sh := &e.shards[s]
+		moves += sh.moves
+		changed += sh.changed
+	}
+	e.moves += moves
+	e.sessions += np
+	e.epoch++
+
+	var max core.Cost
+	var sum int64
+	for _, l := range e.load {
+		if l > max {
+			max = l
+		}
+		sum += int64(l)
+	}
+	e.cachedMax = max
+	e.sumLoad = sum
+
+	if changed == 0 {
+		e.noChange += np
+	} else {
+		e.noChange = 0
+	}
+
+	if e.metrics != nil {
+		e.metrics.Epochs.Inc()
+		e.metrics.Sessions.Add(int64(np))
+		e.metrics.Changed.Add(int64(changed))
+		if moves > 0 {
+			e.metrics.Moves.Add(int64(moves))
+		}
+		if e.cross > 0 {
+			e.metrics.Cross.Add(int64(e.cross))
+		}
+		e.metrics.Makespan.Set(int64(max))
+		e.metrics.EpochMoves.Observe(int64(moves))
+	}
+	if e.timeline != nil {
+		e.timeline.Record(timeline.Point{
+			Time:      int64(e.sessions - 1),
+			Cmax:      int64(max),
+			Imbalance: int64(max) - sum/int64(e.part.NumMachines()),
+			Moves:     int64(e.moves),
+		})
+	}
+	for _, o := range e.observers {
+		o.OnStep(e.self, e.sessions-1, -1, -1)
+	}
+	return changed > 0
+}
+
+// Snapshot materializes the current placement as a fresh core.Assignment
+// over the engine's model. It is O(n) and independent of the shard count.
+func (e *Engine) Snapshot() *core.Assignment {
+	machineOf := make([]int, e.model.NumJobs())
+	for i := range e.jobs {
+		for _, j := range e.jobs[i] {
+			machineOf[j] = i
+		}
+	}
+	a, err := core.FromMachineOf(e.model, machineOf)
+	if err != nil {
+		// Unreachable: the engine conserves the job set of its complete
+		// initial assignment.
+		panic(err)
+	}
+	return a
+}
+
+// Result summarizes a Run.
+type Result struct {
+	// Assignment is the final placement (a snapshot; the engine can keep
+	// stepping afterwards).
+	Assignment *core.Assignment
+	// Epochs and Steps count epochs and pairwise sessions executed across
+	// the engine's lifetime.
+	Epochs int
+	Steps  int
+	// Converged is true if the run stopped at a verified stable schedule.
+	Converged bool
+	// FinalMakespan is Cmax when the run stopped.
+	FinalMakespan core.Cost
+}
+
+// Run executes whole epochs until at least maxSessions sessions have run
+// (the session budget of gossip.Engine.Run; the last epoch may overshoot by
+// less than one epoch's worth). If detectStability is true the run stops
+// early once the schedule is provably stable: after every window of quiet
+// sessions, a full O(m²) stability check runs on a snapshot.
+func (e *Engine) Run(maxSessions int, detectStability bool) Result {
+	m := e.part.NumMachines()
+	startSessions := e.sessions
+	window := 2 * m
+	if window < 8 {
+		window = 8
+	}
+	for e.sessions-startSessions < maxSessions {
+		e.StepEpoch()
+		if detectStability && e.noChange >= window {
+			e.noChange = 0
+			if a := e.Snapshot(); protocol.Stable(e.proto, a) {
+				e.finishSpans(startSessions, true)
+				return Result{Assignment: a, Epochs: e.epoch, Steps: e.sessions, Converged: true, FinalMakespan: e.cachedMax}
+			}
+		}
+	}
+	a := e.Snapshot()
+	converged := false
+	if detectStability {
+		converged = protocol.Stable(e.proto, a)
+	}
+	e.finishSpans(startSessions, converged)
+	return Result{Assignment: a, Epochs: e.epoch, Steps: e.sessions, Converged: converged, FinalMakespan: e.cachedMax}
+}
+
+// finishSpans merges the per-shard session rings into the main recorder in
+// shard order (then resets them for the next Run) and appends the run
+// span's close record, mirroring gossip.Engine.closeRunSpan.
+func (e *Engine) finishSpans(startSessions int, converged bool) {
+	if e.spans == nil {
+		return
+	}
+	for s := range e.shards {
+		sub := e.shards[s].spans
+		e.spans.Merge(sub)
+		sub.Reset()
+	}
+	var fl span.Flags
+	if converged {
+		fl = span.FlagCommitted
+	}
+	e.spans.Append(span.Span{
+		ID:     e.runSpan,
+		Parent: e.spans.Root(),
+		Kind:   span.KindRun,
+		Flags:  fl,
+		A:      -1,
+		B:      -1,
+		Start:  int64(startSessions),
+		End:    int64(e.sessions),
+		Value:  int64(e.cachedMax),
+	})
+}

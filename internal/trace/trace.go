@@ -31,7 +31,7 @@ type MakespanSeries struct {
 }
 
 // OnStep implements gossip.Observer.
-func (t *MakespanSeries) OnStep(e *gossip.Engine, step, i, j int) {
+func (t *MakespanSeries) OnStep(e gossip.Stepper, step, i, j int) {
 	every := t.SampleEvery
 	if every < 1 {
 		every = 1
@@ -81,7 +81,7 @@ type ThresholdWatcher struct {
 }
 
 // OnStep implements gossip.Observer.
-func (t *ThresholdWatcher) OnStep(e *gossip.Engine, step, i, j int) {
+func (t *ThresholdWatcher) OnStep(e gossip.Stepper, step, i, j int) {
 	if t.Crossed {
 		return
 	}
@@ -123,7 +123,7 @@ type TimelineSampler struct {
 }
 
 // OnStep implements gossip.Observer.
-func (t *TimelineSampler) OnStep(e *gossip.Engine, step, i, j int) {
+func (t *TimelineSampler) OnStep(e gossip.Stepper, step, i, j int) {
 	if t.Timeline == nil {
 		return
 	}
@@ -135,7 +135,7 @@ func (t *TimelineSampler) OnStep(e *gossip.Engine, step, i, j int) {
 		return
 	}
 	cmax := int64(e.Makespan())
-	m := int64(e.Assignment().Model().NumMachines())
+	m := int64(e.Machines())
 	t.Timeline.Record(timeline.Point{
 		Time:      int64(step),
 		Cmax:      cmax,
@@ -151,7 +151,7 @@ type StepLog struct {
 }
 
 // OnStep implements gossip.Observer.
-func (t *StepLog) OnStep(_ *gossip.Engine, _ int, i, j int) {
+func (t *StepLog) OnStep(_ gossip.Stepper, _ int, i, j int) {
 	t.Pairs = append(t.Pairs, [2]int{i, j})
 }
 
@@ -185,7 +185,7 @@ func NewInstrument(r *obs.Registry, tracer *obs.Tracer) *Instrument {
 }
 
 // OnStep implements gossip.Observer.
-func (t *Instrument) OnStep(e *gossip.Engine, step, i, j int) {
+func (t *Instrument) OnStep(e gossip.Stepper, step, i, j int) {
 	t.Steps.Inc()
 	every := t.SampleEvery
 	if every < 1 {

@@ -181,7 +181,7 @@ type queryObserver struct {
 	sink  core.Cost
 }
 
-func (q *queryObserver) OnStep(e *gossip.Engine, _, _, _ int) { q.sink = q.query(e) }
+func (q *queryObserver) OnStep(e gossip.Stepper, _, _, _ int) { q.sink = q.query(e.(*gossip.Engine)) }
 
 func benchSeries(b *testing.B, query func(*gossip.Engine) core.Cost) {
 	gen := rng.New(60)

@@ -1,0 +1,45 @@
+package workload
+
+import (
+	"runtime"
+	"testing"
+
+	"hetlb/internal/rng"
+)
+
+// allocBytes measures the total bytes allocated by f (cumulative, so heap
+// churn and GC do not hide anything).
+func allocBytes(f func()) uint64 {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	f()
+	runtime.ReadMemStats(&after)
+	return after.TotalAlloc - before.TotalAlloc
+}
+
+// TestGeneratorFootprintCompact pins the scale contract of the structured
+// generators: building a typed or two-cluster instance allocates O(n + m·k)
+// bytes, never an O(m·n) dense intermediate. At m = 100k, n = 1M a dense
+// view would be ~800 GB; the bounds here are four orders of magnitude below
+// that, so any dense materialization sneaking into the constructors fails
+// loudly.
+func TestGeneratorFootprintCompact(t *testing.T) {
+	gen := rng.New(1)
+	const m, n, k = 100_000, 1_000_000, 4
+
+	got := allocBytes(func() { _ = UniformTyped(gen, m, n, k, 1, 100) })
+	// typeOf (n ints) plus the m×k cost table, with copies inside NewTyped:
+	// tens of MB. Dense would be ~800 GB.
+	if limit := uint64(96 << 20); got > limit {
+		t.Fatalf("UniformTyped(m=%d, n=%d, k=%d) allocated %d MB, want <= %d MB (dense intermediate?)",
+			m, n, k, got>>20, limit>>20)
+	}
+
+	got = allocBytes(func() { _ = UniformTwoCluster(gen, m/2, m/2, n, 1, 100) })
+	// Two per-cluster cost vectors of n entries, with copies: ~32 MB.
+	if limit := uint64(64 << 20); got > limit {
+		t.Fatalf("UniformTwoCluster(m=%d, n=%d) allocated %d MB, want <= %d MB (dense intermediate?)",
+			m, n, got>>20, limit>>20)
+	}
+}
