@@ -15,6 +15,13 @@
 //
 // The allocation gate has no tolerance: allocs/op is hardware-independent,
 // and the step path is contractually allocation-free (//hetlb:noalloc).
+//
+// With -against, benchguard compares two recorded BENCH files instead of
+// parsing bench output: every baseline entry's -column must exist in the
+// -against file and stay within -tolerance of it (ns/op, with the same
+// zero-tolerance allocation rule). bench-scale uses this as its
+// epoch-throughput regression gate — BENCH_8.json's guard column may not
+// regress against BENCH_7.json's, both recorded on the same runner class.
 package main
 
 import (
@@ -64,6 +71,7 @@ func main() {
 	colName := flag.String("column", "after", "baseline column to compare against")
 	tolerance := flag.Float64("tolerance", 0.02, "allowed fractional ns/op regression (0.02 = +2%)")
 	inPath := flag.String("in", "-", "bench output to check (\"-\" = stdin)")
+	againstPath := flag.String("against", "", "second BENCH_*.json: gate its -column against the baseline's instead of parsing bench output (-bench/-in ignored)")
 	flag.Parse()
 	if *baselinePath == "" {
 		fmt.Fprintln(os.Stderr, "benchguard: -baseline is required")
@@ -75,20 +83,29 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchguard:", err)
 		os.Exit(2)
 	}
-	var in io.Reader = os.Stdin
-	if *inPath != "-" {
-		f, err := os.Open(*inPath)
+	var got map[string]measurement
+	if *againstPath != "" {
+		got, err = columnMeasurements(*againstPath, *colName)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchguard:", err)
 			os.Exit(2)
 		}
-		defer f.Close()
-		in = f
-	}
-	got, err := parseBench(in, *benchName)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchguard:", err)
-		os.Exit(2)
+	} else {
+		var in io.Reader = os.Stdin
+		if *inPath != "-" {
+			f, err := os.Open(*inPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchguard:", err)
+				os.Exit(2)
+			}
+			defer f.Close()
+			in = f
+		}
+		got, err = parseBench(in, *benchName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchguard:", err)
+			os.Exit(2)
+		}
 	}
 
 	failures, checked := gate(base, got, *colName, *tolerance)
@@ -100,6 +117,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchguard: FAIL:", f)
 		}
 		os.Exit(1)
+	}
+	if *againstPath != "" {
+		fmt.Printf("benchguard: %d entries of %s[%s] within +%.1f%% of %s[%s]\n",
+			len(checked), *againstPath, *colName, *tolerance*100, *baselinePath, *colName)
+		return
 	}
 	fmt.Printf("benchguard: %d sub-benchmarks of %s within +%.1f%% of %s[%s]\n",
 		len(checked), *benchName, *tolerance*100, *baselinePath, *colName)
@@ -118,6 +140,30 @@ func readBaseline(path string) (*baseline, error) {
 		return nil, fmt.Errorf("%s: no results", path)
 	}
 	return &b, nil
+}
+
+// columnMeasurements loads a second BENCH file and turns its named column
+// into measurements, so two recorded files can be gated against each other
+// exactly like live bench output. Entries without the column are skipped —
+// gate reports them as "in baseline but not measured".
+func columnMeasurements(path, col string) (map[string]measurement, error) {
+	b, err := readBaseline(path)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]measurement, len(b.Results))
+	for name, cols := range b.Results {
+		raw, ok := cols[col]
+		if !ok {
+			continue
+		}
+		var c column
+		if err := json.Unmarshal(raw, &c); err != nil {
+			return nil, fmt.Errorf("%s: column %q of %s: %v", path, col, name, err)
+		}
+		out[name] = measurement{nsPerOp: c.NsPerOp, allocsPerOp: c.AllocsPerOp, hasAllocs: true}
+	}
+	return out, nil
 }
 
 // parseBench extracts the sub-benchmarks of bench (lines named

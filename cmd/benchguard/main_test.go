@@ -2,6 +2,8 @@ package main
 
 import (
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -72,5 +74,86 @@ func TestGateFailsOnAllocationsAndMissing(t *testing.T) {
 	}
 	if !strings.Contains(failures[1], "allocs/op") || !strings.Contains(failures[0], "not measured") {
 		t.Fatalf("unexpected failure set: %v", failures)
+	}
+}
+
+func writeBenchFile(t *testing.T, blob string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	if err := os.WriteFile(path, []byte(blob), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestColumnMeasurementsGatesTwoFiles(t *testing.T) {
+	// The against file improves one entry, regresses the other, and carries
+	// an extra entry the baseline does not know (must be ignored).
+	against := writeBenchFile(t, `{
+	  "benchmark": "BenchmarkEngineStep",
+	  "results": {
+	    "SameCost/paper": {"after": {"ns_per_op": 300.0, "allocs_per_op": 0}},
+	    "OJTB/paper":     {"after": {"ns_per_op": 700.0, "allocs_per_op": 0}},
+	    "Extra/paper":    {"after": {"ns_per_op": 1.0, "allocs_per_op": 0}}
+	  }
+	}`)
+	got, err := columnMeasurements(against, "after")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d entries, want 3", len(got))
+	}
+	if m := got["SameCost/paper"]; m.nsPerOp != 300 || !m.hasAllocs {
+		t.Fatalf("SameCost/paper = %+v", m)
+	}
+	// OJTB regresses 573.8 -> 700.0 (+22%): fails at 10%, passes at 25%.
+	failures, checked := gate(testBaseline(), got, "after", 0.10)
+	if len(checked) != 2 {
+		t.Fatalf("checked %d entries, want 2 (extra entry must be ignored)", len(checked))
+	}
+	if len(failures) != 1 || !strings.Contains(failures[0], "OJTB/paper") {
+		t.Fatalf("want exactly the OJTB regression, got %v", failures)
+	}
+	if failures, _ := gate(testBaseline(), got, "after", 0.25); len(failures) != 0 {
+		t.Fatalf("unexpected failures at 25%% tolerance: %v", failures)
+	}
+}
+
+func TestColumnMeasurementsFlagsAllocRegression(t *testing.T) {
+	against := writeBenchFile(t, `{
+	  "results": {
+	    "SameCost/paper": {"after": {"ns_per_op": 100.0, "allocs_per_op": 2}},
+	    "OJTB/paper":     {"after": {"ns_per_op": 100.0, "allocs_per_op": 0}}
+	  }
+	}`)
+	got, err := columnMeasurements(against, "after")
+	if err != nil {
+		t.Fatal(err)
+	}
+	failures, _ := gate(testBaseline(), got, "after", 0.50)
+	if len(failures) != 1 || !strings.Contains(failures[0], "allocs/op") {
+		t.Fatalf("want exactly the allocation regression, got %v", failures)
+	}
+}
+
+func TestColumnMeasurementsMissingColumn(t *testing.T) {
+	// An against file lacking the column yields no measurements, so every
+	// baseline entry fails as unmeasured — a renamed column cannot silently
+	// pass the gate.
+	against := writeBenchFile(t, `{
+	  "results": {
+	    "SameCost/paper": {"other": {"ns_per_op": 1.0}}
+	  }
+	}`)
+	got, err := columnMeasurements(against, "after")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("want no measurements, got %v", got)
+	}
+	if failures, _ := gate(testBaseline(), got, "after", 0.10); len(failures) != 2 {
+		t.Fatalf("want both baseline entries unmeasured, got %v", failures)
 	}
 }

@@ -25,7 +25,7 @@ func cmdSim(args []string) error {
 	steps := fs.Int("steps", 0, "pairwise exchange budget (default 5 per machine)")
 	seed := fs.Uint64("seed", 1, "random seed")
 	concurrent := fs.Bool("concurrent", false, "use the goroutine-per-machine runtime")
-	shards := fs.Int("shards", 0, "run the sharded epoch engine with this many parallel shards (results are identical for any shard count)")
+	shards := fs.Int("shards", 0, "run the sharded epoch engine with this many parallel shards; -1 picks one shard per core (results are identical for any shard count)")
 	stable := fs.Bool("stable", false, "stop early at a verified stable schedule (sequential only)")
 	var ob obsFlags
 	ob.register(fs)

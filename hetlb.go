@@ -136,11 +136,14 @@ type RunOptions struct {
 	Concurrent bool
 	// Shards >= 1 runs the sharded epoch engine: machines are partitioned
 	// into that many shards stepped by parallel workers on a per-epoch
-	// random perfect matching. Results are bit-identical for any shard
-	// count >= 1. The zero default keeps the sequential engine, whose
-	// uniform-initiator schedule differs from the sharded engine's
-	// matching schedule. Incompatible with Concurrent and with Trace
-	// (the sharded engine records spans and timelines, not events).
+	// random perfect matching. AutoShards (-1) also selects the sharded
+	// engine but lets it pick the shard count (one per available core,
+	// clamped to the machine count). Results are bit-identical for any
+	// shard count, so the choice only affects parallelism. The zero
+	// default keeps the sequential engine, whose uniform-initiator
+	// schedule differs from the sharded engine's matching schedule.
+	// Incompatible with Concurrent and with Trace (the sharded engine
+	// records spans and timelines, not events).
 	Shards int
 	// QuiesceStreak (concurrent only) stops early once every machine saw
 	// this many consecutive unchanged sessions; 0 disables.
@@ -160,6 +163,11 @@ type RunOptions struct {
 	// session (concurrent: cumulative moves only).
 	Timeline *Timeline
 }
+
+// AutoShards, as RunOptions.Shards, selects the sharded epoch engine with an
+// automatically chosen shard count (one shard per available core, clamped to
+// the machine count). The choice never affects results, only parallelism.
+const AutoShards = -1
 
 // Result is the outcome of a decentralized balancing run.
 type Result struct {
@@ -184,7 +192,10 @@ func runProtocol(p protocol.Protocol, initial *Assignment, opt RunOptions) (Resu
 	if !initial.Complete() {
 		return Result{}, fmt.Errorf("hetlb: initial assignment must place every job")
 	}
-	if opt.Shards >= 1 {
+	if opt.Shards < AutoShards {
+		return Result{}, fmt.Errorf("hetlb: RunOptions.Shards = %d; want a positive count, 0 (sequential) or AutoShards", opt.Shards)
+	}
+	if opt.Shards >= 1 || opt.Shards == AutoShards {
 		if opt.Concurrent {
 			return Result{}, fmt.Errorf("hetlb: RunOptions.Shards and Concurrent are mutually exclusive")
 		}
@@ -196,6 +207,9 @@ func runProtocol(p protocol.Protocol, initial *Assignment, opt RunOptions) (Resu
 			Shards:   opt.Shards,
 			Spans:    opt.Spans,
 			Timeline: opt.Timeline,
+		}
+		if opt.Shards == AutoShards {
+			cfg.Shards = 0 // shardgossip's zero value is its auto heuristic
 		}
 		if opt.Metrics != nil {
 			cfg.Metrics = shardgossip.NewMetrics(opt.Metrics)

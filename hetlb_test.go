@@ -87,11 +87,23 @@ func TestPublicShardedRun(t *testing.T) {
 	if r2.Makespan > hetlb.RoundRobin(tc).Makespan() {
 		t.Fatal("sharded balancing made the round-robin schedule worse")
 	}
+	// AutoShards lets the engine pick the shard count; results must still
+	// match any explicit count.
+	ra := run(hetlb.AutoShards)
+	if ra.Makespan != r1.Makespan || !ra.Assignment.Equal(r1.Assignment) || ra.Exchanges != r1.Exchanges {
+		t.Fatal("AutoShards differs from explicit shard counts")
+	}
 	// Shards and Concurrent are mutually exclusive.
 	if _, err := hetlb.DLB2C(tc, hetlb.RoundRobin(tc), hetlb.RunOptions{
 		MaxExchanges: 10, Shards: 2, Concurrent: true,
 	}); err == nil {
 		t.Fatal("Shards+Concurrent accepted")
+	}
+	// Shard counts below AutoShards are rejected.
+	if _, err := hetlb.DLB2C(tc, hetlb.RoundRobin(tc), hetlb.RunOptions{
+		MaxExchanges: 10, Shards: -2,
+	}); err == nil {
+		t.Fatal("Shards: -2 accepted")
 	}
 }
 

@@ -36,3 +36,61 @@ func EpochReseedKeyed(seed uint64, epochs int) int {
 func ReseedOutsideLoop(gen *rng.RNG, seed uint64) {
 	gen.Reseed(seed)
 }
+
+// PipelinedDrawKeyed mirrors PR 8's scheduler goroutine: the back-buffer
+// draw for epoch k+1 overlaps epoch k's execution, and its generator is
+// re-keyed with DeriveSeed(seed, epoch+1) ONLY — the epoch enters as a
+// derive key, never as raw seed arithmetic, so the pipelined schedule stays
+// a pure function of (seed, epoch) at any pipeline depth. No diagnostic.
+func PipelinedDrawKeyed(seed uint64, kick <-chan []int32, done chan<- []int32) {
+	gen := rng.New(seed)
+	perm := make([]int, 8)
+	for epoch := uint64(0); ; epoch++ {
+		buf, ok := <-kick
+		if !ok {
+			return
+		}
+		gen.Reseed(rng.DeriveSeed(seed, epoch+1))
+		gen.PermInto(perm)
+		for t := range buf {
+			buf[t] = int32(perm[t])
+		}
+		done <- buf
+	}
+}
+
+// PipelinedDrawRaw is the same loop with the back-buffer generator re-keyed
+// from raw epoch arithmetic — exactly the regression the Reseed extension
+// exists to catch in the pipelined scheduler.
+func PipelinedDrawRaw(seed uint64, kick <-chan []int32, done chan<- []int32) {
+	gen := rng.New(seed)
+	perm := make([]int, 8)
+	for epoch := uint64(0); ; epoch++ {
+		buf, ok := <-kick
+		if !ok {
+			return
+		}
+		gen.Reseed(seed + epoch + 1) // want `RNG\.Reseed seeded from loop variable epoch`
+		gen.PermInto(perm)
+		for t := range buf {
+			buf[t] = int32(perm[t])
+		}
+		done <- buf
+	}
+}
+
+// PipelinedDrawSharedGen spawns the draw as a closure capturing the
+// coordinator's generator: the draw order would then race the coordinator's
+// own draws. The real engine avoids this by construction — the scheduler is
+// a method-value goroutine owning its generator exclusively after New.
+func PipelinedDrawSharedGen(seed uint64, buf []int32) {
+	gen := rng.New(seed)
+	perm := make([]int, 8)
+	go func() {
+		gen.Reseed(rng.DeriveSeed(seed, 1)) // want `goroutine captures gen \(\*rng\.RNG\) from the enclosing scope`
+		gen.PermInto(perm)                  // want `goroutine captures gen \(\*rng\.RNG\) from the enclosing scope`
+		for t := range buf {
+			buf[t] = int32(perm[t])
+		}
+	}()
+}

@@ -61,3 +61,63 @@ func OwnershipSortedKeys(owners map[int][]int32) []int {
 	sort.Ints(keys)
 	return keys
 }
+
+// partial is a stand-in for PR 8's per-shard load reduction.
+type partial struct {
+	sum   int64
+	max   int64
+	dirty bool
+}
+
+// BarrierPartialReduce is the post-PR-8 barrier shape: S per-shard partials
+// folded in shard-index order — no O(m) load scan, no map, no clock. The
+// result is a deterministic function of the partials alone. No diagnostic.
+func BarrierPartialReduce(partials []partial) (max int64, sum int64) {
+	for i := range partials {
+		if partials[i].max > max {
+			max = partials[i].max
+		}
+		sum += partials[i].sum
+	}
+	return max, sum
+}
+
+// DirtyRescanMapped tracks dirty blocks in a map and rescans in iteration
+// order. Rescans are order-independent in the real engine (each owner
+// rescans its own disjoint block), but a map-ordered loop that reaches
+// results is exactly what the determinism scope must flag before someone
+// adds an order-dependent accumulation to it.
+func DirtyRescanMapped(dirty map[int][]int64) int64 {
+	var max int64
+	for _, block := range dirty { // want `map iteration order can reach results`
+		for _, l := range block {
+			if l > max {
+				max = l
+			}
+		}
+	}
+	return max
+}
+
+// DirtyRescanOrdered is the engine's actual rescan dispatch: dirty flags
+// live on the slice-indexed partials and owners are visited in shard order.
+// No diagnostic.
+func DirtyRescanOrdered(partials []partial, blocks [][]int64) int64 {
+	var max int64
+	for s := range partials {
+		if !partials[s].dirty {
+			continue
+		}
+		partials[s].max = 0
+		for _, l := range blocks[s] {
+			if l > partials[s].max {
+				partials[s].max = l
+			}
+		}
+		partials[s].dirty = false
+		if partials[s].max > max {
+			max = partials[s].max
+		}
+	}
+	return max
+}

@@ -24,10 +24,10 @@ type Partition struct {
 // that waits for work from every worker).
 func NewPartition(m, shards int) (*Partition, error) {
 	if m < 1 {
-		return nil, fmt.Errorf("core: partition over %d machines", m)
+		return nil, fmt.Errorf("core: partition over %d machines (need at least 1)", m)
 	}
 	if shards < 1 {
-		return nil, fmt.Errorf("core: partition into %d shards", shards)
+		return nil, fmt.Errorf("core: partition into %d shards (need at least 1)", shards)
 	}
 	if shards > m {
 		return nil, fmt.Errorf("core: %d shards over %d machines would leave empty shards", shards, m)

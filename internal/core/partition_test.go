@@ -55,10 +55,38 @@ func TestPartitionCoversExactly(t *testing.T) {
 	}
 }
 
+// TestPartitionSingleMachineShards pins the S == m degenerate shape: every
+// shard owns exactly one machine, so ShardOf is the identity and each block
+// is the unit range [i, i+1).
+func TestPartitionSingleMachineShards(t *testing.T) {
+	for _, m := range []int{1, 2, 5, 64} {
+		p, err := NewPartition(m, m)
+		if err != nil {
+			t.Fatalf("NewPartition(%d, %d): %v", m, m, err)
+		}
+		for i := 0; i < m; i++ {
+			if got := p.ShardOf(i); got != i {
+				t.Fatalf("m=%d: ShardOf(%d) = %d, want identity", m, i, got)
+			}
+			lo, hi := p.Bounds(i)
+			if lo != i || hi != i+1 {
+				t.Fatalf("m=%d: Bounds(%d) = [%d,%d), want [%d,%d)", m, i, lo, hi, i, i+1)
+			}
+			if p.Size(i) != 1 {
+				t.Fatalf("m=%d: Size(%d) = %d, want 1", m, i, p.Size(i))
+			}
+		}
+	}
+}
+
 // TestPartitionRejectsBadShapes checks the constructor's error cases and the
 // panics on out-of-range queries.
 func TestPartitionRejectsBadShapes(t *testing.T) {
-	for _, bad := range []struct{ m, s int }{{0, 1}, {-1, 1}, {4, 0}, {4, -2}, {3, 4}} {
+	for _, bad := range []struct{ m, s int }{
+		{0, 1}, {-1, 1}, // m == 0 / negative m
+		{4, 0}, {4, -2}, {0, 0}, // S <= 0 must be rejected here, not normalized by callers
+		{3, 4}, {1, 2}, // S > m would leave empty shards
+	} {
 		if _, err := NewPartition(bad.m, bad.s); err == nil {
 			t.Errorf("NewPartition(%d, %d): want error", bad.m, bad.s)
 		}

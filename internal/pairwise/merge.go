@@ -43,3 +43,27 @@ func DiffCount(old, new []int) int {
 	}
 	return moved
 }
+
+// AppendDiff appends to dst the elements of new that are absent from old
+// (both sorted ascending) and returns the extended slice — the arrived-job
+// set that DiffCount only counts. len(AppendDiff(nil, old, new)) ==
+// DiffCount(old, new) for every input pair. The sharded engine feeds the
+// arrivals of both sides of a session through the cost model to update loads
+// by O(moved) deltas instead of resumming the whole union; a converged
+// session appends nothing and costs one linear scan.
+//
+//hetlb:noalloc
+func AppendDiff(dst, old, new []int) []int {
+	x := 0
+	for _, v := range new {
+		for x < len(old) && old[x] < v {
+			x++
+		}
+		if x < len(old) && old[x] == v {
+			x++
+		} else {
+			dst = append(dst, v)
+		}
+	}
+	return dst
+}

@@ -95,6 +95,31 @@ func TestSplitCLB2CScratchNoalloc(t *testing.T) {
 	})
 }
 
+func TestAppendDiffNoalloc(t *testing.T) {
+	_, a, union := guardInstance(17)
+	old := append([]int(nil), union...)
+	_ = a
+	// new differs from old in a prefix swap so every run appends real work.
+	new := append([]int(nil), old...)
+	for i := 0; i < len(new)/2; i++ {
+		new[i] += 1000
+	}
+	// Re-sorting keeps the sorted-input contract after the perturbation.
+	for i := 1; i < len(new); i++ {
+		for j := i; j > 0 && new[j] < new[j-1]; j-- {
+			new[j], new[j-1] = new[j-1], new[j]
+		}
+	}
+	var s Scratch
+	assertNoAllocs(t, "AppendDiff", func() {
+		s.Diff1 = AppendDiff(s.Diff1[:0], old, new)
+		s.Diff2 = AppendDiff(s.Diff2[:0], new, old)
+	})
+	if len(s.Diff1) == 0 || len(s.Diff2) == 0 {
+		t.Fatalf("guard exercised an empty diff (lens %d/%d); perturbation failed", len(s.Diff1), len(s.Diff2))
+	}
+}
+
 func TestScratchBucketsNoalloc(t *testing.T) {
 	var s Scratch
 	const k = 8

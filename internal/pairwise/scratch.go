@@ -26,6 +26,10 @@ type Scratch struct {
 	// Side1 and Side2 hold the pair's current sides for placement-aware
 	// (min-move) balancing.
 	Side1, Side2 []int
+	// Diff1 and Diff2 receive the arrived-job sets of a session's two sides
+	// (AppendDiff output), which drive O(moved) load-delta updates in the
+	// sharded engine.
+	Diff1, Diff2 []int
 
 	buckets [][]int // per-type buckets for MJTB
 }

@@ -91,6 +91,7 @@ func TestRunMatchesSequentialRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer sh.Close()
 	res := sh.Run(budget, false)
 	if res.Steps != refRes.Steps {
 		t.Fatalf("steps %d != %d", res.Steps, refRes.Steps)
@@ -144,6 +145,9 @@ func TestNewRejectsBadInputs(t *testing.T) {
 	}
 	if _, err := New(protocol.OJTB{Model: ty2}, core.RoundRobin(ty2), Config{Shards: 3}); err == nil {
 		t.Fatal("accepted more shards than machines")
+	}
+	if _, err := New(protocol.OJTB{Model: ty2}, core.RoundRobin(ty2), Config{Shards: -1}); err == nil {
+		t.Fatal("accepted a negative shard count")
 	}
 
 	e, err := New(protocol.OJTB{Model: ty2}, core.RoundRobin(ty2), Config{Shards: 2})

@@ -10,10 +10,11 @@ import (
 	"hetlb/internal/workload"
 )
 
-// benchSharded measures one epoch of the sharded engine — schedule draw,
-// ⌊m/2⌋ sessions, barrier — per protocol family and shard count. Results
-// are recorded in BENCH_7.json; sessions/sec is the headline metric (one
-// session is one pairwise exchange, the unit the paper counts).
+// benchSharded measures one epoch of the sharded engine — pipelined schedule
+// handoff, ⌊m/2⌋ sessions, partial-reduction barrier — per protocol family
+// and shard count. Results are recorded in BENCH_8.json; sessions/sec is the
+// headline metric (one session is one pairwise exchange, the unit the paper
+// counts).
 func benchSharded(b *testing.B, m, n int) {
 	gen := rng.New(500)
 	ty := workload.UniformTyped(gen, m, n, 5, 1, 100)
@@ -27,7 +28,7 @@ func benchSharded(b *testing.B, m, n int) {
 		{"twocluster", tc, protocol.DLB2C{Model: tc}},
 	}
 	for _, c := range cases {
-		for _, shards := range []int{1, 4, 8} {
+		for _, shards := range []int{1, 2, 4, 8} {
 			b.Run(fmt.Sprintf("%s/shards=%d", c.name, shards), func(b *testing.B) {
 				e, err := New(c.proto, core.RoundRobin(c.model), Config{Seed: 1, Shards: shards})
 				if err != nil {
@@ -51,7 +52,7 @@ func benchSharded(b *testing.B, m, n int) {
 }
 
 // BenchmarkShardedStep is the headline scale benchmark: m = 100k machines,
-// n = 10M jobs, typed and two-cluster, shards ∈ {1, 4, 8}. One op is one
+// n = 10M jobs, typed and two-cluster, shards ∈ {1, 2, 4, 8}. One op is one
 // epoch (50 000 sessions). It needs ~1 GB and minutes of wall clock, so it
 // is skipped under -short and run via `make bench-scale`.
 func BenchmarkShardedStep(b *testing.B) {
@@ -62,8 +63,55 @@ func BenchmarkShardedStep(b *testing.B) {
 }
 
 // BenchmarkShardedStepScale is the CI-sized guard variant (m = 2048,
-// n = 16384) gated by benchguard against BENCH_7.json's "guard" column —
+// n = 16384) gated by benchguard against BENCH_8.json's "guard" column —
 // same code path and sub-benchmark shape, small enough for every CI run.
 func BenchmarkShardedStepScale(b *testing.B) {
 	benchSharded(b, 2048, 16_384)
+}
+
+// BenchmarkNoChangeTail measures the converged steady state — the long
+// no-change tail every gossip run ends in. A single-type OJTB instance is
+// driven to a verified-stable placement once (outside the timer), then
+// epochs are measured at increasing mean jobs-per-machine. With the
+// verified-stable fast path a session is O(1) bookkeeping, so ns/op must be
+// flat in jobs-per-machine; before this optimization each session resummed
+// its O(union) pooled jobs even when nothing moved. The unlatched variant
+// (stable detection off) shows the O(moved) delta path alone: the kernel
+// still scans the union, but no cost sums and no write-backs happen.
+func BenchmarkNoChangeTail(b *testing.B) {
+	const m = 64
+	for _, mode := range []string{"latched", "delta-only"} {
+		for _, jpm := range []int{16, 64, 256} {
+			b.Run(fmt.Sprintf("%s/jobs-per-machine=%d", mode, jpm), func(b *testing.B) {
+				speeds := make([][]core.Cost, m)
+				gen := rng.New(600)
+				for i := range speeds {
+					speeds[i] = []core.Cost{gen.IntRange(2, 9)}
+				}
+				ty, err := core.NewTyped(speeds, make([]int, m*jpm))
+				if err != nil {
+					b.Fatal(err)
+				}
+				e, err2 := New(protocol.OJTB{Model: ty}, core.RoundRobin(ty), Config{Seed: 9, Shards: 2})
+				if err2 != nil {
+					b.Fatal(err2)
+				}
+				defer e.Close()
+				res := e.Run(50_000_000, true)
+				if !res.Converged {
+					b.Fatal("instance did not converge; the tail benchmark needs a stable placement")
+				}
+				if mode == "delta-only" {
+					// Measure the pre-latch no-op path: kernels run, move
+					// nothing, and the session applies zero deltas.
+					e.stable = false
+				}
+				e.StepEpoch() // warm the measured path
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					e.StepEpoch()
+				}
+			})
+		}
+	}
 }

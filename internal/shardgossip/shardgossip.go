@@ -8,33 +8,70 @@
 // # Execution model
 //
 // Machines are assigned to S shards by a core.Partition (contiguous blocks).
-// Time advances in epochs. Per epoch the coordinator derives a schedule — a
-// random perfect matching of the machines — and hands every shard the
-// sessions it owns (a session is owned by the lower shard index of its
-// pair). Workers then execute their sessions: intra-shard sessions run
-// lock-free inside the owner goroutine; cross-shard sessions acquire the two
-// shards' mutexes in increasing shard index (a total order, so sessions
-// cannot deadlock). A barrier closes the epoch: the coordinator reduces the
-// shards' accumulators in shard order, refreshes the makespan cache, and
-// notifies metrics, timeline and observers once per epoch.
+// Time advances in epochs. Each epoch's schedule — a random perfect matching
+// of the machines — is drawn by a dedicated scheduler goroutine one epoch
+// ahead (see "Pipelined schedule" below) and handed to every shard as the
+// set of sessions it owns (a session is owned by the lower shard index of
+// its pair). Workers then execute their sessions without long-lived locks:
+// the matching guarantees the sessions of one epoch touch pairwise-disjoint
+// machine state, so the session body (merge, kernel, sort, write-back) is
+// lock-free; only the few-instruction update of a block's partial max/sum
+// accumulators takes that block's mutex (see "Per-shard reductions"). A
+// barrier closes the epoch: the coordinator reduces the S shards'
+// accumulators in shard order — never rescanning the m loads — and notifies
+// metrics, timeline and observers once per epoch.
+//
+// # Per-shard reductions
+//
+// Each shard maintains a partial sum and partial max of the loads in its
+// machine block, updated in O(1) per load write under the block's mutex.
+// Within an epoch every machine's load is written at most once (matching),
+// so the partial max is exact unless the write that held the block max
+// decreased it — that write observes old == partialMax and marks the block
+// dirty. Dirty blocks are rescanned in parallel (each owner scans its own
+// O(m/S) block) in a second fan-out before the barrier, so barrier() only
+// folds S partials: the coordinator's former O(m) Amdahl term is gone.
+//
+// # Pipelined schedule
+//
+// The matching for epoch k is a pure function of (seed, k):
+// Reseed(DeriveSeed(seed, k)) + one PermInto, pairing perm[2t] with
+// perm[2t+1]. Because it depends on nothing else, epoch k+1's schedule is
+// drawn by the scheduler goroutine while epoch k executes, double-buffered
+// and handed over by channel, so the serial draw leaves the critical path.
+// StepEpoch receives the pre-drawn front buffer, immediately recycles the
+// previous buffer to the scheduler for epoch k+1, and only then starts the
+// shards.
+//
+// # O(moved) sessions
+//
+// A session computes its pair's new loads from cost deltas of the jobs that
+// actually moved (pairwise.AppendDiff of each side's arrivals; the union is
+// conserved, so one side's arrivals are the other side's departures) instead
+// of resumming the whole union — integer arithmetic, so the result is
+// bit-identical to a full recomputation. A session that moved nothing skips
+// the write-back and the partial updates entirely. On top of that, once a
+// Run's stability check has *proved* the placement pairwise-stable, the
+// engine latches a verified-stable fast path: every later session is known
+// to be a kernel no-op and only performs the bookkeeping (exchange counters,
+// spans), making converged epochs O(1) per session regardless of the mean
+// jobs-per-machine.
 //
 // # Determinism argument
 //
-// The schedule is a pure function of (seed, epoch): the coordinator reseeds
-// one generator with rng.DeriveSeed(seed, epoch) and draws one permutation,
-// pairing perm[2t] with perm[2t+1]. No worker holds a generator, and no
-// random draw ever happens on a worker goroutine, so goroutine interleaving
-// cannot reach the schedule. Because the schedule is a matching, the
-// sessions of one epoch touch pairwise-disjoint machine state; any
-// interleaving of them produces the same post-epoch state, so placements,
-// loads, moves and exchange counters are bit-identical for any shard count
-// and any GOMAXPROCS. (The issue's alternative — per-worker
-// rng.Substream(seed, shard, epoch) generators — was rejected: any
-// shard-keyed draw that feeds the schedule would make results depend on S,
-// breaking cross-shard-count identity.) The shard mutexes are redundant
-// under a matching — they are kept because lock-ordered sessions are the
-// discipline any future non-matching schedule must follow, and an
-// uncontended lock costs nanoseconds.
+// The schedule is a pure function of (seed, epoch) drawn by the single
+// scheduler goroutine; no worker holds a generator, and no random draw ever
+// happens on a worker goroutine, so goroutine interleaving cannot reach the
+// schedule. Because the schedule is a matching, the sessions of one epoch
+// touch pairwise-disjoint machine state; any interleaving of them produces
+// the same post-epoch state, so placements, loads, moves and exchange
+// counters are bit-identical for any shard count and any GOMAXPROCS. (The
+// issue's alternative — per-worker rng.Substream(seed, shard, epoch)
+// generators — was rejected: any shard-keyed draw that feeds the schedule
+// would make results depend on S, breaking cross-shard-count identity.) The
+// partial max/sum accumulators are reduced in shard order and rescans
+// recompute a block max from loads alone, so they cannot introduce
+// interleaving dependence either.
 //
 // Span traces use per-shard sub-recorders (disjoint ID namespaces) merged in
 // shard order, so the trace is deterministic for a fixed S regardless of
@@ -44,6 +81,7 @@ package shardgossip
 
 import (
 	"fmt"
+	"runtime"
 	"slices"
 	"sync"
 
@@ -61,6 +99,14 @@ import (
 // per owned session; the ring's stride-free drop accounting keeps truncation
 // honest on long runs).
 const shardSpanCap = 1 << 14
+
+// Worker dispatch phases: after the sessions fan-out, a second fan-out
+// rescans dirty blocks. The coordinator writes phase between barriers; the
+// start-channel send/receive orders the write before any worker reads it.
+const (
+	phaseSessions = iota
+	phaseRescan
+)
 
 // Metrics bundles the engine's obs instruments. All record paths are
 // allocation-free; a nil *Metrics disables instrumentation with one branch
@@ -95,8 +141,10 @@ type Config struct {
 	// Seed keys the epoch schedules. Two engines with equal seeds execute
 	// identical schedules at any shard count.
 	Seed uint64
-	// Shards is the number of worker shards S (default 1). It must not
-	// exceed the machine count.
+	// Shards is the number of worker shards S. Zero selects the automatic
+	// heuristic AutoShards (GOMAXPROCS clamped to the machine count); the
+	// choice never affects results, only parallelism. Explicit values must
+	// lie in [1, m]; negative values are rejected.
 	Shards int
 	// Metrics, when non-nil, receives per-epoch counters (build with
 	// NewMetrics).
@@ -112,16 +160,51 @@ type Config struct {
 	Timeline *timeline.Recorder
 }
 
+// AutoShards is the Shards: 0 heuristic: one shard per available core
+// (runtime.GOMAXPROCS), clamped to [1, m]. More shards than cores only adds
+// coordination overhead, and a shard needs at least one machine; results are
+// identical for any choice, so the heuristic is free to track the hardware.
+func AutoShards(m int) int {
+	s := runtime.GOMAXPROCS(0)
+	if s < 1 {
+		s = 1
+	}
+	if s > m {
+		s = m
+	}
+	return s
+}
+
+// schedule is one epoch's pair matching plus its precomputed distribution:
+// session t pairs pairI[t] with pairJ[t]; sess[s] lists the sessions shard s
+// owns; cross counts pairs straddling two shards. Two schedule buffers
+// double-buffer between the coordinator (executing epoch k) and the
+// scheduler goroutine (drawing epoch k+1).
+type schedule struct {
+	pairI []int32
+	pairJ []int32
+	sess  [][]int32
+	cross int
+}
+
 // shardState is the per-shard slice of the engine a worker owns during an
-// epoch: its scratch, its owned-session list, and its epoch accumulators
-// (reduced by the coordinator at the barrier, in shard order).
+// epoch: its scratch, its epoch accumulators (moves/changed, reduced by the
+// coordinator at the barrier in shard order), and the block's partial load
+// reduction. The mutex guards ONLY partialSum/partialMax/dirty — see
+// updatePartials for the locking invariant.
 type shardState struct {
 	mu      sync.Mutex
 	scratch pairwise.Scratch
-	sess    []int32 // indices into pairI/pairJ of the sessions this shard owns
 	moves   int
 	changed int
-	spans   *span.Recorder // nil when span recording is off
+	// partialSum and partialMax reduce the loads of this shard's machine
+	// block; dirty marks that the block max may have decreased and the block
+	// needs an O(m/S) rescan before the barrier (see package doc,
+	// "Per-shard reductions").
+	partialSum int64
+	partialMax core.Cost
+	dirty      bool
+	spans      *span.Recorder // nil when span recording is off
 }
 
 // Engine drives one sharded simulation run. It is not safe for concurrent
@@ -140,14 +223,17 @@ type Engine struct {
 	load      []core.Cost
 	exchanges []int
 
-	// Epoch schedule, written by the coordinator before workers start.
-	gen   *rng.RNG // reseeded with DeriveSeed(seed, epoch) per epoch
-	perm  []int
-	pairI []int32
-	pairJ []int32
-	cross int // cross-shard sessions this epoch
+	// Pipelined schedule: cur is the front buffer (the epoch being
+	// executed); the scheduler goroutine owns drawGen/perm and fills the
+	// back buffer handed to it on drawKick, returning it on drawReady.
+	cur       *schedule
+	drawKick  chan *schedule
+	drawReady chan *schedule
+	drawGen   *rng.RNG // owned by the scheduler goroutine after New
+	perm      []int    // owned by the scheduler goroutine after New
 
 	shards []shardState
+	phase  int // worker dispatch phase for the current fan-out
 
 	epoch     int
 	sessions  int // total sessions executed; the Stepper's step count
@@ -157,6 +243,9 @@ type Engine struct {
 	// noChange counts consecutive sessions in all-quiet epochs; it gates the
 	// expensive full stability check, mirroring gossip.Engine.
 	noChange int
+	// stable latches once checkStable proves the placement pairwise-stable;
+	// from then on sessions take the bookkeeping-only fast path.
+	stable bool
 
 	metrics   *Metrics
 	spans     *span.Recorder
@@ -178,8 +267,9 @@ type Engine struct {
 
 // New builds a sharded engine from a complete initial assignment. The
 // assignment is read once (not mutated and not retained): the engine owns
-// per-machine job lists, like the message-passing runtime. Engines with
-// Shards > 1 hold worker goroutines; call Close when done with them.
+// per-machine job lists, like the message-passing runtime. Every engine owns
+// at least the pipelined-schedule goroutine (plus workers when Shards > 1);
+// call Close when done with it.
 func New(p protocol.Protocol, initial *core.Assignment, cfg Config) (*Engine, error) {
 	model := initial.Model()
 	m := model.NumMachines()
@@ -190,8 +280,11 @@ func New(p protocol.Protocol, initial *core.Assignment, cfg Config) (*Engine, er
 		return nil, fmt.Errorf("shardgossip: initial assignment must place every job")
 	}
 	shards := cfg.Shards
-	if shards <= 0 {
-		shards = 1
+	if shards < 0 {
+		return nil, fmt.Errorf("shardgossip: negative shard count %d (use 0 for the AutoShards heuristic)", shards)
+	}
+	if shards == 0 {
+		shards = AutoShards(m)
 	}
 	part, err := core.NewPartition(m, shards)
 	if err != nil {
@@ -206,10 +299,10 @@ func New(p protocol.Protocol, initial *core.Assignment, cfg Config) (*Engine, er
 		seed:      cfg.Seed,
 		load:      make([]core.Cost, m),
 		exchanges: make([]int, m),
-		gen:       rng.New(cfg.Seed),
+		drawKick:  make(chan *schedule, 2),
+		drawReady: make(chan *schedule, 2),
+		drawGen:   rng.New(cfg.Seed), // reseeded per draw with DeriveSeed(seed, epoch)
 		perm:      make([]int, m),
-		pairI:     make([]int32, m/2),
-		pairJ:     make([]int32, m/2),
 		shards:    make([]shardState, shards),
 		metrics:   cfg.Metrics,
 		spans:     cfg.Spans,
@@ -244,6 +337,17 @@ func New(p protocol.Protocol, initial *core.Assignment, cfg Config) (*Engine, er
 		}
 	}
 	e.cachedMax = max
+	// Seed the per-shard partial reductions from the initial loads.
+	for s := range e.shards {
+		sh := &e.shards[s]
+		lo, hi := part.Bounds(s)
+		for _, l := range e.load[lo:hi] {
+			sh.partialSum += int64(l)
+			if l > sh.partialMax {
+				sh.partialMax = l
+			}
+		}
+	}
 
 	if e.spans != nil {
 		e.runSpan = e.spans.NextID()
@@ -254,20 +358,29 @@ func New(p protocol.Protocol, initial *core.Assignment, cfg Config) (*Engine, er
 	}
 	e.self = e
 
+	e.quit = make(chan struct{})
 	if shards > 1 {
 		e.start = make([]chan struct{}, shards)
-		e.quit = make(chan struct{})
 		for s := 1; s < shards; s++ {
 			e.start[s] = make(chan struct{}, 1)
 			go e.worker(s)
 		}
 	}
+	// Prime the pipeline: hand both buffers to the scheduler so epoch 0 is
+	// drawn before the first StepEpoch and epoch 1 right behind it.
+	go e.scheduler()
+	for b := 0; b < 2; b++ {
+		e.drawKick <- &schedule{
+			pairI: make([]int32, m/2),
+			pairJ: make([]int32, m/2),
+			sess:  make([][]int32, shards),
+		}
+	}
 	return e, nil
 }
 
-// Close stops the worker goroutines. It is idempotent and safe on engines
-// with one shard (which have no workers). The engine must not be stepped
-// after Close.
+// Close stops the worker and scheduler goroutines. It is idempotent. The
+// engine must not be stepped after Close.
 func (e *Engine) Close() {
 	if e.quit != nil && !e.closed {
 		e.closed = true
@@ -284,6 +397,10 @@ func (e *Engine) Partition() *core.Partition { return e.part }
 
 // Epochs returns the number of epochs executed so far.
 func (e *Engine) Epochs() int { return e.epoch }
+
+// Stable reports whether a Run's stability check has proved the placement
+// pairwise-stable, enabling the bookkeeping-only session fast path.
+func (e *Engine) Stable() bool { return e.stable }
 
 // Steps implements gossip.Stepper: the number of pairwise sessions executed.
 func (e *Engine) Steps() int { return e.sessions }
@@ -306,17 +423,69 @@ func (e *Engine) Exchanges() []int { return e.exchanges }
 
 var _ gossip.Stepper = (*Engine)(nil)
 
-// worker is the loop of shard s (s >= 1): run the shard's sessions when
-// signalled, report through the epoch WaitGroup, exit on Close.
+// worker is the loop of shard s (s >= 1): when signalled, run the current
+// phase's work for the shard (sessions, or a dirty-block rescan), report
+// through the epoch WaitGroup, exit on Close.
 func (e *Engine) worker(s int) {
 	for {
 		select {
 		case <-e.quit:
 			return
 		case <-e.start[s]:
-			e.runShard(s)
+			if e.phase == phaseRescan {
+				e.rescanBlock(s)
+			} else {
+				e.runShard(s)
+			}
 			e.wg.Done()
 		}
+	}
+}
+
+// scheduler is the pipelined-draw goroutine: it receives a free schedule
+// buffer, fills it with the matching for the next undrawn epoch — a pure
+// function of (seed, epoch) — and hands it back. Epochs are drawn in order
+// starting at 0; the coordinator consumes them in order, so the draw for
+// epoch k+1 overlaps the execution of epoch k.
+func (e *Engine) scheduler() {
+	for epoch := uint64(0); ; epoch++ {
+		var b *schedule
+		select {
+		case <-e.quit:
+			return
+		case b = <-e.drawKick:
+		}
+		e.drawSchedule(b, epoch)
+		e.drawReady <- b // cap 2 ≥ buffers in flight: never blocks
+	}
+}
+
+// drawSchedule fills b with epoch's matching and session-ownership lists.
+// Session t pairs perm[2t] with perm[2t+1]; the owner is the lower of the
+// two shard indices. Ownership lists reuse their buffers, so warm draws
+// allocate nothing.
+//
+//hetlb:noalloc
+func (e *Engine) drawSchedule(b *schedule, epoch uint64) {
+	e.drawGen.Reseed(rng.DeriveSeed(e.seed, epoch))
+	e.drawGen.PermInto(e.perm)
+	for s := range b.sess {
+		b.sess[s] = b.sess[s][:0]
+	}
+	b.cross = 0
+	for t := range b.pairI {
+		i, j := e.perm[2*t], e.perm[2*t+1]
+		b.pairI[t] = int32(i)
+		b.pairJ[t] = int32(j)
+		si, sj := e.part.ShardOf(i), e.part.ShardOf(j)
+		owner := si
+		if sj < owner {
+			owner = sj
+		}
+		if si != sj {
+			b.cross++
+		}
+		b.sess[owner] = append(b.sess[owner], int32(t))
 	}
 }
 
@@ -324,79 +493,137 @@ func (e *Engine) worker(s int) {
 // random perfect matching (odd m leaves one machine idle per epoch) — and
 // reports whether any session changed its pair's loads.
 func (e *Engine) StepEpoch() bool {
-	e.prepareEpoch()
+	// Take the pre-drawn schedule and immediately recycle the previous
+	// buffer: the next epoch's draw proceeds concurrently with this one's
+	// execution.
+	sched := <-e.drawReady
+	if e.cur != nil {
+		e.drawKick <- e.cur
+	}
+	e.cur = sched
+	for s := range e.shards {
+		sh := &e.shards[s]
+		sh.moves = 0
+		sh.changed = 0
+	}
 	if e.start != nil {
+		e.phase = phaseSessions
 		e.wg.Add(len(e.shards) - 1)
 		for s := 1; s < len(e.shards); s++ {
 			e.start[s] <- struct{}{}
 		}
 		e.runShard(0)
 		e.wg.Wait()
+		// Phase B: owners of dirty blocks rescan them in parallel. The
+		// barrier above ordered every load write before these reads.
+		dirty := 0
+		for s := 1; s < len(e.shards); s++ {
+			if e.shards[s].dirty {
+				dirty++
+			}
+		}
+		if dirty > 0 {
+			e.phase = phaseRescan
+			e.wg.Add(dirty)
+			for s := 1; s < len(e.shards); s++ {
+				if e.shards[s].dirty {
+					e.start[s] <- struct{}{}
+				}
+			}
+		}
+		if e.shards[0].dirty {
+			e.rescanBlock(0)
+		}
+		if dirty > 0 {
+			e.wg.Wait()
+		}
 	} else {
 		e.runShard(0)
+		if e.shards[0].dirty {
+			e.rescanBlock(0)
+		}
 	}
 	return e.barrier()
 }
 
-// prepareEpoch draws the epoch's matching and distributes session ownership.
-// Session t pairs perm[2t] with perm[2t+1]; the owner is the lower of the
-// two shard indices. Ownership lists reuse their buffers, so warm epochs
-// allocate nothing.
-func (e *Engine) prepareEpoch() {
-	e.gen.Reseed(rng.DeriveSeed(e.seed, uint64(e.epoch)))
-	e.gen.PermInto(e.perm)
-	for s := range e.shards {
-		sh := &e.shards[s]
-		sh.sess = sh.sess[:0]
-		sh.moves = 0
-		sh.changed = 0
-	}
-	e.cross = 0
-	for t := range e.pairI {
-		i, j := e.perm[2*t], e.perm[2*t+1]
-		e.pairI[t] = int32(i)
-		e.pairJ[t] = int32(j)
-		si, sj := e.part.ShardOf(i), e.part.ShardOf(j)
-		owner := si
-		if sj < owner {
-			owner = sj
-		}
-		if si != sj {
-			e.cross++
-		}
-		e.shards[owner].sess = append(e.shards[owner].sess, int32(t))
-	}
-}
-
 // runShard executes shard s's owned sessions in schedule order.
 func (e *Engine) runShard(s int) {
-	sh := &e.shards[s]
-	for _, t := range sh.sess {
+	for _, t := range e.cur.sess[s] {
 		e.session(s, int(t))
 	}
 }
 
+// rescanBlock recomputes shard s's partial max from its O(m/S) block of
+// loads. It runs only between the session barrier and the epoch barrier
+// (phase B), when no session is writing loads, so it takes no lock.
+func (e *Engine) rescanBlock(s int) {
+	sh := &e.shards[s]
+	lo, hi := e.part.Bounds(s)
+	var max core.Cost
+	for _, l := range e.load[lo:hi] {
+		if l > max {
+			max = l
+		}
+	}
+	sh.partialMax = max
+	sh.dirty = false
+}
+
+// updatePartials folds one machine's load change into its block's partial
+// reduction. Locking invariant: a session takes at most ONE shard mutex at a
+// time (the block owning the touched machine), holds it for these few
+// integer operations only, and never nests it with another — so no lock
+// ordering is needed and deadlock is impossible by construction. The unlock
+// is explicit, not deferred: this sits on the //hetlb:noalloc hot path and a
+// defer would cost more than the critical section.
+//
+//hetlb:noalloc
+func (e *Engine) updatePartials(machine int, old, new core.Cost) {
+	sh := &e.shards[e.part.ShardOf(machine)]
+	sh.mu.Lock()
+	sh.partialSum += int64(new) - int64(old)
+	// Within an epoch each machine's load is written once, so old is the
+	// machine's epoch-start load and old <= partialMax always holds.
+	if new > sh.partialMax {
+		sh.partialMax = new
+	} else if new < old && old == sh.partialMax {
+		// The write that held the block max decreased it: the partial max
+		// may now overestimate. The owner rescans the block in phase B.
+		sh.dirty = true
+	}
+	sh.mu.Unlock()
+}
+
 // session executes pair t of the current epoch on behalf of owner shard s:
 // merge the pair's sorted job lists into the shard's scratch, split with the
-// protocol's kernel, sort the sides back into job order and write them back,
-// updating loads and the shard's epoch accumulators. Cross-shard sessions
-// take both shards' mutexes in increasing shard index. In steady state the
-// only memory touched is the shard's scratch and the pair's job lists.
+// protocol's kernel, sort the sides back into job order, and apply the
+// result as O(moved) deltas — AppendDiff yields each side's arrivals (the
+// other side's departures, since the union is conserved), whose costs adjust
+// the pair's loads exactly. A session that moved nothing writes nothing. In
+// steady state the only memory touched is the shard's scratch and the pair's
+// job lists; once the engine is verified stable, the kernel is skipped
+// entirely (see package doc).
 //
 //hetlb:noalloc
 func (e *Engine) session(s, t int) {
 	sh := &e.shards[s]
-	i, j := int(e.pairI[t]), int(e.pairJ[t])
-	si, sj := e.part.ShardOf(i), e.part.ShardOf(j)
-	if si != sj {
-		lo, hi := si, sj
-		if lo > hi {
-			lo, hi = hi, lo
+	i, j := int(e.cur.pairI[t]), int(e.cur.pairJ[t])
+	e.exchanges[i]++
+	e.exchanges[j]++
+	if e.stable {
+		// Verified-stable fast path: the kernel is provably a no-op, so
+		// only the bookkeeping of a no-change session remains.
+		if sh.spans != nil {
+			sh.spans.Append(span.Span{
+				Parent: e.runSpan,
+				Kind:   span.KindSession,
+				A:      int32(i),
+				B:      int32(j),
+				Start:  int64(e.sessions + t),
+				End:    int64(e.sessions + t),
+			})
 		}
-		e.shards[lo].mu.Lock()
-		e.shards[hi].mu.Lock()
-		defer e.shards[lo].mu.Unlock()
-		defer e.shards[hi].mu.Unlock()
+		return
 	}
 
 	sc := &sh.scratch
@@ -407,23 +634,34 @@ func (e *Engine) session(s, t int) {
 	// in place to restore the increasing-index invariant of the job lists.
 	slices.Sort(toI)
 	slices.Sort(toJ)
-	moved := pairwise.DiffCount(e.jobs[i], toI) + pairwise.DiffCount(e.jobs[j], toJ)
-	var n1, n2 core.Cost
-	for _, job := range toI {
-		n1 += e.model.Cost(i, job)
-	}
-	for _, job := range toJ {
-		n2 += e.model.Cost(j, job)
-	}
-	e.jobs[i] = append(e.jobs[i][:0], toI...)
-	e.jobs[j] = append(e.jobs[j][:0], toJ...)
-	e.load[i], e.load[j] = n1, n2
-	e.exchanges[i]++
-	e.exchanges[j]++
-	sh.moves += moved
-	changed := n1 != l1 || n2 != l2
-	if changed {
-		sh.changed++
+	sc.Diff1 = pairwise.AppendDiff(sc.Diff1[:0], e.jobs[i], toI)
+	sc.Diff2 = pairwise.AppendDiff(sc.Diff2[:0], e.jobs[j], toJ)
+	moved := len(sc.Diff1) + len(sc.Diff2)
+	changed := false
+	if moved > 0 {
+		// Arrivals at i departed from j and vice versa: adjust both loads
+		// by exactly the terms that differ from the previous sums. Integer
+		// costs make the result bit-identical to a full recomputation.
+		var d1, d2 core.Cost
+		for _, job := range sc.Diff1 {
+			d1 += e.model.Cost(i, job)
+			d2 -= e.model.Cost(j, job)
+		}
+		for _, job := range sc.Diff2 {
+			d2 += e.model.Cost(j, job)
+			d1 -= e.model.Cost(i, job)
+		}
+		n1, n2 := l1+d1, l2+d2
+		e.jobs[i] = append(e.jobs[i][:0], toI...)
+		e.jobs[j] = append(e.jobs[j][:0], toJ...)
+		e.load[i], e.load[j] = n1, n2
+		e.updatePartials(i, l1, n1)
+		e.updatePartials(j, l2, n2)
+		sh.moves += moved
+		changed = n1 != l1 || n2 != l2
+		if changed {
+			sh.changed++
+		}
 	}
 	if sh.spans != nil {
 		var fl span.Flags
@@ -444,28 +682,25 @@ func (e *Engine) session(s, t int) {
 }
 
 // barrier closes the epoch on the coordinator: reduce the shards' epoch
-// accumulators in shard order, refresh the makespan/total-load caches with
-// one O(m) pass, and notify metrics, timeline and observers.
+// accumulators and partial load reductions in shard order — S values, never
+// the m loads — and notify metrics, timeline and observers.
 func (e *Engine) barrier() bool {
-	np := len(e.pairI)
+	np := len(e.cur.pairI)
 	moves, changed := 0, 0
+	var max core.Cost
+	var sum int64
 	for s := range e.shards {
 		sh := &e.shards[s]
 		moves += sh.moves
 		changed += sh.changed
+		if sh.partialMax > max {
+			max = sh.partialMax
+		}
+		sum += sh.partialSum
 	}
 	e.moves += moves
 	e.sessions += np
 	e.epoch++
-
-	var max core.Cost
-	var sum int64
-	for _, l := range e.load {
-		if l > max {
-			max = l
-		}
-		sum += int64(l)
-	}
 	e.cachedMax = max
 	e.sumLoad = sum
 
@@ -482,8 +717,8 @@ func (e *Engine) barrier() bool {
 		if moves > 0 {
 			e.metrics.Moves.Add(int64(moves))
 		}
-		if e.cross > 0 {
-			e.metrics.Cross.Add(int64(e.cross))
+		if e.cur.cross > 0 {
+			e.metrics.Cross.Add(int64(e.cur.cross))
 		}
 		e.metrics.Makespan.Set(int64(max))
 		e.metrics.EpochMoves.Observe(int64(moves))
@@ -520,6 +755,35 @@ func (e *Engine) Snapshot() *core.Assignment {
 	return a
 }
 
+// checkStable proves or refutes pairwise stability of the current placement
+// without cloning assignments: for every pair (i, j), the protocol kernel
+// applied to the merged union must reproduce the current sides exactly. It
+// is the scratch-based equivalent of protocol.Stable on a Snapshot (same
+// O(m²) pair scan; kernels are deterministic and idempotent). On success the
+// engine latches the verified-stable fast path — sound because a stable
+// placement makes every future session a kernel no-op, so the state can
+// never change again.
+func (e *Engine) checkStable() bool {
+	if e.stable {
+		return true
+	}
+	m := e.part.NumMachines()
+	sc := &e.shards[0].scratch
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			sc.Union = pairwise.MergeSortedInto(sc.Union[:0], e.jobs[i], e.jobs[j])
+			toI, toJ := e.proto.SplitScratch(sc, i, j, sc.Union)
+			slices.Sort(toI)
+			slices.Sort(toJ)
+			if !slices.Equal(toI, e.jobs[i]) || !slices.Equal(toJ, e.jobs[j]) {
+				return false
+			}
+		}
+	}
+	e.stable = true
+	return true
+}
+
 // Result summarizes a Run.
 type Result struct {
 	// Assignment is the final placement (a snapshot; the engine can keep
@@ -539,7 +803,8 @@ type Result struct {
 // (the session budget of gossip.Engine.Run; the last epoch may overshoot by
 // less than one epoch's worth). If detectStability is true the run stops
 // early once the schedule is provably stable: after every window of quiet
-// sessions, a full O(m²) stability check runs on a snapshot.
+// sessions, the full O(m²) stability check runs (and, on success, latches
+// the verified-stable session fast path for any further stepping).
 func (e *Engine) Run(maxSessions int, detectStability bool) Result {
 	m := e.part.NumMachines()
 	startSessions := e.sessions
@@ -551,7 +816,8 @@ func (e *Engine) Run(maxSessions int, detectStability bool) Result {
 		e.StepEpoch()
 		if detectStability && e.noChange >= window {
 			e.noChange = 0
-			if a := e.Snapshot(); protocol.Stable(e.proto, a) {
+			if e.checkStable() {
+				a := e.Snapshot()
 				e.finishSpans(startSessions, true)
 				return Result{Assignment: a, Epochs: e.epoch, Steps: e.sessions, Converged: true, FinalMakespan: e.cachedMax}
 			}
@@ -560,7 +826,7 @@ func (e *Engine) Run(maxSessions int, detectStability bool) Result {
 	a := e.Snapshot()
 	converged := false
 	if detectStability {
-		converged = protocol.Stable(e.proto, a)
+		converged = e.checkStable()
 	}
 	e.finishSpans(startSessions, converged)
 	return Result{Assignment: a, Epochs: e.epoch, Steps: e.sessions, Converged: converged, FinalMakespan: e.cachedMax}
