@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check vet lint build test race race-shard bench bench-smoke overhead-guard bench-scale chaos
+.PHONY: check vet lint build test race race-shard bench bench-smoke overhead-guard bench-scale chaos chaos-shard
 
 check: lint build test race
 
@@ -72,6 +72,7 @@ overhead-guard:
 #       -timeout 50m ./internal/shardgossip/
 SCALE_TOLERANCE ?= 0.50
 COMPARE_TOLERANCE ?= 0.25
+FAULT_TOLERANCE ?= 0.05
 bench-scale:
 	$(GO) test -run='^$$' -bench='BenchmarkShardedStepScale' -benchmem -benchtime=300ms \
 		./internal/shardgossip/ | tee /tmp/benchguard-scale.txt
@@ -79,6 +80,8 @@ bench-scale:
 		-column guard -tolerance $(SCALE_TOLERANCE) -in /tmp/benchguard-scale.txt
 	$(GO) run ./cmd/benchguard -baseline BENCH_7.json -against BENCH_8.json \
 		-column guard -tolerance $(COMPARE_TOLERANCE)
+	$(GO) run ./cmd/benchguard -baseline BENCH_8.json -against BENCH_9.json \
+		-column guard -tolerance $(FAULT_TOLERANCE)
 
 # The sharded engine's worker/scheduler handoff under the race detector at
 # pinned low parallelism: GOMAXPROCS 1 and 2 force different interleavings
@@ -99,3 +102,17 @@ chaos:
 		./internal/netsim/... ./internal/faults/... ./internal/experiments/...
 	GOMAXPROCS=2 $(GO) test -race -count=1 -run 'Chaos|Fault|Crash|Lossy' -timeout 5m \
 		./internal/netsim/... ./internal/faults/... ./internal/experiments/...
+
+# The sharded engine's chaos suite under the race detector at pinned
+# GOMAXPROCS 1 and 2: 128 random crash/loss plans, each run at S in
+# {1, 2, 4}, asserted bit-identical with job conservation after drain, plus
+# the latch-reopen and degraded-observability regressions. Low parallelism
+# forces the coordinator's fault transitions against the pipelined draw and
+# the session fan-out in orders the native race leg never schedules. The
+# -timeout is the watchdog: a fault transition that wedges an epoch barrier
+# shows up as a hang, not a pass. CI runs this as its own matrix job.
+chaos-shard:
+	GOMAXPROCS=1 $(GO) test -race -count=1 -run 'Chaos|Fault|Crash|Latch' -timeout 10m \
+		./internal/shardgossip/... ./internal/experiments/...
+	GOMAXPROCS=2 $(GO) test -race -count=1 -run 'Chaos|Fault|Crash|Latch' -timeout 10m \
+		./internal/shardgossip/... ./internal/experiments/...

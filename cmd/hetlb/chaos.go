@@ -19,10 +19,14 @@ import (
 // message-passing runtime while the fault plan drops and duplicates
 // messages and crashes machines, reporting convergence time and final Cmax
 // per (loss rate, crash count) cell. Deterministic for a fixed -seed at any
-// -parallel.
+// -parallel. With -shards the sweep instead targets the sharded epoch
+// engine: crashes void matchings and lose or freeze jobs (message faults
+// don't apply), and the table reports Cmax degradation against a
+// fault-free run of the identical instance.
 func cmdChaos(args []string) error {
 	fs := flag.NewFlagSet("chaos", flag.ExitOnError)
 	def := experiments.PaperChaos()
+	sdef := experiments.PaperShardChaos()
 	m1 := fs.Int("m1", def.M1, "machines in cluster 1")
 	m2 := fs.Int("m2", def.M2, "machines in cluster 2")
 	jobs := fs.Int("jobs", def.Jobs, "number of jobs")
@@ -33,10 +37,31 @@ func cmdChaos(args []string) error {
 	seed := fs.Uint64("seed", def.Seed, "base random seed")
 	parallel := fs.Int("parallel", 0, "replication worker pool size (0 = GOMAXPROCS)")
 	timeout := fs.Duration("timeout", 0, "abort the run after this wall time (0 = no limit)")
+	shards := fs.Int("shards", 0, "run the sharded epoch engine with this many shards (-1 = auto, 0 = use the message-passing runtime)")
+	machines := fs.Int("m", sdef.Machines, "machines (sharded engine only)")
+	types := fs.Int("types", sdef.Types, "job types (sharded engine only)")
+	lose := fs.Float64("lose", sdef.LoseProb, "probability a crash loses the machine's jobs instead of freezing them (sharded engine only)")
+	epochs := fs.Int("epochs", sdef.Epochs, "epoch budget per run (sharded engine only)")
 	var obs obsFlags
 	obs.register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *shards != 0 {
+		scfg := sdef
+		scfg.Machines, scfg.Types = *machines, *types
+		scfg.LoseProb, scfg.Epochs = *lose, *epochs
+		scfg.Jobs, scfg.Runs, scfg.Seed = *jobs, *runs, *seed
+		if *shards > 0 {
+			scfg.Shards = *shards
+		} else {
+			scfg.Shards = 0 // AutoShards
+		}
+		var err error
+		if scfg.CrashCounts, err = parseInts(*crashes); err != nil {
+			return fmt.Errorf("-crashes: %w", err)
+		}
+		return runShardChaos(scfg, *parallel, *timeout, obs)
 	}
 	cfg := def
 	cfg.M1, cfg.M2, cfg.Jobs = *m1, *m2, *jobs
@@ -73,6 +98,41 @@ func cmdChaos(args []string) error {
 		fmt.Printf("%s", plot.ASCII("mean virtual time to 1.1×cent vs loss rate (horizon = never)",
 			experiments.ChaosSeries(results, cfg.Horizon), 64, 12))
 		fmt.Printf("chaos sweep complete in %v\n", time.Since(start).Round(time.Millisecond))
+	}
+	if err := obs.flush(sinks); err != nil {
+		return err
+	}
+	return runErr
+}
+
+// runShardChaos drives the sharded-engine degradation sweep with the same
+// observability plumbing as the message-passing sweep, so `hetlb explain`
+// works on the recorded spans (crash/recover fault spans, voided sessions).
+func runShardChaos(cfg experiments.ShardChaosConfig, parallel int, timeout time.Duration, obs obsFlags) error {
+	sinks, err := obs.setup()
+	if err != nil {
+		return err
+	}
+	if obs.timelineOut != "" {
+		fmt.Fprintln(os.Stderr, "chaos: a sweep has no single convergence trajectory; the timeline output will be empty (use `hetlb sim --timeline-out` for one run)")
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	start := time.Now()
+	results, runErr := experiments.ShardChaosWith(harness.Options{
+		Parallelism: parallel,
+		Timeout:     timeout,
+		Context:     ctx,
+		Metrics:     sinks.Metrics,
+		Trace:       sinks.Trace,
+		Spans:       sinks.Spans,
+	}, cfg)
+	if runErr == nil {
+		fmt.Printf("%s", experiments.ShardChaosTable(results))
+		fmt.Printf("%s", plot.ASCII("mean Cmax vs fault-free against crash count",
+			experiments.ShardChaosSeries(results), 64, 12))
+		fmt.Printf("sharded chaos sweep complete in %v\n", time.Since(start).Round(time.Millisecond))
 	}
 	if err := obs.flush(sinks); err != nil {
 		return err

@@ -162,6 +162,15 @@ type RunOptions struct {
 	// point per step (sequential: Cmax, imbalance, cumulative moves) or per
 	// session (concurrent: cumulative moves only).
 	Timeline *Timeline
+	// Faults, when non-nil and non-zero, arms a deterministic crash/recovery
+	// schedule against the run. Sharded runs only (Shards >= 1 or
+	// AutoShards): virtual time is the epoch index, a pair touching a down
+	// machine is voided for the epoch, and crashed machines lose or freeze
+	// their jobs per each Crash's LoseJobs policy. Message-level faults
+	// (drop/dup/jitter) are rejected — the epoch engine exchanges no
+	// messages; use DLB2CMessagePassing for those. Results stay
+	// bit-identical at any shard count.
+	Faults *FaultConfig
 }
 
 // AutoShards, as RunOptions.Shards, selects the sharded epoch engine with an
@@ -182,6 +191,13 @@ type Result struct {
 	// Converged reports whether the final schedule is a verified fixed
 	// point of the protocol.
 	Converged bool
+	// Crashes, Recoveries, JobsLost, JobsRehosted and Voided summarize an
+	// armed fault plan's effect on a sharded run (all zero without one):
+	// transitions applied, jobs permanently lost / re-hosted on recovery,
+	// and sessions voided because a participant was down. Jobs lost to
+	// LoseJobs crashes stay unassigned in Assignment (Assignment.Unplaced
+	// enumerates them).
+	Crashes, Recoveries, JobsLost, JobsRehosted, Voided int
 }
 
 // runProtocol drives a protocol either sequentially or concurrently.
@@ -207,6 +223,7 @@ func runProtocol(p protocol.Protocol, initial *Assignment, opt RunOptions) (Resu
 			Shards:   opt.Shards,
 			Spans:    opt.Spans,
 			Timeline: opt.Timeline,
+			Faults:   opt.Faults,
 		}
 		if opt.Shards == AutoShards {
 			cfg.Shards = 0 // shardgossip's zero value is its auto heuristic
@@ -221,11 +238,19 @@ func runProtocol(p protocol.Protocol, initial *Assignment, opt RunOptions) (Resu
 		defer e.Close()
 		r := e.Run(opt.MaxExchanges, opt.DetectStability)
 		return Result{
-			Assignment: r.Assignment,
-			Makespan:   r.FinalMakespan,
-			Exchanges:  r.Steps,
-			Converged:  r.Converged,
+			Assignment:   r.Assignment,
+			Makespan:     r.FinalMakespan,
+			Exchanges:    r.Steps,
+			Converged:    r.Converged,
+			Crashes:      r.Crashes,
+			Recoveries:   r.Recoveries,
+			JobsLost:     r.JobsLost,
+			JobsRehosted: r.JobsRehosted,
+			Voided:       r.Voided,
 		}, nil
+	}
+	if opt.Faults != nil && !opt.Faults.Zero() {
+		return Result{}, fmt.Errorf("hetlb: RunOptions.Faults requires the sharded engine (set Shards; the message-passing runtime takes faults via MessagePassingOptions)")
 	}
 	if opt.Concurrent {
 		cfg := distrun.Config{

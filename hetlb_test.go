@@ -107,6 +107,56 @@ func TestPublicShardedRun(t *testing.T) {
 	}
 }
 
+func TestPublicShardedFaults(t *testing.T) {
+	p0 := make([]hetlb.Cost, 96)
+	p1 := make([]hetlb.Cost, 96)
+	for j := range p0 {
+		p0[j] = hetlb.Cost(1 + (j*37)%100)
+		p1[j] = hetlb.Cost(1 + (j*61)%100)
+	}
+	tc := mustTwoCluster(t, 6, 6, p0, p1)
+	plan := hetlb.FaultConfig{Crashes: []hetlb.Crash{
+		{Machine: 3, At: 2, RecoverAt: 10},
+		{Machine: 8, At: 4, LoseJobs: true},
+	}}
+	run := func(shards int) hetlb.Result {
+		res, err := hetlb.DLB2C(tc, hetlb.RoundRobin(tc), hetlb.RunOptions{
+			Seed: 5, MaxExchanges: 600, Shards: shards, Faults: &plan,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	r1, r4 := run(1), run(4)
+	if r1.Makespan != r4.Makespan || !r1.Assignment.Equal(r4.Assignment) ||
+		r1.Voided != r4.Voided || r1.JobsLost != r4.JobsLost {
+		t.Fatal("faulted sharded results differ across shard counts")
+	}
+	if r1.Crashes != 2 || r1.Recoveries != 1 {
+		t.Fatalf("crashes=%d recoveries=%d, want 2/1", r1.Crashes, r1.Recoveries)
+	}
+	if r1.JobsLost == 0 || r1.Voided == 0 {
+		t.Fatalf("jobsLost=%d voided=%d, want both > 0", r1.JobsLost, r1.Voided)
+	}
+	if got := len(r1.Assignment.Unplaced()); got != r1.JobsLost {
+		t.Fatalf("%d unplaced jobs for %d lost", got, r1.JobsLost)
+	}
+	// Faults require the sharded engine.
+	if _, err := hetlb.DLB2C(tc, hetlb.RoundRobin(tc), hetlb.RunOptions{
+		MaxExchanges: 10, Faults: &plan,
+	}); err == nil {
+		t.Fatal("Faults accepted without Shards")
+	}
+	// Message-level faults are rejected by the epoch engine.
+	bad := hetlb.FaultConfig{DropProb: 0.1}
+	if _, err := hetlb.DLB2C(tc, hetlb.RoundRobin(tc), hetlb.RunOptions{
+		MaxExchanges: 10, Shards: 2, Faults: &bad,
+	}); err == nil {
+		t.Fatal("message faults accepted by the sharded engine")
+	}
+}
+
 func TestPublicOJTBOptimal(t *testing.T) {
 	// One job type: OJTB converges to OPT.
 	ty, err := hetlb.NewTyped([][]hetlb.Cost{{3}, {5}, {4}}, make([]int, 10))

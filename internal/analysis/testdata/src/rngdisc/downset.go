@@ -1,0 +1,79 @@
+package rngdisc
+
+import "hetlb/internal/rng"
+
+// crash is a stand-in for faults.Crash: a machine down for an interval.
+type crash struct {
+	Machine  int
+	At       int64
+	Recover  int64
+	LoseJobs bool
+}
+
+// DownSetDrawRaw draws one crash per scheduled fault with a fresh generator
+// keyed by raw index arithmetic — the shape that makes crash k's interval
+// depend on how the caller numbered the loop rather than on a derive key.
+func DownSetDrawRaw(seed uint64, machines, count int) []crash {
+	out := make([]crash, 0, count)
+	for k := 0; k < count; k++ {
+		gen := rng.New(seed ^ uint64(k)) // want `rng\.New seeded from loop variable k`
+		out = append(out, crash{
+			Machine: int(gen.Uint64() % uint64(machines)),
+			At:      1 + int64(gen.Uint64()%32),
+			Recover: 40,
+		})
+	}
+	return out
+}
+
+// DownSetDrawKeyed is the blessed plan-draw discipline from
+// internal/faults.RandomCrashes: each scheduled crash draws from a substream
+// keyed by its index, so crash k's (machine, interval, loss) triple is a pure
+// function of (seed, k) — reordering or subsetting the plan never perturbs
+// the surviving crashes. No diagnostic.
+func DownSetDrawKeyed(seed uint64, machines, count int) []crash {
+	out := make([]crash, 0, count)
+	for k := 0; k < count; k++ {
+		gen := rng.Substream(seed, uint64(k))
+		at := 1 + int64(gen.Uint64()%32)
+		out = append(out, crash{
+			Machine:  int(gen.Uint64() % uint64(machines)),
+			At:       at,
+			Recover:  at + 1 + int64(gen.Uint64()%16),
+			LoseJobs: gen.Intn(4) == 0,
+		})
+	}
+	return out
+}
+
+// chaosCell mimics the sharded chaos sweep's per-cell config.
+type chaosCell struct {
+	Seed    uint64
+	Crashes int
+}
+
+// ChaosCellSeedsRaw keys each crash-count cell's plan seed by raw index
+// arithmetic: inserting a cell then shifts every later cell's fault plan.
+func ChaosCellSeedsRaw(seed uint64, counts []int) []chaosCell {
+	cells := make([]chaosCell, 0, len(counts))
+	for cell, crashes := range counts {
+		cells = append(cells, chaosCell{
+			Seed:    seed*31 + uint64(cell), // want `Seed derived from loop variable cell without rng\.DeriveSeed`
+			Crashes: crashes,
+		})
+	}
+	return cells
+}
+
+// ChaosCellSeedsKeyed is the sweep's actual discipline: the cell index
+// enters only as a DeriveSeed key. No diagnostic.
+func ChaosCellSeedsKeyed(seed uint64, counts []int) []chaosCell {
+	cells := make([]chaosCell, 0, len(counts))
+	for cell, crashes := range counts {
+		cells = append(cells, chaosCell{
+			Seed:    rng.DeriveSeed(seed, uint64(cell)),
+			Crashes: crashes,
+		})
+	}
+	return cells
+}

@@ -1,0 +1,67 @@
+package shardgossip
+
+import "time"
+
+// downSet shapes: the crash-tolerant engine keeps the per-epoch down-set as
+// a dense []bool indexed by machine, applied by the coordinator before
+// workers run. These cases pin why: a map-keyed down-set iterated to void
+// matchings or pick rehost targets would order results by map iteration,
+// and stamping fault transitions with the wall clock would make crash spans
+// differ between replays of the same plan.
+
+// VoidPairsMapped voids the epoch's matching by walking a map-keyed
+// down-set: the order pairs are voided in (and with it any tie-broken
+// accounting) then depends on map iteration.
+func VoidPairsMapped(down map[int]bool, partner []int32) int {
+	voided := 0
+	for x := range down { // want `map iteration order can reach results`
+		if partner[x] >= 0 {
+			partner[x] = -1
+			voided++
+		}
+	}
+	return voided
+}
+
+// VoidPairsDense is the engine's actual shape: the down-set is a dense
+// []bool and each session checks its own endpoints, so the void decision is
+// per-pair and order-free. No diagnostic.
+func VoidPairsDense(down []bool, pairs [][2]int32) int {
+	voided := 0
+	for _, p := range pairs {
+		if down[p[0]] || down[p[1]] {
+			voided++
+		}
+	}
+	return voided
+}
+
+// CrashStampedWall records the crash instant off the wall clock — two
+// replays of the same fault plan would then disagree on every fault span.
+func CrashStampedWall(down []bool, machine int) int64 {
+	down[machine] = true
+	return time.Now().UnixNano() // want `wall-clock read time\.Now`
+}
+
+// CrashStampedEpoch is the engine's virtual-time discipline: fault
+// transitions are stamped with the epoch index they fire at. No diagnostic.
+func CrashStampedEpoch(down []bool, machine int, epoch int64) int64 {
+	down[machine] = true
+	return epoch
+}
+
+// RehostMapOrder drains a map-keyed frozen-job ledger on recovery: the
+// rehost order (and therefore final placement) would follow map iteration.
+func RehostMapOrder(frozen map[int][]int32, load []int64) {
+	for x, jobs := range frozen { // want `map iteration order can reach results`
+		load[x] += int64(len(jobs))
+	}
+}
+
+// RehostSliceOrder is the recovery path the engine uses: frozen counts are
+// indexed by machine and drained in machine order. No diagnostic.
+func RehostSliceOrder(frozen [][]int32, load []int64) {
+	for x := range frozen {
+		load[x] += int64(len(frozen[x]))
+	}
+}

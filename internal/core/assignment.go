@@ -177,6 +177,23 @@ func (a *Assignment) NumAssigned() int { return a.assigned }
 // Complete reports whether every job is assigned.
 func (a *Assignment) Complete() bool { return a.assigned == a.model.NumJobs() }
 
+// Unplaced returns the jobs currently unassigned, in increasing job order —
+// empty (nil) for a complete assignment. Partial assignments arise from
+// crash plans that lose jobs (the sharded engine's snapshots leave lost
+// jobs unassigned); Unplaced is how reports enumerate them.
+func (a *Assignment) Unplaced() []int {
+	if a.Complete() {
+		return nil
+	}
+	out := make([]int, 0, a.model.NumJobs()-a.assigned)
+	for j, i := range a.machineOf {
+		if i == -1 {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
 // Jobs returns the jobs currently assigned to the given machine, in
 // increasing job order. It is O(k log k) for k jobs on the machine (plus a
 // one-time O(n+m) index build on the assignment's first per-machine query);

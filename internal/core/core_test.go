@@ -279,6 +279,22 @@ func TestFromMachineOf(t *testing.T) {
 	}
 }
 
+func TestUnplaced(t *testing.T) {
+	d := MustDense([][]Cost{{1, 2, 3, 4}, {4, 5, 6, 7}})
+	a, err := FromMachineOf(d, []int{1, -1, 0, -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Unplaced(); len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("Unplaced = %v, want [1 3]", got)
+	}
+	a.Assign(1, 0)
+	a.Assign(3, 1)
+	if got := a.Unplaced(); got != nil {
+		t.Fatalf("complete assignment Unplaced = %v, want nil", got)
+	}
+}
+
 func TestSignatureDistinguishes(t *testing.T) {
 	d := MustDense([][]Cost{{1, 2}, {3, 4}})
 	a, _ := FromMachineOf(d, []int{0, 1})

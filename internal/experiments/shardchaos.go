@@ -1,0 +1,274 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hetlb/internal/core"
+	"hetlb/internal/faults"
+	"hetlb/internal/harness"
+	"hetlb/internal/obs/span"
+	"hetlb/internal/plot"
+	"hetlb/internal/protocol"
+	"hetlb/internal/rng"
+	"hetlb/internal/shardgossip"
+	"hetlb/internal/workload"
+)
+
+// ShardChaosConfig parameterizes the sharded-engine degradation sweep: a
+// typed workload balanced by MJTB on the sharded epoch engine while a crash
+// plan takes machines down. Each crash-count cell runs Runs replications;
+// every replication runs the SAME instance and engine seed fault-free and
+// under the plan, so the reported degradation isolates the faults from the
+// workload draw.
+type ShardChaosConfig struct {
+	// System: Machines machines, Jobs jobs of Types job types with costs
+	// U[1, CostHi].
+	Machines, Jobs, Types int
+	CostHi                core.Cost
+	// CrashCounts are the scheduled crash counts swept (0 is the fault-free
+	// reference column).
+	CrashCounts []int
+	// Crash shape: each crash lasts about MeanDown epochs and loses the
+	// machine's jobs with probability LoseProb (otherwise they freeze and
+	// are re-hosted on recovery). Crashes are scheduled inside
+	// [1, Epochs*3/4] so the run outlives the churn.
+	MeanDown int64
+	LoseProb float64
+	// Epochs is the fixed epoch budget per run.
+	Epochs int
+	// Shards is the engine's shard count (0 = AutoShards); it never affects
+	// results, only parallelism.
+	Shards int
+	// Runs is the number of replications per cell; Seed keys everything.
+	Runs int
+	Seed uint64
+}
+
+// PaperShardChaos returns the default sweep on a paper-scale typed system.
+// Scale Machines/Jobs up (e.g. 100k/10M) for the full-scale degradation
+// picture; the sweep is deterministic at any scale and worker count.
+func PaperShardChaos() ShardChaosConfig {
+	return ShardChaosConfig{
+		Machines: 33, Jobs: 400, Types: 4, CostHi: 99,
+		CrashCounts: []int{0, 2, 4, 8},
+		MeanDown:    12, LoseProb: 0.25,
+		Epochs: 80, Shards: 0,
+		Runs: 16, Seed: 23,
+	}
+}
+
+// Reduced scales the sweep down for tests.
+func (c ShardChaosConfig) Reduced() ShardChaosConfig {
+	r := c
+	r.CrashCounts = []int{0, 3}
+	r.Runs = 4
+	r.Epochs = 30
+	return r
+}
+
+// ShardChaosResult aggregates one crash-count cell.
+type ShardChaosResult struct {
+	Crashes int
+	// MeanDegradation is the mean of Cmax(faulted) / Cmax(fault-free) over
+	// replications — both runs on the same instance, initial distribution
+	// and engine seed, so only the fault plan differs. Frozen jobs keep
+	// counting toward the faulted Cmax; lost jobs leave it, so heavy-loss
+	// plans can dip below 1.
+	MeanDegradation float64
+	// MeanVoidedFrac is the mean fraction of scheduled sessions voided
+	// because a participant was down.
+	MeanVoidedFrac float64
+	// Loss accounting, averaged per replication.
+	MeanJobsLost, MeanRehosted float64
+	// MeanMoveOverhead is the mean of moves(faulted) − moves(fault-free):
+	// the extra migrations recovery churn forces.
+	MeanMoveOverhead float64
+}
+
+// shardChaosRun is one replication's raw outcome.
+type shardChaosRun struct {
+	Degradation float64
+	VoidedFrac  float64
+	JobsLost    int
+	Rehosted    int
+	MoveDelta   int
+}
+
+// ShardChaos runs the sweep sequentially.
+func ShardChaos(cfg ShardChaosConfig) ([]ShardChaosResult, error) {
+	return ShardChaosWith(harness.Options{}, cfg)
+}
+
+// ShardChaosWith is ShardChaos with explicit harness options. Cells are
+// keyed by rng.DeriveSeed(cfg.Seed, cell index) like the netsim chaos
+// sweep, so results are bit-identical for any worker count — and, because
+// the sharded engine is shard-count invariant, for any Shards too.
+func ShardChaosWith(opt harness.Options, cfg ShardChaosConfig) ([]ShardChaosResult, error) {
+	if cfg.Runs <= 0 {
+		return nil, fmt.Errorf("experiments: shard chaos Runs must be positive")
+	}
+	if cfg.Epochs <= 0 {
+		return nil, fmt.Errorf("experiments: shard chaos Epochs must be positive")
+	}
+	if cfg.Machines < 2 || cfg.Jobs < 1 || cfg.Types < 1 {
+		return nil, fmt.Errorf("experiments: shard chaos needs >= 2 machines, >= 1 job and >= 1 type")
+	}
+	var met *shardgossip.Metrics
+	if opt.Metrics != nil {
+		met = shardgossip.NewMetrics(opt.Metrics)
+	}
+	out := make([]ShardChaosResult, 0, len(cfg.CrashCounts))
+	for cell, crashes := range cfg.CrashCounts {
+		crashes := crashes
+		cellSeed := rng.DeriveSeed(cfg.Seed, uint64(cell))
+		var sweep span.ID
+		if opt.Spans != nil {
+			sweep = opt.Spans.Append(span.Span{
+				Kind:  span.KindSweep,
+				A:     int32(cell),
+				B:     -1,
+				Start: int64(cell),
+				End:   int64(cell),
+				Value: int64(crashes),
+			})
+			opt.Spans.SetRoot(sweep)
+		}
+		rs, err := harness.Map(opt, cellSeed, cfg.Runs, func(rep *harness.Rep) (shardChaosRun, error) {
+			return shardChaosReplication(rep, cfg, crashes, met)
+		})
+		if opt.Spans != nil {
+			opt.Spans.SetRoot(0)
+		}
+		if err != nil {
+			return nil, err
+		}
+		agg := ShardChaosResult{Crashes: crashes}
+		for _, r := range rs {
+			agg.MeanDegradation += r.Degradation
+			agg.MeanVoidedFrac += r.VoidedFrac
+			agg.MeanJobsLost += float64(r.JobsLost)
+			agg.MeanRehosted += float64(r.Rehosted)
+			agg.MeanMoveOverhead += float64(r.MoveDelta)
+		}
+		n := float64(cfg.Runs)
+		agg.MeanDegradation /= n
+		agg.MeanVoidedFrac /= n
+		agg.MeanJobsLost /= n
+		agg.MeanRehosted /= n
+		agg.MeanMoveOverhead /= n
+		out = append(out, agg)
+	}
+	return out, nil
+}
+
+// shardChaosReplication runs one instance fault-free and under a crash plan
+// and reports the degradation between the two trajectories.
+func shardChaosReplication(rep *harness.Rep, cfg ShardChaosConfig, crashes int, met *shardgossip.Metrics) (shardChaosRun, error) {
+	gen := rep.RNG
+	ty := workload.UniformTyped(gen, cfg.Machines, cfg.Jobs, cfg.Types, 1, cfg.CostHi)
+	initial := randomInitial(gen, ty)
+	engineSeed := gen.Uint64()
+	crashSeed := gen.Uint64()
+
+	var plan *faults.Config
+	if crashes > 0 {
+		horizon := int64(cfg.Epochs * 3 / 4)
+		if horizon < 1 {
+			horizon = 1
+		}
+		plan = &faults.Config{
+			Crashes: faults.RandomCrashes(crashSeed, cfg.Machines, horizon, crashes, cfg.MeanDown, cfg.LoseProb),
+		}
+	}
+
+	// Fault-free reference on the identical instance, initial distribution
+	// and engine seed: the only difference below is the armed plan.
+	free, err := shardChaosTrajectory(ty, initial, engineSeed, cfg, nil, nil)
+	if err != nil {
+		return shardChaosRun{}, err
+	}
+	faulted, err := shardChaosTrajectory(ty, initial, engineSeed, cfg, plan, rep.Spans)
+	if err != nil {
+		return shardChaosRun{}, err
+	}
+	if met != nil {
+		// Fold the faulted run's degradation into the shared instruments;
+		// the reference run stays out so the counters describe the degraded
+		// engine only.
+		met.Crashes.Add(int64(faulted.res.Crashes))
+		met.Recoveries.Add(int64(faulted.res.Recoveries))
+		met.JobsLost.Add(int64(faulted.res.JobsLost))
+		met.JobsRehosted.Add(int64(faulted.res.JobsRehosted))
+		met.Voided.Add(int64(faulted.res.Voided))
+	}
+	deg := 0.0
+	if free.res.FinalMakespan > 0 {
+		deg = float64(faulted.res.FinalMakespan) / float64(free.res.FinalMakespan)
+	}
+	voidedFrac := 0.0
+	if faulted.res.Steps > 0 {
+		voidedFrac = float64(faulted.res.Voided) / float64(faulted.res.Steps)
+	}
+	return shardChaosRun{
+		Degradation: deg,
+		VoidedFrac:  voidedFrac,
+		JobsLost:    faulted.res.JobsLost,
+		Rehosted:    faulted.res.JobsRehosted,
+		MoveDelta:   faulted.moves - free.moves,
+	}, nil
+}
+
+// shardChaosTrajectory runs one engine for the fixed epoch budget and
+// validates conservation on the way out.
+func shardChaosTrajectory(ty *core.Typed, initial *core.Assignment, seed uint64, cfg ShardChaosConfig, plan *faults.Config, spans *span.Recorder) (struct {
+	res   shardgossip.Result
+	moves int
+}, error) {
+	var out struct {
+		res   shardgossip.Result
+		moves int
+	}
+	e, err := shardgossip.New(protocol.MJTB{Model: ty}, initial, shardgossip.Config{
+		Seed:   seed,
+		Shards: cfg.Shards,
+		Faults: plan,
+		Spans:  spans,
+	})
+	if err != nil {
+		return out, err
+	}
+	defer e.Close()
+	sessionsPerEpoch := cfg.Machines / 2
+	out.res = e.Run(cfg.Epochs*sessionsPerEpoch, false)
+	if err := e.ValidateConservation(); err != nil {
+		return out, err
+	}
+	out.moves = e.Moves()
+	return out, nil
+}
+
+// ShardChaosTable renders the sweep as a text table.
+func ShardChaosTable(results []ShardChaosResult) string {
+	rows := make([][]string, 0, len(results))
+	for _, r := range results {
+		rows = append(rows, []string{
+			fmt.Sprint(r.Crashes),
+			fmt.Sprintf("%.3f", r.MeanDegradation),
+			fmt.Sprintf("%.1f%%", r.MeanVoidedFrac*100),
+			fmt.Sprintf("%.1f", r.MeanJobsLost),
+			fmt.Sprintf("%.1f", r.MeanRehosted),
+			fmt.Sprintf("%+.1f", r.MeanMoveOverhead),
+		})
+	}
+	return plot.Table([]string{"crashes", "Cmax vs fault-free", "voided", "jobs lost", "rehosted", "extra moves"}, rows)
+}
+
+// ShardChaosSeries renders degradation against crash count for plotting.
+func ShardChaosSeries(results []ShardChaosResult) []plot.Series {
+	var xs, ys []float64
+	for _, r := range results {
+		xs = append(xs, float64(r.Crashes))
+		ys = append(ys, r.MeanDegradation)
+	}
+	return []plot.Series{plot.NewSeries("Cmax ratio", xs, ys)}
+}

@@ -51,13 +51,26 @@ type Crash struct {
 
 // Zero reports whether the configuration injects no faults at all.
 func (c Config) Zero() bool {
-	return c.DropProb == 0 && c.DupProb == 0 && c.JitterMax == 0 && len(c.Crashes) == 0
+	return c.MessageFree() && len(c.Crashes) == 0
+}
+
+// MessageFree reports whether the configuration injects no message-level
+// faults (drop, duplication, jitter) — crashes, if any, are the only
+// entries. The epoch engines, which exchange no messages, accept exactly
+// these configurations.
+func (c Config) MessageFree() bool {
+	return c.DropProb == 0 && c.DupProb == 0 && c.JitterMax == 0
 }
 
 // Validate checks the configuration against a machine count. Crash
-// intervals on the same machine must not overlap (a machine cannot crash
-// while it is already down), and a machine that never recovers must be the
-// last crash scheduled for it.
+// intervals on the same machine must be disjoint and separated: a machine is
+// down over [At, RecoverAt) — or [At, ∞) when it never recovers — and its
+// next crash must come strictly after the previous recovery. Back-to-back
+// schedules (the next At equal to the previous RecoverAt) are rejected too:
+// the runtimes process a recovery and a crash at the same instant in event
+// order, and which fires first would silently decide whether the machine is
+// up, so the ambiguity is refused up front instead of becoming a wedged or
+// double-crashed machine deep inside a simulation.
 func (c Config) Validate(machines int) error {
 	if c.DropProb < 0 || c.DropProb >= 1 {
 		return fmt.Errorf("faults: DropProb %v outside [0, 1)", c.DropProb)
@@ -68,7 +81,7 @@ func (c Config) Validate(machines int) error {
 	if c.JitterMax < 0 {
 		return fmt.Errorf("faults: negative JitterMax %d", c.JitterMax)
 	}
-	lastUp := make(map[int]int64) // machine -> recovery time of its last crash (-1 = never)
+	prev := make(map[int]Crash) // machine -> its latest validated crash
 	for _, cr := range sortedCrashes(c.Crashes) {
 		if cr.Machine < 0 || cr.Machine >= machines {
 			return fmt.Errorf("faults: crash machine %d outside [0, %d)", cr.Machine, machines)
@@ -80,21 +93,30 @@ func (c Config) Validate(machines int) error {
 			return fmt.Errorf("faults: machine %d recovery at %d not after crash at %d",
 				cr.Machine, cr.RecoverAt, cr.At)
 		}
-		if up, ok := lastUp[cr.Machine]; ok {
-			if up < 0 {
-				return fmt.Errorf("faults: machine %d crashes at %d after a crash it never recovers from", cr.Machine, cr.At)
-			}
-			if cr.At <= up {
-				return fmt.Errorf("faults: machine %d crashes at %d while still down until %d", cr.Machine, cr.At, up)
+		if p, ok := prev[cr.Machine]; ok {
+			switch {
+			case p.RecoverAt == 0:
+				return fmt.Errorf("faults: machine %d crash at %d overlaps its down interval [%d, ∞): the crash at %d never recovers, so no later crash of that machine can be scheduled",
+					cr.Machine, cr.At, p.At, p.At)
+			case cr.At < p.RecoverAt:
+				return fmt.Errorf("faults: machine %d crash interval %s overlaps %s: a machine cannot crash while it is already down",
+					cr.Machine, interval(cr), interval(p))
+			case cr.At == p.RecoverAt:
+				return fmt.Errorf("faults: machine %d crash at %d coincides with its recovery from %s: same-instant recover+crash ordering is ambiguous, schedule the next crash strictly after the recovery",
+					cr.Machine, cr.At, interval(p))
 			}
 		}
-		if cr.RecoverAt == 0 {
-			lastUp[cr.Machine] = -1
-		} else {
-			lastUp[cr.Machine] = cr.RecoverAt
-		}
+		prev[cr.Machine] = cr
 	}
 	return nil
+}
+
+// interval renders a crash's down interval for error messages.
+func interval(cr Crash) string {
+	if cr.RecoverAt == 0 {
+		return fmt.Sprintf("[%d, ∞)", cr.At)
+	}
+	return fmt.Sprintf("[%d, %d)", cr.At, cr.RecoverAt)
 }
 
 // DownAt reports whether the schedule has the machine down at time t: some

@@ -2,6 +2,7 @@ package faults
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -43,12 +44,76 @@ func TestValidate(t *testing.T) {
 		{Crashes: []Crash{{Machine: 0, At: 5, RecoverAt: 5}}},
 		// overlapping downtimes on the same machine
 		{Crashes: []Crash{{Machine: 0, At: 10, RecoverAt: 20}, {Machine: 0, At: 15, RecoverAt: 25}}},
+		// one interval nested inside the other
+		{Crashes: []Crash{{Machine: 0, At: 10, RecoverAt: 30}, {Machine: 0, At: 15, RecoverAt: 20}}},
+		// the second crash at the exact recovery instant (ambiguous ordering)
+		{Crashes: []Crash{{Machine: 0, At: 10, RecoverAt: 20}, {Machine: 0, At: 20, RecoverAt: 25}}},
 		// crash after a crash that never recovers
 		{Crashes: []Crash{{Machine: 0, At: 10}, {Machine: 0, At: 15, RecoverAt: 25}}},
+		// two identical crashes
+		{Crashes: []Crash{{Machine: 0, At: 10, RecoverAt: 20}, {Machine: 0, At: 10, RecoverAt: 20}}},
 	}
 	for i, c := range bad {
 		if err := c.Validate(2); err == nil {
 			t.Errorf("bad config %d accepted: %+v", i, c)
+		}
+	}
+}
+
+// TestValidateOverlapErrors pins the shape of the overlap diagnostics: the
+// error must name the machine and quote both down intervals (or the
+// never-recovering crash), so a rejected chaos plan is diagnosable from the
+// message alone instead of from a downstream simulation failure.
+func TestValidateOverlapErrors(t *testing.T) {
+	cases := []struct {
+		cfg  Config
+		want []string
+	}{
+		{
+			Config{Crashes: []Crash{{Machine: 1, At: 10, RecoverAt: 20}, {Machine: 1, At: 15, RecoverAt: 25}}},
+			[]string{"machine 1", "[15, 25)", "[10, 20)", "already down"},
+		},
+		{
+			Config{Crashes: []Crash{{Machine: 0, At: 10}, {Machine: 0, At: 15, RecoverAt: 25}}},
+			[]string{"machine 0", "[10, ∞)", "never recovers"},
+		},
+		{
+			Config{Crashes: []Crash{{Machine: 1, At: 10, RecoverAt: 20}, {Machine: 1, At: 20, RecoverAt: 30}}},
+			[]string{"machine 1", "coincides", "[10, 20)", "strictly after"},
+		},
+	}
+	for i, cse := range cases {
+		err := cse.cfg.Validate(4)
+		if err == nil {
+			t.Fatalf("case %d: overlapping schedule accepted", i)
+		}
+		for _, frag := range cse.want {
+			if !strings.Contains(err.Error(), frag) {
+				t.Errorf("case %d: error %q does not mention %q", i, err, frag)
+			}
+		}
+	}
+}
+
+// Validate is order-insensitive: the same overlapping pair must be rejected
+// however the schedule lists it.
+func TestValidateOrderInsensitive(t *testing.T) {
+	a := Crash{Machine: 0, At: 10, RecoverAt: 20}
+	b := Crash{Machine: 0, At: 15, RecoverAt: 25}
+	for i, cfg := range []Config{{Crashes: []Crash{a, b}}, {Crashes: []Crash{b, a}}} {
+		if err := cfg.Validate(2); err == nil {
+			t.Errorf("ordering %d accepted an overlapping schedule", i)
+		}
+	}
+}
+
+func TestMessageFree(t *testing.T) {
+	if !(Config{Crashes: []Crash{{Machine: 0, At: 1, RecoverAt: 2}}}).MessageFree() {
+		t.Fatal("crash-only config not MessageFree")
+	}
+	for _, c := range []Config{{DropProb: 0.1}, {DupProb: 0.1}, {JitterMax: 1}} {
+		if c.MessageFree() {
+			t.Fatalf("%+v reported MessageFree", c)
 		}
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"hetlb/internal/core"
+	"hetlb/internal/faults"
 	"hetlb/internal/protocol"
 	"hetlb/internal/rng"
 	"hetlb/internal/workload"
@@ -67,6 +68,51 @@ func BenchmarkShardedStep(b *testing.B) {
 // same code path and sub-benchmark shape, small enough for every CI run.
 func BenchmarkShardedStepScale(b *testing.B) {
 	benchSharded(b, 2048, 16_384)
+}
+
+// BenchmarkShardedStepFaults prices the crash-tolerant path at the CI guard
+// size (m = 2048, n = 16384, typed, shards = 4). "armed" runs with a fault
+// plan whose crashes never fire inside the measured window: every session
+// pays the down-set endpoint check and every epoch the transition scan, so
+// the delta against the fault-free guard column is the whole cost of arming
+// a plan. "churn" fires a crash or recovery every couple of epochs
+// (horizon 4096 — longer -benchtime runs drain the plan and decay toward
+// the armed number), adding void bookkeeping, loss escrow and latch
+// invalidation. Recorded in BENCH_9.json next to the fault-free guard
+// column, which benchguard gates against BENCH_8's within 5%.
+func BenchmarkShardedStepFaults(b *testing.B) {
+	const m, n = 2048, 16_384
+	plans := []struct {
+		name string
+		plan []faults.Crash
+	}{
+		{"armed", []faults.Crash{
+			{Machine: 0, At: 1 << 40, RecoverAt: 1<<40 + 1},
+			{Machine: 1, At: 1 << 40, RecoverAt: 1<<40 + 1},
+		}},
+		{"churn", faults.RandomCrashes(77, m, 4096, 2048, 64, 0.25)},
+	}
+	for _, p := range plans {
+		b.Run(fmt.Sprintf("%s/shards=4", p.name), func(b *testing.B) {
+			gen := rng.New(500)
+			ty := workload.UniformTyped(gen, m, n, 5, 1, 100)
+			e, err := New(protocol.MJTB{Model: ty}, core.RoundRobin(ty),
+				Config{Seed: 1, Shards: 4, Faults: &faults.Config{Crashes: p.plan}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer e.Close()
+			e.StepEpoch()
+			e.StepEpoch()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.StepEpoch()
+			}
+			b.StopTimer()
+			sessions := float64(m/2) * float64(b.N)
+			b.ReportMetric(sessions/b.Elapsed().Seconds(), "sessions/sec")
+		})
+	}
 }
 
 // BenchmarkNoChangeTail measures the converged steady state — the long

@@ -86,6 +86,7 @@ import (
 	"sync"
 
 	"hetlb/internal/core"
+	"hetlb/internal/faults"
 	"hetlb/internal/gossip"
 	"hetlb/internal/obs"
 	"hetlb/internal/obs/span"
@@ -120,6 +121,12 @@ type Metrics struct {
 	Makespan *obs.Gauge
 	// EpochMoves is the distribution of migrations per epoch.
 	EpochMoves *obs.Histogram
+	// Crashes and Recoveries count fault-plan transitions applied; JobsLost
+	// and JobsRehosted the jobs a LoseJobs crash removed / a recovery brought
+	// back; Voided the sessions skipped because a participant was down.
+	Crashes, Recoveries, JobsLost, JobsRehosted, Voided *obs.Counter
+	// Down gauges the number of machines currently down.
+	Down *obs.Gauge
 }
 
 // NewMetrics registers the engine's instruments on a registry (idempotent on
@@ -133,6 +140,13 @@ func NewMetrics(r *obs.Registry) *Metrics {
 		Cross:      r.Counter("shardgossip_cross_sessions_total", "sessions whose pair straddled two shards"),
 		Makespan:   r.Gauge("shardgossip_makespan", "current Cmax of the schedule"),
 		EpochMoves: r.Histogram("shardgossip_epoch_moves", "jobs migrated per epoch", obs.Pow2Bounds(24)),
+
+		Crashes:      r.Counter("shardgossip_crashes_total", "machine crashes applied from the fault plan"),
+		Recoveries:   r.Counter("shardgossip_recoveries_total", "machine recoveries applied from the fault plan"),
+		JobsLost:     r.Counter("shardgossip_jobs_lost_total", "jobs permanently lost to LoseJobs crashes"),
+		JobsRehosted: r.Counter("shardgossip_jobs_rehosted_total", "frozen jobs re-hosted on machine recovery"),
+		Voided:       r.Counter("shardgossip_voided_sessions_total", "sessions voided because a participant was down"),
+		Down:         r.Gauge("shardgossip_down_machines", "machines currently down"),
 	}
 }
 
@@ -158,6 +172,13 @@ type Config struct {
 	// Time = index of the epoch's last session, Cmax, Imbalance =
 	// Cmax − ⌊ΣC/m⌋, cumulative Moves.
 	Timeline *timeline.Recorder
+	// Faults, when non-nil and non-zero, arms a crash/recovery schedule
+	// against the run. Only message-free plans (no drop/dup/jitter) are
+	// accepted — the epoch engine exchanges no messages. Virtual time is the
+	// epoch index: Crash{At: k} takes the machine down for epochs
+	// [At, RecoverAt). The fault-free path pays one nil-check per session;
+	// see faults.go for crash semantics and the determinism argument.
+	Faults *faults.Config
 }
 
 // AutoShards is the Shards: 0 heuristic: one shard per available core
@@ -197,6 +218,7 @@ type shardState struct {
 	scratch pairwise.Scratch
 	moves   int
 	changed int
+	voided  int
 	// partialSum and partialMax reduce the loads of this shard's machine
 	// block; dirty marks that the block max may have decreased and the block
 	// needs an O(m/S) rescan before the barrier (see package doc,
@@ -246,6 +268,9 @@ type Engine struct {
 	// stable latches once checkStable proves the placement pairwise-stable;
 	// from then on sessions take the bookkeeping-only fast path.
 	stable bool
+	// faults is the dynamic crash state of an armed fault plan; nil on a
+	// fault-free engine (see faults.go).
+	faults *faultState
 
 	metrics   *Metrics
 	spans     *span.Recorder
@@ -307,6 +332,13 @@ func New(p protocol.Protocol, initial *core.Assignment, cfg Config) (*Engine, er
 		metrics:   cfg.Metrics,
 		spans:     cfg.Spans,
 		timeline:  cfg.Timeline,
+	}
+	if cfg.Faults != nil && !cfg.Faults.Zero() {
+		fs, err := newFaultState(*cfg.Faults, m)
+		if err != nil {
+			return nil, err
+		}
+		e.faults = fs
 	}
 
 	// Build the job lists with a counting pass over one exactly-sized
@@ -493,6 +525,11 @@ func (e *Engine) drawSchedule(b *schedule, epoch uint64) {
 // random perfect matching (odd m leaves one machine idle per epoch) — and
 // reports whether any session changed its pair's loads.
 func (e *Engine) StepEpoch() bool {
+	// Apply the fault plan's transitions first: the down-set is frozen for
+	// the whole epoch, so every worker reads it without synchronization.
+	if e.faults != nil {
+		e.applyFaults()
+	}
 	// Take the pre-drawn schedule and immediately recycle the previous
 	// buffer: the next epoch's draw proceeds concurrently with this one's
 	// execution.
@@ -505,6 +542,7 @@ func (e *Engine) StepEpoch() bool {
 		sh := &e.shards[s]
 		sh.moves = 0
 		sh.changed = 0
+		sh.voided = 0
 	}
 	if e.start != nil {
 		e.phase = phaseSessions
@@ -608,6 +646,26 @@ func (e *Engine) updatePartials(machine int, old, new core.Cost) {
 func (e *Engine) session(s, t int) {
 	sh := &e.shards[s]
 	i, j := int(e.cur.pairI[t]), int(e.cur.pairJ[t])
+	if fs := e.faults; fs != nil && (fs.down[i] || fs.down[j]) {
+		// Voided: a pair touching a down machine skips the session entirely
+		// for this epoch — no exchange, no kernel, no load write. The
+		// down-set is fixed at the epoch's start, so the voided set is a
+		// pure function of (schedule, plan, epoch) at any shard count.
+		sh.voided++
+		if sh.spans != nil {
+			sh.spans.Append(span.Span{
+				Parent: e.runSpan,
+				Kind:   span.KindSession,
+				Tag:    span.TagCrash,
+				Flags:  span.FlagAborted,
+				A:      int32(i),
+				B:      int32(j),
+				Start:  int64(e.sessions + t),
+				End:    int64(e.sessions + t),
+			})
+		}
+		return
+	}
 	e.exchanges[i]++
 	e.exchanges[j]++
 	if e.stable {
@@ -710,6 +768,17 @@ func (e *Engine) barrier() bool {
 		e.noChange = 0
 	}
 
+	if e.faults != nil {
+		voided := 0
+		for s := range e.shards {
+			voided += e.shards[s].voided
+		}
+		e.faults.voided += voided
+		if e.metrics != nil && voided > 0 {
+			e.metrics.Voided.Add(int64(voided))
+		}
+	}
+
 	if e.metrics != nil {
 		e.metrics.Epochs.Inc()
 		e.metrics.Sessions.Add(int64(np))
@@ -739,8 +808,13 @@ func (e *Engine) barrier() bool {
 
 // Snapshot materializes the current placement as a fresh core.Assignment
 // over the engine's model. It is O(n) and independent of the shard count.
+// Jobs lost to a LoseJobs crash are unassigned in the snapshot (use Lost
+// for the ledger); fault-free snapshots are always complete.
 func (e *Engine) Snapshot() *core.Assignment {
 	machineOf := make([]int, e.model.NumJobs())
+	for j := range machineOf {
+		machineOf[j] = -1
+	}
 	for i := range e.jobs {
 		for _, j := range e.jobs[i] {
 			machineOf[j] = i
@@ -749,7 +823,8 @@ func (e *Engine) Snapshot() *core.Assignment {
 	a, err := core.FromMachineOf(e.model, machineOf)
 	if err != nil {
 		// Unreachable: the engine conserves the job set of its complete
-		// initial assignment.
+		// initial assignment (minus the lost ledger, which FromMachineOf
+		// leaves unassigned).
 		panic(err)
 	}
 	return a
@@ -769,8 +844,21 @@ func (e *Engine) checkStable() bool {
 	}
 	m := e.part.NumMachines()
 	sc := &e.shards[0].scratch
+	// Down machines are excluded: they participate in no session, so
+	// stability among the up machines is all a latch may rely on. Any later
+	// crash or recovery re-opens the latch (see applyFaults).
+	var down []bool
+	if e.faults != nil {
+		down = e.faults.down
+	}
 	for i := 0; i < m; i++ {
+		if down != nil && down[i] {
+			continue
+		}
 		for j := i + 1; j < m; j++ {
+			if down != nil && down[j] {
+				continue
+			}
 			sc.Union = pairwise.MergeSortedInto(sc.Union[:0], e.jobs[i], e.jobs[j])
 			toI, toJ := e.proto.SplitScratch(sc, i, j, sc.Union)
 			slices.Sort(toI)
@@ -793,10 +881,19 @@ type Result struct {
 	// the engine's lifetime.
 	Epochs int
 	Steps  int
-	// Converged is true if the run stopped at a verified stable schedule.
+	// Converged is true if the run stopped at a verified stable schedule
+	// (stability is checked among the up machines only when a fault plan is
+	// armed).
 	Converged bool
 	// FinalMakespan is Cmax when the run stopped.
 	FinalMakespan core.Cost
+	// Crashes, Recoveries, JobsLost, JobsRehosted and Voided summarize the
+	// armed fault plan's effect across the engine's lifetime (all zero
+	// without one): transitions applied, jobs lost / re-hosted, and sessions
+	// voided because a participant was down.
+	Crashes, Recoveries    int
+	JobsLost, JobsRehosted int
+	Voided                 int
 }
 
 // Run executes whole epochs until at least maxSessions sessions have run
@@ -819,7 +916,7 @@ func (e *Engine) Run(maxSessions int, detectStability bool) Result {
 			if e.checkStable() {
 				a := e.Snapshot()
 				e.finishSpans(startSessions, true)
-				return Result{Assignment: a, Epochs: e.epoch, Steps: e.sessions, Converged: true, FinalMakespan: e.cachedMax}
+				return e.makeResult(a, true)
 			}
 		}
 	}
@@ -829,7 +926,19 @@ func (e *Engine) Run(maxSessions int, detectStability bool) Result {
 		converged = e.checkStable()
 	}
 	e.finishSpans(startSessions, converged)
-	return Result{Assignment: a, Epochs: e.epoch, Steps: e.sessions, Converged: converged, FinalMakespan: e.cachedMax}
+	return e.makeResult(a, converged)
+}
+
+// makeResult assembles a Run's Result, folding in the fault plan's
+// degradation counters when one is armed.
+func (e *Engine) makeResult(a *core.Assignment, converged bool) Result {
+	r := Result{Assignment: a, Epochs: e.epoch, Steps: e.sessions, Converged: converged, FinalMakespan: e.cachedMax}
+	if fs := e.faults; fs != nil {
+		r.Crashes, r.Recoveries = fs.crashes, fs.recoveries
+		r.JobsLost, r.JobsRehosted = fs.jobsLost, fs.jobsRehosted
+		r.Voided = fs.voided
+	}
+	return r
 }
 
 // finishSpans merges the per-shard session rings into the main recorder in
