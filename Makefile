@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check vet lint build test race race-shard bench bench-smoke overhead-guard bench-scale chaos chaos-shard
+.PHONY: check vet lint lint-stats build test race race-shard bench bench-smoke overhead-guard bench-scale chaos chaos-shard
 
 check: lint build test race
 
@@ -11,12 +11,20 @@ vet:
 
 # Tier-1 static analysis: gofmt, go vet, and hetlbvet — the repo's own
 # analyzer suite that mechanically enforces the determinism, RNG-discipline,
-# noalloc, and stats-safety invariants (see DESIGN.md §11). Suppressions are
-# //hetlb: comments with a reason; unused ones fail the build.
+# noalloc, and stats-safety invariants (DESIGN.md §11) plus the
+# interprocedural flow checks (seedflow, lockshape, phasefreeze; DESIGN.md
+# §16). Suppressions are //hetlb: comments with a reason; unused ones fail
+# the build.
 lint: vet
 	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
-	$(GO) run ./cmd/hetlbvet ./...
+	$(GO) run ./cmd/hetlbvet -flow ./...
+
+# Per-analyzer finding and suppression counts over the whole tree. Same
+# vet-style exit as lint; the counts make it visible where the suppression
+# debt lives.
+lint-stats:
+	$(GO) run ./cmd/hetlbvet -flow -stats ./...
 
 build:
 	$(GO) build ./...

@@ -1,16 +1,26 @@
 // Command hetlbvet is the repository's multichecker: it runs the
-// project-specific static analyzers (determinism, rngdiscipline, noalloc,
-// statssafety) over the module and exits non-zero on any finding, vet-style.
+// project-specific static analyzers over the module and exits non-zero on
+// any finding, vet-style. The suite has two layers: the syntactic checks
+// (determinism, rngdiscipline, noalloc, statssafety) and the
+// interprocedural flow analyzers (seedflow, lockshape, phasefreeze), which
+// build a per-package call graph and carry call-path traces in their
+// diagnostics. `-flow=false` drops the second layer.
 //
 // Usage:
 //
 //	go run ./cmd/hetlbvet ./...
 //	go run ./cmd/hetlbvet -analyzers=determinism,noalloc ./internal/gossip
+//	go run ./cmd/hetlbvet -sarif=lint.sarif -stats ./...
+//
+// Exit codes: 0 clean, 1 findings, 2 load or usage error. -sarif writes a
+// SARIF 2.1.0 report (also on findings) for CI artifact upload; -stats
+// prints per-analyzer finding and suppression counts.
 //
 // The invariants these analyzers enforce (bit-determinism across worker
-// counts, keyed RNG substreams, allocation-free step paths, one-way
-// observability) are documented in DESIGN.md §11; `make lint` and the CI
-// lint job run this binary over the whole tree.
+// counts, keyed RNG substreams, allocation-free step paths, the sharded
+// engine's lock and phase-freeze contracts) are documented in DESIGN.md §11,
+// §14 and §16; `make lint` and the CI lint job run this binary over the
+// whole tree.
 package main
 
 import (
@@ -31,6 +41,9 @@ func main() {
 func run() int {
 	names := flag.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
 	list := flag.Bool("list", false, "list the available analyzers and exit")
+	flow := flag.Bool("flow", true, "run the interprocedural flow analyzers (seedflow, lockshape, phasefreeze)")
+	sarifPath := flag.String("sarif", "", "write a SARIF 2.1.0 report to this path")
+	stats := flag.Bool("stats", false, "print per-analyzer finding and suppression counts")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: hetlbvet [flags] packages...\n\n")
 		fmt.Fprintf(os.Stderr, "Project-specific static analysis for hetlb; packages may be ./... or directories.\n\n")
@@ -45,13 +58,16 @@ func run() int {
 		}
 		return 0
 	}
-	if *names != "" {
+	switch {
+	case *names != "":
 		sub, ok := suite.ByName(strings.Split(*names, ","))
 		if !ok {
 			fmt.Fprintf(os.Stderr, "hetlbvet: unknown analyzer in -analyzers=%s\n", *names)
 			return 2
 		}
 		analyzers = sub
+	case !*flow:
+		analyzers = suite.Syntactic()
 	}
 	patterns := flag.Args()
 	if len(patterns) == 0 {
@@ -69,26 +85,53 @@ func run() int {
 		return 2
 	}
 
-	findings := 0
+	var all []located
+	var totals analysis.Stats
 	for _, path := range paths {
 		pkg, err := loader.Load(path)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "hetlbvet: %v\n", err)
 			return 2
 		}
-		diags, err := analysis.Run(pkg, analyzers, true)
+		diags, st, err := analysis.Run(pkg, analyzers, true)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "hetlbvet: %s: %v\n", path, err)
 			return 2
 		}
+		totals.Merge(st)
 		for _, d := range diags {
-			fmt.Fprintf(os.Stderr, "%s: %s: %s\n", pkg.Fset.Position(d.Pos), d.Analyzer, d.Message)
-			findings++
+			pos := pkg.Fset.Position(d.Pos)
+			fmt.Fprintf(os.Stderr, "%s: %s: %s\n", pos, d.Analyzer, d.Message)
+			all = append(all, located{diag: d, pos: pos})
 		}
 	}
-	if findings > 0 {
-		fmt.Fprintf(os.Stderr, "hetlbvet: %d finding(s)\n", findings)
+
+	if *sarifPath != "" {
+		if err := writeSARIF(*sarifPath, loader.ModuleDir, analyzers, all); err != nil {
+			fmt.Fprintf(os.Stderr, "hetlbvet: writing SARIF: %v\n", err)
+			return 2
+		}
+	}
+	if *stats {
+		printStats(analyzers, totals)
+	}
+	if len(all) > 0 {
+		fmt.Fprintf(os.Stderr, "hetlbvet: %d finding(s)\n", len(all))
 		return 1
 	}
 	return 0
+}
+
+// printStats prints one line per analyzer in suite order, then totals, so
+// `make lint-stats` shows where findings and suppressions concentrate.
+func printStats(analyzers []*analysis.Analyzer, totals analysis.Stats) {
+	var findings, suppressed int
+	for _, a := range analyzers {
+		f := totals.Findings[a.Name]
+		s := totals.Suppressed[a.Name]
+		fmt.Printf("%-14s %3d finding(s) %3d suppressed\n", a.Name, f, s)
+		findings += f
+		suppressed += s
+	}
+	fmt.Printf("%-14s %3d finding(s) %3d suppressed\n", "total", findings, suppressed)
 }

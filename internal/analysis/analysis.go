@@ -78,12 +78,39 @@ type Package struct {
 	TypesInfo *types.Info
 }
 
+// Stats counts per-analyzer outcomes of one Run: diagnostics that survived
+// suppression and diagnostics that a suppression silenced. `make lint-stats`
+// aggregates these across the tree so suppression creep shows up in CI logs
+// instead of accumulating silently.
+type Stats struct {
+	Findings   map[string]int
+	Suppressed map[string]int
+}
+
+// Merge folds other into s (for per-package accumulation by drivers).
+func (s *Stats) Merge(other Stats) {
+	if s.Findings == nil {
+		s.Findings = make(map[string]int)
+	}
+	if s.Suppressed == nil {
+		s.Suppressed = make(map[string]int)
+	}
+	for name, n := range other.Findings {
+		s.Findings[name] += n
+	}
+	for name, n := range other.Suppressed {
+		s.Suppressed[name] += n
+	}
+}
+
 // Run applies the analyzers to pkg, applies the //hetlb: annotation layer
 // (unknown-annotation findings, suppression filtering) and returns the
-// surviving diagnostics sorted by position. reportUnused additionally flags
-// suppression comments that silenced nothing — the whole-suite driver wants
-// that hygiene check, while single-analyzer test runs opt out.
-func Run(pkg *Package, analyzers []*Analyzer, reportUnused bool) ([]Diagnostic, error) {
+// surviving diagnostics sorted by position, plus per-analyzer counts.
+// reportUnused additionally flags suppression comments that silenced
+// nothing — the whole-suite driver wants that hygiene check, while
+// single-analyzer test runs opt out.
+func Run(pkg *Package, analyzers []*Analyzer, reportUnused bool) ([]Diagnostic, Stats, error) {
+	stats := Stats{Findings: make(map[string]int), Suppressed: make(map[string]int)}
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -95,7 +122,7 @@ func Run(pkg *Package, analyzers []*Analyzer, reportUnused bool) ([]Diagnostic, 
 			diags:     &diags,
 		}
 		if _, err := a.Run(pass); err != nil {
-			return nil, err
+			return nil, stats, err
 		}
 	}
 	ann, annDiags := ParseAnnotations(pkg.Fset, pkg.Files)
@@ -103,11 +130,23 @@ func Run(pkg *Package, analyzers []*Analyzer, reportUnused bool) ([]Diagnostic, 
 	for _, a := range analyzers {
 		suppressible[a.Name] = a.Suppressible
 	}
+	before := make(map[string]int)
+	for _, d := range diags {
+		before[d.Analyzer]++
+	}
 	kept := ann.Apply(pkg.Fset, diags, suppressible)
 	kept = append(kept, annDiags...)
 	if reportUnused {
 		kept = append(kept, ann.Unused()...)
 	}
 	sort.SliceStable(kept, func(i, k int) bool { return kept[i].Pos < kept[k].Pos })
-	return kept, nil
+	for _, d := range kept {
+		stats.Findings[d.Analyzer]++
+	}
+	for name, n := range before {
+		if dropped := n - stats.Findings[name]; dropped > 0 {
+			stats.Suppressed[name] = dropped
+		}
+	}
+	return kept, stats, nil
 }

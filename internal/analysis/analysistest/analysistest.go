@@ -46,7 +46,7 @@ func RunSuite(t *testing.T, testdata string, analyzers []*analysis.Analyzer, rep
 			t.Errorf("loading %s: %v", path, err)
 			continue
 		}
-		diags, err := analysis.Run(pkg, analyzers, reportUnused)
+		diags, _, err := analysis.Run(pkg, analyzers, reportUnused)
 		if err != nil {
 			t.Errorf("running on %s: %v", path, err)
 			continue

@@ -23,9 +23,26 @@ import (
 //	    Suppresses noalloc diagnostics reported on the annotated line
 //	    (amortized growth paths that reach a high-water mark).
 //
-// A suppression comment may trail the offending line or stand alone on the
-// line directly above it. Unknown verbs and missing reasons are themselves
-// diagnostics: the annotation layer is checked, not trusted.
+//	//hetlb:frozen
+//	    Field marker: the struct field on the governed line is frozen per
+//	    epoch — worker goroutines read it without synchronization, so only
+//	    coordinator-phase code may write it. Consumed by phasefreeze.
+//
+//	//hetlb:guarded
+//	    Field marker: the struct field on the governed line is guarded by
+//	    its struct's mutex — writes must hold a shard lock. Consumed by
+//	    lockshape.
+//
+//	//hetlb:concurrency-ok <reason>
+//	    Suppresses concurrency-class diagnostics (lockshape, phasefreeze)
+//	    reported on the annotated line — the escape hatch for writes whose
+//	    safety argument lives outside the analyzable lock/phase shape
+//	    (e.g. the phase-B lockless rescan between barriers).
+//
+// A suppression or field-marker comment may trail the governed line or stand
+// alone on the line directly above it. Unknown verbs, missing reasons and
+// misplaced markers are themselves diagnostics: the annotation layer is
+// checked, not trusted.
 const (
 	AnnotationPrefix = "//hetlb:"
 
@@ -35,6 +52,12 @@ const (
 	VerbNondeterministicOK = "nondeterministic-ok"
 	// VerbAllocOK suppresses noalloc findings.
 	VerbAllocOK = "alloc-ok"
+	// VerbFrozen marks an epoch-frozen field for the phasefreeze analyzer.
+	VerbFrozen = "frozen"
+	// VerbGuarded marks a mutex-guarded field for the lockshape analyzer.
+	VerbGuarded = "guarded"
+	// VerbConcurrencyOK suppresses concurrency-class findings.
+	VerbConcurrencyOK = "concurrency-ok"
 )
 
 // annotationChecker is the pseudo-analyzer name carried by diagnostics about
@@ -44,8 +67,9 @@ const annotationChecker = "hetlbvet"
 
 // suppressionScope lists which analyzers each suppression verb can silence.
 var suppressionScope = map[string][]string{
-	VerbNondeterministicOK: {"determinism", "rngdiscipline", "statssafety"},
+	VerbNondeterministicOK: {"determinism", "rngdiscipline", "statssafety", "seedflow"},
 	VerbAllocOK:            {"noalloc"},
+	VerbConcurrencyOK:      {"lockshape", "phasefreeze"},
 }
 
 // Suppression is one parsed suppression comment.
@@ -66,6 +90,12 @@ type Annotations struct {
 	// noallocLines records file:line of every //hetlb:noalloc comment so the
 	// noalloc analyzer can cross-check placement (see MisplacedNoalloc).
 	noalloc map[posKey]token.Pos
+	// marks records field markers (frozen, guarded) by verb and governed
+	// line. Unlike noalloc (a doc-comment marker matched to the function
+	// below), field markers use suppression-style line governance: a
+	// trailing comment governs its own line, a standalone one the line
+	// below — so a mark sits directly on the struct field it names.
+	marks map[string]map[posKey]token.Pos
 }
 
 type posKey struct {
@@ -77,7 +107,10 @@ type posKey struct {
 // annotation set plus diagnostics for malformed annotations (unknown verb,
 // suppression without a reason).
 func ParseAnnotations(fset *token.FileSet, files []*ast.File) (*Annotations, []Diagnostic) {
-	ann := &Annotations{noalloc: make(map[posKey]token.Pos)}
+	ann := &Annotations{
+		noalloc: make(map[posKey]token.Pos),
+		marks:   make(map[string]map[posKey]token.Pos),
+	}
 	var diags []Diagnostic
 	for _, f := range files {
 		for _, cg := range f.Comments {
@@ -100,7 +133,24 @@ func ParseAnnotations(fset *token.FileSet, files []*ast.File) (*Annotations, []D
 						continue
 					}
 					ann.noalloc[posKey{pos.Filename, pos.Line}] = c.Pos()
-				case VerbNondeterministicOK, VerbAllocOK:
+				case VerbFrozen, VerbGuarded:
+					if reason != "" {
+						diags = append(diags, Diagnostic{
+							Pos:      c.Pos(),
+							Message:  fmt.Sprintf("//hetlb:%s takes no argument (got %q)", verb, reason),
+							Analyzer: annotationChecker,
+						})
+						continue
+					}
+					line := pos.Line
+					if standsAlone(fset, f, c) {
+						line++
+					}
+					if ann.marks[verb] == nil {
+						ann.marks[verb] = make(map[posKey]token.Pos)
+					}
+					ann.marks[verb][posKey{pos.Filename, line}] = c.Pos()
+				case VerbNondeterministicOK, VerbAllocOK, VerbConcurrencyOK:
 					if reason == "" {
 						diags = append(diags, Diagnostic{
 							Pos:      c.Pos(),
@@ -122,8 +172,9 @@ func ParseAnnotations(fset *token.FileSet, files []*ast.File) (*Annotations, []D
 					ann.suppressions = append(ann.suppressions, s)
 				default:
 					diags = append(diags, Diagnostic{
-						Pos:      c.Pos(),
-						Message:  fmt.Sprintf("unknown //hetlb: annotation %q (known: %s, %s, %s)", verb, VerbNoalloc, VerbNondeterministicOK, VerbAllocOK),
+						Pos: c.Pos(),
+						Message: fmt.Sprintf("unknown //hetlb: annotation %q (known: %s, %s, %s, %s, %s, %s)",
+							verb, VerbNoalloc, VerbFrozen, VerbGuarded, VerbNondeterministicOK, VerbAllocOK, VerbConcurrencyOK),
 						Analyzer: annotationChecker,
 					})
 				}
@@ -160,6 +211,31 @@ func standsAlone(fset *token.FileSet, f *ast.File, c *ast.Comment) bool {
 func (a *Annotations) IsNoalloc(file string, line int) bool {
 	_, ok := a.noalloc[posKey{file, line}]
 	return ok
+}
+
+// IsMarked reports whether a field marker with the given verb (frozen,
+// guarded) governs file:line.
+func (a *Annotations) IsMarked(verb, file string, line int) bool {
+	_, ok := a.marks[verb][posKey{file, line}]
+	return ok
+}
+
+// MarkPositions returns the comment position of every marker with the given
+// verb, keyed by the governed file:line — the consuming analyzer checks each
+// against the fields it actually found and reports markers that match no
+// field (misplaced marks are findings, like misplaced noalloc).
+func (a *Annotations) MarkPositions(verb string) map[token.Pos]bool {
+	out := make(map[token.Pos]bool, len(a.marks[verb]))
+	for _, p := range a.marks[verb] {
+		out[p] = true
+	}
+	return out
+}
+
+// MarkAt returns the comment position of the marker governing file:line.
+func (a *Annotations) MarkAt(verb, file string, line int) (token.Pos, bool) {
+	p, ok := a.marks[verb][posKey{file, line}]
+	return p, ok
 }
 
 // NoallocPositions returns the position of every //hetlb:noalloc comment.

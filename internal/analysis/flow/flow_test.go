@@ -1,0 +1,170 @@
+package flow
+
+import (
+	"go/ast"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hetlb/internal/analysis"
+	"hetlb/internal/analysis/load"
+)
+
+func loadGolden(t *testing.T) *Graph {
+	t.Helper()
+	loader := load.NewTestLoader(filepath.Join("testdata", "src"))
+	pkg, err := loader.Load("flowgraph")
+	if err != nil {
+		t.Fatalf("loading flowgraph: %v", err)
+	}
+	pass := &analysis.Pass{
+		Analyzer:  &analysis.Analyzer{Name: "flowtest"},
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Pkg,
+		TypesInfo: pkg.TypesInfo,
+	}
+	return Build(pass)
+}
+
+func findFunc(t *testing.T, g *Graph, name string) *Func {
+	t.Helper()
+	for _, fn := range g.Funcs {
+		if fn.Name == name {
+			return fn
+		}
+	}
+	t.Fatalf("function %q not in graph; have %v", name, names(g.Funcs))
+	return nil
+}
+
+func names(fns []*Func) []string {
+	out := make([]string, len(fns))
+	for i, fn := range fns {
+		out[i] = fn.Name
+	}
+	return out
+}
+
+func TestGraphShape(t *testing.T) {
+	g := loadGolden(t)
+
+	worker := findFunc(t, g, "(*engine).worker")
+	if len(worker.GoSpawns) != 1 {
+		t.Errorf("worker: want 1 go-spawn edge, got %d", len(worker.GoSpawns))
+	}
+	lit := findFunc(t, g, "(*engine).start$1")
+	if len(lit.GoSpawns) != 1 {
+		t.Errorf("start$1: want 1 go-spawn edge, got %d", len(lit.GoSpawns))
+	}
+	if lit.Enclosing == nil || lit.Enclosing.Name != "(*engine).start" {
+		t.Errorf("start$1: wrong enclosing function %v", lit.Enclosing)
+	}
+
+	// The function-value reference f := e.helper must produce a Ref edge.
+	start := findFunc(t, g, "(*engine).start")
+	refToHelper := false
+	for _, c := range start.Calls {
+		if c.Ref && c.Callee != nil && c.Callee.Name == "(*engine).helper" {
+			refToHelper = true
+		}
+	}
+	if !refToHelper {
+		t.Error("start: missing Ref edge to helper for the method-value expression")
+	}
+
+	// go fn() through a parameter cannot be resolved: must land in
+	// UnresolvedGo, not vanish.
+	if len(g.UnresolvedGo) != 1 {
+		t.Errorf("want exactly 1 unresolved go statement, got %d", len(g.UnresolvedGo))
+	}
+}
+
+func TestConcurrencyClassification(t *testing.T) {
+	g := loadGolden(t)
+	conc := g.Concurrency()
+
+	wantConcurrent := []string{
+		"(*engine).worker",  // direct go
+		"(*engine).start$1", // go func(){}()
+		"(*engine).helper",  // called from worker
+		"(*engine).deep",    // called from the spawned literal
+	}
+	for _, name := range wantConcurrent {
+		if !conc.Concurrent(findFunc(t, g, name)) {
+			t.Errorf("%s: want worker-concurrent", name)
+		}
+	}
+	for _, name := range []string{"coordinatorOnly", "(*engine).start", "dynamic", "assignShapes"} {
+		if conc.Concurrent(findFunc(t, g, name)) {
+			t.Errorf("%s: must not be worker-concurrent", name)
+		}
+	}
+
+	// deep is only reachable through the spawned literal; its trace must
+	// name the spawn site and the path.
+	trace := conc.Trace(findFunc(t, g, "(*engine).deep"))
+	if !strings.Contains(trace, "start$1") || !strings.Contains(trace, "goroutine started at") ||
+		!strings.Contains(trace, "→ (*engine).deep") {
+		t.Errorf("deep: unexpected trace %q", trace)
+	}
+}
+
+func TestParamIndexes(t *testing.T) {
+	g := loadGolden(t)
+	worker := findFunc(t, g, "(*engine).worker")
+	if worker.NumParams() != 1 {
+		t.Fatalf("worker: want 1 param, got %d", worker.NumParams())
+	}
+	// The receiver must NOT be a parameter (phasefreeze's handoff exemption
+	// depends on this).
+	sig := worker.Type()
+	if sig.Recv() == nil {
+		t.Fatal("worker: expected a receiver")
+	}
+	if worker.IsParam(sig.Recv()) {
+		t.Error("worker: receiver wrongly classified as parameter")
+	}
+	if !worker.IsParam(sig.Params().At(0)) {
+		t.Error("worker: declared parameter s not classified as parameter")
+	}
+}
+
+func TestValueFlowKeys(t *testing.T) {
+	g := loadGolden(t)
+	fn := findFunc(t, g, "assignShapes")
+	assigns := Assigns(g.Pass.TypesInfo, fn)
+
+	// Field-path sensitivity: c.Seed and c.Reps must be distinct keys that
+	// do not cover each other, while both are covered by bare c.
+	var seedKey, repsKey, rootKey Key
+	for _, a := range assigns {
+		switch a.LHS.Path {
+		case "Seed":
+			seedKey = a.LHS
+		case "Reps":
+			repsKey = a.LHS
+		}
+	}
+	if seedKey.Obj == nil || repsKey.Obj == nil {
+		t.Fatalf("missing field assignments; got %+v", assigns)
+	}
+	if seedKey.Covers(repsKey) {
+		t.Error("c.Seed must not cover c.Reps")
+	}
+	rootKey = Key{Obj: seedKey.Obj}
+	if !rootKey.Covers(seedKey) || !seedKey.Covers(rootKey) {
+		t.Error("bare c and c.Seed must cover each other")
+	}
+
+	// Range statements assign key and value from the operand.
+	rangeAssigns := 0
+	for _, a := range assigns {
+		if _, ok := a.Pos.(*ast.RangeStmt); ok {
+			rangeAssigns++
+		}
+	}
+	if rangeAssigns != 2 {
+		t.Errorf("want 2 range assignments (i, x), got %d", rangeAssigns)
+	}
+}

@@ -1,0 +1,55 @@
+// Package flowgraph exercises the flow package's call-graph construction:
+// declarations, methods, function literals (invoked, stored, spawned),
+// go statements, and function-value references.
+package flowgraph
+
+type engine struct {
+	n int
+}
+
+func (e *engine) worker(s int) {
+	e.helper(s)
+}
+
+func (e *engine) helper(s int) {
+	_ = s
+}
+
+func (e *engine) start() {
+	for s := 0; s < e.n; s++ {
+		go e.worker(s) // resolved spawn: worker is an entry
+	}
+	go func() { // anonymous spawn: start$1 is an entry
+		e.deep()
+	}()
+	f := e.helper // function-value reference: helper reachable from start
+	_ = f
+}
+
+func (e *engine) deep() {
+	e.helper(0)
+}
+
+func coordinatorOnly(e *engine) {
+	e.n++
+}
+
+func dynamic(fn func()) {
+	go fn() // unresolved spawn: recorded, not dropped
+}
+
+type cfg struct {
+	Seed int64
+	Reps int
+}
+
+func assignShapes(xs []int) (int, cfg) {
+	var c cfg
+	c.Seed = 7
+	c.Reps = len(xs)
+	total := 0
+	for i, x := range xs {
+		total += i + x
+	}
+	return total, c
+}

@@ -1,0 +1,233 @@
+package flow
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Value flow is field-path sensitive: a Key names a root variable plus the
+// chain of field selections from it, so tainting cfg.Seed never taints
+// cfg.Reps. Index expressions collapse to their base (tainting s[i] taints
+// s): element-precise tracking buys nothing for the seed-provenance checks
+// and would cost a points-to analysis.
+
+// Key identifies one assignable location within a function.
+type Key struct {
+	Obj  types.Object
+	Path string // "" for the variable itself, "Seed" / "Cfg.Seed" for fields
+}
+
+// Covers reports whether a taint on k reaches a read of other: exact match,
+// k a prefix path of other (tainting cfg taints cfg.Seed), or other a prefix
+// of k (reading cfg after tainting cfg.Seed may observe the taint).
+func (k Key) Covers(other Key) bool {
+	if k.Obj != other.Obj {
+		return false
+	}
+	return pathPrefix(k.Path, other.Path) || pathPrefix(other.Path, k.Path)
+}
+
+func pathPrefix(p, of string) bool {
+	if p == "" {
+		return true
+	}
+	return p == of || (len(of) > len(p) && of[:len(p)] == p && of[len(p)] == '.')
+}
+
+// PathPrefix reports whether field path p is a (possibly empty) prefix of
+// path of: "" prefixes everything, "Cfg" prefixes "Cfg.Seed".
+func PathPrefix(p, of string) bool { return pathPrefix(p, of) }
+
+// JoinPath concatenates two field paths, eliding empty parts.
+func JoinPath(a, b string) string {
+	switch {
+	case a == "":
+		return b
+	case b == "":
+		return a
+	}
+	return a + "." + b
+}
+
+// TrimPathPrefix removes prefix from path; PathPrefix(prefix, path) must
+// hold.
+func TrimPathPrefix(path, prefix string) string {
+	if prefix == "" {
+		return path
+	}
+	if path == prefix {
+		return ""
+	}
+	return path[len(prefix)+1:]
+}
+
+// KeyOf resolves an expression to the location it names, if any: an
+// identifier, or a chain of field selections rooted at one. The second
+// result is false for everything else (calls, literals, derefs of
+// non-identifiers).
+func KeyOf(info *types.Info, e ast.Expr) (Key, bool) {
+	path := ""
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			obj := info.ObjectOf(x)
+			if obj == nil {
+				return Key{}, false
+			}
+			return Key{Obj: obj, Path: path}, true
+		case *ast.SelectorExpr:
+			// Only field selections build a path; package-qualified or
+			// method selections do not name a location we track.
+			if sel, ok := info.Selections[x]; !ok || sel.Kind() != types.FieldVal {
+				return Key{}, false
+			}
+			if path == "" {
+				path = x.Sel.Name
+			} else {
+				path = x.Sel.Name + "." + path
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X // collapse s[i] to s
+		case *ast.StarExpr:
+			e = x.X // *p and p name the same tracked location
+		default:
+			return Key{}, false
+		}
+	}
+}
+
+// RefKeys collects the locations read by expr, descending through operators,
+// composite literals, conversions and call arguments. When skip is non-nil,
+// subtrees rooted at a call for which skip returns true are not descended
+// into — that is how seed sanitizers (DeriveSeed, Substream) cut taint.
+func RefKeys(info *types.Info, expr ast.Expr, skip func(*ast.CallExpr) bool) []Key {
+	var out []Key
+	var walk func(e ast.Expr)
+	walk = func(e ast.Expr) {
+		switch x := ast.Unparen(e).(type) {
+		case nil:
+		case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+			if k, ok := KeyOf(info, e); ok {
+				out = append(out, k)
+				return
+			}
+			// Not a tracked location (e.g. pkg.Name, m.Method): descend so
+			// reads inside an index expression are still seen.
+			switch x := x.(type) {
+			case *ast.SelectorExpr:
+				walk(x.X)
+			case *ast.IndexExpr:
+				walk(x.X)
+				walk(x.Index)
+			case *ast.StarExpr:
+				walk(x.X)
+			}
+		case *ast.CallExpr:
+			if skip != nil && skip(x) {
+				return
+			}
+			for _, arg := range x.Args {
+				walk(arg)
+			}
+		case *ast.BinaryExpr:
+			walk(x.X)
+			walk(x.Y)
+		case *ast.UnaryExpr:
+			walk(x.X)
+		case *ast.CompositeLit:
+			for _, elt := range x.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					walk(kv.Value)
+				} else {
+					walk(elt)
+				}
+			}
+		case *ast.KeyValueExpr:
+			walk(x.Value)
+		case *ast.TypeAssertExpr:
+			walk(x.X)
+		case *ast.SliceExpr:
+			walk(x.X)
+		case *ast.FuncLit:
+			// Closures are handled by the call graph, not expression flow.
+		}
+	}
+	walk(expr)
+	return out
+}
+
+// Assign is one assignment edge inside a function: LHS receives RHS. Pos is
+// the statement position (used for flow-order filtering by analyzers).
+type Assign struct {
+	LHS Key
+	RHS ast.Expr
+	Pos ast.Node
+}
+
+// Assigns collects the assignment edges of fn's body in source order:
+// =, :=, compound ops, var declarations with initializers, and range
+// statements (key/value receive the range operand). Assignments whose LHS is
+// not a tracked location (map stores through calls, blank) are dropped.
+func Assigns(info *types.Info, fn *Func) []Assign {
+	var out []Assign
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // literal bodies belong to their own Func
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				k, ok := KeyOf(info, lhs)
+				if !ok {
+					continue
+				}
+				var rhs ast.Expr
+				if len(n.Rhs) == len(n.Lhs) {
+					rhs = n.Rhs[i]
+				} else if len(n.Rhs) == 1 {
+					rhs = n.Rhs[0] // multi-value call: every LHS sees it
+				}
+				if rhs != nil {
+					out = append(out, Assign{LHS: k, RHS: rhs, Pos: n})
+				}
+			}
+		case *ast.GenDecl:
+			for _, spec := range n.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if name.Name == "_" {
+						continue
+					}
+					obj := info.Defs[name]
+					if obj == nil {
+						continue
+					}
+					var rhs ast.Expr
+					if len(vs.Values) == len(vs.Names) {
+						rhs = vs.Values[i]
+					} else if len(vs.Values) == 1 {
+						rhs = vs.Values[0]
+					}
+					if rhs != nil {
+						out = append(out, Assign{LHS: Key{Obj: obj}, RHS: rhs, Pos: vs})
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			for _, lhs := range []ast.Expr{n.Key, n.Value} {
+				if lhs == nil {
+					continue
+				}
+				if k, ok := KeyOf(info, lhs); ok {
+					out = append(out, Assign{LHS: k, RHS: n.X, Pos: n})
+				}
+			}
+		}
+		return true
+	})
+	return out
+}

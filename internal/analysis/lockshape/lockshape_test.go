@@ -1,0 +1,59 @@
+package lockshape_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hetlb/internal/analysis"
+	"hetlb/internal/analysis/analysistest"
+	"hetlb/internal/analysis/load"
+	"hetlb/internal/analysis/lockshape"
+)
+
+// TestLockshape runs the golden packages: locktwo reintroduces the
+// two-shard-lock session (the regression the analyzer exists to catch),
+// lockclean pins the real engine's known-good shapes.
+func TestLockshape(t *testing.T) {
+	testdata := filepath.Join("..", "testdata")
+	analysistest.Run(t, testdata, lockshape.Analyzer,
+		"locktwo/shardgossip", "lockclean/shardgossip")
+}
+
+// TestOutOfScope proves the analyzer is inert outside the concurrency
+// scope: the same mutex shapes in an unscoped package produce nothing.
+func TestOutOfScope(t *testing.T) {
+	loader := load.NewTestLoader(filepath.Join("..", "testdata", "src"))
+	pkg, err := loader.Load("unscopedlocks")
+	if err != nil {
+		t.Fatalf("loading unscopedlocks: %v", err)
+	}
+	diags, _, err := analysis.Run(pkg, []*analysis.Analyzer{lockshape.Analyzer}, false)
+	if err != nil {
+		t.Fatalf("running lockshape: %v", err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("got %d diagnostics on an unscoped package, want 0: %+v", len(diags), diags)
+	}
+}
+
+// TestMisplacedGuarded asserts directly (the diagnostic lands on the
+// annotation's own line, where a want comment cannot coexist) that a
+// //hetlb:guarded governing anything but a struct field is reported.
+func TestMisplacedGuarded(t *testing.T) {
+	loader := load.NewTestLoader(filepath.Join("..", "testdata", "src"))
+	pkg, err := loader.Load("markbad/shardgossip")
+	if err != nil {
+		t.Fatalf("loading markbad/shardgossip: %v", err)
+	}
+	diags, _, err := analysis.Run(pkg, []*analysis.Analyzer{lockshape.Analyzer}, false)
+	if err != nil {
+		t.Fatalf("running lockshape: %v", err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want exactly 1: %+v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, "misplaced //hetlb:guarded") {
+		t.Errorf("diagnostic %q does not report the misplaced mark", diags[0].Message)
+	}
+}

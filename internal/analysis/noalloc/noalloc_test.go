@@ -25,7 +25,7 @@ func TestMisplacedNoalloc(t *testing.T) {
 	if err != nil {
 		t.Fatalf("loading misplaced: %v", err)
 	}
-	diags, err := analysis.Run(pkg, []*analysis.Analyzer{noalloc.Analyzer}, false)
+	diags, _, err := analysis.Run(pkg, []*analysis.Analyzer{noalloc.Analyzer}, false)
 	if err != nil {
 		t.Fatalf("running noalloc: %v", err)
 	}

@@ -40,12 +40,27 @@ func run(pass *analysis.Pass) (interface{}, error) {
 	return nil, nil
 }
 
+// fieldKey names one field of one variable: the granularity at which raw
+// loop-index seeds are tracked through local struct hops.
+type fieldKey struct {
+	root  types.Object
+	field string
+}
+
 // checkLoopSeeds walks each function keeping a stack of enclosing loop
 // variables, and flags seed expressions that reference one without going
 // through rng.DeriveSeed/Substream: rng.New(...) arguments, and values
 // assigned to fields or variables named ...Seed.
+//
+// It also tracks the intra-function laundering shape that field names hide:
+// a raw index seed stored into a local struct field (p.base = seed +
+// uint64(i), or plan{base: ...}) and read back into a generator later in the
+// same function. Writes are visited in source order, so a store taints its
+// field for every later read until a clean write overwrites it; seedflow
+// owns the cross-function version of the same flow.
 func checkLoopSeeds(pass *analysis.Pass, file *ast.File) {
 	var loopVars []types.Object
+	taints := make(map[fieldKey]*ast.Ident)
 
 	var visit func(n ast.Node) bool
 	visit = func(n ast.Node) bool {
@@ -81,7 +96,7 @@ func checkLoopSeeds(pass *analysis.Pass, file *ast.File) {
 		case *ast.CallExpr:
 			f := analysis.Callee(pass.TypesInfo, n)
 			if analysis.IsPkgFunc(f, "rng", "New") && len(n.Args) == 1 {
-				if id := rawLoopVarUse(pass.TypesInfo, n.Args[0], loopVars); id != nil {
+				if id := rawLoopVarUse(pass.TypesInfo, n.Args[0], loopVars, taints); id != nil {
 					pass.Reportf(n.Pos(), "rng.New seeded from loop variable %s: use rng.Substream(seed, key...) or rng.DeriveSeed so the stream is a pure function of its key, not of loop order", id.Name)
 				}
 			}
@@ -89,13 +104,13 @@ func checkLoopSeeds(pass *analysis.Pass, file *ast.File) {
 			// per-epoch schedule draw); a raw loop-index seed there is the
 			// same regression as in rng.New.
 			if analysis.IsPkgFunc(f, "rng", "Reseed") && len(n.Args) == 1 {
-				if id := rawLoopVarUse(pass.TypesInfo, n.Args[0], loopVars); id != nil {
+				if id := rawLoopVarUse(pass.TypesInfo, n.Args[0], loopVars, taints); id != nil {
 					pass.Reportf(n.Pos(), "RNG.Reseed seeded from loop variable %s: re-key with rng.DeriveSeed(seed, key...) so the stream is a pure function of its key, not of loop order", id.Name)
 				}
 			}
 		case *ast.KeyValueExpr:
 			if key, ok := n.Key.(*ast.Ident); ok && isSeedName(key.Name) {
-				if id := rawLoopVarUse(pass.TypesInfo, n.Value, loopVars); id != nil {
+				if id := rawLoopVarUse(pass.TypesInfo, n.Value, loopVars, taints); id != nil {
 					pass.Reportf(n.Value.Pos(), "%s derived from loop variable %s without rng.DeriveSeed: raw index seeds break the keyed-substream discipline", key.Name, id.Name)
 				}
 			}
@@ -104,11 +119,11 @@ func checkLoopSeeds(pass *analysis.Pass, file *ast.File) {
 				if i >= len(n.Rhs) {
 					break
 				}
-				if name, ok := seedLHS(lhs); ok {
-					if id := rawLoopVarUse(pass.TypesInfo, n.Rhs[i], loopVars); id != nil {
-						pass.Reportf(n.Rhs[i].Pos(), "%s derived from loop variable %s without rng.DeriveSeed: raw index seeds break the keyed-substream discipline", name, id.Name)
-					}
+				raw := rawLoopVarUse(pass.TypesInfo, n.Rhs[i], loopVars, taints)
+				if name, ok := seedLHS(lhs); ok && raw != nil {
+					pass.Reportf(n.Rhs[i].Pos(), "%s derived from loop variable %s without rng.DeriveSeed: raw index seeds break the keyed-substream discipline", name, raw.Name)
 				}
+				updateTaints(pass.TypesInfo, taints, lhs, n.Rhs[i], raw, loopVars)
 			}
 		}
 		return true
@@ -149,11 +164,94 @@ func isSeedName(name string) bool {
 		(len(name) > 4 && (name[len(name)-4:] == "Seed" || name[len(name)-4:] == "seed"))
 }
 
+// updateTaints maintains the local-field taint map across one assignment.
+// A field write records (raw RHS) or clears (clean RHS) its field; a whole
+// struct write clears every taint rooted at the variable, then re-taints
+// from the composite literal's raw elements.
+func updateTaints(info *types.Info, taints map[fieldKey]*ast.Ident, lhs, rhs ast.Expr, raw *ast.Ident, loopVars []types.Object) {
+	if key, ok := fieldKeyOf(info, lhs); ok {
+		if raw != nil {
+			taints[key] = raw
+		} else {
+			delete(taints, key)
+		}
+		return
+	}
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := info.Defs[id]
+	if obj == nil {
+		obj = info.Uses[id]
+	}
+	if obj == nil {
+		return
+	}
+	for k := range taints {
+		if k.root == obj {
+			delete(taints, k)
+		}
+	}
+	lit, ok := ast.Unparen(stripAddr(rhs)).(*ast.CompositeLit)
+	if !ok {
+		return
+	}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		keyID, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if r := rawLoopVarUse(info, kv.Value, loopVars, taints); r != nil {
+			taints[fieldKey{obj, keyID.Name}] = r
+		}
+	}
+}
+
+func stripAddr(e ast.Expr) ast.Expr {
+	if u, ok := ast.Unparen(e).(*ast.UnaryExpr); ok && u.Op == token.AND {
+		return u.X
+	}
+	return e
+}
+
+// fieldKeyOf resolves a one-level field selector rooted at a plain
+// identifier (p.base); deeper chains and receiver-threaded state are
+// seedflow's territory.
+func fieldKeyOf(info *types.Info, e ast.Expr) (fieldKey, bool) {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return fieldKey{}, false
+	}
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return fieldKey{}, false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return fieldKey{}, false
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	if _, isVar := obj.(*types.Var); !isVar {
+		return fieldKey{}, false
+	}
+	return fieldKey{obj, sel.Sel.Name}, true
+}
+
 // rawLoopVarUse returns a loop-variable identifier referenced by expr outside
 // any rng.DeriveSeed/Substream call, or nil. Loop variables that only appear
-// as DeriveSeed/Substream keys are the blessed pattern.
-func rawLoopVarUse(info *types.Info, expr ast.Expr, loopVars []types.Object) *ast.Ident {
-	if len(loopVars) == 0 {
+// as DeriveSeed/Substream keys are the blessed pattern. A read of a tainted
+// local field returns the loop variable recorded at the tainting store, so
+// the diagnostic names the index the value actually came from.
+func rawLoopVarUse(info *types.Info, expr ast.Expr, loopVars []types.Object, taints map[fieldKey]*ast.Ident) *ast.Ident {
+	if len(loopVars) == 0 && len(taints) == 0 {
 		return nil
 	}
 	var found *ast.Ident
@@ -167,6 +265,14 @@ func rawLoopVarUse(info *types.Info, expr ast.Expr, loopVars []types.Object) *as
 			if f := analysis.Callee(info, call); analysis.IsPkgFunc(f, "rng", "DeriveSeed", "Substream") ||
 				analysis.IsPkgFunc(f, "hetlb", "DeriveSeed") {
 				return false // keys may (should) reference the loop variable
+			}
+		}
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			if key, ok := fieldKeyOf(info, sel); ok {
+				if id := taints[key]; id != nil {
+					found = id
+					return false
+				}
 			}
 		}
 		id, ok := n.(*ast.Ident)

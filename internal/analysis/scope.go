@@ -37,9 +37,27 @@ var determinismScoped = map[string]bool{
 // IsDeterminismScoped reports whether the package at pkgPath is subject to
 // the determinism and statssafety analyzers.
 func IsDeterminismScoped(pkgPath string) bool {
-	base := pkgPath
+	return determinismScoped[pathBase(pkgPath)]
+}
+
+// concurrencyScoped lists the packages (by final path element, like the
+// determinism scope) whose lock and phase shapes the lockshape and
+// phasefreeze analyzers prove: today only the sharded engine — it is the one
+// package where worker goroutines read coordinator state without
+// synchronization under a prose contract (DESIGN.md §16).
+var concurrencyScoped = map[string]bool{
+	"shardgossip": true,
+}
+
+// IsConcurrencyScoped reports whether the package at pkgPath is subject to
+// the lockshape and phasefreeze analyzers.
+func IsConcurrencyScoped(pkgPath string) bool {
+	return concurrencyScoped[pathBase(pkgPath)]
+}
+
+func pathBase(pkgPath string) string {
 	if i := strings.LastIndexByte(pkgPath, '/'); i >= 0 {
-		base = pkgPath[i+1:]
+		return pkgPath[i+1:]
 	}
-	return determinismScoped[base]
+	return pkgPath
 }

@@ -1,0 +1,455 @@
+// Package seedflow implements the interprocedural half of the seeding
+// discipline: seed values must be pure functions of (base seed, key) through
+// rng.DeriveSeed/Substream, never of loop order — even when the raw index
+// travels through assignments, struct fields, or helper functions before it
+// reaches a generator.
+//
+// rngdiscipline (the syntactic pass) flags a loop variable used directly in
+// an rng.New/Reseed argument or a seed-named store. seedflow picks up where
+// it stops: taint starts at every loop variable, propagates field-path-
+// sensitively through the function's assignments (tainting cfg.Seed never
+// taints cfg.Reps), crosses call boundaries via per-function summaries
+// ("argument j, field path p, reaches a generator raw"), and reports at the
+// first sink the taint reaches — with the call path in the message. To keep
+// one finding per defect, sinks whose argument mentions the loop variable
+// itself are left to rngdiscipline; seedflow reports only when the taint
+// travelled through at least one assignment or call.
+//
+// Sanitizers cut taint: any value that passed through rng.DeriveSeed,
+// rng.Substream or hetlb.DeriveSeed is clean by construction. Element
+// selection also cuts it (seeds[i] is a pure function of i, a table lookup,
+// not loop-order state) — the conservative direct-use case stays
+// rngdiscipline's. Closures are a documented hole: taint does not follow a
+// captured variable into a function literal (DESIGN.md §16).
+package seedflow
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"hetlb/internal/analysis"
+	"hetlb/internal/analysis/flow"
+)
+
+// Analyzer is the interprocedural seed-provenance check.
+var Analyzer = &analysis.Analyzer{
+	Name:         "seedflow",
+	Doc:          "loop-derived seed values must not reach rng.New/Reseed or seed fields through assignments or helper calls without rng.DeriveSeed/Substream",
+	Run:          run,
+	Suppressible: true,
+}
+
+// summaryEntry records that a function's parameter, read at the given field
+// path, reaches a generator-seeding sink without sanitization.
+type summaryEntry struct {
+	param int
+	path  string // field path read relative to the parameter ("" = itself)
+	sink  string // "rng.New", "RNG.Reseed", or "seed store <name>"
+	trace string // call chain from this function to the primitive sink
+}
+
+type checker struct {
+	pass      *analysis.Pass
+	graph     *flow.Graph
+	conc      *flow.Concurrency
+	assigns   map[*flow.Func][]flow.Assign
+	summaries map[*flow.Func][]summaryEntry
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	// The rng package itself implements the primitives; its internals are
+	// not subject to the discipline they define.
+	if pass.Pkg.Name() == "rng" {
+		return nil, nil
+	}
+	c := &checker{
+		pass:      pass,
+		graph:     flow.Build(pass),
+		assigns:   make(map[*flow.Func][]flow.Assign),
+		summaries: make(map[*flow.Func][]summaryEntry),
+	}
+	for _, fn := range c.graph.Funcs {
+		c.assigns[fn] = flow.Assigns(pass.TypesInfo, fn)
+	}
+	c.buildSummaries()
+	for _, fn := range c.graph.Funcs {
+		c.checkFunc(fn)
+	}
+	return nil, nil
+}
+
+// sanitizer reports whether call is a seed-deriving primitive: taint does
+// not pass through it.
+func (c *checker) sanitizer(call *ast.CallExpr) bool {
+	f := analysis.Callee(c.pass.TypesInfo, call)
+	return analysis.IsPkgFunc(f, "rng", "DeriveSeed", "Substream") ||
+		analysis.IsPkgFunc(f, "hetlb", "DeriveSeed")
+}
+
+// taintInfo is the provenance of one tainted location.
+type taintInfo struct {
+	origin string // the loop variable (or parameter) the value came from
+	chain  string // assignment chain for the message: "i → s → cfg.Seed"
+	// srcPath is the field path within the origin value this taint carries
+	// ("" for the origin itself, "Seed" when only its Seed field flowed
+	// here) — the precision that keeps `cfg.Reps = i; run(cfg)` from
+	// matching a callee that only seeds from cfg.Seed.
+	srcPath string
+}
+
+// propagate runs the per-function taint fixpoint over fn's assignment edges.
+// Flow-insensitive by design: a loop variable's scope is its loop, so any
+// taint derived from one is loop-body state wherever it ends up, including
+// after the loop (the last iteration's value).
+func (c *checker) propagate(fn *flow.Func, taints map[flow.Key]taintInfo) {
+	for changed := true; changed; {
+		changed = false
+		for _, a := range c.assigns[fn] {
+			for _, read := range flow.RefKeys(c.pass.TypesInfo, a.RHS, c.sanitizer) {
+				t, at, hit := c.lookup(taints, read)
+				if !hit {
+					continue
+				}
+				newKey := a.LHS
+				newSrc := t.srcPath
+				if flow.PathPrefix(at.Path, read.Path) {
+					// Reading the tainted location or deeper: the source
+					// path extends by the extra selection.
+					newSrc = flow.JoinPath(t.srcPath, flow.TrimPathPrefix(read.Path, at.Path))
+				} else {
+					// Reading a container of the taint (d := cfg with
+					// cfg.Seed tainted): the taint shifts to the same field
+					// of the copy.
+					newKey.Path = flow.JoinPath(newKey.Path, flow.TrimPathPrefix(at.Path, read.Path))
+				}
+				if _, done := taints[newKey]; done {
+					continue
+				}
+				if strings.Count(newKey.Path, ".") > 6 {
+					continue // bound path growth through recursive struct copies
+				}
+				taints[newKey] = taintInfo{
+					origin:  t.origin,
+					chain:   t.chain + " → " + keyString(newKey),
+					srcPath: newSrc,
+				}
+				changed = true
+				break
+			}
+		}
+	}
+}
+
+// lookup finds a taint covering key (exact, on a prefix location, or on a
+// sub-path of it), returning the matched taint and its key. When several
+// taints cover the key the most specific one wins (longest path, then
+// lexicographically smallest chain), so messages never depend on map order.
+func (c *checker) lookup(taints map[flow.Key]taintInfo, key flow.Key) (taintInfo, flow.Key, bool) {
+	if t, ok := taints[key]; ok {
+		return t, key, ok
+	}
+	var (
+		bestT taintInfo
+		bestK flow.Key
+		found bool
+	)
+	for k, t := range taints {
+		if !k.Covers(key) {
+			continue
+		}
+		if !found || len(k.Path) > len(bestK.Path) ||
+			(len(k.Path) == len(bestK.Path) && t.chain < bestT.chain) {
+			bestT, bestK, found = t, k, true
+		}
+	}
+	return bestT, bestK, found
+}
+
+// keyString renders a key for taint-chain messages.
+func keyString(k flow.Key) string {
+	if k.Path == "" {
+		return k.Obj.Name()
+	}
+	return k.Obj.Name() + "." + k.Path
+}
+
+// loopVars collects the loop variables declared in fn's own body (function
+// literals are separate graph nodes and keep their own loops).
+func (c *checker) loopVars(fn *flow.Func) map[types.Object]*ast.Ident {
+	out := make(map[types.Object]*ast.Ident)
+	define := func(e ast.Expr) {
+		if id, ok := e.(*ast.Ident); ok {
+			if obj := c.pass.TypesInfo.Defs[id]; obj != nil {
+				out[obj] = id
+			}
+		}
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt:
+			if init, ok := n.Init.(*ast.AssignStmt); ok && init.Tok == token.DEFINE {
+				for _, lhs := range init.Lhs {
+					define(lhs)
+				}
+			}
+		case *ast.RangeStmt:
+			if n.Tok == token.DEFINE {
+				if n.Key != nil {
+					define(n.Key)
+				}
+				if n.Value != nil {
+					define(n.Value)
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// buildSummaries computes, to a fixpoint over the call graph, which
+// (parameter, field path) pairs of each function reach a seeding sink raw.
+// Functions are processed in source order each round, so the result — and
+// therefore diagnostic order — is deterministic.
+func (c *checker) buildSummaries() {
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range c.graph.Funcs {
+			sig := fn.Type()
+			if sig == nil {
+				continue // literals: no named summary needed (callers resolve them as Ref edges only)
+			}
+			for p := 0; p < sig.Params().Len(); p++ {
+				obj := sig.Params().At(p)
+				if obj == nil || !flowRelevant(obj.Type()) {
+					continue
+				}
+				taints := map[flow.Key]taintInfo{{Obj: obj}: {origin: fmt.Sprintf("parameter %s", obj.Name())}}
+				c.propagate(fn, taints)
+				entries := c.sinksOf(fn, taints, nil)
+				for _, e := range entries {
+					e.param = p
+					if !c.hasSummary(fn, e) {
+						c.summaries[fn] = append(c.summaries[fn], e)
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+func (c *checker) hasSummary(fn *flow.Func, e summaryEntry) bool {
+	for _, have := range c.summaries[fn] {
+		if have.param == e.param && have.path == e.path && have.sink == e.sink {
+			return true
+		}
+	}
+	return false
+}
+
+// flowRelevant gates summary work to types a seed can travel in: integers,
+// strings and structs (and pointers/slices of them). Channels, funcs and
+// interfaces do not carry seeds in this codebase.
+func flowRelevant(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Info()&(types.IsInteger|types.IsString) != 0
+	case *types.Struct:
+		return true
+	case *types.Pointer:
+		return flowRelevant(u.Elem())
+	case *types.Slice:
+		return flowRelevant(u.Elem())
+	case *types.Array:
+		return flowRelevant(u.Elem())
+	}
+	return false
+}
+
+// sink is one place a tainted value reached a generator.
+type sink struct {
+	pos   token.Pos
+	desc  string // what was reached, for the message
+	trace string // call chain to the primitive sink
+	taint taintInfo
+}
+
+// sinksOf scans fn for seeding sinks reached by the given taints. When
+// report is non-nil the sinks are also filtered through the raw-loop-var
+// exclusion (handing the direct case to rngdiscipline) and passed to it;
+// the returned entries always describe the summary view (path relative to
+// the single taint root, which callers of buildSummaries rely on).
+func (c *checker) sinksOf(fn *flow.Func, taints map[flow.Key]taintInfo, report func(sink)) []summaryEntry {
+	info := c.pass.TypesInfo
+	var entries []summaryEntry
+	emit := func(pos token.Pos, desc, trace string, t taintInfo, readPath string) {
+		if report != nil {
+			report(sink{pos: pos, desc: desc, trace: trace, taint: t})
+		}
+		entries = append(entries, summaryEntry{path: readPath, sink: desc, trace: trace})
+	}
+	// tainted reports whether expr reads a tainted location, returning the
+	// taint and the source-relative path the sink observes.
+	tainted := func(expr ast.Expr) (taintInfo, string, bool) {
+		for _, read := range flow.RefKeys(info, expr, c.sanitizer) {
+			if t, at, ok := c.lookup(taints, read); ok {
+				src := t.srcPath
+				if flow.PathPrefix(at.Path, read.Path) {
+					src = flow.JoinPath(t.srcPath, flow.TrimPathPrefix(read.Path, at.Path))
+				}
+				return t, src, true
+			}
+		}
+		return taintInfo{}, "", false
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // literal bodies are their own graph nodes
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			f := analysis.Callee(info, n)
+			if analysis.IsPkgFunc(f, "rng", "New") && len(n.Args) == 1 {
+				if t, path, ok := tainted(n.Args[0]); ok {
+					emit(n.Pos(), "rng.New", "rng.New", t, path)
+				}
+				return true
+			}
+			if analysis.IsPkgFunc(f, "rng", "Reseed") && len(n.Args) == 1 {
+				if t, path, ok := tainted(n.Args[0]); ok {
+					emit(n.Pos(), "RNG.Reseed", "RNG.Reseed", t, path)
+				}
+				return true
+			}
+			// Interprocedural: an argument whose tainted part the callee's
+			// summary says reaches a sink raw.
+			callee := c.calleeFunc(n)
+			if callee == nil {
+				return true
+			}
+			for _, e := range c.summaries[callee] {
+				if e.param >= len(n.Args) {
+					continue
+				}
+				arg := n.Args[e.param]
+				t, path, ok := c.argReaches(taints, arg, e.path)
+				if !ok {
+					continue
+				}
+				emit(n.Pos(), e.sink, callee.Name+" → "+e.trace, t, path)
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) && len(n.Rhs) != 1 {
+					break
+				}
+				rhs := n.Rhs[0]
+				if len(n.Rhs) == len(n.Lhs) {
+					rhs = n.Rhs[i]
+				}
+				name, ok := seedLHS(lhs)
+				if !ok {
+					continue
+				}
+				if t, path, hit := tainted(rhs); hit {
+					emit(rhs.Pos(), "seed store "+name, "store to "+name, t, path)
+				}
+			}
+		case *ast.KeyValueExpr:
+			if key, ok := n.Key.(*ast.Ident); ok && isSeedName(key.Name) {
+				if t, path, hit := tainted(n.Value); hit {
+					emit(n.Value.Pos(), "seed store "+key.Name, "store to "+key.Name, t, path)
+				}
+			}
+		}
+		return true
+	})
+	return entries
+}
+
+// argReaches reports whether the callee, reading readPath off this argument,
+// observes a taint: the argument's location extended by readPath must be
+// covered by one. Non-location arguments (arithmetic, composites) fall back
+// to any-read-tainted, the conservative direction.
+func (c *checker) argReaches(taints map[flow.Key]taintInfo, arg ast.Expr, readPath string) (taintInfo, string, bool) {
+	if k, ok := flow.KeyOf(c.pass.TypesInfo, arg); ok {
+		full := k
+		full.Path = flow.JoinPath(full.Path, readPath)
+		t, at, hit := c.lookup(taints, full)
+		if !hit {
+			return taintInfo{}, "", false
+		}
+		src := t.srcPath
+		if flow.PathPrefix(at.Path, full.Path) {
+			src = flow.JoinPath(t.srcPath, flow.TrimPathPrefix(full.Path, at.Path))
+		}
+		return t, src, true
+	}
+	for _, read := range flow.RefKeys(c.pass.TypesInfo, arg, c.sanitizer) {
+		if t, _, ok := c.lookup(taints, read); ok {
+			return t, t.srcPath, true
+		}
+	}
+	return taintInfo{}, "", false
+}
+
+// calleeFunc resolves a call site to its in-package Func, or nil.
+func (c *checker) calleeFunc(call *ast.CallExpr) *flow.Func {
+	if f := analysis.Callee(c.pass.TypesInfo, call); f != nil {
+		return c.graph.FuncOf(f)
+	}
+	return nil
+}
+
+// checkFunc runs the top-level check: taint fn's loop variables, propagate,
+// and report every sink the taint reaches that rngdiscipline would not (the
+// argument does not mention a loop variable directly).
+func (c *checker) checkFunc(fn *flow.Func) {
+	loops := c.loopVars(fn)
+	if len(loops) == 0 {
+		return
+	}
+	taints := make(map[flow.Key]taintInfo, len(loops))
+	for obj, id := range loops {
+		taints[flow.Key{Obj: obj}] = taintInfo{origin: id.Name, chain: id.Name}
+	}
+	c.propagate(fn, taints)
+	c.sinksOf(fn, taints, func(s sink) {
+		// The direct case — the sink expression itself mentions the loop
+		// variable — is rngdiscipline's finding; report only travelled taint.
+		if s.taint.chain == s.taint.origin && !strings.Contains(s.trace, "→") {
+			return
+		}
+		suffix := "key with rng.DeriveSeed(seed, " + s.taint.origin + ") so the stream is a pure function of its key, not of loop order"
+		if strings.Contains(s.trace, "→") {
+			c.pass.Reportf(s.pos, "seed value derived from loop variable %s reaches %s via %s: %s",
+				s.taint.origin, s.desc, s.trace, suffix)
+		} else {
+			c.pass.Reportf(s.pos, "seed value derived from loop variable %s (flow: %s) reaches %s: %s",
+				s.taint.origin, s.taint.chain, s.desc, suffix)
+		}
+	})
+}
+
+// seedLHS and isSeedName mirror rngdiscipline's naming heuristic so the two
+// analyzers agree on what counts as a seed store.
+func seedLHS(lhs ast.Expr) (string, bool) {
+	switch lhs := lhs.(type) {
+	case *ast.Ident:
+		return lhs.Name, isSeedName(lhs.Name)
+	case *ast.SelectorExpr:
+		return lhs.Sel.Name, isSeedName(lhs.Sel.Name)
+	}
+	return "", false
+}
+
+func isSeedName(name string) bool {
+	return name == "seed" || name == "Seed" ||
+		(len(name) > 4 && (name[len(name)-4:] == "Seed" || name[len(name)-4:] == "seed"))
+}

@@ -1,0 +1,14 @@
+package seedflow_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"hetlb/internal/analysis/analysistest"
+	"hetlb/internal/analysis/seedflow"
+)
+
+func TestSeedflow(t *testing.T) {
+	testdata := filepath.Join("..", "testdata")
+	analysistest.Run(t, testdata, seedflow.Analyzer, "seedflowpos", "seedflowclean")
+}

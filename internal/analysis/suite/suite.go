@@ -6,13 +6,32 @@ package suite
 import (
 	"hetlb/internal/analysis"
 	"hetlb/internal/analysis/determinism"
+	"hetlb/internal/analysis/lockshape"
 	"hetlb/internal/analysis/noalloc"
+	"hetlb/internal/analysis/phasefreeze"
 	"hetlb/internal/analysis/rngdiscipline"
+	"hetlb/internal/analysis/seedflow"
 	"hetlb/internal/analysis/statssafety"
 )
 
-// All returns the full analyzer suite in reporting order.
+// All returns the full analyzer suite in reporting order: the syntactic
+// checks first, then the interprocedural flow analyzers (seedflow,
+// lockshape, phasefreeze), which build a call graph per package.
 func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		determinism.Analyzer,
+		rngdiscipline.Analyzer,
+		noalloc.Analyzer,
+		statssafety.Analyzer,
+		seedflow.Analyzer,
+		lockshape.Analyzer,
+		phasefreeze.Analyzer,
+	}
+}
+
+// Syntactic returns the suite with the interprocedural flow analyzers
+// stripped — what `hetlbvet -flow=false` runs.
+func Syntactic() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		determinism.Analyzer,
 		rngdiscipline.Analyzer,

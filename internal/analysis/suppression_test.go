@@ -30,7 +30,7 @@ func TestMissingReason(t *testing.T) {
 	if err != nil {
 		t.Fatalf("loading des: %v", err)
 	}
-	diags, err := analysis.Run(pkg, suite.All(), true)
+	diags, _, err := analysis.Run(pkg, suite.All(), true)
 	if err != nil {
 		t.Fatalf("running suite: %v", err)
 	}

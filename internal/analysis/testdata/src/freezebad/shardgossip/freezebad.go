@@ -1,0 +1,68 @@
+// Package shardgossip (under freezebad) holds the phasefreeze positives:
+// worker-path writes to //hetlb:frozen fields — the down-set, the front
+// schedule buffer — that break the frozen-per-epoch contract, plus the
+// suppress-exactly-one proof and the copy-builtin write shape.
+package shardgossip
+
+type schedule struct {
+	//hetlb:frozen
+	pairI []int32
+	//hetlb:frozen
+	cross int
+}
+
+type faultState struct {
+	//hetlb:frozen
+	down []bool
+}
+
+type engine struct {
+	cur    *schedule
+	faults *faultState
+	start  []chan struct{}
+	quit   chan struct{}
+}
+
+func (e *engine) run() {
+	for s := range e.start {
+		go e.worker(s)
+	}
+}
+
+func (e *engine) worker(s int) {
+	for {
+		select {
+		case <-e.quit:
+			return
+		case <-e.start[s]:
+			e.session(s)
+			e.overwrite(s)
+			e.hack(s)
+		}
+	}
+}
+
+// session mutates the frozen schedule and down-set mid-epoch: every worker
+// reads them without synchronization, so each write is a race.
+func (e *engine) session(t int) {
+	e.cur.pairI[t] = 0 // want `write to frozen field pairI on a worker path \(\(\*engine\)\.worker \(goroutine started at .*\) → \(\*engine\)\.session\)`
+	if e.faults.down[t] {
+		e.faults.down[t] = false // want `write to frozen field down on a worker path`
+	}
+	e.cur.cross++ // want `write to frozen field cross on a worker path`
+}
+
+// overwrite hits the frozen buffer through the copy builtin.
+func (e *engine) overwrite(t int) {
+	src := []int32{1, 2}
+	copy(e.cur.pairI, src) // want `write to frozen field pairI on a worker path`
+	_ = t
+}
+
+// hack proves a reasoned //hetlb:concurrency-ok silences exactly one
+// finding: the twin on the next line still fires.
+func (e *engine) hack(t int) {
+	e.cur.cross = 0 //hetlb:concurrency-ok goldens only: proving one suppression silences one finding
+	e.cur.cross = 1 // want `write to frozen field cross on a worker path`
+	_ = t
+}

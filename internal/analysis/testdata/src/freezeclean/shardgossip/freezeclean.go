@@ -1,0 +1,86 @@
+// Package shardgossip (under freezeclean) pins the known-clean PR-8/9
+// phase shapes: coordinator-only writes to frozen fields between epoch
+// barriers, and the double-buffered schedule draw that writes only through
+// an owned parameter. Zero phasefreeze findings expected.
+package shardgossip
+
+type schedule struct {
+	//hetlb:frozen
+	pairI []int32
+	//hetlb:frozen
+	cross int
+}
+
+type faultState struct {
+	//hetlb:frozen
+	down []bool
+}
+
+type engine struct {
+	cur    *schedule
+	next   *schedule
+	faults *faultState
+	//hetlb:frozen
+	phase int
+	//hetlb:frozen
+	stable bool
+	start  []chan struct{}
+	quit   chan struct{}
+	draws  chan *schedule
+}
+
+func (e *engine) run() {
+	for s := range e.start {
+		go e.worker(s)
+	}
+	go e.scheduler()
+}
+
+// worker only reads frozen state; all its writes go elsewhere.
+func (e *engine) worker(s int) {
+	for {
+		select {
+		case <-e.quit:
+			return
+		case <-e.start[s]:
+			_ = e.cur.pairI[s]
+			_ = e.faults.down[s]
+		}
+	}
+}
+
+// scheduler runs on its own goroutine but writes only through the parameter
+// it owns: the back buffer handed over the channel. That is the ownership
+// exemption, and the receiver-rooted reads stay reads.
+func (e *engine) scheduler() {
+	for b := range e.draws {
+		drawInto(b, len(b.pairI))
+	}
+}
+
+// drawInto fills the owned back buffer — param-rooted writes are exempt.
+func drawInto(b *schedule, n int) {
+	for t := 0; t < n; t++ {
+		b.pairI[t] = int32(t)
+	}
+	b.cross = 0
+}
+
+// stepEpoch is the coordinator: not reachable from any `go` spawn, so its
+// frozen-field writes are the sanctioned between-barriers mutation.
+func (e *engine) stepEpoch() {
+	e.cur, e.next = e.next, e.cur
+	e.phase++
+	e.applyFaults()
+	if e.phase > 3 {
+		e.stable = true
+	}
+}
+
+// applyFaults flips the down-set on the coordinator between epochs.
+func (e *engine) applyFaults() {
+	for i := range e.faults.down {
+		e.faults.down[i] = false
+	}
+	e.cur.cross = 0
+}

@@ -1,0 +1,103 @@
+// Package shardgossip (under lockclean) pins the known-clean PR-8/9 lock
+// shapes: the single-lock updatePartials critical section, deferred unlocks,
+// coordinator-phase lockless writes, and the phase-B rescan whose reasoned
+// //hetlb:concurrency-ok marks the one place the proof leaves the lock
+// shape. Everything here must produce zero unsuppressed lockshape findings.
+package shardgossip
+
+import "sync"
+
+type shardState struct {
+	mu sync.Mutex
+	//hetlb:guarded
+	partialSum int64
+	//hetlb:guarded
+	partialMax int64
+	//hetlb:guarded
+	dirty bool
+}
+
+type engine struct {
+	shards []shardState
+	load   []int64
+	start  []chan struct{}
+	quit   chan struct{}
+}
+
+func (e *engine) run() {
+	for s := range e.shards {
+		go e.worker(s)
+	}
+}
+
+func (e *engine) worker(s int) {
+	for {
+		select {
+		case <-e.quit:
+			return
+		case <-e.start[s]:
+			e.session(s)
+			e.withDefer(s)
+			e.rescanBlock(s)
+		}
+	}
+}
+
+func (e *engine) session(s int) {
+	e.updatePartials(s, 1, 2)
+}
+
+// updatePartials is the real engine's critical section: one lock, a few
+// integer operations, explicit unlock, no nesting.
+func (e *engine) updatePartials(s int, old, new int64) {
+	sh := &e.shards[s]
+	sh.mu.Lock()
+	sh.partialSum += new - old
+	if new > sh.partialMax {
+		sh.partialMax = new
+	} else if new < old && old == sh.partialMax {
+		sh.dirty = true
+	}
+	sh.mu.Unlock()
+}
+
+// withDefer holds through a deferred unlock: the guarded write below the
+// defer is still under the lock.
+func (e *engine) withDefer(s int) {
+	sh := &e.shards[s]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.partialSum++
+}
+
+// applyFaults writes guarded state locklessly — on the coordinator, which
+// owns all shard state between barriers. Clean by the worker/coordinator
+// split, not by luck.
+func (e *engine) applyFaults() {
+	for s := range e.shards {
+		e.shards[s].dirty = true
+		e.shards[s].partialSum = 0
+	}
+}
+
+// rescanBlock is the phase-B shape: a lockless guarded write on a worker
+// path whose safety argument (the barrier between phases) lives outside the
+// lock shape — so it carries the reason at the write.
+func (e *engine) rescanBlock(s int) {
+	sh := &e.shards[s]
+	var max int64
+	for _, l := range e.load {
+		if l > max {
+			max = l
+		}
+	}
+	sh.partialMax = max //hetlb:concurrency-ok phase B rescan: the session barrier ordered every load write before this read, and only the owner touches its block
+	sh.dirty = false    //hetlb:concurrency-ok phase B rescan: only the owner clears its own dirty flag between the barriers
+}
+
+// stepEpoch is the coordinator loop: it may call into locking helpers with
+// no lock held.
+func (e *engine) stepEpoch() {
+	e.applyFaults()
+	e.updatePartials(0, 0, 1)
+}

@@ -1,0 +1,86 @@
+// Package shardgossip (under locktwo) is the lockshape regression golden:
+// it deliberately reintroduces the two-shard-lock session that the PR-7
+// at-most-one-mutex invariant forbids, plus the lockless guarded write and
+// the suppress-exactly-one proof. The directory's final element opts into
+// the concurrency scope by name, like the determinism testdata does.
+package shardgossip
+
+import "sync"
+
+type shardState struct {
+	mu sync.Mutex
+	//hetlb:guarded
+	partialSum int64
+}
+
+type engine struct {
+	shards []shardState
+	start  []chan struct{}
+	quit   chan struct{}
+}
+
+func (e *engine) run() {
+	for s := range e.shards {
+		go e.worker(s)
+	}
+}
+
+func (e *engine) worker(s int) {
+	for {
+		select {
+		case <-e.quit:
+			return
+		case <-e.start[s]:
+			e.session(s, s+1)
+			e.nested(s, s+1)
+			e.rescan(s)
+			e.rescanSuppressed(s)
+		}
+	}
+}
+
+// session is the deliberately reintroduced deadlock shape: both sides of a
+// cross-shard pair locked at once.
+func (e *engine) session(i, j int) {
+	e.shards[i].mu.Lock()
+	e.shards[j].mu.Lock() // want `second shard mutex acquired while one is already held in \(\*engine\)\.session`
+	e.shards[i].partialSum++
+	e.shards[j].partialSum--
+	e.shards[j].mu.Unlock()
+	e.shards[i].mu.Unlock()
+}
+
+// lockOther takes one lock on its own — legal in isolation, and exactly why
+// the check must be interprocedural.
+func (e *engine) lockOther(j int) {
+	e.shards[j].mu.Lock()
+	e.shards[j].partialSum++
+	e.shards[j].mu.Unlock()
+}
+
+// nested hides the second acquisition one call deep.
+func (e *engine) nested(i, j int) {
+	e.shards[i].mu.Lock()
+	e.lockOther(j) // want `second shard mutex acquired while one is held: call path \(\*engine\)\.nested → \(\*engine\)\.lockOther`
+	e.shards[i].mu.Unlock()
+}
+
+// leak acquires in a net-acquiring loop: the second iteration enters with
+// the first's lock still held.
+func (e *engine) leak(n int) {
+	for s := 0; s < n; s++ {
+		e.shards[s].mu.Lock() // want `second shard mutex acquired while one is already held in \(\*engine\)\.leak`
+	}
+}
+
+// rescan writes the guarded partial with no lock on a worker path.
+func (e *engine) rescan(s int) {
+	e.shards[s].partialSum = 0 // want `write to guarded field partialSum without holding its shard mutex on a worker path`
+}
+
+// rescanSuppressed proves a reasoned //hetlb:concurrency-ok silences
+// exactly one finding: the twin write on the next line still fires.
+func (e *engine) rescanSuppressed(s int) {
+	e.shards[s].partialSum = 0 //hetlb:concurrency-ok goldens only: proving one suppression silences one finding
+	e.shards[s].partialSum = 1 // want `write to guarded field partialSum without holding its shard mutex on a worker path`
+}

@@ -1,0 +1,17 @@
+// Package shardgossip (under markbad) carries deliberately misplaced
+// //hetlb:guarded and //hetlb:frozen marks: both verbs govern struct field
+// lines only, and a mark that lands anywhere else is a finding. Checked by
+// direct unit tests (the diagnostic lands on the annotation's own line,
+// where a want comment cannot coexist).
+package shardgossip
+
+//hetlb:guarded
+func notAField() {}
+
+//hetlb:frozen
+var notAStruct int
+
+func init() {
+	notAField()
+	_ = notAStruct
+}

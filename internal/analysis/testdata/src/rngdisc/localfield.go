@@ -1,0 +1,88 @@
+package rngdisc
+
+import "hetlb/internal/rng"
+
+// plan mimics a per-replication plan struct whose field name says nothing
+// about seeds — the shape that used to launder a raw loop-index seed past
+// the analyzer: stored into a local struct field, read back two lines later.
+type plan struct {
+	base uint64
+	reps int
+}
+
+// FieldLaundered stores the raw index seed into a non-seed-named local
+// field and reads it straight back into rng.New. The generator is still a
+// function of loop order; the field hop must not wash that off.
+func FieldLaundered(seed uint64, n int) uint64 {
+	var total uint64
+	for i := 0; i < n; i++ {
+		var p plan
+		p.base = seed + uint64(i)
+		gen := rng.New(p.base) // want `rng\.New seeded from loop variable i`
+		total += gen.Uint64()
+	}
+	return total
+}
+
+// LiteralLaundered does the same hop through a composite literal.
+func LiteralLaundered(seed uint64, n int) uint64 {
+	var total uint64
+	for i := 0; i < n; i++ {
+		p := plan{base: seed ^ uint64(i), reps: 1}
+		gen := rng.New(p.base) // want `rng\.New seeded from loop variable i`
+		total += gen.Uint64()
+	}
+	return total
+}
+
+// AfterLoop reads the tainted field after the loop ends: the value is the
+// last iteration's, so the stream still depends on how the loop was
+// numbered, and the loop variable being out of scope must not matter.
+func AfterLoop(seed uint64, n int) uint64 {
+	var p plan
+	for i := 0; i < n; i++ {
+		p.base = seed + uint64(i)
+	}
+	gen := rng.New(p.base) // want `rng\.New seeded from loop variable i`
+	return gen.Uint64()
+}
+
+// FieldDerived is the blessed version: the field holds a derived seed, so
+// reading it back is clean.
+func FieldDerived(seed uint64, n int) uint64 {
+	var total uint64
+	for i := 0; i < n; i++ {
+		var p plan
+		p.base = rng.DeriveSeed(seed, uint64(i))
+		gen := rng.New(p.base)
+		total += gen.Uint64()
+	}
+	return total
+}
+
+// FieldOverwritten kills the taint before the read: the raw value never
+// reaches a generator, so there is nothing to flag.
+func FieldOverwritten(seed uint64, n int) uint64 {
+	var total uint64
+	for i := 0; i < n; i++ {
+		var p plan
+		p.base = seed + uint64(i)
+		p.base = rng.DeriveSeed(seed, uint64(i))
+		gen := rng.New(p.base)
+		total += gen.Uint64()
+	}
+	return total
+}
+
+// ReplacedLiteral reassigns the whole struct cleanly between the tainted
+// write and the read: stale taints on the old value must not survive.
+func ReplacedLiteral(seed uint64, n int) uint64 {
+	var total uint64
+	for i := 0; i < n; i++ {
+		p := plan{base: seed + uint64(i)}
+		p = plan{base: rng.DeriveSeed(seed, uint64(i))}
+		gen := rng.New(p.base)
+		total += gen.Uint64()
+	}
+	return total
+}

@@ -1,0 +1,59 @@
+// Package seedflowclean pins the blessed seeding shapes from PRs 2 and 8 —
+// everything here must produce zero seedflow findings. These are the exact
+// idioms the real tree uses: DeriveSeed/Substream keying (including through
+// locals and helpers), the pipelined per-epoch schedule draw, and table
+// lookups indexed by the loop variable.
+package seedflowclean
+
+import "hetlb/internal/rng"
+
+// derivedLocal keys through DeriveSeed before storing into a local: the
+// sanitizer cuts the taint even though the local then reaches Reseed.
+func derivedLocal(g *rng.RNG, seed uint64, n int) {
+	for i := 0; i < n; i++ {
+		s := rng.DeriveSeed(seed, uint64(i))
+		g.Reseed(s)
+	}
+}
+
+// substreamPerWorker is the PR-2 harness shape: one keyed substream per
+// replication index.
+func substreamPerWorker(seed uint64, workers int) {
+	for w := 0; w < workers; w++ {
+		g := rng.Substream(seed, uint64(w))
+		_ = g.Uint64()
+	}
+}
+
+// pipelinedDraw is the PR-8 scheduler shape: the draw generator is re-keyed
+// by DeriveSeed(seed, epoch) only, inside the epoch loop.
+func pipelinedDraw(drawGen *rng.RNG, seed uint64, epochs uint64) {
+	for epoch := uint64(0); epoch < epochs; epoch++ {
+		drawGen.Reseed(rng.DeriveSeed(seed, epoch))
+		p := make([]int, 8)
+		drawGen.PermInto(p)
+	}
+}
+
+// tableLookup seeds from a precomputed table indexed by the loop variable: a
+// pure function of i, not of loop order, so element selection cuts taint.
+// (The direct-index-in-argument shape rng.New(seeds[i]) stays rngdiscipline's
+// call either way.)
+func tableLookup(g *rng.RNG, seeds []uint64) {
+	for i := 0; i < len(seeds); i++ {
+		s := seeds[i]
+		g.Reseed(s)
+	}
+}
+
+// helperKeyed hands a derived seed to a helper: the argument is sanitized
+// before the call, so the helper's raw-seeding summary never matches.
+func reseedRaw(g *rng.RNG, s uint64) {
+	g.Reseed(s)
+}
+
+func helperKeyed(g *rng.RNG, seed uint64, n int) {
+	for i := 0; i < n; i++ {
+		reseedRaw(g, rng.DeriveSeed(seed, uint64(i)))
+	}
+}

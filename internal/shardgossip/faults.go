@@ -68,6 +68,7 @@ type faultState struct {
 	events []faultEvent // sorted by (at, machine); consumed in order
 	next   int
 
+	//hetlb:frozen
 	down      []bool // read-only during an epoch; written between epochs
 	downCount int
 	frozen    []int32 // frozen[x] = jobs frozen on down machine x

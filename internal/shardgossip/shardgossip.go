@@ -202,9 +202,13 @@ func AutoShards(m int) int {
 // double-buffer between the coordinator (executing epoch k) and the
 // scheduler goroutine (drawing epoch k+1).
 type schedule struct {
+	//hetlb:frozen
 	pairI []int32
+	//hetlb:frozen
 	pairJ []int32
-	sess  [][]int32
+	//hetlb:frozen
+	sess [][]int32
+	//hetlb:frozen
 	cross int
 }
 
@@ -223,10 +227,13 @@ type shardState struct {
 	// block; dirty marks that the block max may have decreased and the block
 	// needs an O(m/S) rescan before the barrier (see package doc,
 	// "Per-shard reductions").
+	//hetlb:guarded
 	partialSum int64
+	//hetlb:guarded
 	partialMax core.Cost
-	dirty      bool
-	spans      *span.Recorder // nil when span recording is off
+	//hetlb:guarded
+	dirty bool
+	spans *span.Recorder // nil when span recording is off
 }
 
 // Engine drives one sharded simulation run. It is not safe for concurrent
@@ -248,6 +255,7 @@ type Engine struct {
 	// Pipelined schedule: cur is the front buffer (the epoch being
 	// executed); the scheduler goroutine owns drawGen/perm and fills the
 	// back buffer handed to it on drawKick, returning it on drawReady.
+	//hetlb:frozen
 	cur       *schedule
 	drawKick  chan *schedule
 	drawReady chan *schedule
@@ -255,7 +263,8 @@ type Engine struct {
 	perm      []int    // owned by the scheduler goroutine after New
 
 	shards []shardState
-	phase  int // worker dispatch phase for the current fan-out
+	//hetlb:frozen
+	phase int // worker dispatch phase for the current fan-out
 
 	epoch     int
 	sessions  int // total sessions executed; the Stepper's step count
@@ -267,6 +276,7 @@ type Engine struct {
 	noChange int
 	// stable latches once checkStable proves the placement pairwise-stable;
 	// from then on sessions take the bookkeeping-only fast path.
+	//hetlb:frozen
 	stable bool
 	// faults is the dynamic crash state of an armed fault plan; nil on a
 	// fault-free engine (see faults.go).
@@ -603,8 +613,8 @@ func (e *Engine) rescanBlock(s int) {
 			max = l
 		}
 	}
-	sh.partialMax = max
-	sh.dirty = false
+	sh.partialMax = max //hetlb:concurrency-ok phase B rescan: the session barrier ordered every load write before this read, and only block s's owner rescans block s
+	sh.dirty = false    //hetlb:concurrency-ok phase B rescan: only block s's owner clears its own dirty flag between the session and epoch barriers
 }
 
 // updatePartials folds one machine's load change into its block's partial
